@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ *
+ * Every bench prints the paper's reference numbers next to the measured
+ * ones. Absolute values are not expected to match (the substrate is a
+ * simulator, not the authors' testbed); the *shape* — who wins, by
+ * roughly what factor, where the crossovers fall — is the claim under
+ * reproduction, as recorded in EXPERIMENTS.md.
+ */
+#ifndef SQLPP_BENCH_UTIL_H
+#define SQLPP_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace sqlpp::bench {
+
+inline void
+banner(const char *experiment, const char *claim)
+{
+    std::printf("==========================================================="
+                "=====\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper claim: %s\n", claim);
+    std::printf("==========================================================="
+                "=====\n");
+}
+
+inline void
+section(const char *title)
+{
+    std::printf("\n-- %s --\n", title);
+}
+
+} // namespace sqlpp::bench
+
+#endif // SQLPP_BENCH_UTIL_H

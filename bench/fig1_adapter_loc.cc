@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fig. 1 reproduction: per-DBMS implementation effort.
+ *
+ * The paper contrasts the ~3,729 average LOC of a hand-written
+ * SQLancer generator per DBMS with SQLancer++'s ~16 LOC connection
+ * adapters. In this library the analogue is measured structurally:
+ *
+ *  - "dialect-specific generator effort": the number of capabilities a
+ *    hand-written generator must implement for the dialect (every
+ *    supported statement, join, operator, function, type — each one is
+ *    generator code in a SQLancer-style tool);
+ *  - "SQLancer++ adapter effort": the number of configuration
+ *    deviations the dialect profile records against the common matrix
+ *    plus connection quirks — each one roughly a line of adapter
+ *    config, like the paper's 16-LOC adapters.
+ */
+#include <algorithm>
+
+#include "bench_util.h"
+#include "core/baseline.h"
+#include "dialect/profile.h"
+
+using namespace sqlpp;
+
+namespace {
+
+size_t
+capabilityCount(const DialectProfile &profile)
+{
+    return profile.statements.size() + profile.joins.size() +
+           profile.binaryOps.size() + profile.unaryOps.size() +
+           profile.functions.size() + profile.dataTypes.size();
+}
+
+size_t
+adapterComplexity(const DialectProfile &profile,
+                  const DialectProfile &base)
+{
+    auto diff = [](const auto &a, const auto &b) {
+        size_t removed = 0;
+        for (const auto &item : b) {
+            if (a.count(item) == 0)
+                ++removed;
+        }
+        return removed;
+    };
+    size_t deviations = diff(profile.statements, base.statements) +
+                        diff(profile.joins, base.joins) +
+                        diff(profile.binaryOps, base.binaryOps) +
+                        diff(profile.unaryOps, base.unaryOps) +
+                        diff(profile.functions, base.functions) +
+                        diff(profile.dataTypes, base.dataTypes);
+    // Behaviour knobs and quirks: one config line each.
+    deviations += profile.behavior.staticTyping ? 1 : 0;
+    deviations += profile.behavior.divZeroIsNull ? 0 : 1;
+    deviations += profile.behavior.domainErrorIsNull ? 1 : 0;
+    deviations += profile.requiresRefreshAfterInsert ? 1 : 0;
+    // Connection string etc. (paper: ~4 LOC minimum per DBMS).
+    deviations += 4;
+    return deviations;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 1: per-DBMS effort, hand-written generator vs. adapter",
+        "SQLancer: ~3729 LOC median per DBMS; SQLancer++: ~16 LOC "
+        "adapter per DBMS");
+
+    // The fullest profile stands in for the common matrix.
+    const DialectProfile *fullest = nullptr;
+    for (const DialectProfile &profile : allDialectProfiles()) {
+        if (fullest == nullptr ||
+            capabilityCount(profile) > capabilityCount(*fullest)) {
+            fullest = &profile;
+        }
+    }
+
+    bench::section("per-dialect effort (structural proxy)");
+    std::printf("%-16s %22s %22s %8s\n", "dialect",
+                "generator capabilities", "adapter config lines",
+                "ratio");
+    double total_caps = 0, total_adapter = 0;
+    for (const DialectProfile &profile : allDialectProfiles()) {
+        size_t caps = capabilityCount(profile);
+        size_t adapter = adapterComplexity(profile, *fullest);
+        total_caps += static_cast<double>(caps);
+        total_adapter += static_cast<double>(adapter);
+        std::printf("%-16s %22zu %22zu %7.1fx\n", profile.name.c_str(),
+                    caps, adapter,
+                    static_cast<double>(caps) /
+                        static_cast<double>(adapter));
+    }
+    size_t n = allDialectProfiles().size();
+    std::printf("\naverage: a hand-written generator covers %.0f "
+                "capabilities per dialect;\nthe adaptive platform needs "
+                "%.0f adapter-config entries per dialect (%.0fx less).\n",
+                total_caps / n, total_adapter / n,
+                total_caps / total_adapter);
+    std::printf("paper's framing: 3729 LOC vs 16 LOC (~233x); shape "
+                "reproduced when the ratio is >> 1.\n");
+    return 0;
+}

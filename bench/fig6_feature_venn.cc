@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fig. 6 reproduction: overlap of the SQL features implemented by the
+ * generic adaptive generator and by dialect-specific baseline
+ * generators (the paper compares against SQLancer's SQLite and
+ * PostgreSQL generators).
+ *
+ * The adaptive generator's universe is the full feature registry; a
+ * baseline generator for dialect D "implements" exactly the features
+ * D supports (ProfileGate). The interesting quantities are the pairwise
+ * and three-way intersections: the paper's point is that a large core
+ * is shared while each hand-written generator also covers
+ * dialect-specific territory the others lack.
+ */
+#include <set>
+#include <string>
+
+#include "bench_util.h"
+#include "core/baseline.h"
+
+using namespace sqlpp;
+
+namespace {
+
+std::set<std::string>
+gateFeatures(const FeatureRegistry &registry, const ProfileGate &gate)
+{
+    std::set<std::string> out;
+    for (FeatureId id = 0; id < registry.size(); ++id) {
+        if (gate.allow(id))
+            out.insert(registry.name(id));
+    }
+    return out;
+}
+
+size_t
+intersectCount(const std::set<std::string> &a,
+               const std::set<std::string> &b)
+{
+    size_t n = 0;
+    for (const std::string &item : a)
+        n += b.count(item);
+    return n;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 6: feature Venn, adaptive vs. dialect-specific "
+                  "generators",
+                  "a large common core; each hand-written generator adds "
+                  "dialect-only features");
+
+    FeatureRegistry registry;
+    std::set<std::string> adaptive;
+    for (FeatureId id = 0; id < registry.size(); ++id)
+        adaptive.insert(registry.name(id));
+
+    const DialectProfile *sqlite = findDialect("sqlite-like");
+    const DialectProfile *postgres = findDialect("postgres-like");
+    ProfileGate sqlite_gate(*sqlite, registry);
+    ProfileGate postgres_gate(*postgres, registry);
+    std::set<std::string> sqlite_features =
+        gateFeatures(registry, sqlite_gate);
+    std::set<std::string> postgres_features =
+        gateFeatures(registry, postgres_gate);
+
+    bench::section("set sizes");
+    std::printf("adaptive (SQLancer++) universe : %zu features\n",
+                adaptive.size());
+    std::printf("sqlite-like baseline generator : %zu features\n",
+                sqlite_features.size());
+    std::printf("postgres-like baseline         : %zu features\n",
+                postgres_features.size());
+
+    bench::section("venn regions");
+    size_t sq_pg = intersectCount(sqlite_features, postgres_features);
+    std::printf("sqlite \xe2\x88\xa9 postgres             : %zu\n", sq_pg);
+    std::printf("adaptive \xe2\x88\xa9 sqlite             : %zu\n",
+                intersectCount(adaptive, sqlite_features));
+    std::printf("adaptive \xe2\x88\xa9 postgres           : %zu\n",
+                intersectCount(adaptive, postgres_features));
+    size_t triple = 0;
+    for (const std::string &name : sqlite_features) {
+        if (postgres_features.count(name) && adaptive.count(name))
+            ++triple;
+    }
+    std::printf("three-way core                 : %zu\n", triple);
+
+    bench::section("dialect-only features (examples)");
+    int shown = 0;
+    for (const std::string &name : sqlite_features) {
+        if (postgres_features.count(name) == 0 && shown < 6)
+            std::printf("  sqlite-only  : %s\n", name.c_str()), ++shown;
+    }
+    shown = 0;
+    for (const std::string &name : postgres_features) {
+        if (sqlite_features.count(name) == 0 && shown < 6)
+            std::printf("  postgres-only: %s\n", name.c_str()), ++shown;
+    }
+
+    std::printf("\nshape check: the three-way core is the bulk of every "
+                "set (%zu of %zu / %zu),\nwhile each dialect keeps "
+                "features the other lacks — the paper's Fig. 6 shape.\n",
+                triple, sqlite_features.size(), postgres_features.size());
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fig. 8 reproduction: unique query plans explored over time on the
+ * sqlite-like dialect, for four configurations:
+ *
+ *   - SQLancer++ w/ feedback
+ *   - SQLancer++ w/o feedback
+ *   - SQLancer++_S (feedback, subqueries disabled)
+ *   - the dialect-specific baseline ("SQLancer")
+ *
+ * Paper shape: feedback beats no-feedback by ~3.4x; feedback even beats
+ * the baseline (~3x) *because of subqueries* — with subqueries disabled
+ * the two converge. An extra ablation series varies the depth schedule.
+ */
+#include <vector>
+
+#include "bench_util.h"
+#include "core/campaign.h"
+
+using namespace sqlpp;
+
+namespace {
+
+struct Series
+{
+    const char *label;
+    GeneratorMode mode;
+    bool subqueries;
+    bool progressive_depth;
+};
+
+std::vector<size_t>
+runSeries(const Series &series, size_t checks, size_t checkpoints,
+          uint64_t seed)
+{
+    CampaignConfig config;
+    config.dialect = "sqlite-like";
+    config.seed = seed;
+    config.mode = series.mode;
+    config.checks = checks / checkpoints;
+    config.generator.enableSubqueries = series.subqueries;
+    config.generator.progressiveDepth = series.progressive_depth;
+    config.oracles = {"TLP"};
+    config.feedback.updateInterval = 150;
+    config.feedback.ddlFailureLimit = 6;
+
+    // Checkpointed accumulation: reuse one runner across segments is
+    // not supported, so run the largest budget once per checkpoint.
+    std::vector<size_t> points;
+    for (size_t i = 1; i <= checkpoints; ++i) {
+        CampaignConfig step = config;
+        step.checks = checks * i / checkpoints;
+        CampaignRunner runner(step);
+        CampaignStats stats = runner.run();
+        points.push_back(stats.planFingerprints.size());
+    }
+    return points;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t checks = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4000;
+    constexpr size_t kCheckpoints = 4;
+
+    bench::banner("Fig. 8: unique query plans on sqlite-like",
+                  "w/ feedback ~3.4x w/o feedback, ~3x baseline; "
+                  "disabling subqueries closes the baseline gap");
+
+    const Series series[] = {
+        {"SQLancer++ w/ feedback", GeneratorMode::Adaptive, true, true},
+        {"SQLancer++ w/o feedback", GeneratorMode::AdaptiveNoFeedback,
+         true, true},
+        {"SQLancer++_S (no subqueries)", GeneratorMode::Adaptive, false,
+         true},
+        {"baseline (SQLancer-style)", GeneratorMode::Baseline, false,
+         true},
+        {"ablation: fixed depth 3", GeneratorMode::Adaptive, true,
+         false},
+    };
+
+    bench::section("unique plans at checkpoints");
+    std::printf("%-30s", "configuration");
+    for (size_t i = 1; i <= kCheckpoints; ++i)
+        std::printf(" %7zu", checks * i / kCheckpoints);
+    std::printf("\n");
+
+    std::vector<size_t> finals;
+    for (const Series &entry : series) {
+        auto points = runSeries(entry, checks, kCheckpoints, 31337);
+        std::printf("%-30s", entry.label);
+        for (size_t value : points)
+            std::printf(" %7zu", value);
+        std::printf("\n");
+        finals.push_back(points.back());
+    }
+
+    bench::section("shape checks");
+    double fb = static_cast<double>(finals[0]);
+    double no_fb = static_cast<double>(finals[1]);
+    double no_sub = static_cast<double>(finals[2]);
+    double baseline = static_cast<double>(finals[3]);
+    std::printf("feedback / no-feedback : %.2fx (paper: 3.43x)\n",
+                no_fb > 0 ? fb / no_fb : 0.0);
+    std::printf("feedback / baseline    : %.2fx (paper: 3.01x)\n",
+                baseline > 0 ? fb / baseline : 0.0);
+    std::printf("no-subquery / baseline : %.2fx (paper: ~1x, the gap "
+                "comes from subqueries)\n",
+                baseline > 0 ? no_sub / baseline : 0.0);
+    std::printf("\nscale note: the paper's 3.43x rests on a 24.9%% "
+                "no-feedback validity floor on real\nSQLite; our "
+                "sqlite-like dialect accepts most of the generator "
+                "universe, so the same\nmechanism yields a compressed "
+                "ratio here (direction preserved). See EXPERIMENTS.md.\n");
+    return 0;
+}

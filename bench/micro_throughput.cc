@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Micro throughput benchmarks (google-benchmark): the platform's hot
+ * paths — parsing, execution, generation, oracle checks. These are not
+ * paper reproductions; they document the substrate's performance
+ * envelope, which determines how the paper's fixed wall-clock budgets
+ * translate into our iteration budgets.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/baseline.h"
+#include "core/campaign.h"
+#include "core/feedback.h"
+#include "core/generator.h"
+#include "core/oracle.h"
+#include "parser/parser.h"
+#include "sqlir/printer.h"
+
+using namespace sqlpp;
+
+namespace {
+
+void
+BM_ParseSelect(benchmark::State &state)
+{
+    const std::string sql =
+        "SELECT t0.c0, COUNT(*) FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0 "
+        "WHERE (t0.c0 > 5 AND t0.c1 LIKE 'x%') GROUP BY t0.c0 "
+        "ORDER BY t0.c0 DESC LIMIT 10";
+    for (auto _ : state) {
+        auto result = parseStatement(sql);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_ParseSelect);
+
+void
+BM_ExecutePointQuery(benchmark::State &state)
+{
+    Database db;
+    (void)db.execute("CREATE TABLE t0 (c0 INT, c1 TEXT)");
+    for (int i = 0; i < 64; ++i) {
+        (void)db.execute("INSERT INTO t0 VALUES (" + std::to_string(i) +
+                         ", 'v" + std::to_string(i) + "')");
+    }
+    (void)db.execute("CREATE INDEX i0 ON t0(c0)");
+    for (auto _ : state) {
+        auto result = db.execute("SELECT * FROM t0 WHERE c0 = 31");
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_ExecutePointQuery);
+
+void
+BM_ExecuteJoinAggregate(benchmark::State &state)
+{
+    Database db;
+    (void)db.execute("CREATE TABLE t0 (c0 INT)");
+    (void)db.execute("CREATE TABLE t1 (c0 INT)");
+    for (int i = 0; i < 32; ++i) {
+        (void)db.execute("INSERT INTO t0 VALUES (" +
+                         std::to_string(i % 8) + ")");
+        (void)db.execute("INSERT INTO t1 VALUES (" +
+                         std::to_string(i % 4) + ")");
+    }
+    for (auto _ : state) {
+        auto result = db.execute(
+            "SELECT t0.c0, COUNT(*) FROM t0 INNER JOIN t1 "
+            "ON t0.c0 = t1.c0 GROUP BY t0.c0");
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_ExecuteJoinAggregate);
+
+void
+BM_GenerateStatement(benchmark::State &state)
+{
+    FeatureRegistry registry;
+    OpenGate gate;
+    SchemaModel model;
+    GeneratorConfig config;
+    config.seed = 1;
+    AdaptiveGenerator generator(config, registry, gate, model);
+    for (int i = 0; i < 20; ++i)
+        generator.noteExecution(generator.generateSetupStatement(), true);
+    for (auto _ : state) {
+        GeneratedStatement stmt = generator.generateSelect();
+        benchmark::DoNotOptimize(stmt.text);
+    }
+}
+BENCHMARK(BM_GenerateStatement);
+
+void
+BM_TlpCheck(benchmark::State &state)
+{
+    const DialectProfile *profile = findDialect("postgres-like");
+    Connection connection(*profile);
+    (void)connection.execute("CREATE TABLE t0 (c0 INT, c1 TEXT)");
+    for (int i = 0; i < 16; ++i) {
+        (void)connection.execute(
+            "INSERT INTO t0 VALUES (" + std::to_string(i % 5) + ", 'x')");
+    }
+    auto base = parseStatement("SELECT * FROM t0");
+    auto predicate = parseExpression("t0.c0 > 2");
+    TlpOracle oracle;
+    for (auto _ : state) {
+        OracleResult result = oracle.check(
+            connection,
+            static_cast<const SelectStmt &>(*base.value()),
+            *predicate.value());
+        benchmark::DoNotOptimize(result.outcome);
+    }
+}
+BENCHMARK(BM_TlpCheck);
+
+void
+BM_FeedbackRecord(benchmark::State &state)
+{
+    FeedbackTracker tracker;
+    FeatureSet features{1, 5, 9, 12, 40};
+    bool success = false;
+    for (auto _ : state) {
+        tracker.record(features, success = !success, true);
+    }
+}
+BENCHMARK(BM_FeedbackRecord);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 1 reproduction: the SQL feature taxonomy of the adaptive
+ * generator — 6 statements, 10 clause/keyword groups, 58 functions,
+ * 47 operators, 3 data types.
+ */
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/feature.h"
+#include "engine/functions.h"
+
+using namespace sqlpp;
+
+int
+main()
+{
+    bench::banner("Table 1: SQL features",
+                  "6 statements | 10 clauses/keywords | 58 functions | "
+                  "47 operators | 3 data types");
+
+    FeatureRegistry registry;
+    struct RowSpec
+    {
+        FeatureKind kind;
+        const char *label;
+        int paper;
+    };
+    const RowSpec rows[] = {
+        {FeatureKind::Statement, "Statement", 6},
+        {FeatureKind::Clause, "Clause & Keyword", 10},
+        {FeatureKind::Function, "Expression/Function", 58},
+        {FeatureKind::Operator, "Expression/Operator", 47},
+        {FeatureKind::DataType, "Data type", 3},
+        {FeatureKind::Property, "Abstract property", -1},
+    };
+
+    bench::section("measured taxonomy");
+    std::printf("%-22s %8s %8s\n", "feature type", "ours", "paper");
+    for (const RowSpec &row : rows) {
+        auto ids = registry.ofKind(row.kind);
+        if (row.paper >= 0) {
+            std::printf("%-22s %8zu %8d\n", row.label, ids.size(),
+                        row.paper);
+        } else {
+            std::printf("%-22s %8zu %8s\n", row.label, ids.size(), "-");
+        }
+    }
+    std::printf("\nNote: the paper counts 10 clause/keyword features; our "
+                "generator exposes a finer-grained\nclause set (6 join "
+                "types plus %zu keyword flags) guarding the same surface."
+                "\n",
+                registry.ofKind(FeatureKind::Clause).size() - 6);
+
+    bench::section("statement features");
+    for (FeatureId id : registry.ofKind(FeatureKind::Statement))
+        std::printf("  %s\n", registry.name(id).c_str());
+
+    bench::section("function inventory (58, Table 1)");
+    int column = 0;
+    for (const std::string &name : FunctionRegistry::instance().names()) {
+        std::printf("%-14s", name.c_str());
+        if (++column % 6 == 0)
+            std::printf("\n");
+    }
+    if (column % 6 != 0)
+        std::printf("\n");
+
+    bench::section("composite typed-argument examples (Fig. 5)");
+    std::printf("  %s, %s, %s\n",
+                features::functionArg("SIN", 0, DataType::Int).c_str(),
+                features::functionArg("SIN", 0, DataType::Text).c_str(),
+                features::functionArg("NULLIF", 1, DataType::Bool)
+                    .c_str());
+    return 0;
+}

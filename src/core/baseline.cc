@@ -1,0 +1,184 @@
+#include "core/baseline.h"
+
+#include <cctype>
+
+#include "engine/eval.h"
+#include "engine/functions.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+namespace {
+
+/** Parse a composite typed-argument feature like "SIN1INT". */
+bool
+parseCompositeArg(const std::string &name, std::string &fn_name,
+                  size_t &arg_index, DataType &type)
+{
+    std::string suffix;
+    if (name.size() > 3 && name.substr(name.size() - 3) == "INT") {
+        type = DataType::Int;
+        suffix = name.substr(0, name.size() - 3);
+    } else if (name.size() > 6 &&
+               name.substr(name.size() - 6) == "STRING") {
+        type = DataType::Text;
+        suffix = name.substr(0, name.size() - 6);
+    } else if (name.size() > 4 &&
+               name.substr(name.size() - 4) == "BOOL") {
+        type = DataType::Bool;
+        suffix = name.substr(0, name.size() - 4);
+    } else {
+        return false;
+    }
+    if (suffix.empty() ||
+        !std::isdigit(static_cast<unsigned char>(suffix.back()))) {
+        return false;
+    }
+    arg_index =
+        static_cast<size_t>(suffix.back() - '0') - 1; // 1-based tag
+    fn_name = suffix.substr(0, suffix.size() - 1);
+    return !fn_name.empty() &&
+           FunctionRegistry::instance().find(fn_name) != nullptr;
+}
+
+bool
+typeMatchesSpec(DataType type, TypeSpec spec)
+{
+    switch (spec) {
+      case TypeSpec::Any: return true;
+      case TypeSpec::Int: return type == DataType::Int;
+      case TypeSpec::Text: return type == DataType::Text;
+      case TypeSpec::Bool: return type == DataType::Bool;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+ProfileGate::allowName(const std::string &name) const
+{
+    // Statements.
+    if (startsWith(name, "STMT_")) {
+        for (StmtKind kind :
+             {StmtKind::CreateTable, StmtKind::CreateIndex,
+              StmtKind::CreateView, StmtKind::Insert, StmtKind::Analyze,
+              StmtKind::Select, StmtKind::DropTable, StmtKind::DropView,
+              StmtKind::DropIndex}) {
+            if (features::stmt(kind) == name)
+                return profile_.supportsStatement(kind);
+        }
+        return false;
+    }
+    // Joins.
+    if (startsWith(name, "JOIN_")) {
+        for (JoinType type :
+             {JoinType::Inner, JoinType::Left, JoinType::Right,
+              JoinType::Full, JoinType::Cross, JoinType::Natural}) {
+            if (features::join(type) == name)
+                return profile_.supportsJoin(type);
+        }
+        return false;
+    }
+    // Clauses & keywords.
+    const ClauseSupport &clauses = profile_.clauses;
+    if (name == features::kDistinct) return clauses.distinct;
+    if (name == features::kGroupBy) return clauses.groupBy;
+    if (name == features::kHaving) return clauses.having;
+    if (name == features::kOrderBy) return clauses.orderBy;
+    if (name == features::kLimit) return clauses.limit;
+    if (name == features::kOffset) return clauses.offset;
+    if (name == features::kWhere) return true;
+    if (name == features::kSubqueryExpr) return clauses.subqueryInExpr;
+    if (name == features::kSubqueryFrom) return clauses.subqueryInFrom;
+    if (name == features::kPartialIndex) return clauses.partialIndex;
+    if (name == features::kUniqueIndex) return clauses.uniqueIndex;
+    if (name == features::kIfNotExists) return clauses.ifNotExists;
+    if (name == features::kOrIgnore) return clauses.insertOrIgnore;
+    if (name == features::kMultiRowInsert) return clauses.multiRowInsert;
+    if (name == features::kPrimaryKey) return clauses.primaryKey;
+    if (name == features::kNotNull) return clauses.notNull;
+    if (name == features::kUniqueColumn) return clauses.uniqueColumn;
+    if (name == features::kViewColumnList) return clauses.viewColumnList;
+    // Abstract properties.
+    if (name == features::kUntypedExpr)
+        return !profile_.behavior.staticTyping;
+    // Operators.
+    if (startsWith(name, "OP_")) {
+        for (BinaryOp op :
+             {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Div,
+              BinaryOp::Mod, BinaryOp::Eq, BinaryOp::NotEq,
+              BinaryOp::NotEqBang, BinaryOp::Less, BinaryOp::LessEq,
+              BinaryOp::Greater, BinaryOp::GreaterEq,
+              BinaryOp::NullSafeEq, BinaryOp::And, BinaryOp::Or,
+              BinaryOp::BitAnd, BinaryOp::BitOr, BinaryOp::BitXor,
+              BinaryOp::ShiftLeft, BinaryOp::ShiftRight,
+              BinaryOp::Concat, BinaryOp::Like, BinaryOp::NotLike,
+              BinaryOp::Glob, BinaryOp::IsDistinctFrom,
+              BinaryOp::IsNotDistinctFrom}) {
+            if (features::binaryOp(op) == name)
+                return profile_.supportsBinaryOp(op);
+        }
+        for (UnaryOp op :
+             {UnaryOp::Neg, UnaryOp::Plus, UnaryOp::BitNot, UnaryOp::Not,
+              UnaryOp::IsNull, UnaryOp::IsNotNull, UnaryOp::IsTrue,
+              UnaryOp::IsFalse, UnaryOp::IsNotTrue,
+              UnaryOp::IsNotFalse}) {
+            if (features::unaryOp(op) == name)
+                return profile_.supportsUnaryOp(op);
+        }
+        if (name == "OP_EXISTS" || name == "OP_NOT_EXISTS" ||
+            name == "OP_IN_SUBQUERY" || name == "OP_NOT_IN_SUBQUERY") {
+            return profile_.clauses.subqueryInExpr;
+        }
+        // CASE/BETWEEN/IN-list/CAST: universal engine constructs.
+        return true;
+    }
+    // Functions.
+    if (startsWith(name, "FN_"))
+        return profile_.supportsFunction(name.substr(3));
+    // Data types.
+    if (name == features::dataType(DataType::Int))
+        return profile_.supportsType(DataType::Int);
+    if (name == features::dataType(DataType::Text))
+        return profile_.supportsType(DataType::Text);
+    if (name == features::dataType(DataType::Bool))
+        return profile_.supportsType(DataType::Bool);
+    // Composite typed-argument features: the baseline knows the exact
+    // signatures, so a mismatching argument type is only allowed on
+    // dynamically-typed dialects.
+    {
+        std::string fn_name;
+        size_t arg_index = 0;
+        DataType type = DataType::Int;
+        if (parseCompositeArg(name, fn_name, arg_index, type)) {
+            if (!profile_.supportsFunction(fn_name))
+                return false;
+            if (!profile_.supportsType(type))
+                return false;
+            if (!profile_.behavior.staticTyping)
+                return true;
+            const FunctionImpl *impl =
+                FunctionRegistry::instance().find(fn_name);
+            if (impl == nullptr)
+                return false;
+            size_t spec_index =
+                impl->sig.args.empty()
+                    ? 0
+                    : std::min(arg_index, impl->sig.args.size() - 1);
+            TypeSpec spec = impl->sig.args.empty()
+                                ? TypeSpec::Any
+                                : impl->sig.args[spec_index];
+            return typeMatchesSpec(type, spec);
+        }
+    }
+    return true;
+}
+
+bool
+ProfileGate::allow(FeatureId id) const
+{
+    return allowName(registry_.name(id));
+}
+
+} // namespace sqlpp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Feature gates: the adaptive gate (learned) and the baseline gate
+ * (omniscient).
+ *
+ * FeedbackGate answers shouldGenerate() from the FeedbackTracker — this
+ * is SQLancer++. ProfileGate answers from the dialect's actual
+ * capability matrix — this models the paper's baseline, a SQLancer-style
+ * generator hand-written for the specific DBMS: it never generates an
+ * unsupported feature and it knows the typing discipline a priori,
+ * including per-argument function types.
+ */
+#ifndef SQLPP_CORE_BASELINE_H
+#define SQLPP_CORE_BASELINE_H
+
+#include "core/feature.h"
+#include "core/feedback.h"
+#include "core/generator.h"
+#include "dialect/profile.h"
+
+namespace sqlpp {
+
+/** Gate backed by the validity-feedback tracker (the adaptive path). */
+class FeedbackGate : public FeatureGate
+{
+  public:
+    explicit FeedbackGate(const FeedbackTracker &tracker)
+        : tracker_(tracker) {}
+
+    bool
+    allow(FeatureId id) const override
+    {
+        return tracker_.shouldGenerate(id);
+    }
+
+  private:
+    const FeedbackTracker &tracker_;
+};
+
+/**
+ * Gate backed by a dialect's true capability matrix (the baseline).
+ *
+ * The mapping from feature names back to capabilities also serves the
+ * Fig. 6 experiment (feature overlap between the adaptive generator and
+ * dialect-specific baseline generators).
+ */
+class ProfileGate : public FeatureGate
+{
+  public:
+    ProfileGate(const DialectProfile &profile,
+                const FeatureRegistry &registry)
+        : profile_(profile), registry_(registry) {}
+
+    bool allow(FeatureId id) const override;
+
+    /** Name-level capability check (used by Fig. 6 and by tests). */
+    bool allowName(const std::string &feature_name) const;
+
+  private:
+    const DialectProfile &profile_;
+    const FeatureRegistry &registry_;
+};
+
+} // namespace sqlpp
+
+#endif // SQLPP_CORE_BASELINE_H

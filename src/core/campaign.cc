@@ -1,0 +1,191 @@
+#include "core/campaign.h"
+
+#include "parser/parser.h"
+#include "sqlir/printer.h"
+#include "util/log.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+CampaignRunner::CampaignRunner(CampaignConfig config)
+    : config_(std::move(config))
+{
+    const DialectProfile *profile = findDialect(config_.dialect);
+    if (profile == nullptr) {
+        logError("unknown dialect: " + config_.dialect);
+        profile = &allDialectProfiles().front();
+        config_.dialect = profile->name;
+    }
+    FeedbackConfig feedback_config = config_.feedback;
+    if (config_.mode == GeneratorMode::AdaptiveNoFeedback)
+        feedback_config.enabled = false;
+    tracker_ = std::make_unique<FeedbackTracker>(feedback_config);
+    switch (config_.mode) {
+      case GeneratorMode::Adaptive:
+        gate_ = std::make_unique<FeedbackGate>(*tracker_);
+        break;
+      case GeneratorMode::AdaptiveNoFeedback:
+        gate_ = std::make_unique<OpenGate>();
+        break;
+      case GeneratorMode::Baseline:
+        gate_ = std::make_unique<ProfileGate>(*profile, registry_);
+        break;
+    }
+}
+
+void
+CampaignRunner::buildState(Connection &connection, CampaignStats &stats,
+                           std::vector<std::string> &setup_log)
+{
+    GeneratorConfig generator_config = config_.generator;
+    generator_config.seed =
+        config_.seed * 0x9e3779b97f4a7c15ULL + stats.setupGenerated + 1;
+    AdaptiveGenerator generator(generator_config, registry_, *gate_,
+                                model_);
+    for (size_t i = 0; i < config_.setupStatements; ++i) {
+        GeneratedStatement stmt = generator.generateSetupStatement();
+        auto result = connection.executeAdapted(stmt.text);
+        bool success = result.isOk();
+        tracker_->record(stmt.features, success, /*is_query=*/false);
+        generator.noteExecution(stmt, success);
+        ++stats.setupGenerated;
+        if (success) {
+            ++stats.setupSucceeded;
+            setup_log.push_back(stmt.text);
+        }
+    }
+}
+
+CampaignStats
+CampaignRunner::run()
+{
+    CampaignStats stats;
+    const DialectProfile &profile = *findDialect(config_.dialect);
+
+    std::vector<std::unique_ptr<Oracle>> oracles;
+    for (const std::string &name : config_.oracles) {
+        auto oracle = makeOracle(name);
+        if (oracle != nullptr)
+            oracles.push_back(std::move(oracle));
+    }
+    if (oracles.empty())
+        oracles.push_back(makeOracle("TLP"));
+
+    BugPrioritizer prioritizer;
+
+    auto connection = std::make_unique<Connection>(profile);
+    std::vector<std::string> setup_log;
+    model_ = SchemaModel();
+    buildState(*connection, stats, setup_log);
+
+    GeneratorConfig generator_config = config_.generator;
+    generator_config.seed = config_.seed;
+    AdaptiveGenerator generator(generator_config, registry_, *gate_,
+                                model_);
+
+    for (size_t check = 0; check < config_.checks; ++check) {
+        if (config_.rebuildEvery > 0 && check > 0 &&
+            check % config_.rebuildEvery == 0) {
+            connection = std::make_unique<Connection>(profile);
+            model_ = SchemaModel();
+            setup_log.clear();
+            buildState(*connection, stats, setup_log);
+        }
+        auto shape = generator.generateQueryShape();
+        if (!shape.has_value())
+            continue;
+        ++stats.checksAttempted;
+        bool all_ran = true;
+        for (auto &oracle : oracles) {
+            OracleResult result = oracle->check(
+                *connection, *shape->base, *shape->predicate);
+            if (result.outcome == OracleOutcome::Skipped) {
+                all_ran = false;
+                continue;
+            }
+            if (result.outcome != OracleOutcome::Bug)
+                continue;
+            ++stats.bugsDetected;
+            if (!prioritizer.considerNew(shape->features))
+                continue;
+            BugCase bug;
+            bug.dialect = profile.name;
+            bug.oracle = oracle->name();
+            bug.setup = setup_log;
+            bug.baseText = printSelect(*shape->base);
+            bug.predicateText = printExpr(*shape->predicate);
+            for (FeatureId id : shape->features)
+                bug.featureNames.push_back(registry_.name(id));
+            bug.details = result.details;
+            if (config_.reduce) {
+                reduceBugCase(bug, [&](const BugCase &candidate) {
+                    return reproduces(profile, candidate);
+                });
+            }
+            stats.prioritizedBugs.push_back(std::move(bug));
+        }
+        if (all_ran)
+            ++stats.checksValid;
+        tracker_->record(shape->features, all_ran, /*is_query=*/true);
+        for (uint64_t fingerprint : connection->seenPlans())
+            stats.planFingerprints.insert(fingerprint);
+    }
+    return stats;
+}
+
+bool
+CampaignRunner::reproduces(const DialectProfile &profile,
+                           const BugCase &bug)
+{
+    Connection connection(profile);
+    for (const std::string &statement : bug.setup)
+        (void)connection.executeAdapted(statement);
+    auto oracle = makeOracle(bug.oracle);
+    if (oracle == nullptr)
+        return false;
+    auto base = parseStatement(bug.baseText);
+    auto predicate = parseExpression(bug.predicateText);
+    if (!base.isOk() || !predicate.isOk())
+        return false;
+    if (base.value()->kind() != StmtKind::Select)
+        return false;
+    OracleResult result = oracle->check(
+        connection, static_cast<const SelectStmt &>(*base.value()),
+        *predicate.value());
+    return result.outcome == OracleOutcome::Bug;
+}
+
+std::optional<FaultId>
+CampaignRunner::attributeFault(const DialectProfile &profile,
+                               const BugCase &bug)
+{
+    if (!reproduces(profile, bug))
+        return std::nullopt;
+    for (FaultId fault : profile.faults.ids()) {
+        DialectProfile ablated = profile;
+        ablated.faults.disable(fault);
+        if (!reproduces(ablated, bug))
+            return fault;
+    }
+    return std::nullopt;
+}
+
+size_t
+CampaignRunner::countUniqueBugs(const DialectProfile &profile,
+                                const std::vector<BugCase> &bugs)
+{
+    std::set<FaultId> attributed;
+    size_t unattributed = 0;
+    for (const BugCase &bug : bugs) {
+        auto fault = attributeFault(profile, bug);
+        if (fault.has_value())
+            attributed.insert(*fault);
+        else
+            ++unattributed;
+    }
+    // Unattributed cases are conservatively counted as one extra
+    // underlying bug (they did flag a real inconsistency).
+    return attributed.size() + (unattributed > 0 ? 1 : 0);
+}
+
+} // namespace sqlpp

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * CampaignRunner: the SQLancer++ platform loop (paper Fig. 2).
+ *
+ * One campaign = one dialect + one generator mode + one or more
+ * oracles. The runner
+ *   1. builds database state with the generator (DDL/DML phase),
+ *      feeding execution status back to the schema model and the
+ *      validity tracker;
+ *   2. generates oracle query shapes and checks them, learning from
+ *      validity and recording plan fingerprints;
+ *   3. routes every bug-inducing case through the prioritizer and
+ *      (optionally) the reducer;
+ *   4. can attribute prioritized bugs to ground-truth faults by
+ *      replaying them against fault-ablated engines — the measurement
+ *      the paper approximates by bisecting CrateDB commits (Table 5).
+ */
+#ifndef SQLPP_CORE_CAMPAIGN_H
+#define SQLPP_CORE_CAMPAIGN_H
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/baseline.h"
+#include "core/feature.h"
+#include "core/feedback.h"
+#include "core/generator.h"
+#include "core/oracle.h"
+#include "core/prioritizer.h"
+#include "core/reducer.h"
+#include "dialect/connection.h"
+
+namespace sqlpp {
+
+/** Which generator drives the campaign. */
+enum class GeneratorMode
+{
+    /** Adaptive generator with validity feedback (SQLancer++). */
+    Adaptive,
+    /** Adaptive generator, feedback disabled (ablation). */
+    AdaptiveNoFeedback,
+    /** Profile-omniscient baseline ("SQLancer"-style). */
+    Baseline,
+};
+
+/** Campaign configuration. */
+struct CampaignConfig
+{
+    std::string dialect = "sqlite-like";
+    uint64_t seed = 1;
+    GeneratorMode mode = GeneratorMode::Adaptive;
+    /** Oracles to run per query shape, e.g. {"TLP"} or {"TLP","NOREC"}. */
+    std::vector<std::string> oracles = {"TLP"};
+    /** Database-state statements to generate before testing. */
+    size_t setupStatements = 80;
+    /** Oracle checks to run. */
+    size_t checks = 1500;
+    /** Rebuild the database every N checks (0 = never). */
+    size_t rebuildEvery = 0;
+    /** Run the reducer over each prioritized bug. */
+    bool reduce = false;
+    GeneratorConfig generator;
+    FeedbackConfig feedback;
+};
+
+/** Aggregated campaign results. */
+struct CampaignStats
+{
+    uint64_t setupGenerated = 0;
+    uint64_t setupSucceeded = 0;
+    uint64_t checksAttempted = 0;
+    /** Checks whose every query executed (validity-rate numerator). */
+    uint64_t checksValid = 0;
+    /** Every bug-inducing test case (Table 5 "Detected Bugs"). */
+    uint64_t bugsDetected = 0;
+    /** Cases surviving prioritization (Table 5 "Prioritized Bugs"). */
+    std::vector<BugCase> prioritizedBugs;
+    /** Distinct SELECT plan fingerprints (Fig. 8 metric). */
+    std::set<uint64_t> planFingerprints;
+
+    double
+    validityRate() const
+    {
+        if (checksAttempted == 0)
+            return 0.0;
+        return static_cast<double>(checksValid) /
+               static_cast<double>(checksAttempted);
+    }
+
+    double
+    setupValidityRate() const
+    {
+        if (setupGenerated == 0)
+            return 0.0;
+        return static_cast<double>(setupSucceeded) /
+               static_cast<double>(setupGenerated);
+    }
+};
+
+/** Runs campaigns against one dialect. */
+class CampaignRunner
+{
+  public:
+    explicit CampaignRunner(CampaignConfig config);
+
+    /** Run the full campaign and return the stats. */
+    CampaignStats run();
+
+    /** The feedback tracker (inspect learned state after run()). */
+    const FeedbackTracker &feedback() const { return *tracker_; }
+    FeatureRegistry &registry() { return registry_; }
+    const SchemaModel &schemaModel() const { return model_; }
+
+    /**
+     * Replay a bug case on a profile: rebuild the database, rerun the
+     * oracle. True when the bug still manifests.
+     */
+    static bool reproduces(const DialectProfile &profile,
+                           const BugCase &bug);
+
+    /**
+     * Ground-truth attribution: find the injected fault whose removal
+     * makes the bug disappear. nullopt when no single fault explains it.
+     */
+    static std::optional<FaultId>
+    attributeFault(const DialectProfile &profile, const BugCase &bug);
+
+    /**
+     * Count distinct underlying bugs among prioritized cases using
+     * ground-truth attribution (the paper's "Unique Bugs" column).
+     */
+    static size_t countUniqueBugs(const DialectProfile &profile,
+                                  const std::vector<BugCase> &bugs);
+
+  private:
+    void buildState(Connection &connection, CampaignStats &stats,
+                    std::vector<std::string> &setup_log);
+
+    CampaignConfig config_;
+    FeatureRegistry registry_;
+    std::unique_ptr<FeedbackTracker> tracker_;
+    std::unique_ptr<FeatureGate> gate_;
+    SchemaModel model_;
+};
+
+} // namespace sqlpp
+
+#endif // SQLPP_CORE_CAMPAIGN_H

@@ -1,0 +1,219 @@
+#include "core/feature.h"
+
+#include <cassert>
+
+#include "engine/functions.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+FeatureRegistry::FeatureRegistry()
+{
+    features::registerAll(*this);
+}
+
+FeatureId
+FeatureRegistry::intern(const std::string &name, FeatureKind kind)
+{
+    auto it = by_name_.find(name);
+    if (it != by_name_.end())
+        return it->second;
+    FeatureId id = static_cast<FeatureId>(names_.size());
+    names_.push_back(name);
+    kinds_.push_back(kind);
+    by_name_.emplace(name, id);
+    return id;
+}
+
+FeatureId
+FeatureRegistry::find(const std::string &name) const
+{
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? static_cast<FeatureId>(-1) : it->second;
+}
+
+const std::string &
+FeatureRegistry::name(FeatureId id) const
+{
+    assert(id < names_.size());
+    return names_[id];
+}
+
+FeatureKind
+FeatureRegistry::kind(FeatureId id) const
+{
+    assert(id < kinds_.size());
+    return kinds_[id];
+}
+
+std::vector<FeatureId>
+FeatureRegistry::ofKind(FeatureKind kind) const
+{
+    std::vector<FeatureId> out;
+    for (FeatureId id = 0; id < kinds_.size(); ++id) {
+        if (kinds_[id] == kind)
+            out.push_back(id);
+    }
+    return out;
+}
+
+std::string
+FeatureRegistry::describe(const FeatureSet &set) const
+{
+    std::vector<std::string> parts;
+    parts.reserve(set.size());
+    for (FeatureId id : set)
+        parts.push_back(name(id));
+    return "{" + join(parts, ", ") + "}";
+}
+
+namespace features {
+
+std::string
+stmt(StmtKind kind)
+{
+    switch (kind) {
+      case StmtKind::CreateTable: return "STMT_CREATE_TABLE";
+      case StmtKind::CreateIndex: return "STMT_CREATE_INDEX";
+      case StmtKind::CreateView: return "STMT_CREATE_VIEW";
+      case StmtKind::Insert: return "STMT_INSERT";
+      case StmtKind::Analyze: return "STMT_ANALYZE";
+      case StmtKind::Select: return "STMT_SELECT";
+      case StmtKind::DropTable: return "STMT_DROP_TABLE";
+      case StmtKind::DropView: return "STMT_DROP_VIEW";
+      case StmtKind::DropIndex: return "STMT_DROP_INDEX";
+    }
+    return "STMT_UNKNOWN";
+}
+
+std::string
+join(JoinType type)
+{
+    switch (type) {
+      case JoinType::Inner: return "JOIN_INNER";
+      case JoinType::Left: return "JOIN_LEFT";
+      case JoinType::Right: return "JOIN_RIGHT";
+      case JoinType::Full: return "JOIN_FULL";
+      case JoinType::Cross: return "JOIN_CROSS";
+      case JoinType::Natural: return "JOIN_NATURAL";
+    }
+    return "JOIN_UNKNOWN";
+}
+
+std::string
+binaryOp(BinaryOp op)
+{
+    return std::string("OP_") + binaryOpSymbol(op);
+}
+
+std::string
+unaryOp(UnaryOp op)
+{
+    switch (op) {
+      case UnaryOp::Neg: return "OP_UNARY_MINUS";
+      case UnaryOp::Plus: return "OP_UNARY_PLUS";
+      case UnaryOp::BitNot: return "OP_~";
+      case UnaryOp::Not: return "OP_NOT";
+      case UnaryOp::IsNull: return "OP_IS_NULL";
+      case UnaryOp::IsNotNull: return "OP_IS_NOT_NULL";
+      case UnaryOp::IsTrue: return "OP_IS_TRUE";
+      case UnaryOp::IsFalse: return "OP_IS_FALSE";
+      case UnaryOp::IsNotTrue: return "OP_IS_NOT_TRUE";
+      case UnaryOp::IsNotFalse: return "OP_IS_NOT_FALSE";
+    }
+    return "OP_UNKNOWN";
+}
+
+std::string
+function(const std::string &upper_name)
+{
+    return "FN_" + upper_name;
+}
+
+std::string
+functionArg(const std::string &upper_name, size_t arg_index, DataType type)
+{
+    // Paper Fig. 5 naming: SIN1INT = first argument of SIN is integer.
+    const char *type_tag = "?";
+    switch (type) {
+      case DataType::Int: type_tag = "INT"; break;
+      case DataType::Text: type_tag = "STRING"; break;
+      case DataType::Bool: type_tag = "BOOL"; break;
+    }
+    return upper_name + std::to_string(arg_index + 1) + type_tag;
+}
+
+std::string
+dataType(DataType type)
+{
+    switch (type) {
+      case DataType::Int: return "TYPE_INTEGER";
+      case DataType::Text: return "TYPE_STRING";
+      case DataType::Bool: return "TYPE_BOOLEAN";
+    }
+    return "TYPE_UNKNOWN";
+}
+
+void
+registerAll(FeatureRegistry &registry)
+{
+    // Statements (6 generated kinds + drops used by the platform).
+    for (StmtKind kind :
+         {StmtKind::CreateTable, StmtKind::CreateIndex,
+          StmtKind::CreateView, StmtKind::Insert, StmtKind::Analyze,
+          StmtKind::Select}) {
+        registry.intern(stmt(kind), FeatureKind::Statement);
+    }
+    // Clauses & keywords.
+    for (JoinType type :
+         {JoinType::Inner, JoinType::Left, JoinType::Right,
+          JoinType::Full, JoinType::Cross, JoinType::Natural}) {
+        registry.intern(join(type), FeatureKind::Clause);
+    }
+    for (const char *name :
+         {kDistinct, kGroupBy, kHaving, kOrderBy, kLimit, kOffset,
+          kSubqueryExpr, kSubqueryFrom, kPartialIndex, kUniqueIndex,
+          kIfNotExists, kOrIgnore, kMultiRowInsert, kPrimaryKey,
+          kNotNull, kUniqueColumn, kViewColumnList}) {
+        registry.intern(name, FeatureKind::Clause);
+    }
+    // Operators.
+    for (BinaryOp op :
+         {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Div,
+          BinaryOp::Mod, BinaryOp::Eq, BinaryOp::NotEq,
+          BinaryOp::NotEqBang, BinaryOp::Less, BinaryOp::LessEq,
+          BinaryOp::Greater, BinaryOp::GreaterEq, BinaryOp::NullSafeEq,
+          BinaryOp::And, BinaryOp::Or, BinaryOp::BitAnd, BinaryOp::BitOr,
+          BinaryOp::BitXor, BinaryOp::ShiftLeft, BinaryOp::ShiftRight,
+          BinaryOp::Concat, BinaryOp::Like, BinaryOp::NotLike,
+          BinaryOp::Glob, BinaryOp::IsDistinctFrom,
+          BinaryOp::IsNotDistinctFrom}) {
+        registry.intern(binaryOp(op), FeatureKind::Operator);
+    }
+    for (UnaryOp op :
+         {UnaryOp::Neg, UnaryOp::Plus, UnaryOp::BitNot, UnaryOp::Not,
+          UnaryOp::IsNull, UnaryOp::IsNotNull, UnaryOp::IsTrue,
+          UnaryOp::IsFalse, UnaryOp::IsNotTrue, UnaryOp::IsNotFalse}) {
+        registry.intern(unaryOp(op), FeatureKind::Operator);
+    }
+    // Expression constructs counted as operators in Table 1.
+    for (const char *name :
+         {"OP_CASE_SIMPLE", "OP_CASE_SEARCHED", "OP_BETWEEN",
+          "OP_NOT_BETWEEN", "OP_IN_LIST", "OP_NOT_IN_LIST",
+          "OP_IN_SUBQUERY", "OP_NOT_IN_SUBQUERY", "OP_EXISTS",
+          "OP_NOT_EXISTS", "OP_CAST"}) {
+        registry.intern(name, FeatureKind::Operator);
+    }
+    // Functions.
+    for (const std::string &fn : FunctionRegistry::instance().names())
+        registry.intern(function(fn), FeatureKind::Function);
+    // Data types.
+    for (DataType type : {DataType::Int, DataType::Text, DataType::Bool})
+        registry.intern(dataType(type), FeatureKind::DataType);
+    // Abstract properties.
+    registry.intern(kUntypedExpr, FeatureKind::Property);
+}
+
+} // namespace features
+
+} // namespace sqlpp

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * SQL features: the vocabulary shared by the adaptive generator, the
+ * validity-feedback mechanism, and the bug prioritizer.
+ *
+ * A feature is "an element or property in the query language which we
+ * expect to be either supported or unsupported by a given DBMS"
+ * (paper Section 3). Features exist at the granularities of Table 1:
+ * statements, clauses & keywords, expressions (functions/operators),
+ * data types — plus composite typed-argument features such as SIN1INT
+ * ("the first argument of SIN is an integer") and abstract properties
+ * such as whether the dialect tolerates untyped expressions.
+ *
+ * Features are interned strings: stable FeatureIds for cheap set
+ * operations, names for persistence and reports.
+ */
+#ifndef SQLPP_CORE_FEATURE_H
+#define SQLPP_CORE_FEATURE_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sqlir/ast.h"
+
+namespace sqlpp {
+
+using FeatureId = uint32_t;
+
+/** Table 1 feature categories. */
+enum class FeatureKind
+{
+    Statement,
+    Clause,
+    Function,
+    Operator,
+    DataType,
+    /** Abstract property (typing discipline) or composite arg-type. */
+    Property,
+};
+
+/** A set of features recorded while generating one statement. */
+using FeatureSet = std::set<FeatureId>;
+
+/**
+ * Interning registry mapping feature names to ids.
+ *
+ * Static features (operators, statements, clause keywords, base
+ * functions, types) are registered at construction; composite
+ * typed-argument features are interned on first use by the generator.
+ */
+class FeatureRegistry
+{
+  public:
+    FeatureRegistry();
+
+    /** Intern a name (registers it on first use). */
+    FeatureId intern(const std::string &name, FeatureKind kind);
+
+    /** Lookup an already-registered name; -1u when unknown. */
+    FeatureId find(const std::string &name) const;
+
+    const std::string &name(FeatureId id) const;
+    FeatureKind kind(FeatureId id) const;
+
+    size_t size() const { return names_.size(); }
+
+    /** All ids of one kind, for Table 1 style accounting. */
+    std::vector<FeatureId> ofKind(FeatureKind kind) const;
+
+    /** Render a feature set as a sorted name list (reports, tests). */
+    std::string describe(const FeatureSet &set) const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<FeatureKind> kinds_;
+    std::map<std::string, FeatureId> by_name_;
+};
+
+/** Canonical feature names for language elements. */
+namespace features {
+
+std::string stmt(StmtKind kind);
+std::string join(JoinType type);
+std::string binaryOp(BinaryOp op);
+std::string unaryOp(UnaryOp op);
+std::string function(const std::string &upper_name);
+/** Composite typed-argument feature, e.g. SIN1INT (paper Fig. 5). */
+std::string functionArg(const std::string &upper_name, size_t arg_index,
+                        DataType type);
+std::string dataType(DataType type);
+
+/** Clause & keyword features. */
+inline constexpr const char *kDistinct = "CLAUSE_DISTINCT";
+inline constexpr const char *kGroupBy = "CLAUSE_GROUP_BY";
+inline constexpr const char *kHaving = "CLAUSE_HAVING";
+inline constexpr const char *kOrderBy = "CLAUSE_ORDER_BY";
+inline constexpr const char *kLimit = "CLAUSE_LIMIT";
+inline constexpr const char *kOffset = "CLAUSE_OFFSET";
+inline constexpr const char *kWhere = "CLAUSE_WHERE";
+inline constexpr const char *kSubqueryExpr = "SUBQUERY";
+inline constexpr const char *kSubqueryFrom = "SUBQUERY_FROM";
+inline constexpr const char *kPartialIndex = "KW_PARTIAL_INDEX";
+inline constexpr const char *kUniqueIndex = "KW_UNIQUE_INDEX";
+inline constexpr const char *kIfNotExists = "KW_IF_NOT_EXISTS";
+inline constexpr const char *kOrIgnore = "KW_OR_IGNORE";
+inline constexpr const char *kMultiRowInsert = "KW_MULTI_ROW_VALUES";
+inline constexpr const char *kPrimaryKey = "KW_PRIMARY_KEY";
+inline constexpr const char *kNotNull = "KW_NOT_NULL";
+inline constexpr const char *kUniqueColumn = "KW_UNIQUE_COLUMN";
+inline constexpr const char *kViewColumnList = "KW_VIEW_COLUMN_LIST";
+
+/** Abstract property: ill-typed expressions tolerated (dynamic typing). */
+inline constexpr const char *kUntypedExpr = "PROP_UNTYPED_EXPR";
+
+/** Register every static feature into a registry. */
+void registerAll(FeatureRegistry &registry);
+
+} // namespace features
+
+} // namespace sqlpp
+
+#endif // SQLPP_CORE_FEATURE_H

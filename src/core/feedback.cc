@@ -1,0 +1,170 @@
+#include "core/feedback.h"
+
+#include "util/stats.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+FeatureStats &
+FeedbackTracker::mutableStats(FeatureId id)
+{
+    if (id >= stats_.size()) {
+        stats_.resize(id + 1);
+        is_query_feature_.resize(id + 1, true);
+    }
+    return stats_[id];
+}
+
+const FeatureStats &
+FeedbackTracker::stats(FeatureId id) const
+{
+    static const FeatureStats empty;
+    return id < stats_.size() ? stats_[id] : empty;
+}
+
+void
+FeedbackTracker::record(const FeatureSet &features, bool success,
+                        bool is_query)
+{
+    for (FeatureId id : features) {
+        FeatureStats &stat = mutableStats(id);
+        ++stat.executions;
+        ++stat.windowExecutions;
+        if (success) {
+            ++stat.successes;
+            ++stat.windowSuccesses;
+        }
+        is_query_feature_[id] = is_query;
+        if (!is_query && config_.enabled) {
+            // DDL/DML rule: repeated failure with no success suppresses
+            // immediately once the limit is reached.
+            if (stat.successes == 0 &&
+                stat.executions >= config_.ddlFailureLimit) {
+                stat.suppressed = true;
+            }
+            if (success)
+                stat.suppressed = false;
+        }
+    }
+    ++recorded_;
+    if (config_.enabled && config_.updateInterval > 0 &&
+        recorded_ % config_.updateInterval == 0) {
+        refreshVerdicts();
+    }
+}
+
+double
+FeedbackTracker::estimatedProbability(FeatureId id) const
+{
+    const FeatureStats &stat = stats(id);
+    return beta::mean(static_cast<double>(stat.successes) + 1.0,
+                      static_cast<double>(stat.executions -
+                                          stat.successes) +
+                          1.0);
+}
+
+double
+FeedbackTracker::massBelowThreshold(FeatureId id) const
+{
+    const FeatureStats &stat = stats(id);
+    double alpha = static_cast<double>(stat.successes) + 1.0;
+    double beta_param =
+        static_cast<double>(stat.executions - stat.successes) + 1.0;
+    return beta::cdf(alpha, beta_param, config_.threshold);
+}
+
+void
+FeedbackTracker::refreshVerdicts()
+{
+    for (FeatureId id = 0; id < stats_.size(); ++id) {
+        if (!is_query_feature_[id])
+            continue; // DDL/DML verdicts are updated inline
+        FeatureStats &stat = stats_[id];
+        if (stat.executions == 0)
+            continue;
+        stat.suppressed =
+            massBelowThreshold(id) >= config_.credibleMass;
+    }
+}
+
+void
+FeedbackTracker::updateNow()
+{
+    refreshVerdicts();
+}
+
+bool
+FeedbackTracker::shouldGenerate(FeatureId id) const
+{
+    if (!config_.enabled)
+        return true;
+    return !stats(id).suppressed;
+}
+
+std::vector<FeatureId>
+FeedbackTracker::suppressedFeatures() const
+{
+    std::vector<FeatureId> out;
+    for (FeatureId id = 0; id < stats_.size(); ++id) {
+        if (stats_[id].suppressed)
+            out.push_back(id);
+    }
+    return out;
+}
+
+void
+FeedbackTracker::save(const FeatureRegistry &registry,
+                      KvStore &store) const
+{
+    for (FeatureId id = 0; id < stats_.size(); ++id) {
+        const FeatureStats &stat = stats_[id];
+        if (stat.executions == 0)
+            continue;
+        const std::string &name = registry.name(id);
+        store.putInt("feature." + name + ".n",
+                     static_cast<int64_t>(stat.executions));
+        store.putInt("feature." + name + ".y",
+                     static_cast<int64_t>(stat.successes));
+        store.putInt("feature." + name + ".suppressed",
+                     stat.suppressed ? 1 : 0);
+        store.putInt("feature." + name + ".query",
+                     id < is_query_feature_.size() &&
+                             is_query_feature_[id]
+                         ? 1
+                         : 0);
+    }
+}
+
+void
+FeedbackTracker::load(const FeatureRegistry &registry,
+                      const KvStore &store)
+{
+    for (const auto &[key, value] : store.entries()) {
+        if (!startsWith(key, "feature.") ||
+            key.size() <= 10 /* shortest suffix */) {
+            continue;
+        }
+        size_t last_dot = key.rfind('.');
+        if (last_dot == std::string::npos || last_dot <= 8)
+            continue;
+        std::string name = key.substr(8, last_dot - 8);
+        std::string field = key.substr(last_dot + 1);
+        FeatureId id = registry.find(name);
+        if (id == static_cast<FeatureId>(-1))
+            continue;
+        FeatureStats &stat = mutableStats(id);
+        auto parsed = store.getInt(key);
+        if (!parsed)
+            continue;
+        if (field == "n")
+            stat.executions = static_cast<uint64_t>(*parsed);
+        else if (field == "y")
+            stat.successes = static_cast<uint64_t>(*parsed);
+        else if (field == "suppressed")
+            stat.suppressed = *parsed != 0;
+        else if (field == "query")
+            is_query_feature_[id] = *parsed != 0;
+    }
+}
+
+} // namespace sqlpp

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Validity feedback: the statistical core of the adaptive generator.
+ *
+ * For each feature the tracker records total executions N and successes
+ * y within the current update window. Queries use the paper's
+ * Beta–Binomial model (Section 4): under a uniform prior the posterior
+ * of a feature's success probability is Beta(y+1, N−y+1); when at least
+ * `credibleMass` of that posterior lies below the user threshold p, the
+ * feature is deemed unsupported and its generation probability drops to
+ * zero (other alternatives staying uniform). DDL/DML features use the
+ * simpler repeated-failure rule the paper describes. Learned state can
+ * be persisted and reloaded (paper step 4 → step 1).
+ */
+#ifndef SQLPP_CORE_FEEDBACK_H
+#define SQLPP_CORE_FEEDBACK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/feature.h"
+#include "util/persist.h"
+#include "util/status.h"
+
+namespace sqlpp {
+
+/** Tunables of the feedback mechanism. */
+struct FeedbackConfig
+{
+    /** Whether feedback influences generation at all (ablation knob). */
+    bool enabled = true;
+    /**
+     * Minimum acceptable success probability p. The paper uses 1% with
+     * an update interval of 100K statements; at this library's bench
+     * scale (thousands of statements) the default is 5% so features
+     * reach a verdict after ~45 consecutive failures instead of ~300.
+     * The paper's setting remains available (the Table 4 bench sweeps
+     * it).
+     */
+    double threshold = 0.05;
+    /** Posterior mass below p required to suppress a feature. */
+    double credibleMass = 0.90;
+    /**
+     * Update interval I: probabilities are recomputed every I recorded
+     * statements (paper: 100K; defaults lower so benches converge in
+     * seconds at our scale).
+     */
+    uint64_t updateInterval = 500;
+    /** DDL/DML rule: failures-without-success before suppression. */
+    uint64_t ddlFailureLimit = 10;
+};
+
+/** Per-feature counters and the current verdict. */
+struct FeatureStats
+{
+    uint64_t executions = 0;
+    uint64_t successes = 0;
+    /** Window counters since the last interval update. */
+    uint64_t windowExecutions = 0;
+    uint64_t windowSuccesses = 0;
+    bool suppressed = false;
+};
+
+/** Tracks validity feedback and decides which features to suppress. */
+class FeedbackTracker
+{
+  public:
+    explicit FeedbackTracker(FeedbackConfig config = {})
+        : config_(config) {}
+
+    /**
+     * Record the outcome of executing one statement whose generation
+     * used `features`. Success/failure is attributed to every feature
+     * in the set (paper Fig. 5 step 2). `is_query` selects the
+     * Bayesian (query) or repeated-failure (DDL/DML) rule.
+     */
+    void record(const FeatureSet &features, bool success, bool is_query);
+
+    /**
+     * True if the generator may use this feature (paper Listing 2's
+     * shouldGenerate). Always true while feedback is disabled.
+     */
+    bool shouldGenerate(FeatureId id) const;
+
+    /** Posterior mean success probability of a feature. */
+    double estimatedProbability(FeatureId id) const;
+
+    /** Posterior mass below the threshold (the suppression statistic). */
+    double massBelowThreshold(FeatureId id) const;
+
+    /** Force a probability update outside the interval (tests, load). */
+    void updateNow();
+
+    /** Number of statements recorded so far. */
+    uint64_t recorded() const { return recorded_; }
+
+    /** Features currently suppressed. */
+    std::vector<FeatureId> suppressedFeatures() const;
+
+    const FeedbackConfig &config() const { return config_; }
+    const FeatureStats &stats(FeatureId id) const;
+
+    /**
+     * Persist learned state into a KvStore, keyed by feature *name*
+     * (robust across runs with different interning orders).
+     */
+    void save(const FeatureRegistry &registry, KvStore &store) const;
+
+    /** Load previously learned state. Unknown keys are ignored. */
+    void load(const FeatureRegistry &registry, const KvStore &store);
+
+  private:
+    FeatureStats &mutableStats(FeatureId id);
+    void refreshVerdicts();
+
+    FeedbackConfig config_;
+    std::vector<FeatureStats> stats_;
+    std::vector<bool> is_query_feature_;
+    uint64_t recorded_ = 0;
+};
+
+} // namespace sqlpp
+
+#endif // SQLPP_CORE_FEEDBACK_H

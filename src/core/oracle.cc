@@ -1,0 +1,204 @@
+#include "core/oracle.h"
+
+#include <set>
+
+#include "sqlir/printer.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+namespace {
+
+/** Clone the base query and attach a WHERE predicate. */
+SelectPtr
+withWhere(const SelectStmt &base, ExprPtr predicate)
+{
+    SelectPtr query = base.cloneSelect();
+    query->where = std::move(predicate);
+    return query;
+}
+
+} // namespace
+
+OracleResult
+TlpOracle::check(Connection &connection, const SelectStmt &base,
+                 const Expr &predicate)
+{
+    OracleResult result;
+
+    std::string q_text = printSelect(base);
+    result.queries.push_back(q_text);
+    auto q = connection.execute(q_text);
+    if (!q.isOk()) {
+        result.details = "base query failed: " + q.status().toString();
+        return result;
+    }
+
+    // Partitions: p / NOT p / p IS NULL.
+    SelectPtr p1 = withWhere(base, predicate.clone());
+    SelectPtr p2 = withWhere(
+        base,
+        std::make_unique<UnaryExpr>(UnaryOp::Not, predicate.clone()));
+    SelectPtr p3 = withWhere(
+        base,
+        std::make_unique<UnaryExpr>(UnaryOp::IsNull, predicate.clone()));
+
+    ResultSet combined;
+    for (const SelectPtr *partition : {&p1, &p2, &p3}) {
+        std::string text = printSelect(**partition);
+        result.queries.push_back(text);
+        auto rows = connection.execute(text);
+        if (!rows.isOk()) {
+            result.details =
+                "partition failed: " + rows.status().toString();
+            return result;
+        }
+        combined.absorb(rows.value());
+    }
+
+    // DISTINCT bases compare as sets: partitions are recombined and
+    // deduplicated client-side (as SQLancer's TLP does), so a faulty
+    // engine-side DISTINCT cannot hide.
+    if (base.distinct) {
+        auto dedupe = [](const ResultSet &in) {
+            ResultSet out(in.columns());
+            std::set<std::string> seen;
+            for (const Row &row : in.rows()) {
+                std::string key;
+                for (const Value &value : row) {
+                    key += value.literal();
+                    key.push_back('\x1f');
+                }
+                if (seen.insert(key).second)
+                    out.addRow(row);
+            }
+            return out;
+        };
+        ResultSet lhs = dedupe(q.value());
+        ResultSet rhs = dedupe(combined);
+        if (lhs.sameRowMultiset(rhs)) {
+            result.outcome = OracleOutcome::Passed;
+            return result;
+        }
+        result.outcome = OracleOutcome::Bug;
+        result.details = format(
+            "TLP(DISTINCT) mismatch: base has %zu distinct rows, "
+            "partitions %zu",
+            lhs.rowCount(), rhs.rowCount());
+        return result;
+    }
+    if (q.value().sameRowMultiset(combined)) {
+        result.outcome = OracleOutcome::Passed;
+        return result;
+    }
+    result.outcome = OracleOutcome::Bug;
+    result.details = format(
+        "TLP mismatch: base returned %zu rows, partitions %zu rows",
+        q.value().rowCount(), combined.rowCount());
+    return result;
+}
+
+OracleResult
+NorecOracle::check(Connection &connection, const SelectStmt &base,
+                   const Expr &predicate)
+{
+    OracleResult result;
+
+    // Optimized side: COUNT(*) under WHERE p.
+    SelectPtr counting = base.cloneSelect();
+    counting->items.clear();
+    SelectItem count_item;
+    count_item.expr = std::make_unique<FunctionExpr>(
+        "COUNT", std::vector<ExprPtr>{}, /*star=*/true);
+    counting->items.push_back(std::move(count_item));
+    counting->where = predicate.clone();
+    counting->orderBy.clear();
+    counting->distinct = false; // NoREC rewrites drop DISTINCT bases
+    std::string count_text = printSelect(*counting);
+    result.queries.push_back(count_text);
+    auto counted = connection.execute(count_text);
+    if (!counted.isOk()) {
+        result.details =
+            "counting query failed: " + counted.status().toString();
+        return result;
+    }
+    if (counted.value().rowCount() != 1 ||
+        counted.value().columnCount() != 1 ||
+        counted.value().rows()[0][0].kind() != Value::Kind::Int) {
+        result.details = "counting query returned a malformed result";
+        return result;
+    }
+    int64_t optimized_count = counted.value().rows()[0][0].asInt();
+
+    // Reference side: project the predicate; the planner never touches
+    // projections, so this reaches the non-optimizing evaluation path.
+    // Prefer (p) IS TRUE; fall back to CASE on dialects without IS TRUE.
+    auto project = [&](ExprPtr flag) {
+        SelectPtr projected = base.cloneSelect();
+        projected->items.clear();
+        SelectItem item;
+        item.expr = std::move(flag);
+        item.alias = "flag";
+        projected->items.push_back(std::move(item));
+        projected->orderBy.clear();
+        projected->distinct = false;
+        return projected;
+    };
+
+    SelectPtr reference = project(std::make_unique<UnaryExpr>(
+        UnaryOp::IsTrue, predicate.clone()));
+    std::string reference_text = printSelect(*reference);
+    auto rows = connection.execute(reference_text);
+    if (!rows.isOk()) {
+        // Dialect may lack IS TRUE: rewrite with a searched CASE.
+        std::vector<CaseExpr::Arm> arms;
+        arms.push_back(CaseExpr::Arm{
+            predicate.clone(),
+            std::make_unique<LiteralExpr>(Value::integer(1))});
+        SelectPtr fallback = project(std::make_unique<CaseExpr>(
+            nullptr, std::move(arms),
+            std::make_unique<LiteralExpr>(Value::integer(0))));
+        reference_text = printSelect(*fallback);
+        rows = connection.execute(reference_text);
+        if (!rows.isOk()) {
+            result.queries.push_back(reference_text);
+            result.details =
+                "reference query failed: " + rows.status().toString();
+            return result;
+        }
+    }
+    result.queries.push_back(reference_text);
+
+    int64_t reference_count = 0;
+    for (const Row &row : rows.value().rows()) {
+        const Value &cell = row[0];
+        if (cell.kind() == Value::Kind::Bool && cell.asBool())
+            ++reference_count;
+        else if (cell.kind() == Value::Kind::Int && cell.asInt() == 1)
+            ++reference_count;
+    }
+
+    if (optimized_count == reference_count) {
+        result.outcome = OracleOutcome::Passed;
+        return result;
+    }
+    result.outcome = OracleOutcome::Bug;
+    result.details = format(
+        "NoREC mismatch: optimized COUNT(*) = %lld, reference = %lld",
+        static_cast<long long>(optimized_count),
+        static_cast<long long>(reference_count));
+    return result;
+}
+
+std::unique_ptr<Oracle>
+makeOracle(const std::string &name)
+{
+    std::string upper = toUpper(name);
+    if (upper == "TLP")
+        return std::make_unique<TlpOracle>();
+    if (upper == "NOREC")
+        return std::make_unique<NorecOracle>();
+    return nullptr;
+}
+
+} // namespace sqlpp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Test oracles for logic bugs.
+ *
+ * Both shipped oracles work on a QueryShape (a predicate-free base
+ * query Q plus a boolean predicate p) and are DBMS-agnostic — they only
+ * issue SQL text and compare result multisets, which is what lets the
+ * platform run against any dialect (paper Section 3, "Result
+ * validator").
+ *
+ *  - TLP (Ternary Logic Partitioning, Rigger & Su OOPSLA'20): Q must
+ *    equal the multiset union of Q WHERE p, Q WHERE NOT p, and
+ *    Q WHERE p IS NULL. Partitions are recombined client-side, so no
+ *    UNION support is required of the dialect.
+ *  - NoREC (Non-optimizing Reference Engine Construction, ESEC/FSE'20):
+ *    SELECT COUNT(*) ... WHERE p (optimized path) must agree with
+ *    counting the rows whose projected predicate value is TRUE
+ *    (a projection never enters the WHERE optimizer). The projected
+ *    form prefers `(p) IS TRUE` and falls back to a CASE expression
+ *    when the dialect rejects IS TRUE — learned black-box, per dialect.
+ */
+#ifndef SQLPP_CORE_ORACLE_H
+#define SQLPP_CORE_ORACLE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/generator.h"
+#include "dialect/connection.h"
+
+namespace sqlpp {
+
+enum class OracleOutcome
+{
+    /** Queries ran and results were consistent. */
+    Passed,
+    /** Queries ran and results were inconsistent: a logic bug. */
+    Bug,
+    /** Some query failed to execute; nothing learned about logic. */
+    Skipped,
+};
+
+/** Result of one oracle check. */
+struct OracleResult
+{
+    OracleOutcome outcome = OracleOutcome::Skipped;
+    /** Human-readable evidence for bug reports. */
+    std::string details;
+    /** The SQL queries the oracle issued, in order. */
+    std::vector<std::string> queries;
+};
+
+/** A DBMS-agnostic logic-bug oracle. */
+class Oracle
+{
+  public:
+    virtual ~Oracle() = default;
+    virtual const char *name() const = 0;
+
+    /** Run the oracle for one base query + predicate. */
+    virtual OracleResult check(Connection &connection,
+                               const SelectStmt &base,
+                               const Expr &predicate) = 0;
+};
+
+/** Ternary Logic Partitioning. */
+class TlpOracle : public Oracle
+{
+  public:
+    const char *name() const override { return "TLP"; }
+    OracleResult check(Connection &connection, const SelectStmt &base,
+                       const Expr &predicate) override;
+};
+
+/** Non-optimizing Reference Engine Construction. */
+class NorecOracle : public Oracle
+{
+  public:
+    const char *name() const override { return "NOREC"; }
+    OracleResult check(Connection &connection, const SelectStmt &base,
+                       const Expr &predicate) override;
+};
+
+/** Factory by oracle name ("TLP", "NOREC"); nullptr when unknown. */
+std::unique_ptr<Oracle> makeOracle(const std::string &name);
+
+} // namespace sqlpp
+
+#endif // SQLPP_CORE_ORACLE_H

@@ -1,0 +1,28 @@
+#include "core/prioritizer.h"
+
+#include <algorithm>
+
+namespace sqlpp {
+
+bool
+BugPrioritizer::isPotentialDuplicate(const FeatureSet &features) const
+{
+    for (const FeatureSet &known : known_) {
+        if (std::includes(features.begin(), features.end(),
+                          known.begin(), known.end())) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+BugPrioritizer::considerNew(const FeatureSet &features)
+{
+    if (isPotentialDuplicate(features))
+        return false;
+    known_.push_back(features);
+    return true;
+}
+
+} // namespace sqlpp

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Bug prioritization by feature-set subsumption (paper Section 3,
+ * Fig. 4).
+ *
+ * A newly found bug-inducing test case is reported only if no
+ * previously reported case's feature set is a subset of its own —
+ * the intuition being that the earlier case already exercises the
+ * (presumably faulty) features. The check is deliberately pragmatic:
+ * false positives (two distinct bugs sharing features) and false
+ * negatives (one bug reachable through disjoint feature sets) exist, as
+ * the paper acknowledges; the benches quantify both against the fault
+ * ground truth.
+ */
+#ifndef SQLPP_CORE_PRIORITIZER_H
+#define SQLPP_CORE_PRIORITIZER_H
+
+#include <vector>
+
+#include "core/feature.h"
+
+namespace sqlpp {
+
+/** The paper's bug prioritizer. */
+class BugPrioritizer
+{
+  public:
+    /**
+     * Decide whether a bug-inducing feature set is new. If it is, the
+     * set is recorded and true is returned; otherwise (some known set
+     * is a subset of it) it is classified a potential duplicate.
+     */
+    bool considerNew(const FeatureSet &features);
+
+    /** Pure query form of the subset check, with no recording. */
+    bool isPotentialDuplicate(const FeatureSet &features) const;
+
+    /** Feature sets of the bugs reported so far. */
+    const std::vector<FeatureSet> &knownSets() const { return known_; }
+
+    size_t size() const { return known_.size(); }
+    void clear() { known_.clear(); }
+
+  private:
+    std::vector<FeatureSet> known_;
+};
+
+} // namespace sqlpp
+
+#endif // SQLPP_CORE_PRIORITIZER_H

@@ -1,0 +1,107 @@
+#include "core/reducer.h"
+
+#include "parser/parser.h"
+#include "sqlir/printer.h"
+
+namespace sqlpp {
+
+namespace {
+
+size_t
+countNodes(const Expr &expr)
+{
+    size_t count = 0;
+    forEachExprNode(expr, [&](const Expr &) { ++count; });
+    return count;
+}
+
+/**
+ * Candidate one-step simplifications of an expression: each direct
+ * child (hoisted), plus the constants TRUE, FALSE, and NULL.
+ */
+std::vector<ExprPtr>
+simplifications(const Expr &expr)
+{
+    std::vector<ExprPtr> out;
+    for (const Expr *child : expr.children())
+        out.push_back(child->clone());
+    if (expr.kind() != ExprKind::Literal) {
+        out.push_back(
+            std::make_unique<LiteralExpr>(Value::boolean(true)));
+        out.push_back(
+            std::make_unique<LiteralExpr>(Value::boolean(false)));
+        out.push_back(std::make_unique<LiteralExpr>(Value::null()));
+    }
+    return out;
+}
+
+/**
+ * Try to replace the root of `expr` with each simplification; on
+ * success recurse. Returns true if anything was replaced.
+ */
+bool
+shrinkExpr(ExprPtr &expr, BugCase &bug, const ReplayFn &replay,
+           size_t &replays, size_t max_replays)
+{
+    bool changed = false;
+    bool progress = true;
+    while (progress && replays < max_replays) {
+        progress = false;
+        for (ExprPtr &candidate : simplifications(*expr)) {
+            if (replays >= max_replays)
+                break;
+            std::string saved = bug.predicateText;
+            bug.predicateText = printExpr(*candidate);
+            ++replays;
+            if (replay(bug)) {
+                expr = std::move(candidate);
+                changed = true;
+                progress = true;
+                break;
+            }
+            bug.predicateText = saved;
+        }
+    }
+    return changed;
+}
+
+} // namespace
+
+ReduceStats
+reduceBugCase(BugCase &bug, const ReplayFn &replay, size_t max_replays)
+{
+    ReduceStats stats;
+    stats.setupBefore = bug.setup.size();
+
+    // Phase 1: greedy statement elimination to a fixed point.
+    bool progress = true;
+    while (progress && stats.replays < max_replays) {
+        progress = false;
+        for (size_t i = 0; i < bug.setup.size(); ++i) {
+            if (stats.replays >= max_replays)
+                break;
+            std::vector<std::string> saved = bug.setup;
+            bug.setup.erase(bug.setup.begin() + static_cast<long>(i));
+            ++stats.replays;
+            if (replay(bug)) {
+                progress = true;
+                break; // indices shifted; restart the scan
+            }
+            bug.setup = std::move(saved);
+        }
+    }
+    stats.setupAfter = bug.setup.size();
+
+    // Phase 2: predicate simplification.
+    auto parsed = parseExpression(bug.predicateText);
+    if (parsed.isOk()) {
+        ExprPtr expr = parsed.takeValue();
+        stats.predicateNodesBefore = countNodes(*expr);
+        shrinkExpr(expr, bug, replay, stats.replays, max_replays);
+        bug.predicateText = printExpr(*expr);
+        stats.predicateNodesAfter = countNodes(*expr);
+    }
+    return stats;
+}
+
+} // namespace sqlpp

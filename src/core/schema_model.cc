@@ -1,0 +1,125 @@
+#include "core/schema_model.h"
+
+#include <algorithm>
+
+namespace sqlpp {
+
+void
+SchemaModel::addTable(ModelTable table)
+{
+    tables_.push_back(std::move(table));
+    ++name_counter_;
+}
+
+void
+SchemaModel::addIndex(ModelIndex index)
+{
+    indexes_.push_back(std::move(index));
+    ++name_counter_;
+}
+
+void
+SchemaModel::dropTable(const std::string &name)
+{
+    tables_.erase(std::remove_if(tables_.begin(), tables_.end(),
+                                 [&](const ModelTable &table) {
+                                     return table.name == name;
+                                 }),
+                  tables_.end());
+    indexes_.erase(std::remove_if(indexes_.begin(), indexes_.end(),
+                                  [&](const ModelIndex &index) {
+                                      return index.table == name;
+                                  }),
+                   indexes_.end());
+}
+
+void
+SchemaModel::dropIndex(const std::string &name)
+{
+    indexes_.erase(std::remove_if(indexes_.begin(), indexes_.end(),
+                                  [&](const ModelIndex &index) {
+                                      return index.name == name;
+                                  }),
+                   indexes_.end());
+}
+
+void
+SchemaModel::noteInsert(const std::string &table_name, size_t rows)
+{
+    for (ModelTable &table : tables_) {
+        if (table.name == table_name) {
+            table.assumedRows += rows;
+            return;
+        }
+    }
+}
+
+bool
+SchemaModel::hasTable(const std::string &name) const
+{
+    return table(name) != nullptr;
+}
+
+const ModelTable *
+SchemaModel::table(const std::string &name) const
+{
+    for (const ModelTable &table : tables_) {
+        if (table.name == name)
+            return &table;
+    }
+    return nullptr;
+}
+
+size_t
+SchemaModel::tableCount(bool views) const
+{
+    size_t count = 0;
+    for (const ModelTable &table : tables_) {
+        if (table.isView == views)
+            ++count;
+    }
+    return count;
+}
+
+std::string
+SchemaModel::freeName(const std::string &prefix) const
+{
+    // Monotone counter guarantees freshness even across drops.
+    return prefix + std::to_string(name_counter_);
+}
+
+std::optional<std::string>
+SchemaModel::randomTable(Rng &rng, bool include_views) const
+{
+    std::vector<const ModelTable *> candidates;
+    for (const ModelTable &table : tables_) {
+        if (include_views || !table.isView)
+            candidates.push_back(&table);
+    }
+    if (candidates.empty())
+        return std::nullopt;
+    return candidates[rng.below(candidates.size())]->name;
+}
+
+std::optional<std::string>
+SchemaModel::randomBaseTable(Rng &rng) const
+{
+    std::vector<const ModelTable *> candidates;
+    for (const ModelTable &table : tables_) {
+        if (!table.isView)
+            candidates.push_back(&table);
+    }
+    if (candidates.empty())
+        return std::nullopt;
+    return candidates[rng.below(candidates.size())]->name;
+}
+
+std::optional<std::string>
+SchemaModel::randomIndex(Rng &rng) const
+{
+    if (indexes_.empty())
+        return std::nullopt;
+    return indexes_[rng.below(indexes_.size())].name;
+}
+
+} // namespace sqlpp

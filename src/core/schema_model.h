@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The platform's internal schema model (paper Section 3, Fig. 3).
+ *
+ * Real DBMSs expose schema metadata through incompatible interfaces
+ * (sqlite_master, information_schema, SHOW TABLE, ...). SQLancer++
+ * sidesteps them all by *never asking the DBMS*: it simulates the
+ * effect of each DDL statement it generates and commits the simulated
+ * object to this model only when the DBMS reports success. The model
+ * is therefore built purely from (statement, execution status) pairs —
+ * the same interface the generator already uses.
+ */
+#ifndef SQLPP_CORE_SCHEMA_MODEL_H
+#define SQLPP_CORE_SCHEMA_MODEL_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sqlir/value.h"
+#include "util/rng.h"
+
+namespace sqlpp {
+
+/** Modelled column. */
+struct ModelColumn
+{
+    std::string name;
+    DataType type = DataType::Int;
+    bool notNull = false;
+    bool unique = false;
+    bool primaryKey = false;
+};
+
+/** Modelled table or view. */
+struct ModelTable
+{
+    std::string name;
+    std::vector<ModelColumn> columns;
+    bool isView = false;
+    /** Rows the model believes were inserted (successful INSERTs). */
+    size_t assumedRows = 0;
+};
+
+/** Modelled index. */
+struct ModelIndex
+{
+    std::string name;
+    std::string table;
+};
+
+/**
+ * The internal schema model. All mutating calls correspond to a DDL
+ * statement that the DBMS reported as successful.
+ */
+class SchemaModel
+{
+  public:
+    /** Commit a successful CREATE TABLE / CREATE VIEW. */
+    void addTable(ModelTable table);
+    /** Commit a successful CREATE INDEX. */
+    void addIndex(ModelIndex index);
+    /** Commit a successful DROP. */
+    void dropTable(const std::string &name);
+    void dropIndex(const std::string &name);
+    /** Commit a successful INSERT of `rows` rows. */
+    void noteInsert(const std::string &table, size_t rows);
+
+    bool hasTable(const std::string &name) const;
+    const ModelTable *table(const std::string &name) const;
+
+    size_t tableCount(bool views = false) const;
+    size_t indexCount() const { return indexes_.size(); }
+
+    const std::vector<ModelTable> &tables() const { return tables_; }
+    const std::vector<ModelIndex> &indexes() const { return indexes_; }
+
+    /** A fresh name with the given prefix (t0, t1, ... / i0, v0). */
+    std::string freeName(const std::string &prefix) const;
+
+    /** Random existing base table (or view when `views`); nullopt if none. */
+    std::optional<std::string> randomTable(Rng &rng,
+                                           bool include_views) const;
+
+    /** Random base table only (for INSERT / CREATE INDEX targets). */
+    std::optional<std::string> randomBaseTable(Rng &rng) const;
+
+    /** Random index name; nullopt when none exist. */
+    std::optional<std::string> randomIndex(Rng &rng) const;
+
+  private:
+    std::vector<ModelTable> tables_;
+    std::vector<ModelIndex> indexes_;
+    /** Monotone counter so dropped names are never reused. */
+    size_t name_counter_ = 0;
+};
+
+} // namespace sqlpp
+
+#endif // SQLPP_CORE_SCHEMA_MODEL_H

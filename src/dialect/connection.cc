@@ -1,0 +1,110 @@
+#include "dialect/connection.h"
+
+#include "parser/parser.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+Connection::Connection(const DialectProfile &profile) : profile_(profile)
+{
+    EngineConfig config;
+    config.behavior = profile.behavior;
+    config.faults = profile.faults;
+    db_ = std::make_unique<Database>(config);
+}
+
+size_t
+Connection::pendingRows() const
+{
+    size_t total = 0;
+    for (const auto &insert : pending_)
+        total += insert->rows.size();
+    return total;
+}
+
+StatusOr<ResultSet>
+Connection::handleRefresh(const std::string &table)
+{
+    ResultSet result(std::vector<std::string>{});
+    std::vector<std::unique_ptr<InsertStmt>> keep;
+    Status first_error = Status::ok();
+    for (auto &insert : pending_) {
+        if (!table.empty() && insert->table != table) {
+            keep.push_back(std::move(insert));
+            continue;
+        }
+        auto flushed = db_->executeStmt(*insert, ExecMode::Optimized);
+        if (!flushed.isOk() && first_error.isOk())
+            first_error = flushed.status();
+    }
+    pending_ = std::move(keep);
+    if (!first_error.isOk())
+        return first_error;
+    return result;
+}
+
+StatusOr<ResultSet>
+Connection::execute(const std::string &sql)
+{
+    ++statements_;
+    // REFRESH is not part of the engine grammar; it is a dialect-level
+    // statement only refresh-required dialects accept.
+    std::string trimmed(trim(sql));
+    if (equalsIgnoreCase(trimmed.substr(0, 8), "REFRESH ") ||
+        equalsIgnoreCase(trimmed, "REFRESH")) {
+        if (!profile_.requiresRefreshAfterInsert) {
+            return Status::syntaxError("syntax error near REFRESH");
+        }
+        std::string table;
+        if (trimmed.size() > 8)
+            table = std::string(trim(trimmed.substr(8)));
+        if (!table.empty() && table.back() == ';')
+            table.pop_back();
+        return handleRefresh(table);
+    }
+
+    auto parsed = parseStatement(sql);
+    if (!parsed.isOk())
+        return parsed.status();
+    const Stmt &stmt = *parsed.value();
+
+    if (Status s = profile_.validate(stmt); !s.isOk())
+        return s;
+
+    if (stmt.kind() == StmtKind::Select) {
+        auto result = db_->executeStmt(stmt, ExecMode::Optimized);
+        // Only completed executions count as explored plans (failed
+        // statements never finish a plan; counting them would let
+        // invalid queries inflate the Fig. 8 metric).
+        if (result.isOk())
+            seen_plans_.insert(db_->lastPlanFingerprint());
+        return result;
+    }
+    if (profile_.requiresRefreshAfterInsert &&
+        stmt.kind() == StmtKind::Insert) {
+        // Rows become visible (and constraints fire) at REFRESH time.
+        auto clone = stmt.clone();
+        pending_.emplace_back(
+            static_cast<InsertStmt *>(clone.release()));
+        return ResultSet(std::vector<std::string>{});
+    }
+    return db_->executeStmt(stmt, ExecMode::Optimized);
+}
+
+StatusOr<ResultSet>
+Connection::executeAdapted(const std::string &sql)
+{
+    auto result = execute(sql);
+    if (!result.isOk())
+        return result;
+    if (profile_.requiresRefreshAfterInsert && !pending_.empty()) {
+        // The per-dialect adapter: flush immediately so the platform
+        // sees constraint errors attached to the INSERT it issued.
+        auto refreshed = execute("REFRESH");
+        if (!refreshed.isOk())
+            return refreshed.status();
+    }
+    return result;
+}
+
+} // namespace sqlpp

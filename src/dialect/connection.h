@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Connection: the platform's JDBC equivalent.
+ *
+ * A Connection binds a dialect profile to a fresh Database instance and
+ * exposes the one operation the testing platform relies on:
+ * execute(text) -> rows or a coded error. It also implements the
+ * dialect adaptation the paper describes as the remaining manual effort
+ * (Section 6): for dialects with deferred visibility (cratedb-like),
+ * INSERTed rows stay invisible until a REFRESH <table> statement runs,
+ * and executeAdapted() issues that REFRESH automatically after each
+ * INSERT — the equivalent of the paper's ~16-LoC-per-DBMS adapters.
+ */
+#ifndef SQLPP_DIALECT_CONNECTION_H
+#define SQLPP_DIALECT_CONNECTION_H
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dialect/profile.h"
+#include "engine/database.h"
+
+namespace sqlpp {
+
+/** One open session against one dialect's DBMS instance. */
+class Connection
+{
+  public:
+    explicit Connection(const DialectProfile &profile);
+
+    /**
+     * Execute one SQL statement exactly as a client would: parse,
+     * dialect validation, then engine execution. On refresh-required
+     * dialects, INSERT buffers rows until `REFRESH <table>` runs.
+     */
+    StatusOr<ResultSet> execute(const std::string &sql);
+
+    /**
+     * Execute with the per-dialect adaptation applied: after an INSERT
+     * on a refresh-required dialect, automatically issue the REFRESH
+     * and surface its status (so constraint violations are not lost).
+     */
+    StatusOr<ResultSet> executeAdapted(const std::string &sql);
+
+    const DialectProfile &profile() const { return profile_; }
+
+    /** Instrumentation access (plan fingerprints, catalog inspection). */
+    const Database &database() const { return *db_; }
+
+    /** Number of rows currently buffered awaiting REFRESH. */
+    size_t pendingRows() const;
+
+    /** Statements executed through this connection. */
+    uint64_t statementsIssued() const { return statements_; }
+
+    /**
+     * Distinct plan fingerprints of every SELECT executed through this
+     * connection — the paper's unique-query-plan metric (Fig. 8).
+     */
+    const std::set<uint64_t> &seenPlans() const { return seen_plans_; }
+
+  private:
+    StatusOr<ResultSet> handleRefresh(const std::string &table);
+
+    const DialectProfile &profile_;
+    std::unique_ptr<Database> db_;
+    /** Buffered INSERTs per refresh-required dialect semantics. */
+    std::vector<std::unique_ptr<InsertStmt>> pending_;
+    uint64_t statements_ = 0;
+    std::set<uint64_t> seen_plans_;
+};
+
+} // namespace sqlpp
+
+#endif // SQLPP_DIALECT_CONNECTION_H

@@ -1,0 +1,263 @@
+#include "dialect/profile.h"
+
+#include "engine/eval.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+namespace {
+
+Status
+unsupported(const std::string &what)
+{
+    // Real dialects answer with a parser error; we do the same so the
+    // generator's feedback loop sees the authentic error class.
+    return Status::syntaxError("syntax error near " + what);
+}
+
+} // namespace
+
+Status
+DialectProfile::validateExpr(const Expr &expr) const
+{
+    switch (expr.kind()) {
+      case ExprKind::Literal: {
+        const Value &value =
+            static_cast<const LiteralExpr &>(expr).value;
+        if (value.kind() == Value::Kind::Bool &&
+            !supportsType(DataType::Bool)) {
+            return unsupported("boolean literal");
+        }
+        return Status::ok();
+      }
+      case ExprKind::ColumnRef:
+        return Status::ok();
+      case ExprKind::Unary: {
+        const auto &unary = static_cast<const UnaryExpr &>(expr);
+        if (!supportsUnaryOp(unary.op))
+            return unsupported("unary operator");
+        return validateExpr(*unary.operand);
+      }
+      case ExprKind::Binary: {
+        const auto &bin = static_cast<const BinaryExpr &>(expr);
+        if (!supportsBinaryOp(bin.op))
+            return unsupported(binaryOpSymbol(bin.op));
+        if (Status s = validateExpr(*bin.lhs); !s.isOk())
+            return s;
+        return validateExpr(*bin.rhs);
+      }
+      case ExprKind::Between: {
+        const auto &between = static_cast<const BetweenExpr &>(expr);
+        if (Status s = validateExpr(*between.operand); !s.isOk())
+            return s;
+        if (Status s = validateExpr(*between.low); !s.isOk())
+            return s;
+        return validateExpr(*between.high);
+      }
+      case ExprKind::InList: {
+        const auto &in = static_cast<const InListExpr &>(expr);
+        if (Status s = validateExpr(*in.operand); !s.isOk())
+            return s;
+        for (const ExprPtr &item : in.items) {
+            if (Status s = validateExpr(*item); !s.isOk())
+                return s;
+        }
+        return Status::ok();
+      }
+      case ExprKind::Case: {
+        const auto &case_expr = static_cast<const CaseExpr &>(expr);
+        if (case_expr.operand != nullptr) {
+            if (Status s = validateExpr(*case_expr.operand); !s.isOk())
+                return s;
+        }
+        for (const CaseExpr::Arm &arm : case_expr.arms) {
+            if (Status s = validateExpr(*arm.when); !s.isOk())
+                return s;
+            if (Status s = validateExpr(*arm.then); !s.isOk())
+                return s;
+        }
+        if (case_expr.elseExpr != nullptr)
+            return validateExpr(*case_expr.elseExpr);
+        return Status::ok();
+      }
+      case ExprKind::Function: {
+        const auto &fn = static_cast<const FunctionExpr &>(expr);
+        if (!supportsFunction(fn.name))
+            return unsupported(fn.name + "(");
+        for (const ExprPtr &arg : fn.args) {
+            if (Status s = validateExpr(*arg); !s.isOk())
+                return s;
+        }
+        return Status::ok();
+      }
+      case ExprKind::Cast: {
+        const auto &cast = static_cast<const CastExpr &>(expr);
+        if (!supportsType(cast.target))
+            return unsupported(dataTypeName(cast.target));
+        return validateExpr(*cast.operand);
+      }
+      case ExprKind::Exists: {
+        if (!clauses.subqueryInExpr)
+            return unsupported("EXISTS");
+        const auto &exists = static_cast<const ExistsExpr &>(expr);
+        return validateSelect(*exists.subquery);
+      }
+      case ExprKind::InSubquery: {
+        if (!clauses.subqueryInExpr)
+            return unsupported("IN (SELECT");
+        const auto &in = static_cast<const InSubqueryExpr &>(expr);
+        if (Status s = validateExpr(*in.operand); !s.isOk())
+            return s;
+        return validateSelect(*in.subquery);
+      }
+      case ExprKind::ScalarSubquery: {
+        if (!clauses.subqueryInExpr)
+            return unsupported("(SELECT");
+        const auto &sub = static_cast<const ScalarSubqueryExpr &>(expr);
+        return validateSelect(*sub.subquery);
+      }
+    }
+    return Status::internal("unhandled expression kind");
+}
+
+Status
+DialectProfile::validateTableRef(const TableRef &ref) const
+{
+    if (ref.subquery != nullptr) {
+        if (!clauses.subqueryInFrom)
+            return unsupported("derived table");
+        return validateSelect(*ref.subquery);
+    }
+    return Status::ok();
+}
+
+Status
+DialectProfile::validateSelect(const SelectStmt &select) const
+{
+    if (select.distinct && !clauses.distinct)
+        return unsupported("DISTINCT");
+    if (!select.groupBy.empty() && !clauses.groupBy)
+        return unsupported("GROUP BY");
+    if (select.having != nullptr && !clauses.having)
+        return unsupported("HAVING");
+    if (!select.orderBy.empty() && !clauses.orderBy)
+        return unsupported("ORDER BY");
+    if (select.limit >= 0 && !clauses.limit)
+        return unsupported("LIMIT");
+    if (select.offset >= 0 && !clauses.offset)
+        return unsupported("OFFSET");
+    for (const TableRef &ref : select.from) {
+        if (Status s = validateTableRef(ref); !s.isOk())
+            return s;
+    }
+    for (const JoinClause &join : select.joins) {
+        if (!supportsJoin(join.type))
+            return unsupported(joinTypeName(join.type));
+        if (Status s = validateTableRef(join.table); !s.isOk())
+            return s;
+        if (join.on != nullptr) {
+            if (Status s = validateExpr(*join.on); !s.isOk())
+                return s;
+        }
+    }
+    for (const SelectItem &item : select.items) {
+        if (item.star)
+            continue;
+        if (Status s = validateExpr(*item.expr); !s.isOk())
+            return s;
+    }
+    if (select.where != nullptr) {
+        if (Status s = validateExpr(*select.where); !s.isOk())
+            return s;
+    }
+    for (const ExprPtr &key : select.groupBy) {
+        if (Status s = validateExpr(*key); !s.isOk())
+            return s;
+    }
+    if (select.having != nullptr) {
+        if (Status s = validateExpr(*select.having); !s.isOk())
+            return s;
+    }
+    for (const OrderTerm &term : select.orderBy) {
+        if (Status s = validateExpr(*term.expr); !s.isOk())
+            return s;
+    }
+    return Status::ok();
+}
+
+Status
+DialectProfile::validate(const Stmt &stmt) const
+{
+    if (!supportsStatement(stmt.kind())) {
+        switch (stmt.kind()) {
+          case StmtKind::CreateIndex:
+            return unsupported("CREATE INDEX");
+          case StmtKind::CreateView:
+            return unsupported("CREATE VIEW");
+          case StmtKind::Analyze:
+            return unsupported("ANALYZE");
+          default:
+            return unsupported("statement");
+        }
+    }
+    switch (stmt.kind()) {
+      case StmtKind::CreateTable: {
+        const auto &create = static_cast<const CreateTableStmt &>(stmt);
+        if (create.ifNotExists && !clauses.ifNotExists)
+            return unsupported("IF NOT EXISTS");
+        for (const ColumnDef &col : create.columns) {
+            if (!supportsType(col.type))
+                return unsupported(dataTypeName(col.type));
+            if (col.primaryKey && !clauses.primaryKey)
+                return unsupported("PRIMARY KEY");
+            if (col.unique && !clauses.uniqueColumn)
+                return unsupported("UNIQUE");
+            if (col.notNull && !clauses.notNull)
+                return unsupported("NOT NULL");
+        }
+        return Status::ok();
+      }
+      case StmtKind::CreateIndex: {
+        const auto &index = static_cast<const CreateIndexStmt &>(stmt);
+        if (index.unique && !clauses.uniqueIndex)
+            return unsupported("UNIQUE INDEX");
+        if (index.where != nullptr) {
+            if (!clauses.partialIndex)
+                return unsupported("partial index WHERE");
+            return validateExpr(*index.where);
+        }
+        return Status::ok();
+      }
+      case StmtKind::CreateView: {
+        const auto &view = static_cast<const CreateViewStmt &>(stmt);
+        if (!view.columnNames.empty() && !clauses.viewColumnList)
+            return unsupported("view column list");
+        return validateSelect(*view.select);
+      }
+      case StmtKind::Insert: {
+        const auto &insert = static_cast<const InsertStmt &>(stmt);
+        if (insert.orIgnore && !clauses.insertOrIgnore)
+            return unsupported("OR IGNORE");
+        if (insert.rows.size() > 1 && !clauses.multiRowInsert)
+            return unsupported("multi-row VALUES");
+        for (const auto &row : insert.rows) {
+            for (const ExprPtr &expr : row) {
+                if (Status s = validateExpr(*expr); !s.isOk())
+                    return s;
+            }
+        }
+        return Status::ok();
+      }
+      case StmtKind::Analyze:
+        return Status::ok();
+      case StmtKind::Select:
+        return validateSelect(static_cast<const SelectStmt &>(stmt));
+      case StmtKind::DropTable:
+      case StmtKind::DropView:
+      case StmtKind::DropIndex:
+        return Status::ok();
+    }
+    return Status::internal("unhandled statement kind");
+}
+
+} // namespace sqlpp

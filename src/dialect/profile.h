@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Dialect profiles: the observable "SQL dialect" of a DBMS under test.
+ *
+ * A DialectProfile is the substitution for one of the paper's 17 real
+ * DBMSs. It wraps the engine with: a capability matrix (which
+ * statements, clauses, operators, functions, join types, and data types
+ * the dialect understands), a typing discipline and error behaviours,
+ * quirks (CrateDB-style REFRESH visibility), and a ground-truth fault
+ * set. Statements that use an unsupported feature are rejected with a
+ * SyntaxError, exactly the signal a real dialect's parser would emit —
+ * and exactly what the adaptive generator learns from.
+ *
+ * The 17 campaign profiles are named after the paper's Table 2 systems
+ * ("sqlite-like", "cratedb-like", ...); an additional "postgres-like"
+ * profile supports the validity and coverage experiments (Tables 3/4).
+ */
+#ifndef SQLPP_DIALECT_PROFILE_H
+#define SQLPP_DIALECT_PROFILE_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/faults.h"
+#include "sqlir/ast.h"
+
+namespace sqlpp {
+
+/** Optional clause/keyword capabilities (Table 1 "Clause & Keyword"). */
+struct ClauseSupport
+{
+    bool distinct = true;
+    bool groupBy = true;
+    bool having = true;
+    bool orderBy = true;
+    bool limit = true;
+    bool offset = true;
+    bool subqueryInFrom = true;
+    bool subqueryInExpr = true;
+    bool uniqueIndex = true;
+    bool partialIndex = true;
+    bool ifNotExists = true;
+    bool insertOrIgnore = true;
+    bool primaryKey = true;
+    bool notNull = true;
+    bool uniqueColumn = true;
+    bool multiRowInsert = true;
+    bool viewColumnList = true;
+};
+
+/** Full capability matrix plus behaviour of one dialect. */
+class DialectProfile
+{
+  public:
+    std::string name;
+
+    /** Engine behaviour knobs (typing, NULL-vs-error choices). */
+    EngineBehavior behavior;
+    /** Ground-truth injected logic bugs. */
+    FaultSet faults;
+
+    /** Supported statement kinds. */
+    std::set<StmtKind> statements;
+    /** Supported join types. */
+    std::set<JoinType> joins;
+    /** Supported binary operators. */
+    std::set<BinaryOp> binaryOps;
+    /** Supported unary operators. */
+    std::set<UnaryOp> unaryOps;
+    /** Supported scalar/aggregate function names (uppercase). */
+    std::set<std::string> functions;
+    /** Supported data types (column types and typed literals). */
+    std::set<DataType> dataTypes;
+    ClauseSupport clauses;
+
+    /**
+     * CrateDB-style visibility quirk: INSERTs are not visible to queries
+     * until a REFRESH <table> statement runs (paper Section 6,
+     * "Manual efforts").
+     */
+    bool requiresRefreshAfterInsert = false;
+
+    /** Convenience capability queries. */
+    bool supportsStatement(StmtKind kind) const
+    {
+        return statements.count(kind) > 0;
+    }
+    bool supportsJoin(JoinType type) const { return joins.count(type) > 0; }
+    bool supportsBinaryOp(BinaryOp op) const
+    {
+        return binaryOps.count(op) > 0;
+    }
+    bool supportsUnaryOp(UnaryOp op) const
+    {
+        return unaryOps.count(op) > 0;
+    }
+    bool supportsFunction(const std::string &upper_name) const
+    {
+        return functions.count(upper_name) > 0;
+    }
+    bool supportsType(DataType type) const
+    {
+        return dataTypes.count(type) > 0;
+    }
+
+    /**
+     * Check a parsed statement against the capability matrix. Returns a
+     * SyntaxError naming the first unsupported feature, mirroring how a
+     * real dialect front end rejects foreign syntax.
+     */
+    Status validate(const Stmt &stmt) const;
+
+  private:
+    Status validateSelect(const SelectStmt &select) const;
+    Status validateExpr(const Expr &expr) const;
+    Status validateTableRef(const TableRef &ref) const;
+};
+
+/** All built-in profiles (17 campaign systems + postgres-like). */
+const std::vector<DialectProfile> &allDialectProfiles();
+
+/** The 17 campaign profiles only (Table 2 order, alphabetical). */
+std::vector<const DialectProfile *> campaignDialects();
+
+/** Find a profile by name; nullptr when unknown. */
+const DialectProfile *findDialect(const std::string &name);
+
+} // namespace sqlpp
+
+#endif // SQLPP_DIALECT_PROFILE_H

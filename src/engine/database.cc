@@ -1,0 +1,503 @@
+#include "engine/database.h"
+
+#include <set>
+
+#include "engine/functions.h"
+#include "engine/typecheck.h"
+#include "parser/parser.h"
+#include "util/coverage.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+namespace {
+
+/** Maximum columns per table / rows per insert, engine sanity limits. */
+constexpr size_t kMaxColumns = 64;
+constexpr size_t kMaxRowsPerTable = 1u << 18;
+
+ResultSet
+emptyResult()
+{
+    return ResultSet(std::vector<std::string>{});
+}
+
+} // namespace
+
+StatusOr<ResultSet>
+Database::execute(const std::string &sql)
+{
+    auto parsed = parseStatement(sql);
+    if (!parsed.isOk())
+        return parsed.status();
+    return executeStmt(*parsed.value(), ExecMode::Optimized);
+}
+
+StatusOr<ResultSet>
+Database::executeReference(const std::string &sql)
+{
+    auto parsed = parseStatement(sql);
+    if (!parsed.isOk())
+        return parsed.status();
+    return executeStmt(*parsed.value(), ExecMode::Reference);
+}
+
+StatusOr<ResultSet>
+Database::executeStmt(const Stmt &stmt, ExecMode mode)
+{
+    ++statements_;
+    if (config_.behavior.staticTyping) {
+        Status status = typeCheckStatement(stmt, catalog_);
+        if (!status.isOk())
+            return status;
+    }
+    switch (stmt.kind()) {
+      case StmtKind::CreateTable:
+        SQLPP_COVER("db.create_table");
+        return runCreateTable(static_cast<const CreateTableStmt &>(stmt));
+      case StmtKind::CreateIndex:
+        SQLPP_COVER("db.create_index");
+        return runCreateIndex(static_cast<const CreateIndexStmt &>(stmt));
+      case StmtKind::CreateView:
+        SQLPP_COVER("db.create_view");
+        return runCreateView(static_cast<const CreateViewStmt &>(stmt));
+      case StmtKind::Insert:
+        SQLPP_COVER("db.insert");
+        return runInsert(static_cast<const InsertStmt &>(stmt));
+      case StmtKind::Analyze:
+        SQLPP_COVER("db.analyze");
+        return runAnalyze(static_cast<const AnalyzeStmt &>(stmt));
+      case StmtKind::Select: {
+        SQLPP_COVER("db.select");
+        Executor executor(catalog_, config_.behavior, config_.faults,
+                          mode);
+        auto result = executor.runSelect(
+            static_cast<const SelectStmt &>(stmt));
+        last_plan_ = executor.planDescription();
+        last_fingerprint_ = executor.planFingerprint();
+        return result;
+      }
+      case StmtKind::DropTable:
+      case StmtKind::DropView:
+      case StmtKind::DropIndex:
+        SQLPP_COVER("db.drop");
+        return runDrop(static_cast<const DropStmt &>(stmt));
+    }
+    return Status::internal("unhandled statement kind");
+}
+
+StatusOr<ResultSet>
+Database::runCreateTable(const CreateTableStmt &stmt)
+{
+    if (catalog_.hasObject(stmt.name)) {
+        if (stmt.ifNotExists && catalog_.hasTable(stmt.name))
+            return emptyResult();
+        return Status::semanticError("object already exists: " +
+                                     stmt.name);
+    }
+    if (stmt.columns.empty())
+        return Status::semanticError("table needs at least one column");
+    if (stmt.columns.size() > kMaxColumns)
+        return Status::semanticError("too many columns");
+    std::set<std::string> names;
+    for (const ColumnDef &col : stmt.columns) {
+        if (!names.insert(col.name).second) {
+            return Status::semanticError("duplicate column name: " +
+                                         col.name);
+        }
+    }
+    StoredTable table;
+    table.name = stmt.name;
+    table.columns = stmt.columns;
+    // PRIMARY KEY and UNIQUE columns get implicit unique indexes, which
+    // also gives the optimizer probe targets.
+    for (size_t i = 0; i < stmt.columns.size(); ++i) {
+        const ColumnDef &col = stmt.columns[i];
+        if (col.primaryKey || col.unique) {
+            StoredIndex index;
+            index.name = "__uniq_" + stmt.name + "_" + col.name;
+            index.columnOrdinals = {i};
+            index.unique = true;
+            table.indexes.push_back(std::move(index));
+        }
+    }
+    return catalog_.addTable(std::move(table)).isOk()
+               ? StatusOr<ResultSet>(emptyResult())
+               : StatusOr<ResultSet>(Status::semanticError(
+                     "object already exists: " + stmt.name));
+}
+
+StatusOr<ResultSet>
+Database::runCreateIndex(const CreateIndexStmt &stmt)
+{
+    if (catalog_.hasObject(stmt.name))
+        return Status::semanticError("object already exists: " + stmt.name);
+    StoredTable *table = catalog_.table(stmt.table);
+    if (table == nullptr) {
+        return Status::semanticError("no such table: " + stmt.table);
+    }
+    StoredIndex index;
+    index.name = stmt.name;
+    index.unique = stmt.unique;
+    std::set<std::string> seen;
+    for (const std::string &column : stmt.columns) {
+        size_t ordinal = table->columnOrdinal(column);
+        if (ordinal == StoredTable::npos)
+            return Status::semanticError("no such column: " + column);
+        if (!seen.insert(column).second) {
+            return Status::semanticError("duplicate column in index: " +
+                                         column);
+        }
+        index.columnOrdinals.push_back(ordinal);
+    }
+    if (stmt.where != nullptr)
+        index.predicate = stmt.where->clone();
+
+    // Populate from existing rows; a UNIQUE index creation fails when
+    // the data already violates it.
+    Scope scope;
+    std::vector<std::string> column_names;
+    for (const ColumnDef &col : table->columns)
+        column_names.push_back(col.name);
+    scope.addBinding(table->name, column_names);
+    for (size_t ri = 0; ri < table->rows.size(); ++ri) {
+        const Row &row = table->rows[ri];
+        if (index.predicate != nullptr) {
+            EvalContext ctx;
+            ctx.scope = &scope;
+            ctx.row = &row;
+            ctx.behavior = &config_.behavior;
+            ctx.faults = &config_.faults;
+            auto value = evalExpr(*index.predicate, ctx);
+            if (!value.isOk())
+                return value.status();
+            auto truth = valueTruth(value.value());
+            if (!truth.has_value() || !*truth)
+                continue;
+        }
+        std::vector<Value> key;
+        for (size_t ordinal : index.columnOrdinals)
+            key.push_back(row[ordinal]);
+        if (index.unique && index.containsConflictingKey(key)) {
+            return Status::runtimeError(
+                "UNIQUE constraint failed creating index " + stmt.name);
+        }
+        index.insert(std::move(key), ri);
+    }
+    Status status = catalog_.addIndex(stmt.table, std::move(index));
+    if (!status.isOk())
+        return status;
+    return emptyResult();
+}
+
+StatusOr<ResultSet>
+Database::runCreateView(const CreateViewStmt &stmt)
+{
+    if (catalog_.hasObject(stmt.name))
+        return Status::semanticError("object already exists: " + stmt.name);
+    // Validate the body by executing it once (cheap at generator scale)
+    // and fix the output arity.
+    Executor executor(catalog_, config_.behavior, config_.faults,
+                      ExecMode::Optimized);
+    auto result = executor.runSelect(*stmt.select);
+    if (!result.isOk())
+        return result.status();
+    if (!stmt.columnNames.empty() &&
+        stmt.columnNames.size() != result.value().columnCount()) {
+        return Status::semanticError(
+            "view column list does not match query: " + stmt.name);
+    }
+    std::set<std::string> names(stmt.columnNames.begin(),
+                                stmt.columnNames.end());
+    if (names.size() != stmt.columnNames.size())
+        return Status::semanticError("duplicate view column name");
+    StoredView view;
+    view.name = stmt.name;
+    view.columnNames = stmt.columnNames;
+    view.select = stmt.select->cloneSelect();
+    Status status = catalog_.addView(std::move(view));
+    if (!status.isOk())
+        return status;
+    return emptyResult();
+}
+
+Value
+Database::coerceForColumn(const Value &value, DataType type) const
+{
+    if (value.isNull())
+        return value;
+    switch (type) {
+      case DataType::Int: {
+        if (value.kind() == Value::Kind::Int)
+            return value;
+        if (value.kind() == Value::Kind::Bool)
+            return Value::integer(value.asBool() ? 1 : 0);
+        // TEXT into an INTEGER column: convert only when the text is a
+        // complete integer literal, otherwise keep the text (SQLite
+        // affinity).
+        const std::string &text = value.asText();
+        if (!text.empty()) {
+            size_t i = (text[0] == '-' || text[0] == '+') ? 1 : 0;
+            bool all_digits = i < text.size();
+            for (; i < text.size(); ++i) {
+                if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+                    all_digits = false;
+                    break;
+                }
+            }
+            if (all_digits)
+                return Value::integer(*valueToNumeric(value));
+        }
+        return value;
+      }
+      case DataType::Text:
+        if (value.kind() == Value::Kind::Text)
+            return value;
+        return Value::text(value.toString());
+      case DataType::Bool:
+        if (value.kind() == Value::Kind::Bool)
+            return value;
+        return Value::boolean(valueTruth(value).value_or(false));
+    }
+    return value;
+}
+
+StatusOr<ResultSet>
+Database::runInsert(const InsertStmt &stmt)
+{
+    StoredTable *table = catalog_.table(stmt.table);
+    if (table == nullptr) {
+        if (catalog_.hasView(stmt.table))
+            return Status::semanticError("cannot insert into a view");
+        return Status::semanticError("no such table: " + stmt.table);
+    }
+    // Map of insert positions to column ordinals.
+    std::vector<size_t> targets;
+    if (stmt.columns.empty()) {
+        for (size_t i = 0; i < table->columns.size(); ++i)
+            targets.push_back(i);
+    } else {
+        std::set<std::string> seen;
+        for (const std::string &name : stmt.columns) {
+            size_t ordinal = table->columnOrdinal(name);
+            if (ordinal == StoredTable::npos)
+                return Status::semanticError("no such column: " + name);
+            if (!seen.insert(name).second) {
+                return Status::semanticError("duplicate column: " + name);
+            }
+            targets.push_back(ordinal);
+        }
+    }
+
+    EvalContext ctx;
+    ctx.behavior = &config_.behavior;
+    ctx.faults = &config_.faults;
+
+    for (const auto &exprs : stmt.rows) {
+        if (exprs.size() != targets.size()) {
+            return Status::semanticError(
+                "INSERT value count does not match column count");
+        }
+        if (table->rows.size() >= kMaxRowsPerTable)
+            return Status::runtimeError("table is full");
+        Row row(table->columns.size()); // defaults are NULL
+        for (size_t i = 0; i < exprs.size(); ++i) {
+            auto value = evalExpr(*exprs[i], ctx);
+            if (!value.isOk())
+                return value.status();
+            row[targets[i]] = coerceForColumn(
+                value.value(), table->columns[targets[i]].type);
+        }
+        // Constraint checks.
+        Status violation = Status::ok();
+        for (size_t i = 0; i < table->columns.size(); ++i) {
+            const ColumnDef &col = table->columns[i];
+            if ((col.notNull || col.primaryKey) && row[i].isNull()) {
+                violation = Status::runtimeError(
+                    "NOT NULL constraint failed: " + col.name);
+                break;
+            }
+        }
+        // Unique indexes (includes implicit PK/UNIQUE indexes).
+        Scope scope;
+        std::vector<std::string> column_names;
+        for (const ColumnDef &col : table->columns)
+            column_names.push_back(col.name);
+        scope.addBinding(table->name, column_names);
+        if (violation.isOk()) {
+            for (StoredIndex &index : table->indexes) {
+                if (!index.unique)
+                    continue;
+                bool applies = true;
+                if (index.predicate != nullptr) {
+                    EvalContext pred_ctx;
+                    pred_ctx.scope = &scope;
+                    pred_ctx.row = &row;
+                    pred_ctx.behavior = &config_.behavior;
+                    pred_ctx.faults = &config_.faults;
+                    auto value = evalExpr(*index.predicate, pred_ctx);
+                    if (!value.isOk())
+                        return value.status();
+                    auto truth = valueTruth(value.value());
+                    applies = truth.has_value() && *truth;
+                }
+                if (!applies)
+                    continue;
+                std::vector<Value> key;
+                for (size_t ordinal : index.columnOrdinals)
+                    key.push_back(row[ordinal]);
+                if (index.containsConflictingKey(key)) {
+                    violation = Status::runtimeError(
+                        "UNIQUE constraint failed: " + index.name);
+                    break;
+                }
+            }
+        }
+        if (!violation.isOk()) {
+            if (stmt.orIgnore) {
+                SQLPP_COVER("db.insert.or_ignore_skip");
+                continue;
+            }
+            return violation;
+        }
+        // Commit the row and maintain all indexes.
+        size_t ordinal = table->rows.size();
+        for (StoredIndex &index : table->indexes) {
+            bool applies = true;
+            if (index.predicate != nullptr) {
+                EvalContext pred_ctx;
+                pred_ctx.scope = &scope;
+                pred_ctx.row = &row;
+                pred_ctx.behavior = &config_.behavior;
+                pred_ctx.faults = &config_.faults;
+                auto value = evalExpr(*index.predicate, pred_ctx);
+                if (!value.isOk())
+                    return value.status();
+                auto truth = valueTruth(value.value());
+                applies = truth.has_value() && *truth;
+            }
+            if (!applies)
+                continue;
+            std::vector<Value> key;
+            for (size_t idx_ordinal : index.columnOrdinals)
+                key.push_back(row[idx_ordinal]);
+            index.insert(std::move(key), ordinal);
+        }
+        table->rows.push_back(std::move(row));
+        table->analyzed = false;
+    }
+    return emptyResult();
+}
+
+StatusOr<ResultSet>
+Database::runAnalyze(const AnalyzeStmt &stmt)
+{
+    auto analyze_table = [](StoredTable &table) {
+        table.stats.assign(table.columns.size(), ColumnStats{});
+        for (size_t c = 0; c < table.columns.size(); ++c) {
+            std::set<std::string> distinct;
+            for (const Row &row : table.rows) {
+                if (row[c].isNull())
+                    ++table.stats[c].nullCount;
+                else
+                    distinct.insert(row[c].literal());
+            }
+            table.stats[c].distinctValues = distinct.size();
+        }
+        table.analyzed = true;
+    };
+    if (!stmt.table.empty()) {
+        StoredTable *table = catalog_.table(stmt.table);
+        if (table == nullptr)
+            return Status::semanticError("no such table: " + stmt.table);
+        analyze_table(*table);
+        return emptyResult();
+    }
+    for (const std::string &name : catalog_.tableNames())
+        analyze_table(*catalog_.table(name));
+    return emptyResult();
+}
+
+StatusOr<ResultSet>
+Database::runDrop(const DropStmt &stmt)
+{
+    Status status = Status::ok();
+    switch (stmt.kind()) {
+      case StmtKind::DropTable:
+        status = catalog_.dropTable(stmt.name);
+        break;
+      case StmtKind::DropView:
+        status = catalog_.dropView(stmt.name);
+        break;
+      case StmtKind::DropIndex:
+        status = catalog_.dropIndex(stmt.name);
+        break;
+      default:
+        return Status::internal("bad drop kind");
+    }
+    if (!status.isOk() && stmt.ifExists)
+        return emptyResult();
+    if (!status.isOk())
+        return status;
+    return emptyResult();
+}
+
+void
+declareEngineCoverageProbes()
+{
+    CoverageRegistry &registry = CoverageRegistry::instance();
+    // Statement dispatch.
+    for (const char *probe :
+         {"db.create_table", "db.create_index", "db.create_view",
+          "db.insert", "db.insert.or_ignore_skip", "db.analyze",
+          "db.select", "db.drop"}) {
+        registry.declare(probe);
+    }
+    // Executor paths.
+    for (const char *probe :
+         {"exec.source.table", "exec.source.view", "exec.source.derived",
+          "exec.access.index_scan", "exec.access.full_scan",
+          "exec.access.pushed_filter", "exec.join.hash",
+          "exec.join.nested_loop", "exec.join.null_extend_left",
+          "exec.join.null_extend_right", "exec.join.cross_comma",
+          "exec.filter.where", "exec.aggregate", "exec.project",
+          "exec.distinct", "exec.sort",
+          "exec.fault.group_null_separate",
+          "exec.fault.distinct_null_collapse"}) {
+        registry.declare(probe);
+    }
+    // Planner paths.
+    for (const char *probe :
+         {"planner.fold.const", "planner.fold.nullif_fault",
+          "planner.pushdown", "planner.fault.pushdown_outer",
+          "planner.fault.on_to_where"}) {
+        registry.declare(probe);
+    }
+    // Operator evaluation paths.
+    for (const char *probe :
+         {"eval.op.add", "eval.op.sub", "eval.op.mul", "eval.op.div",
+          "eval.op.mod", "eval.op.bitand", "eval.op.bitor",
+          "eval.op.bitxor", "eval.op.shl", "eval.op.shr", "eval.op.eq",
+          "eval.op.noteq", "eval.op.nullsafe_eq", "eval.op.is_distinct",
+          "eval.op.relational", "eval.op.and", "eval.op.or",
+          "eval.op.not", "eval.op.neg", "eval.op.unary_plus",
+          "eval.op.bitnot", "eval.op.is_null", "eval.op.is_not_null",
+          "eval.op.is_true", "eval.op.is_false", "eval.op.concat",
+          "eval.op.like", "eval.op.glob", "eval.op.between",
+          "eval.op.in_list", "eval.op.case", "eval.op.cast",
+          "eval.op.exists", "eval.op.in_subquery",
+          "eval.op.scalar_subquery"}) {
+        registry.declare(probe);
+    }
+    // Aggregates.
+    for (const char *probe :
+         {"eval.agg.count", "eval.agg.sum", "eval.agg.avg",
+          "eval.agg.min", "eval.agg.max"}) {
+        registry.declare(probe);
+    }
+    // One probe per scalar function implementation.
+    for (const std::string &name : FunctionRegistry::instance().names())
+        registry.declare("eval.fn." + toLower(name));
+}
+
+} // namespace sqlpp

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Expression evaluation with SQL three-valued logic.
+ *
+ * The evaluator is shared by the optimized and the reference execution
+ * paths (as in real systems), so evaluator faults affect both — which is
+ * why they are invisible to NoREC and only caught by TLP when they break
+ * the partition law. See engine/faults.h for the fault taxonomy.
+ */
+#ifndef SQLPP_ENGINE_EVAL_H
+#define SQLPP_ENGINE_EVAL_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/faults.h"
+#include "sqlir/ast.h"
+#include "sqlir/value.h"
+#include "util/status.h"
+
+namespace sqlpp {
+
+/** Dialect-level behaviour knobs of the engine (not bugs — semantics). */
+struct EngineBehavior
+{
+    /** x / 0 yields NULL (SQLite-style) instead of a runtime error. */
+    bool divZeroIsNull = true;
+    /** ASIN(2), LN(0), SQRT(-1) yield NULL instead of a runtime error. */
+    bool domainErrorIsNull = false;
+    /** Run the static type checker before execution. */
+    bool staticTyping = false;
+    /** LIKE matches case-insensitively (SQLite-style). */
+    bool caseInsensitiveLike = true;
+};
+
+/** One named tuple source visible to column resolution. */
+struct Binding
+{
+    /** Binding name (table name or alias). */
+    std::string name;
+    /** Column names in row order. */
+    std::vector<std::string> columns;
+    /** Offset of this binding's first column in the combined row. */
+    size_t offset = 0;
+};
+
+/** The set of bindings produced by a FROM clause. */
+class Scope
+{
+  public:
+    std::vector<Binding> bindings;
+
+    /** Total combined-row width. */
+    size_t width() const;
+
+    /**
+     * Resolve a (possibly unqualified) column reference to a combined-row
+     * offset. Fails with SemanticError for unknown or ambiguous names.
+     */
+    StatusOr<size_t> resolve(const std::string &table,
+                             const std::string &column) const;
+
+    /** Qualified "binding.column" names for all columns, in row order. */
+    std::vector<std::string> allColumnNames() const;
+
+    /** Append a binding, fixing its offset to the current width. */
+    void addBinding(std::string name, std::vector<std::string> columns);
+};
+
+class EvalContext;
+
+/**
+ * Callback used by the evaluator to execute expression subqueries.
+ * Implemented by the executor; null in contexts without subquery support.
+ */
+class SubqueryRunner
+{
+  public:
+    virtual ~SubqueryRunner() = default;
+
+    /**
+     * Run a subquery. @p outer provides the lexical environment for
+     * correlated column references.
+     */
+    virtual StatusOr<ResultSet> runSubquery(const SelectStmt &select,
+                                            const EvalContext *outer) = 0;
+};
+
+/** Everything an expression evaluation needs. */
+class EvalContext
+{
+  public:
+    const Scope *scope = nullptr;
+    const Row *row = nullptr;
+    /** Enclosing context for correlated subqueries. */
+    const EvalContext *outer = nullptr;
+    /** Non-null while evaluating aggregate select/having expressions. */
+    const std::vector<Row> *groupRows = nullptr;
+
+    const EngineBehavior *behavior = nullptr;
+    const FaultSet *faults = nullptr;
+    SubqueryRunner *subqueries = nullptr;
+
+    /**
+     * Number of enclosing NOT operators; the NegContextMixedEq fault
+     * keys off its parity.
+     */
+    int negationDepth = 0;
+
+    bool
+    faultEnabled(FaultId id) const
+    {
+        return faults != nullptr && faults->isEnabled(id);
+    }
+};
+
+/** Evaluate an expression to a Value (or a runtime/semantic error). */
+StatusOr<Value> evalExpr(const Expr &expr, const EvalContext &ctx);
+
+/**
+ * SQL truthiness of a value: NULL for SQL NULL, otherwise a bool after
+ * dynamic coercion (numbers: non-zero; text: numeric prefix non-zero).
+ */
+std::optional<bool> valueTruth(const Value &value);
+
+/**
+ * Dynamic coercion to the numeric class. Text parses a leading integer
+ * (SQLite affinity-style: "12abc" -> 12, "abc" -> 0); NULL -> nullopt.
+ */
+std::optional<int64_t> valueToNumeric(const Value &value);
+
+/** Render any non-NULL value as text; NULL -> nullopt. */
+std::optional<std::string> valueToText(const Value &value);
+
+/**
+ * SQL ordering comparison with class semantics: the numeric class
+ * (INT, BOOL) sorts before the text class; values in the same class
+ * compare naturally. Returns nullopt when either side is NULL.
+ */
+std::optional<int> compareSql(const Value &lhs, const Value &rhs);
+
+/** True if the expression contains an aggregate call outside subqueries. */
+bool exprContainsAggregate(const Expr &expr);
+
+/** True if name is one of COUNT/SUM/AVG/MIN/MAX. */
+bool isAggregateFunction(const std::string &name);
+
+/**
+ * True if the expression references no columns and no subqueries, i.e.
+ * it can be constant-folded by the planner.
+ */
+bool isConstExpr(const Expr &expr);
+
+/** SQL LIKE pattern match ('%', '_'), used by the evaluator and tests. */
+bool likeMatch(const std::string &text, const std::string &pattern,
+               bool case_insensitive, bool underscore_is_literal);
+
+/** SQL GLOB pattern match ('*', '?'), case-sensitive. */
+bool globMatch(const std::string &text, const std::string &pattern);
+
+} // namespace sqlpp
+
+#endif // SQLPP_ENGINE_EVAL_H

@@ -1,0 +1,1326 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "engine/functions.h"
+#include "sqlir/printer.h"
+#include "util/coverage.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+namespace {
+
+/**
+ * Hard cap on intermediate row counts. Deliberately tight: generated
+ * databases are small (the platform inserts tens of rows per table, as
+ * SQLancer does), so anything past this is a runaway cross product and
+ * aborts with a resource error — the same answer a real DBMS's work_mem
+ * limit would give.
+ */
+constexpr size_t kMaxRows = 50000;
+
+/** Sort comparison: NULLs first, then SQL class ordering. */
+int
+compareForSort(const Value &lhs, const Value &rhs)
+{
+    if (lhs.isNull() && rhs.isNull())
+        return 0;
+    if (lhs.isNull())
+        return -1;
+    if (rhs.isNull())
+        return 1;
+    auto cmp = compareSql(lhs, rhs);
+    return cmp.value_or(0);
+}
+
+/** Serialize a value for grouping/distinct keys (kind-tagged). */
+std::string
+valueKey(const Value &value)
+{
+    switch (value.kind()) {
+      case Value::Kind::Null: return "n";
+      case Value::Kind::Int: return "i" + std::to_string(value.asInt());
+      case Value::Kind::Text: return "t" + value.asText();
+      case Value::Kind::Bool: return value.asBool() ? "b1" : "b0";
+    }
+    return "?";
+}
+
+std::string
+rowKey(const Row &row)
+{
+    std::string key;
+    for (const Value &value : row) {
+        key += valueKey(value);
+        key.push_back('\x1f');
+    }
+    return key;
+}
+
+/** Collect column references of an expression, skipping subqueries. */
+void
+collectColumnRefs(const Expr &expr, std::vector<const ColumnRefExpr *> &out)
+{
+    if (expr.kind() == ExprKind::ColumnRef) {
+        out.push_back(static_cast<const ColumnRefExpr *>(&expr));
+        return;
+    }
+    for (const Expr *child : expr.children())
+        collectColumnRefs(*child, out);
+}
+
+/** True if the expression contains any subquery node. */
+bool
+containsSubquery(const Expr &expr)
+{
+    switch (expr.kind()) {
+      case ExprKind::Exists:
+      case ExprKind::InSubquery:
+      case ExprKind::ScalarSubquery:
+        return true;
+      default:
+        break;
+    }
+    if (expr.kind() == ExprKind::InSubquery)
+        return true;
+    for (const Expr *child : expr.children()) {
+        if (containsSubquery(*child))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<const Expr *>
+splitConjuncts(const Expr &predicate)
+{
+    std::vector<const Expr *> out;
+    if (predicate.kind() == ExprKind::Binary) {
+        const auto &bin = static_cast<const BinaryExpr &>(predicate);
+        if (bin.op == BinaryOp::And) {
+            auto lhs = splitConjuncts(*bin.lhs);
+            auto rhs = splitConjuncts(*bin.rhs);
+            out.insert(out.end(), lhs.begin(), lhs.end());
+            out.insert(out.end(), rhs.begin(), rhs.end());
+            return out;
+        }
+    }
+    out.push_back(&predicate);
+    return out;
+}
+
+namespace {
+
+ExprPtr
+foldChildren(const Expr &expr, const EngineBehavior &behavior,
+             const FaultSet &faults);
+
+} // namespace
+
+ExprPtr
+constantFold(const Expr &expr, const EngineBehavior &behavior,
+             const FaultSet &faults)
+{
+    // The injected folding bug: NULLIF with syntactically identical
+    // constant arguments is rewritten to its first argument.
+    if (faults.isEnabled(FaultId::ConstFoldNullifIdentity) &&
+        expr.kind() == ExprKind::Function) {
+        const auto &fn = static_cast<const FunctionExpr &>(expr);
+        if (fn.name == "NULLIF" && fn.args.size() == 2 &&
+            isConstExpr(expr) &&
+            printExpr(*fn.args[0]) == printExpr(*fn.args[1])) {
+            SQLPP_COVER("planner.fold.nullif_fault");
+            return constantFold(*fn.args[0], behavior, faults);
+        }
+    }
+    if (expr.kind() != ExprKind::Literal && isConstExpr(expr)) {
+        EvalContext ctx;
+        ctx.behavior = &behavior;
+        ctx.faults = &faults;
+        auto value = evalExpr(expr, ctx);
+        if (value.isOk()) {
+            SQLPP_COVER("planner.fold.const");
+            return std::make_unique<LiteralExpr>(value.takeValue());
+        }
+        // Evaluation failed (overflow, domain error): keep the original
+        // subtree so the error is raised at run time, as it would be
+        // without folding.
+        return expr.clone();
+    }
+    return foldChildren(expr, behavior, faults);
+}
+
+namespace {
+
+ExprPtr
+foldChildren(const Expr &expr, const EngineBehavior &behavior,
+             const FaultSet &faults)
+{
+    auto fold = [&](const ExprPtr &child) {
+        return constantFold(*child, behavior, faults);
+    };
+    switch (expr.kind()) {
+      case ExprKind::Unary: {
+        const auto &unary = static_cast<const UnaryExpr &>(expr);
+        return std::make_unique<UnaryExpr>(unary.op, fold(unary.operand));
+      }
+      case ExprKind::Binary: {
+        const auto &bin = static_cast<const BinaryExpr &>(expr);
+        return std::make_unique<BinaryExpr>(bin.op, fold(bin.lhs),
+                                            fold(bin.rhs));
+      }
+      case ExprKind::Between: {
+        const auto &between = static_cast<const BetweenExpr &>(expr);
+        return std::make_unique<BetweenExpr>(
+            fold(between.operand), fold(between.low), fold(between.high),
+            between.negated);
+      }
+      case ExprKind::InList: {
+        const auto &in = static_cast<const InListExpr &>(expr);
+        std::vector<ExprPtr> items;
+        items.reserve(in.items.size());
+        for (const ExprPtr &item : in.items)
+            items.push_back(fold(item));
+        return std::make_unique<InListExpr>(fold(in.operand),
+                                            std::move(items), in.negated);
+      }
+      case ExprKind::Case: {
+        const auto &case_expr = static_cast<const CaseExpr &>(expr);
+        std::vector<CaseExpr::Arm> arms;
+        arms.reserve(case_expr.arms.size());
+        for (const CaseExpr::Arm &arm : case_expr.arms) {
+            arms.push_back(
+                CaseExpr::Arm{fold(arm.when), fold(arm.then)});
+        }
+        return std::make_unique<CaseExpr>(
+            case_expr.operand ? fold(case_expr.operand) : nullptr,
+            std::move(arms),
+            case_expr.elseExpr ? fold(case_expr.elseExpr) : nullptr);
+      }
+      case ExprKind::Function: {
+        const auto &fn = static_cast<const FunctionExpr &>(expr);
+        std::vector<ExprPtr> args;
+        args.reserve(fn.args.size());
+        for (const ExprPtr &arg : fn.args)
+            args.push_back(fold(arg));
+        return std::make_unique<FunctionExpr>(fn.name, std::move(args),
+                                              fn.star, fn.distinct);
+      }
+      default:
+        // Leaves and subqueries: clone untouched (folding never enters
+        // subqueries).
+        return expr.clone();
+    }
+}
+
+} // namespace
+
+Executor::Executor(const Catalog &catalog, const EngineBehavior &behavior,
+                   const FaultSet &faults, ExecMode mode)
+    : catalog_(catalog), behavior_(behavior), faults_(faults), mode_(mode)
+{
+}
+
+uint64_t
+Executor::planFingerprint() const
+{
+    return fnv1a(plan_);
+}
+
+void
+Executor::note(const std::string &atom)
+{
+    plan_ += atom;
+    plan_ += ';';
+}
+
+namespace {
+
+/** Collect correlation evidence for isUncorrelatedSelect. */
+bool
+exprRefsOutside(const Expr &expr, const std::set<std::string> &visible);
+
+bool
+selectRefsOutside(const SelectStmt &select,
+                  std::set<std::string> visible)
+{
+    for (const TableRef &ref : select.from) {
+        visible.insert(ref.bindingName());
+        if (ref.subquery != nullptr &&
+            selectRefsOutside(*ref.subquery, visible)) {
+            return true;
+        }
+    }
+    for (const JoinClause &join : select.joins) {
+        visible.insert(join.table.bindingName());
+        if (join.table.subquery != nullptr &&
+            selectRefsOutside(*join.table.subquery, visible)) {
+            return true;
+        }
+    }
+    auto check = [&](const Expr *expr) {
+        return expr != nullptr && exprRefsOutside(*expr, visible);
+    };
+    for (const SelectItem &item : select.items) {
+        if (!item.star && check(item.expr.get()))
+            return true;
+    }
+    for (const JoinClause &join : select.joins) {
+        if (check(join.on.get()))
+            return true;
+    }
+    if (check(select.where.get()) || check(select.having.get()))
+        return true;
+    for (const ExprPtr &key : select.groupBy) {
+        if (check(key.get()))
+            return true;
+    }
+    for (const OrderTerm &term : select.orderBy) {
+        if (check(term.expr.get()))
+            return true;
+    }
+    return false;
+}
+
+bool
+exprRefsOutside(const Expr &expr, const std::set<std::string> &visible)
+{
+    switch (expr.kind()) {
+      case ExprKind::ColumnRef: {
+        const auto &ref = static_cast<const ColumnRefExpr &>(expr);
+        // Unqualified references are conservatively correlated.
+        return ref.table.empty() || visible.count(ref.table) == 0;
+      }
+      case ExprKind::Exists: {
+        const auto &exists = static_cast<const ExistsExpr &>(expr);
+        return selectRefsOutside(*exists.subquery,
+                                 std::set<std::string>(visible));
+      }
+      case ExprKind::InSubquery: {
+        const auto &in = static_cast<const InSubqueryExpr &>(expr);
+        if (exprRefsOutside(*in.operand, visible))
+            return true;
+        return selectRefsOutside(*in.subquery,
+                                 std::set<std::string>(visible));
+      }
+      case ExprKind::ScalarSubquery: {
+        const auto &sub = static_cast<const ScalarSubqueryExpr &>(expr);
+        return selectRefsOutside(*sub.subquery,
+                                 std::set<std::string>(visible));
+      }
+      default:
+        break;
+    }
+    for (const Expr *child : expr.children()) {
+        if (exprRefsOutside(*child, visible))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+isUncorrelatedSelect(const SelectStmt &select)
+{
+    return !selectRefsOutside(select, {});
+}
+
+StatusOr<ResultSet>
+Executor::runSubquery(const SelectStmt &select, const EvalContext *outer)
+{
+    if (depth_ > 12)
+        return Status::runtimeError("subquery nesting too deep");
+    // Uncorrelated subqueries are loop-invariant: evaluate once per
+    // enclosing statement.
+    std::string cache_key;
+    if (isUncorrelatedSelect(select)) {
+        cache_key = printSelect(select);
+        auto hit = subquery_cache_.find(cache_key);
+        if (hit != subquery_cache_.end())
+            return hit->second;
+    }
+    Executor child(catalog_, behavior_, faults_, mode_);
+    child.depth_ = depth_ + 1;
+    auto result = child.runSelectImpl(select, outer);
+    // Correlated subqueries run once per row; dedupe their plan shape so
+    // the parent plan stays data-independent.
+    std::string atom = "SUB[" + child.plan_ + "]";
+    if (plan_.find(atom) == std::string::npos)
+        note(atom);
+    if (!cache_key.empty() && result.isOk())
+        subquery_cache_.emplace(std::move(cache_key), result.value());
+    return result;
+}
+
+StatusOr<ResultSet>
+Executor::runSelect(const SelectStmt &select, const EvalContext *outer)
+{
+    note(mode_ == ExecMode::Optimized ? "OPT" : "REF");
+    return runSelectImpl(select, outer);
+}
+
+StatusOr<Executor::Source>
+Executor::prepareSource(const TableRef &ref, const EvalContext *outer)
+{
+    Source source;
+    if (ref.subquery) {
+        SQLPP_COVER("exec.source.derived");
+        Executor child(catalog_, behavior_, faults_, mode_);
+        child.depth_ = depth_ + 1;
+        auto result = child.runSelectImpl(*ref.subquery, outer);
+        if (!result.isOk())
+            return result.status();
+        note("DRV[" + child.plan_ + "]");
+        source.binding = ref.alias;
+        source.columns = result.value().columns();
+        source.rows = result.value().rows();
+        return source;
+    }
+    if (const StoredTable *table = catalog_.table(ref.name)) {
+        SQLPP_COVER("exec.source.table");
+        source.binding = ref.bindingName();
+        for (const ColumnDef &col : table->columns)
+            source.columns.push_back(col.name);
+        source.table = table;
+        return source;
+    }
+    if (const StoredView *view = catalog_.view(ref.name)) {
+        SQLPP_COVER("exec.source.view");
+        Executor child(catalog_, behavior_, faults_, mode_);
+        child.depth_ = depth_ + 1;
+        auto result = child.runSelectImpl(*view->select, outer);
+        if (!result.isOk())
+            return result.status();
+        note("VIEW(" + view->name + ")[" + child.plan_ + "]");
+        source.binding = ref.bindingName();
+        source.columns = view->columnNames.empty()
+                             ? result.value().columns()
+                             : view->columnNames;
+        if (source.columns.size() != result.value().columnCount()) {
+            return Status::semanticError(
+                "view column list does not match query: " + view->name);
+        }
+        source.rows = result.value().rows();
+        return source;
+    }
+    return Status::semanticError("no such table: " + ref.name);
+}
+
+Status
+Executor::applySourceFilters(Source &source,
+                             std::vector<const Expr *> conjuncts,
+                             const EvalContext *outer)
+{
+    // Materialize the base table if not yet done.
+    bool is_base = source.table != nullptr && source.rows.empty();
+    const StoredTable *table = source.table;
+
+    Scope scope;
+    scope.addBinding(source.binding, source.columns);
+
+    // Try to turn one conjunct into an index probe (base tables only).
+    size_t probe_conjunct = static_cast<size_t>(-1);
+    const StoredIndex *probe_index = nullptr;
+    enum class ProbeOp { Eq, Gt, Ge, Lt, Le, IsNull } probe_op = ProbeOp::Eq;
+    Value probe_key;
+
+    if (is_base && mode_ == ExecMode::Optimized) {
+        for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+            const Expr &conjunct = *conjuncts[ci];
+            const ColumnRefExpr *col = nullptr;
+            ProbeOp op = ProbeOp::Eq;
+            Value key;
+            if (conjunct.kind() == ExprKind::Binary) {
+                const auto &bin =
+                    static_cast<const BinaryExpr &>(conjunct);
+                const Expr *lhs = bin.lhs.get();
+                const Expr *rhs = bin.rhs.get();
+                BinaryOp bop = bin.op;
+                if (lhs->kind() == ExprKind::Literal &&
+                    rhs->kind() == ExprKind::ColumnRef) {
+                    // Flip literal op column into column op' literal.
+                    std::swap(lhs, rhs);
+                    switch (bop) {
+                      case BinaryOp::Less: bop = BinaryOp::Greater; break;
+                      case BinaryOp::LessEq:
+                        bop = BinaryOp::GreaterEq;
+                        break;
+                      case BinaryOp::Greater: bop = BinaryOp::Less; break;
+                      case BinaryOp::GreaterEq:
+                        bop = BinaryOp::LessEq;
+                        break;
+                      default: break;
+                    }
+                }
+                if (lhs->kind() != ExprKind::ColumnRef ||
+                    rhs->kind() != ExprKind::Literal) {
+                    continue;
+                }
+                switch (bop) {
+                  case BinaryOp::Eq: op = ProbeOp::Eq; break;
+                  case BinaryOp::Greater: op = ProbeOp::Gt; break;
+                  case BinaryOp::GreaterEq: op = ProbeOp::Ge; break;
+                  case BinaryOp::Less: op = ProbeOp::Lt; break;
+                  case BinaryOp::LessEq: op = ProbeOp::Le; break;
+                  default: continue;
+                }
+                col = static_cast<const ColumnRefExpr *>(lhs);
+                key = static_cast<const LiteralExpr *>(rhs)->value;
+                if (key.isNull())
+                    continue; // comparison with NULL never matches
+            } else if (conjunct.kind() == ExprKind::Unary) {
+                const auto &unary =
+                    static_cast<const UnaryExpr &>(conjunct);
+                if (unary.op != UnaryOp::IsNull ||
+                    unary.operand->kind() != ExprKind::ColumnRef) {
+                    continue;
+                }
+                col = static_cast<const ColumnRefExpr *>(
+                    unary.operand.get());
+                op = ProbeOp::IsNull;
+            } else {
+                continue;
+            }
+            if (!col->table.empty() && col->table != source.binding)
+                continue;
+            size_t ordinal = table->columnOrdinal(col->column);
+            if (ordinal == StoredTable::npos)
+                continue;
+            for (const StoredIndex &index : table->indexes) {
+                if (index.columnOrdinals.empty() ||
+                    index.columnOrdinals[0] != ordinal) {
+                    continue;
+                }
+                if (index.predicate != nullptr &&
+                    !faults_.isEnabled(
+                        FaultId::PartialIndexIgnoresPredicate)) {
+                    // A partial index is only usable when some other
+                    // conjunct syntactically equals its predicate.
+                    std::string pred_text = printExpr(*index.predicate);
+                    bool implied = false;
+                    for (size_t oi = 0; oi < conjuncts.size(); ++oi) {
+                        if (oi != ci &&
+                            printExpr(*conjuncts[oi]) == pred_text) {
+                            implied = true;
+                            break;
+                        }
+                    }
+                    if (!implied)
+                        continue;
+                }
+                probe_conjunct = ci;
+                probe_index = &index;
+                probe_op = op;
+                probe_key = key;
+                break;
+            }
+            if (probe_index != nullptr)
+                break;
+        }
+    }
+
+    if (probe_index != nullptr) {
+        SQLPP_COVER("exec.access.index_scan");
+        const char *op_name = "?";
+        switch (probe_op) {
+          case ProbeOp::Eq: op_name = "EQ"; break;
+          case ProbeOp::Gt: op_name = "GT"; break;
+          case ProbeOp::Ge: op_name = "GE"; break;
+          case ProbeOp::Lt: op_name = "LT"; break;
+          case ProbeOp::Le: op_name = "LE"; break;
+          case ProbeOp::IsNull: op_name = "NULL"; break;
+        }
+        note("IDX(" + source.binding + "," + probe_index->name + "," +
+             op_name + ")");
+        Value key = probe_key;
+        if (probe_op == ProbeOp::Eq &&
+            key.kind() == Value::Kind::Text &&
+            faults_.isEnabled(FaultId::IndexEqTextCoerce)) {
+            key = Value::integer(valueToNumeric(key).value_or(0));
+        }
+        std::vector<size_t> ordinals;
+        for (const StoredIndex::Entry &entry : probe_index->entries) {
+            const Value &entry_key = entry.key[0];
+            bool match = false;
+            if (probe_op == ProbeOp::IsNull) {
+                if (faults_.isEnabled(FaultId::IndexSkipsNull))
+                    match = false;
+                else
+                    match = entry_key.isNull();
+            } else {
+                auto cmp = compareSql(entry_key, key);
+                if (cmp.has_value()) {
+                    switch (probe_op) {
+                      case ProbeOp::Eq: match = *cmp == 0; break;
+                      case ProbeOp::Gt:
+                        match = faults_.isEnabled(
+                                    FaultId::IndexRangeGtIncludesEqual)
+                                    ? *cmp >= 0
+                                    : *cmp > 0;
+                        break;
+                      case ProbeOp::Ge: match = *cmp >= 0; break;
+                      case ProbeOp::Lt:
+                        match = faults_.isEnabled(
+                                    FaultId::IndexRangeLtIncludesEqual)
+                                    ? *cmp <= 0
+                                    : *cmp < 0;
+                        break;
+                      case ProbeOp::Le: match = *cmp <= 0; break;
+                      default: break;
+                    }
+                }
+            }
+            if (match)
+                ordinals.push_back(entry.rowOrdinal);
+        }
+        std::sort(ordinals.begin(), ordinals.end());
+        source.rows.clear();
+        for (size_t ordinal : ordinals)
+            source.rows.push_back(table->rows[ordinal]);
+        conjuncts.erase(conjuncts.begin() +
+                        static_cast<long>(probe_conjunct));
+    } else if (is_base) {
+        SQLPP_COVER("exec.access.full_scan");
+        note("SCAN(" + source.binding + ")");
+        source.rows = table->rows;
+    }
+
+    if (conjuncts.empty())
+        return Status::ok();
+    SQLPP_COVER("exec.access.pushed_filter");
+    note(format("PFILT(%s,%zu)", source.binding.c_str(),
+                conjuncts.size()));
+    std::vector<Row> kept;
+    for (const Row &row : source.rows) {
+        bool keep = true;
+        for (const Expr *conjunct : conjuncts) {
+            auto result = predicateKeeps(*conjunct, scope, row, outer,
+                                         /*where_clause=*/true);
+            if (!result.isOk())
+                return result.status();
+            if (!result.value()) {
+                keep = false;
+                break;
+            }
+        }
+        if (keep)
+            kept.push_back(row);
+    }
+    source.rows = std::move(kept);
+    return Status::ok();
+}
+
+StatusOr<bool>
+Executor::predicateKeeps(const Expr &predicate, const Scope &scope,
+                         const Row &row, const EvalContext *outer,
+                         bool where_clause)
+{
+    EvalContext ctx;
+    ctx.scope = &scope;
+    ctx.row = &row;
+    ctx.outer = outer;
+    ctx.behavior = &behavior_;
+    ctx.faults = &faults_;
+    ctx.subqueries = this;
+    auto value = evalExpr(predicate, ctx);
+    if (!value.isOk())
+        return value.status();
+    auto truth = valueTruth(value.value());
+    if (truth.has_value())
+        return *truth;
+    // NULL predicate: excluded, unless the WHERE fault is active.
+    return where_clause && faults_.isEnabled(FaultId::WhereNullAsTrue);
+}
+
+StatusOr<ResultSet>
+Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
+{
+    if (!select.joins.empty() && select.from.size() > 1) {
+        return Status::semanticError(
+            "comma-separated FROM cannot be combined with JOIN");
+    }
+    if (select.where != nullptr &&
+        exprContainsAggregate(*select.where)) {
+        return Status::semanticError(
+            "aggregate functions are not allowed in WHERE");
+    }
+    for (const JoinClause &join : select.joins) {
+        if (join.on != nullptr && exprContainsAggregate(*join.on)) {
+            return Status::semanticError(
+                "aggregate functions are not allowed in ON");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Materialize sources and compute outer-join nullability.
+    // ------------------------------------------------------------------
+    std::vector<Source> sources;
+    std::set<std::string> binding_names;
+    for (const TableRef &ref : select.from) {
+        auto source = prepareSource(ref, outer);
+        if (!source.isOk())
+            return source.status();
+        if (!binding_names.insert(source.value().binding).second) {
+            return Status::semanticError("duplicate table binding: " +
+                                         source.value().binding);
+        }
+        sources.push_back(source.takeValue());
+    }
+    for (const JoinClause &join : select.joins) {
+        auto source = prepareSource(join.table, outer);
+        if (!source.isOk())
+            return source.status();
+        if (!binding_names.insert(source.value().binding).second) {
+            return Status::semanticError("duplicate table binding: " +
+                                         source.value().binding);
+        }
+        sources.push_back(source.takeValue());
+    }
+    for (size_t j = 0; j < select.joins.size(); ++j) {
+        size_t right_index = select.from.size() + j;
+        switch (select.joins[j].type) {
+          case JoinType::Left:
+            sources[right_index].nullable = true;
+            break;
+          case JoinType::Right:
+            for (size_t i = 0; i < right_index; ++i)
+                sources[i].nullable = true;
+            break;
+          case JoinType::Full:
+            for (size_t i = 0; i <= right_index; ++i)
+                sources[i].nullable = true;
+            break;
+          default:
+            break;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Optimized mode: fold WHERE/ON, apply the ON->WHERE fault, split
+    // conjuncts, and push single-binding conjuncts down to sources.
+    // ------------------------------------------------------------------
+    ExprPtr where_owned;
+    std::vector<ExprPtr> on_owned(select.joins.size());
+    std::vector<const Expr *> where_conjuncts;
+    std::vector<ExprPtr> extra_owned;
+
+    if (select.where != nullptr) {
+        where_owned = mode_ == ExecMode::Optimized
+                          ? constantFold(*select.where, behavior_, faults_)
+                          : select.where->clone();
+    }
+    for (size_t j = 0; j < select.joins.size(); ++j) {
+        if (select.joins[j].on == nullptr)
+            continue;
+        on_owned[j] = mode_ == ExecMode::Optimized
+                          ? constantFold(*select.joins[j].on, behavior_,
+                                         faults_)
+                          : select.joins[j].on->clone();
+    }
+
+    if (mode_ == ExecMode::Optimized) {
+        // Listing 4 fault: the "flattener" moves a RIGHT JOIN's ON term
+        // into the WHERE clause, losing NULL-extended rows. The faulty
+        // rewrite pass only runs when the query already has a WHERE
+        // clause (as the real flattener path did), which is exactly why
+        // oracles can see it: the predicate-free variant plans right.
+        if (select.where != nullptr &&
+            faults_.isEnabled(FaultId::OnToWhereRightJoin)) {
+            for (size_t j = 0; j < select.joins.size(); ++j) {
+                if (select.joins[j].type == JoinType::Right &&
+                    on_owned[j] != nullptr) {
+                    SQLPP_COVER("planner.fault.on_to_where");
+                    note("ON2WHERE");
+                    extra_owned.push_back(std::move(on_owned[j]));
+                }
+            }
+        }
+    }
+
+    if (where_owned != nullptr)
+        where_conjuncts = splitConjuncts(*where_owned);
+    for (const ExprPtr &extra : extra_owned)
+        where_conjuncts.push_back(extra.get());
+
+    if (mode_ == ExecMode::Optimized && !sources.empty()) {
+        // Predicate pushdown: route a conjunct to the one source it
+        // references, when legal (or illegally, under the fault).
+        std::vector<std::vector<const Expr *>> pushed(sources.size());
+        std::vector<const Expr *> retained;
+        for (const Expr *conjunct : where_conjuncts) {
+            if (containsSubquery(*conjunct) ||
+                exprContainsAggregate(*conjunct)) {
+                retained.push_back(conjunct);
+                continue;
+            }
+            std::vector<const ColumnRefExpr *> refs;
+            collectColumnRefs(*conjunct, refs);
+            size_t target = static_cast<size_t>(-1);
+            bool pushable = !refs.empty();
+            for (const ColumnRefExpr *ref : refs) {
+                size_t found = static_cast<size_t>(-1);
+                int matches = 0;
+                for (size_t si = 0; si < sources.size(); ++si) {
+                    const Source &source = sources[si];
+                    if (!ref->table.empty() &&
+                        ref->table != source.binding) {
+                        continue;
+                    }
+                    for (const std::string &column : source.columns) {
+                        if (column == ref->column) {
+                            found = si;
+                            ++matches;
+                        }
+                    }
+                }
+                if (matches != 1) {
+                    pushable = false;
+                    break;
+                }
+                if (target == static_cast<size_t>(-1))
+                    target = found;
+                else if (target != found)
+                    pushable = false;
+                if (!pushable)
+                    break;
+            }
+            if (pushable && target != static_cast<size_t>(-1)) {
+                bool legal =
+                    !sources[target].nullable ||
+                    faults_.isEnabled(FaultId::PushdownThroughOuterJoin);
+                if (sources[target].nullable && legal)
+                    SQLPP_COVER("planner.fault.pushdown_outer");
+                if (legal) {
+                    SQLPP_COVER("planner.pushdown");
+                    pushed[target].push_back(conjunct);
+                    continue;
+                }
+            }
+            retained.push_back(conjunct);
+        }
+        where_conjuncts = std::move(retained);
+        for (size_t si = 0; si < sources.size(); ++si) {
+            Status status = applySourceFilters(sources[si],
+                                               std::move(pushed[si]),
+                                               outer);
+            if (!status.isOk())
+                return status;
+        }
+    } else {
+        // Reference mode (or FROM-less): materialize base tables fully.
+        for (Source &source : sources) {
+            Status status = applySourceFilters(source, {}, outer);
+            if (!status.isOk())
+                return status;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Join pipeline.
+    // ------------------------------------------------------------------
+    Scope scope;
+    std::vector<Row> current;
+    if (sources.empty()) {
+        current.push_back(Row{});
+    } else {
+        scope.addBinding(sources[0].binding, sources[0].columns);
+        current = std::move(sources[0].rows);
+    }
+
+    size_t next_source = 1;
+    for (size_t j = 0; j < select.joins.size(); ++j) {
+        const JoinClause &join = select.joins[j];
+        Source &right = sources[next_source++];
+        size_t left_width = scope.width();
+        size_t right_width = right.columns.size();
+
+        Scope joined_scope = scope;
+        joined_scope.addBinding(right.binding, right.columns);
+
+        const Expr *on = on_owned[j].get();
+        ExprPtr natural_on;
+        if (join.type == JoinType::Natural) {
+            // NATURAL JOIN: equality over all common column names.
+            std::vector<ExprPtr> equalities;
+            for (const Binding &binding : scope.bindings) {
+                for (const std::string &column : binding.columns) {
+                    for (const std::string &right_col : right.columns) {
+                        if (column == right_col) {
+                            equalities.push_back(
+                                std::make_unique<BinaryExpr>(
+                                    BinaryOp::Eq,
+                                    std::make_unique<ColumnRefExpr>(
+                                        binding.name, column),
+                                    std::make_unique<ColumnRefExpr>(
+                                        right.binding, right_col)));
+                        }
+                    }
+                }
+            }
+            for (ExprPtr &equality : equalities) {
+                natural_on = natural_on == nullptr
+                                 ? std::move(equality)
+                                 : std::make_unique<BinaryExpr>(
+                                       BinaryOp::And,
+                                       std::move(natural_on),
+                                       std::move(equality));
+            }
+            on = natural_on.get();
+        }
+
+        auto eval_on = [&](const Row &combined) -> StatusOr<bool> {
+            if (on == nullptr)
+                return true;
+            return predicateKeeps(*on, joined_scope, combined, outer,
+                                  /*where_clause=*/false);
+        };
+
+        std::vector<Row> joined;
+        auto emit = [&](Row row) -> Status {
+            if (joined.size() >= kMaxRows)
+                return Status::runtimeError("intermediate result too large");
+            joined.push_back(std::move(row));
+            return Status::ok();
+        };
+
+        // Hash join: optimized mode, INNER or LEFT, ON is col = col
+        // across the two sides.
+        bool used_hash = false;
+        if (mode_ == ExecMode::Optimized && on != nullptr &&
+            (join.type == JoinType::Inner ||
+             join.type == JoinType::Left) &&
+            on->kind() == ExprKind::Binary) {
+            const auto &bin = static_cast<const BinaryExpr &>(*on);
+            if (bin.op == BinaryOp::Eq &&
+                bin.lhs->kind() == ExprKind::ColumnRef &&
+                bin.rhs->kind() == ExprKind::ColumnRef) {
+                const auto *lref =
+                    static_cast<const ColumnRefExpr *>(bin.lhs.get());
+                const auto *rref =
+                    static_cast<const ColumnRefExpr *>(bin.rhs.get());
+                auto left_off = scope.resolve(lref->table, lref->column);
+                auto right_in_new = [&](const ColumnRefExpr *ref) {
+                    if (!ref->table.empty() &&
+                        ref->table != right.binding) {
+                        return StoredTable::npos;
+                    }
+                    for (size_t c = 0; c < right.columns.size(); ++c) {
+                        if (right.columns[c] == ref->column)
+                            return c;
+                    }
+                    return StoredTable::npos;
+                };
+                size_t left_col = StoredTable::npos;
+                size_t right_col = StoredTable::npos;
+                if (left_off.isOk() &&
+                    right_in_new(rref) != StoredTable::npos) {
+                    left_col = left_off.value();
+                    right_col = right_in_new(rref);
+                } else {
+                    auto left_off2 =
+                        scope.resolve(rref->table, rref->column);
+                    if (left_off2.isOk() &&
+                        right_in_new(lref) != StoredTable::npos) {
+                        left_col = left_off2.value();
+                        right_col = right_in_new(lref);
+                    }
+                }
+                if (left_col != StoredTable::npos &&
+                    right_col != StoredTable::npos) {
+                    used_hash = true;
+                    SQLPP_COVER("exec.join.hash");
+                    note(format("HASHJ(%s,%s)", joinTypeName(join.type),
+                                right.binding.c_str()));
+                    bool null_match =
+                        faults_.isEnabled(FaultId::HashJoinNullMatch);
+                    // Class-normalized key so 1 and TRUE hash together,
+                    // as SQL equality dictates.
+                    auto hash_key =
+                        [](const Value &value) -> std::string {
+                        if (value.isNull())
+                            return "<null>";
+                        if (value.kind() == Value::Kind::Text)
+                            return "t" + value.asText();
+                        return "i" +
+                               std::to_string(*valueToNumeric(value));
+                    };
+                    std::map<std::string, std::vector<size_t>> buckets;
+                    for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+                        const Value &key = right.rows[ri][right_col];
+                        if (key.isNull() && !null_match)
+                            continue;
+                        buckets[hash_key(key)].push_back(ri);
+                    }
+                    for (const Row &left_row : current) {
+                        const Value &key = left_row[left_col];
+                        bool matched = false;
+                        if (!key.isNull() || null_match) {
+                            auto it = buckets.find(hash_key(key));
+                            if (it != buckets.end()) {
+                                for (size_t ri : it->second) {
+                                    Row combined = left_row;
+                                    combined.insert(
+                                        combined.end(),
+                                        right.rows[ri].begin(),
+                                        right.rows[ri].end());
+                                    if (Status s =
+                                            emit(std::move(combined));
+                                        !s.isOk()) {
+                                        return s;
+                                    }
+                                    matched = true;
+                                }
+                            }
+                        }
+                        if (!matched && join.type == JoinType::Left) {
+                            Row combined = left_row;
+                            combined.resize(left_width + right_width);
+                            if (Status s = emit(std::move(combined));
+                                !s.isOk()) {
+                                return s;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if (!used_hash) {
+            SQLPP_COVER("exec.join.nested_loop");
+            note(format("NLJ(%s,%s)", joinTypeName(join.type),
+                        right.binding.c_str()));
+            std::vector<bool> right_matched(right.rows.size(), false);
+            for (const Row &left_row : current) {
+                bool matched = false;
+                for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+                    Row combined = left_row;
+                    combined.insert(combined.end(),
+                                    right.rows[ri].begin(),
+                                    right.rows[ri].end());
+                    auto keeps = eval_on(combined);
+                    if (!keeps.isOk())
+                        return keeps.status();
+                    if (keeps.value()) {
+                        matched = true;
+                        right_matched[ri] = true;
+                        if (Status s = emit(std::move(combined));
+                            !s.isOk()) {
+                            return s;
+                        }
+                    }
+                }
+                if (!matched &&
+                    (join.type == JoinType::Left ||
+                     join.type == JoinType::Full)) {
+                    SQLPP_COVER("exec.join.null_extend_left");
+                    Row combined = left_row;
+                    combined.resize(left_width + right_width);
+                    if (Status s = emit(std::move(combined)); !s.isOk())
+                        return s;
+                }
+            }
+            if (join.type == JoinType::Right ||
+                join.type == JoinType::Full) {
+                for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+                    if (right_matched[ri])
+                        continue;
+                    SQLPP_COVER("exec.join.null_extend_right");
+                    Row combined(left_width);
+                    combined.insert(combined.end(),
+                                    right.rows[ri].begin(),
+                                    right.rows[ri].end());
+                    if (Status s = emit(std::move(combined)); !s.isOk())
+                        return s;
+                }
+            }
+        }
+
+        scope = std::move(joined_scope);
+        current = std::move(joined);
+    }
+
+    // Remaining comma-separated FROM items: cross products.
+    for (; next_source < sources.size(); ++next_source) {
+        Source &right = sources[next_source];
+        SQLPP_COVER("exec.join.cross_comma");
+        note("CROSS(" + right.binding + ")");
+        std::vector<Row> joined;
+        for (const Row &left_row : current) {
+            for (const Row &right_row : right.rows) {
+                if (joined.size() >= kMaxRows) {
+                    return Status::runtimeError(
+                        "intermediate result too large");
+                }
+                Row combined = left_row;
+                combined.insert(combined.end(), right_row.begin(),
+                                right_row.end());
+                joined.push_back(std::move(combined));
+            }
+        }
+        scope.addBinding(right.binding, right.columns);
+        current = std::move(joined);
+    }
+
+    // ------------------------------------------------------------------
+    // WHERE (whole predicate in reference mode; residue in optimized).
+    // ------------------------------------------------------------------
+    if (!where_conjuncts.empty()) {
+        SQLPP_COVER("exec.filter.where");
+        note(format("FILT(%zu)", where_conjuncts.size()));
+        std::vector<Row> kept;
+        for (const Row &row : current) {
+            bool keep = true;
+            for (const Expr *conjunct : where_conjuncts) {
+                auto result = predicateKeeps(*conjunct, scope, row, outer,
+                                             /*where_clause=*/true);
+                if (!result.isOk())
+                    return result.status();
+                if (!result.value()) {
+                    keep = false;
+                    break;
+                }
+            }
+            if (keep)
+                kept.push_back(row);
+        }
+        current = std::move(kept);
+    }
+
+    // ------------------------------------------------------------------
+    // Grouping / aggregation.
+    // ------------------------------------------------------------------
+    bool has_aggregate = false;
+    for (const SelectItem &item : select.items) {
+        if (item.expr != nullptr && exprContainsAggregate(*item.expr))
+            has_aggregate = true;
+    }
+    if (select.having != nullptr &&
+        exprContainsAggregate(*select.having)) {
+        has_aggregate = true;
+    }
+    for (const OrderTerm &term : select.orderBy) {
+        if (exprContainsAggregate(*term.expr))
+            has_aggregate = true;
+    }
+    bool aggregate_path = has_aggregate || !select.groupBy.empty();
+
+    // The projection + optional sort-key evaluation shares this helper.
+    auto project = [&](const EvalContext &ctx,
+                       ResultSet &out) -> Status {
+        Row out_row;
+        for (const SelectItem &item : select.items) {
+            if (item.star) {
+                if (scope.bindings.empty()) {
+                    return Status::semanticError(
+                        "SELECT * requires a FROM clause");
+                }
+                if (ctx.row != nullptr) {
+                    for (const Value &value : *ctx.row)
+                        out_row.push_back(value);
+                } else {
+                    out_row.resize(out_row.size() + scope.width());
+                }
+                continue;
+            }
+            auto value = evalExpr(*item.expr, ctx);
+            if (!value.isOk())
+                return value.status();
+            out_row.push_back(value.takeValue());
+        }
+        out.addRow(std::move(out_row));
+        return Status::ok();
+    };
+
+    // Output column names.
+    std::vector<std::string> out_columns;
+    for (const SelectItem &item : select.items) {
+        if (item.star) {
+            auto names = scope.allColumnNames();
+            out_columns.insert(out_columns.end(), names.begin(),
+                               names.end());
+        } else if (!item.alias.empty()) {
+            out_columns.push_back(item.alias);
+        } else if (item.expr->kind() == ExprKind::ColumnRef) {
+            out_columns.push_back(
+                static_cast<const ColumnRefExpr *>(item.expr.get())
+                    ->column);
+        } else {
+            out_columns.push_back(printExpr(*item.expr));
+        }
+    }
+
+    ResultSet result(out_columns);
+    // Sort keys per produced row, evaluated in the same context.
+    std::vector<std::vector<Value>> sort_keys;
+
+    auto base_ctx = [&]() {
+        EvalContext ctx;
+        ctx.scope = &scope;
+        ctx.outer = outer;
+        ctx.behavior = &behavior_;
+        ctx.faults = &faults_;
+        ctx.subqueries = this;
+        return ctx;
+    };
+
+    auto eval_sort_keys = [&](const EvalContext &ctx) -> Status {
+        if (select.orderBy.empty())
+            return Status::ok();
+        std::vector<Value> keys;
+        for (const OrderTerm &term : select.orderBy) {
+            auto value = evalExpr(*term.expr, ctx);
+            if (!value.isOk())
+                return value.status();
+            keys.push_back(value.takeValue());
+        }
+        sort_keys.push_back(std::move(keys));
+        return Status::ok();
+    };
+
+    if (aggregate_path) {
+        SQLPP_COVER("exec.aggregate");
+        note(format("AGG(%zu)", select.groupBy.size()));
+        for (const ExprPtr &key : select.groupBy) {
+            if (exprContainsAggregate(*key)) {
+                return Status::semanticError(
+                    "aggregate functions are not allowed in GROUP BY");
+            }
+        }
+        // Build groups.
+        std::vector<std::pair<std::string, std::vector<Row>>> groups;
+        std::map<std::string, size_t> group_index;
+        bool null_separate =
+            faults_.isEnabled(FaultId::GroupByNullSeparate);
+        size_t null_counter = 0;
+        if (select.groupBy.empty()) {
+            groups.emplace_back("", std::move(current));
+        } else {
+            for (Row &row : current) {
+                EvalContext ctx = base_ctx();
+                ctx.row = &row;
+                std::string key;
+                for (const ExprPtr &key_expr : select.groupBy) {
+                    auto value = evalExpr(*key_expr, ctx);
+                    if (!value.isOk())
+                        return value.status();
+                    if (value.value().isNull() && null_separate) {
+                        SQLPP_COVER("exec.fault.group_null_separate");
+                        key += format("n#%zu", null_counter++);
+                    } else {
+                        key += valueKey(value.value());
+                    }
+                    key.push_back('\x1f');
+                }
+                auto [it, inserted] =
+                    group_index.emplace(key, groups.size());
+                if (inserted)
+                    groups.emplace_back(key, std::vector<Row>{});
+                groups[it->second].second.push_back(std::move(row));
+            }
+        }
+        for (auto &[key, rows] : groups) {
+            EvalContext ctx = base_ctx();
+            ctx.groupRows = &rows;
+            ctx.row = rows.empty() ? nullptr : &rows[0];
+            if (select.having != nullptr) {
+                auto value = evalExpr(*select.having, ctx);
+                if (!value.isOk())
+                    return value.status();
+                auto truth = valueTruth(value.value());
+                if (!truth.has_value() || !*truth)
+                    continue;
+            }
+            if (Status s = project(ctx, result); !s.isOk())
+                return s;
+            if (Status s = eval_sort_keys(ctx); !s.isOk())
+                return s;
+        }
+    } else {
+        SQLPP_COVER("exec.project");
+        note(format("PROJ(%zu)", select.items.size()));
+        if (select.having != nullptr) {
+            return Status::semanticError(
+                "HAVING requires GROUP BY or aggregates");
+        }
+        for (const Row &row : current) {
+            EvalContext ctx = base_ctx();
+            ctx.row = &row;
+            if (Status s = project(ctx, result); !s.isOk())
+                return s;
+            if (Status s = eval_sort_keys(ctx); !s.isOk())
+                return s;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DISTINCT, ORDER BY, LIMIT/OFFSET over the projected rows.
+    // ------------------------------------------------------------------
+    std::vector<size_t> order(result.rowCount());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    if (select.distinct) {
+        SQLPP_COVER("exec.distinct");
+        note("DISTINCT");
+        bool null_collapse =
+            faults_.isEnabled(FaultId::DistinctNullCollapse);
+        std::set<std::string> seen;
+        std::vector<size_t> kept;
+        for (size_t i : order) {
+            const Row &row = result.rows()[i];
+            bool has_null = false;
+            for (const Value &value : row)
+                has_null |= value.isNull();
+            std::string key = (null_collapse && has_null)
+                                  ? std::string("\x01NULLROW")
+                                  : rowKey(row);
+            if (null_collapse && has_null)
+                SQLPP_COVER("exec.fault.distinct_null_collapse");
+            if (seen.insert(key).second)
+                kept.push_back(i);
+        }
+        order = std::move(kept);
+    }
+
+    if (!select.orderBy.empty()) {
+        SQLPP_COVER("exec.sort");
+        note(format("SORT(%zu)", select.orderBy.size()));
+        std::stable_sort(
+            order.begin(), order.end(), [&](size_t a, size_t b) {
+                for (size_t k = 0; k < select.orderBy.size(); ++k) {
+                    int cmp = compareForSort(sort_keys[a][k],
+                                             sort_keys[b][k]);
+                    if (cmp != 0) {
+                        return select.orderBy[k].ascending ? cmp < 0
+                                                           : cmp > 0;
+                    }
+                }
+                return false;
+            });
+    }
+
+    size_t begin = 0;
+    size_t end = order.size();
+    if (select.offset >= 0) {
+        note("OFFSET");
+        begin = std::min<size_t>(static_cast<size_t>(select.offset),
+                                 order.size());
+    }
+    if (select.limit >= 0) {
+        note("LIMIT");
+        end = std::min<size_t>(begin + static_cast<size_t>(select.limit),
+                               order.size());
+    }
+
+    ResultSet final_result(out_columns);
+    for (size_t i = begin; i < end; ++i)
+        final_result.addRow(result.rows()[order[i]]);
+    return final_result;
+}
+
+} // namespace sqlpp

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Query planning and execution.
+ *
+ * One Executor instance runs one top-level SELECT (plus its subqueries)
+ * in one of two modes:
+ *
+ *  - Optimized: constant folding of WHERE/ON trees, predicate pushdown
+ *    below joins, index-scan selection for pushed conjuncts, and hash
+ *    joins for equi-joins. All planner faults hook in here.
+ *  - Reference: full scans, whole-predicate post-join filtering, nested
+ *    loops only, no rewrites. This is the "non-optimizing reference"
+ *    whose existence makes the NoREC oracle meaningful: projected
+ *    expressions never enter the optimizer, so a query rewritten the
+ *    NoREC way naturally takes this path for its predicate.
+ *
+ * The executor records a data-independent *plan description* string as
+ * it makes planning decisions; its hash is the plan fingerprint used to
+ * reproduce the paper's unique-query-plan metric (Fig. 8).
+ */
+#ifndef SQLPP_ENGINE_EXECUTOR_H
+#define SQLPP_ENGINE_EXECUTOR_H
+
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/eval.h"
+#include "sqlir/ast.h"
+#include "util/status.h"
+
+namespace sqlpp {
+
+/** Which execution pipeline to use. */
+enum class ExecMode
+{
+    Optimized,
+    Reference,
+};
+
+/** Runs SELECT statements against a catalog. */
+class Executor : public SubqueryRunner
+{
+  public:
+    Executor(const Catalog &catalog, const EngineBehavior &behavior,
+             const FaultSet &faults, ExecMode mode);
+
+    /** Execute a top-level SELECT. */
+    StatusOr<ResultSet> runSelect(const SelectStmt &select,
+                                  const EvalContext *outer = nullptr);
+
+    /** SubqueryRunner hook used by the evaluator. */
+    StatusOr<ResultSet> runSubquery(const SelectStmt &select,
+                                    const EvalContext *outer) override;
+
+    /**
+     * Data-independent description of the plan(s) executed so far,
+     * including nested subquery plans in brackets.
+     */
+    const std::string &planDescription() const { return plan_; }
+
+    /** FNV-1a hash of planDescription(). */
+    uint64_t planFingerprint() const;
+
+  private:
+    /** A materialized FROM source with its binding metadata. */
+    struct Source
+    {
+        std::string binding;
+        std::vector<std::string> columns;
+        std::vector<Row> rows;
+        /** Non-null for base tables (enables index probes). */
+        const StoredTable *table = nullptr;
+        /** True when this binding may be NULL-extended by an outer join. */
+        bool nullable = false;
+    };
+
+    StatusOr<ResultSet> runSelectImpl(const SelectStmt &select,
+                                      const EvalContext *outer);
+
+    /** Materialize one FROM item (base table, view, derived table). */
+    StatusOr<Source> prepareSource(const TableRef &ref,
+                                   const EvalContext *outer);
+
+    /**
+     * Apply pushed-down conjuncts to a base-table source, choosing an
+     * index probe when one matches; remaining conjuncts filter inline.
+     */
+    Status applySourceFilters(Source &source,
+                              std::vector<const Expr *> conjuncts,
+                              const EvalContext *outer);
+
+    /** Evaluate a predicate as a WHERE-style filter condition. */
+    StatusOr<bool> predicateKeeps(const Expr &predicate, const Scope &scope,
+                                  const Row &row, const EvalContext *outer,
+                                  bool where_clause);
+
+    void note(const std::string &atom);
+
+    const Catalog &catalog_;
+    const EngineBehavior &behavior_;
+    const FaultSet &faults_;
+    ExecMode mode_;
+    std::string plan_;
+    /** Re-entrancy guard for runaway recursive subqueries. */
+    int depth_ = 0;
+    /**
+     * Results of uncorrelated expression subqueries, keyed by SQL text.
+     * An uncorrelated subquery is loop-invariant across the rows of the
+     * enclosing statement, so caching is semantics-preserving; real
+     * engines perform the same "one-shot subquery" optimization.
+     */
+    std::map<std::string, ResultSet> subquery_cache_;
+};
+
+/**
+ * True if every column reference inside the (sub)select resolves to one
+ * of its own FROM bindings — i.e. the subquery is uncorrelated and can
+ * be evaluated once. Conservative: unqualified references count as
+ * potentially correlated.
+ */
+bool isUncorrelatedSelect(const SelectStmt &select);
+
+/**
+ * Split a predicate into top-level AND conjuncts (borrowed pointers into
+ * the expression tree).
+ */
+std::vector<const Expr *> splitConjuncts(const Expr &predicate);
+
+/**
+ * Constant-fold an expression tree: any subtree without column
+ * references or subqueries is evaluated once and replaced by a literal.
+ * Folding uses the shared evaluator, so it is semantics-preserving —
+ * except under the ConstFoldNullifIdentity fault, which rewrites
+ * NULLIF(x, x) with syntactically identical arguments to x.
+ * Returns a new tree (input untouched). Fold errors leave the subtree
+ * unfolded so that runtime reporting is unchanged.
+ */
+ExprPtr constantFold(const Expr &expr, const EngineBehavior &behavior,
+                     const FaultSet &faults);
+
+} // namespace sqlpp
+
+#endif // SQLPP_ENGINE_EXECUTOR_H

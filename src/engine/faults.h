@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fault injection: the ground-truth logic bugs of the DBMS substrate.
+ *
+ * The paper finds unknown logic bugs in production DBMSs; our substrate
+ * instead ships a library of *known* semantic faults that each dialect
+ * profile enables a subset of. Every fault is a deliberate, localized
+ * deviation from correct SQL semantics in the planner or evaluator —
+ * the same classes of defects the paper reports (wrong three-valued
+ * logic, bad index scans, illegal predicate movement around outer
+ * joins, constant-folding slips, join-key coercion bugs).
+ *
+ * Ground-truth identities let the evaluation measure what the paper
+ * could only approximate by bisecting CrateDB commits: how many of the
+ * prioritized bug-inducing test cases map to distinct underlying bugs
+ * (Table 5).
+ *
+ * Oracle visibility (by construction, mirroring the paper's findings):
+ *  - Planner faults are visible to both NoREC and TLP (the optimized
+ *    WHERE path diverges from reference evaluation).
+ *  - Faults in NOT / IS NULL / WHERE NULL-handling break TLP's
+ *    partition law (every row satisfies exactly one of p, NOT p,
+ *    p IS NULL) and are TLP-only.
+ *  - IsTrueFalseTrue corrupts the projected `(p) IS TRUE` reference
+ *    side and is NoREC-only.
+ *  - A few faults (marked "latent") are invisible to both oracles,
+ *    modelling the paper's observation that bug-finding never saturates.
+ */
+#ifndef SQLPP_ENGINE_FAULTS_H
+#define SQLPP_ENGINE_FAULTS_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sqlpp {
+
+/** Every injectable logic bug. Values are stable (used in reports). */
+enum class FaultId : uint32_t
+{
+    /** Planner: index scan for `col > k` also returns rows with col = k. */
+    IndexRangeGtIncludesEqual = 1,
+    /** Planner: index scan for `col < k` also returns rows with col = k. */
+    IndexRangeLtIncludesEqual = 2,
+    /** Planner: `col IS NULL` via index misses rows (NULLs unindexed). */
+    IndexSkipsNull = 3,
+    /** Planner: index equality probe coerces a text key to an integer. */
+    IndexEqTextCoerce = 4,
+    /** Planner: a partial index is used without checking its predicate. */
+    PartialIndexIgnoresPredicate = 5,
+    /** Planner: single-table WHERE conjunct pushed below an outer join. */
+    PushdownThroughOuterJoin = 6,
+    /**
+     * Planner: when a query has a WHERE clause, the "flattener" moves a
+     * RIGHT JOIN's ON term into it (paper Listing 4's root cause). The
+     * WHERE-conditionality is what makes the fault oracle-visible: a
+     * predicate-free query plans correctly, a predicated one does not.
+     */
+    OnToWhereRightJoin = 7,
+    /** Planner: hash join matches NULL keys as equal. */
+    HashJoinNullMatch = 8,
+    /** Planner: constant folding reduces NULLIF(x, x) to x, not NULL. */
+    ConstFoldNullifIdentity = 9,
+
+    /** Evaluator: NOT NULL evaluates to TRUE instead of NULL. */
+    NotNullTrue = 20,
+    /** Evaluator: (x IS NULL) returns FALSE for a NULL boolean operand. */
+    IsNullFalseForBoolNull = 21,
+    /** Executor: WHERE keeps rows whose predicate evaluates to NULL. */
+    WhereNullAsTrue = 22,
+    /**
+     * Evaluator: mixed-type equality (TEXT vs INT) flips its result when
+     * evaluated under an odd number of enclosing NOTs — the
+     * context-dependent comparison mechanism behind the paper's
+     * ten-year-old SQLite REPLACE bug (Listing 3).
+     */
+    NegContextMixedEq = 23,
+    /** Evaluator: (FALSE IS TRUE) evaluates to TRUE. */
+    IsTrueFalseTrue = 24,
+    /** Executor: DISTINCT collapses any two rows that both contain NULL. */
+    DistinctNullCollapse = 25,
+    /**
+     * Evaluator: REPLACE returns a numeric value (not TEXT) when its
+     * subject is numeric — the direct cause of the paper's Listing 3
+     * SQLite bug; observable through mixed-type comparisons, and
+     * TLP-visible in combination with NegContextMixedEq.
+     */
+    ReplaceNumericSubject = 26,
+
+    /** Latent evaluator: <=> with two NULL operands yields FALSE. */
+    NullSafeEqBothNullFalse = 40,
+    /** Latent aggregate: SUM over zero rows yields 0 instead of NULL. */
+    SumEmptyZero = 41,
+    /** Latent executor: GROUP BY makes every NULL key its own group. */
+    GroupByNullSeparate = 42,
+    /** Latent evaluator: LIKE treats '_' as a literal underscore. */
+    LikeUnderscoreLiteral = 43,
+};
+
+/** All fault ids, in declaration order. */
+const std::vector<FaultId> &allFaultIds();
+
+/** Short stable name of a fault (e.g. "ON_TO_WHERE_RIGHT_JOIN"). */
+const char *faultName(FaultId id);
+
+/** One-line human description. */
+const char *faultDescription(FaultId id);
+
+/** True if the fault lives in the optimizing planner (not the evaluator). */
+bool isPlannerFault(FaultId id);
+
+/** True if the fault is invisible to both shipped oracles by design. */
+bool isLatentFault(FaultId id);
+
+/** An enabled subset of faults, owned by a Database configuration. */
+class FaultSet
+{
+  public:
+    FaultSet() = default;
+    explicit FaultSet(std::initializer_list<FaultId> ids)
+        : enabled_(ids) {}
+
+    void enable(FaultId id) { enabled_.insert(id); }
+    void disable(FaultId id) { enabled_.erase(id); }
+    bool isEnabled(FaultId id) const { return enabled_.count(id) > 0; }
+    bool empty() const { return enabled_.empty(); }
+    size_t size() const { return enabled_.size(); }
+
+    const std::set<FaultId> &ids() const { return enabled_; }
+
+  private:
+    std::set<FaultId> enabled_;
+};
+
+} // namespace sqlpp
+
+#endif // SQLPP_ENGINE_FAULTS_H

@@ -1,0 +1,671 @@
+#include "engine/typecheck.h"
+
+#include <optional>
+#include <set>
+
+#include "engine/eval.h"
+#include "engine/functions.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+namespace {
+
+/** Inference lattice: Unknown (NULL literal) unifies with anything. */
+enum class TType
+{
+    Int,
+    Text,
+    Bool,
+    Unknown,
+};
+
+const char *
+typeName(TType type)
+{
+    switch (type) {
+      case TType::Int: return "INTEGER";
+      case TType::Text: return "TEXT";
+      case TType::Bool: return "BOOLEAN";
+      case TType::Unknown: return "UNKNOWN";
+    }
+    return "?";
+}
+
+TType
+fromDataType(DataType type)
+{
+    switch (type) {
+      case DataType::Int: return TType::Int;
+      case DataType::Text: return TType::Text;
+      case DataType::Bool: return TType::Bool;
+    }
+    return TType::Unknown;
+}
+
+std::optional<TType>
+unify(TType a, TType b)
+{
+    if (a == TType::Unknown)
+        return b;
+    if (b == TType::Unknown)
+        return a;
+    if (a == b)
+        return a;
+    return std::nullopt;
+}
+
+/** One typed binding of the checker's scope. */
+struct TypedBinding
+{
+    std::string name;
+    std::vector<std::pair<std::string, TType>> columns;
+};
+
+struct TypedScope
+{
+    std::vector<TypedBinding> bindings;
+    const TypedScope *outer = nullptr;
+};
+
+class Checker
+{
+  public:
+    explicit Checker(const Catalog &catalog) : catalog_(catalog) {}
+
+    Status checkSelect(const SelectStmt &select, const TypedScope *outer);
+    Status checkInsert(const InsertStmt &insert);
+    Status checkCreateIndex(const CreateIndexStmt &index);
+    Status checkCreateView(const CreateViewStmt &view);
+
+  private:
+    StatusOr<TType> infer(const Expr &expr, const TypedScope &scope);
+
+    Status
+    requireType(const Expr &expr, const TypedScope &scope, TType expected,
+                const char *context)
+    {
+        auto type = infer(expr, scope);
+        if (!type.isOk())
+            return type.status();
+        if (!unify(type.value(), expected).has_value()) {
+            return Status::semanticError(
+                format("%s must be %s, got %s", context,
+                       typeName(expected), typeName(type.value())));
+        }
+        return Status::ok();
+    }
+
+    /** Column types a SELECT produces (for derived tables and views). */
+    StatusOr<std::vector<std::pair<std::string, TType>>>
+    outputTypes(const SelectStmt &select, const TypedScope *outer);
+
+    StatusOr<TypedScope> buildScope(const SelectStmt &select,
+                                    const TypedScope *outer);
+
+    StatusOr<TypedBinding> bindSource(const TableRef &ref,
+                                      const TypedScope *outer);
+
+    const Catalog &catalog_;
+};
+
+StatusOr<TypedBinding>
+Checker::bindSource(const TableRef &ref, const TypedScope *outer)
+{
+    TypedBinding binding;
+    if (ref.subquery) {
+        auto types = outputTypes(*ref.subquery, outer);
+        if (!types.isOk())
+            return types.status();
+        binding.name = ref.alias;
+        binding.columns = types.takeValue();
+        return binding;
+    }
+    if (const StoredTable *table = catalog_.table(ref.name)) {
+        binding.name = ref.bindingName();
+        for (const ColumnDef &col : table->columns)
+            binding.columns.emplace_back(col.name, fromDataType(col.type));
+        return binding;
+    }
+    if (const StoredView *view = catalog_.view(ref.name)) {
+        auto types = outputTypes(*view->select, nullptr);
+        if (!types.isOk())
+            return types.status();
+        binding.name = ref.bindingName();
+        binding.columns = types.takeValue();
+        if (!view->columnNames.empty()) {
+            for (size_t i = 0; i < binding.columns.size() &&
+                               i < view->columnNames.size();
+                 ++i) {
+                binding.columns[i].first = view->columnNames[i];
+            }
+        }
+        return binding;
+    }
+    return Status::semanticError("no such table: " + ref.name);
+}
+
+StatusOr<TypedScope>
+Checker::buildScope(const SelectStmt &select, const TypedScope *outer)
+{
+    TypedScope scope;
+    scope.outer = outer;
+    for (const TableRef &ref : select.from) {
+        auto binding = bindSource(ref, outer);
+        if (!binding.isOk())
+            return binding.status();
+        scope.bindings.push_back(binding.takeValue());
+    }
+    for (const JoinClause &join : select.joins) {
+        auto binding = bindSource(join.table, outer);
+        if (!binding.isOk())
+            return binding.status();
+        scope.bindings.push_back(binding.takeValue());
+    }
+    return scope;
+}
+
+StatusOr<std::vector<std::pair<std::string, TType>>>
+Checker::outputTypes(const SelectStmt &select, const TypedScope *outer)
+{
+    auto scope = buildScope(select, outer);
+    if (!scope.isOk())
+        return scope.status();
+    std::vector<std::pair<std::string, TType>> out;
+    for (const SelectItem &item : select.items) {
+        if (item.star) {
+            for (const TypedBinding &binding : scope.value().bindings) {
+                for (const auto &[name, type] : binding.columns)
+                    out.emplace_back(name, type);
+            }
+            continue;
+        }
+        auto type = infer(*item.expr, scope.value());
+        if (!type.isOk())
+            return type.status();
+        std::string name = item.alias;
+        if (name.empty() && item.expr->kind() == ExprKind::ColumnRef) {
+            name = static_cast<const ColumnRefExpr *>(item.expr.get())
+                       ->column;
+        }
+        out.emplace_back(name, type.value());
+    }
+    return out;
+}
+
+StatusOr<TType>
+Checker::infer(const Expr &expr, const TypedScope &scope)
+{
+    switch (expr.kind()) {
+      case ExprKind::Literal: {
+        const Value &value =
+            static_cast<const LiteralExpr &>(expr).value;
+        switch (value.kind()) {
+          case Value::Kind::Null: return TType::Unknown;
+          case Value::Kind::Int: return TType::Int;
+          case Value::Kind::Text: return TType::Text;
+          case Value::Kind::Bool: return TType::Bool;
+        }
+        return TType::Unknown;
+      }
+      case ExprKind::ColumnRef: {
+        const auto &ref = static_cast<const ColumnRefExpr &>(expr);
+        for (const TypedScope *frame = &scope; frame != nullptr;
+             frame = frame->outer) {
+            TType found = TType::Unknown;
+            int matches = 0;
+            for (const TypedBinding &binding : frame->bindings) {
+                if (!ref.table.empty() && binding.name != ref.table)
+                    continue;
+                for (const auto &[name, type] : binding.columns) {
+                    if (name == ref.column) {
+                        found = type;
+                        ++matches;
+                    }
+                }
+            }
+            if (matches > 1) {
+                return Status::semanticError("ambiguous column name: " +
+                                             ref.column);
+            }
+            if (matches == 1)
+                return found;
+        }
+        std::string name =
+            ref.table.empty() ? ref.column : ref.table + "." + ref.column;
+        return Status::semanticError("no such column: " + name);
+      }
+      case ExprKind::Unary: {
+        const auto &unary = static_cast<const UnaryExpr &>(expr);
+        auto operand = infer(*unary.operand, scope);
+        if (!operand.isOk())
+            return operand;
+        switch (unary.op) {
+          case UnaryOp::Neg:
+          case UnaryOp::Plus:
+          case UnaryOp::BitNot:
+            if (!unify(operand.value(), TType::Int)) {
+                return Status::semanticError(
+                    "numeric operator requires INTEGER operand");
+            }
+            return TType::Int;
+          case UnaryOp::Not:
+            if (!unify(operand.value(), TType::Bool)) {
+                return Status::semanticError(
+                    "argument of NOT must be BOOLEAN");
+            }
+            return TType::Bool;
+          case UnaryOp::IsNull:
+          case UnaryOp::IsNotNull:
+            return TType::Bool;
+          default: // IS TRUE family
+            if (!unify(operand.value(), TType::Bool)) {
+                return Status::semanticError(
+                    "argument of IS TRUE must be BOOLEAN");
+            }
+            return TType::Bool;
+        }
+      }
+      case ExprKind::Binary: {
+        const auto &bin = static_cast<const BinaryExpr &>(expr);
+        auto lhs = infer(*bin.lhs, scope);
+        if (!lhs.isOk())
+            return lhs;
+        auto rhs = infer(*bin.rhs, scope);
+        if (!rhs.isOk())
+            return rhs;
+        switch (bin.op) {
+          case BinaryOp::Add:
+          case BinaryOp::Sub:
+          case BinaryOp::Mul:
+          case BinaryOp::Div:
+          case BinaryOp::Mod:
+          case BinaryOp::BitAnd:
+          case BinaryOp::BitOr:
+          case BinaryOp::BitXor:
+          case BinaryOp::ShiftLeft:
+          case BinaryOp::ShiftRight:
+            if (!unify(lhs.value(), TType::Int) ||
+                !unify(rhs.value(), TType::Int)) {
+                return Status::semanticError(
+                    "arithmetic operator requires INTEGER operands");
+            }
+            return TType::Int;
+          case BinaryOp::And:
+          case BinaryOp::Or:
+            if (!unify(lhs.value(), TType::Bool) ||
+                !unify(rhs.value(), TType::Bool)) {
+                return Status::semanticError(
+                    format("argument of %s must be BOOLEAN",
+                           binaryOpSymbol(bin.op)));
+            }
+            return TType::Bool;
+          case BinaryOp::Concat:
+            if (!unify(lhs.value(), TType::Text) ||
+                !unify(rhs.value(), TType::Text)) {
+                return Status::semanticError(
+                    "|| requires TEXT operands");
+            }
+            return TType::Text;
+          case BinaryOp::Like:
+          case BinaryOp::NotLike:
+          case BinaryOp::Glob:
+            if (!unify(lhs.value(), TType::Text) ||
+                !unify(rhs.value(), TType::Text)) {
+                return Status::semanticError(
+                    "LIKE requires TEXT operands");
+            }
+            return TType::Bool;
+          default:
+            // Comparisons (including <=>, IS DISTINCT FROM).
+            if (!unify(lhs.value(), rhs.value())) {
+                return Status::semanticError(
+                    format("cannot compare %s with %s",
+                           typeName(lhs.value()),
+                           typeName(rhs.value())));
+            }
+            return TType::Bool;
+        }
+      }
+      case ExprKind::Between: {
+        const auto &between = static_cast<const BetweenExpr &>(expr);
+        auto operand = infer(*between.operand, scope);
+        if (!operand.isOk())
+            return operand;
+        auto low = infer(*between.low, scope);
+        if (!low.isOk())
+            return low;
+        auto high = infer(*between.high, scope);
+        if (!high.isOk())
+            return high;
+        auto fused = unify(operand.value(), low.value());
+        if (fused.has_value())
+            fused = unify(*fused, high.value());
+        if (!fused.has_value()) {
+            return Status::semanticError(
+                "BETWEEN operands must share a type");
+        }
+        return TType::Bool;
+      }
+      case ExprKind::InList: {
+        const auto &in = static_cast<const InListExpr &>(expr);
+        auto operand = infer(*in.operand, scope);
+        if (!operand.isOk())
+            return operand;
+        TType common = operand.value();
+        for (const ExprPtr &item : in.items) {
+            auto type = infer(*item, scope);
+            if (!type.isOk())
+                return type;
+            auto fused = unify(common, type.value());
+            if (!fused.has_value()) {
+                return Status::semanticError(
+                    "IN list operands must share a type");
+            }
+            common = *fused;
+        }
+        return TType::Bool;
+      }
+      case ExprKind::Case: {
+        const auto &case_expr = static_cast<const CaseExpr &>(expr);
+        TType operand_type = TType::Unknown;
+        if (case_expr.operand) {
+            auto type = infer(*case_expr.operand, scope);
+            if (!type.isOk())
+                return type;
+            operand_type = type.value();
+        }
+        TType result_type = TType::Unknown;
+        for (const CaseExpr::Arm &arm : case_expr.arms) {
+            auto when = infer(*arm.when, scope);
+            if (!when.isOk())
+                return when;
+            if (case_expr.operand) {
+                auto fused = unify(operand_type, when.value());
+                if (!fused.has_value()) {
+                    return Status::semanticError(
+                        "CASE operand and WHEN value must share a type");
+                }
+                operand_type = *fused;
+            } else if (!unify(when.value(), TType::Bool)) {
+                return Status::semanticError(
+                    "CASE WHEN condition must be BOOLEAN");
+            }
+            auto then = infer(*arm.then, scope);
+            if (!then.isOk())
+                return then;
+            auto fused = unify(result_type, then.value());
+            if (!fused.has_value()) {
+                return Status::semanticError(
+                    "CASE branches must share a type");
+            }
+            result_type = *fused;
+        }
+        if (case_expr.elseExpr) {
+            auto else_type = infer(*case_expr.elseExpr, scope);
+            if (!else_type.isOk())
+                return else_type;
+            auto fused = unify(result_type, else_type.value());
+            if (!fused.has_value()) {
+                return Status::semanticError(
+                    "CASE branches must share a type");
+            }
+            result_type = *fused;
+        }
+        return result_type;
+      }
+      case ExprKind::Function: {
+        const auto &fn = static_cast<const FunctionExpr &>(expr);
+        if (isAggregateFunction(fn.name)) {
+            if (fn.name == "COUNT")
+                return TType::Int;
+            if (fn.args.size() != 1) {
+                return Status::semanticError(
+                    "aggregate " + fn.name + " takes one argument");
+            }
+            auto arg = infer(*fn.args[0], scope);
+            if (!arg.isOk())
+                return arg;
+            if (fn.name == "SUM" || fn.name == "AVG") {
+                if (!unify(arg.value(), TType::Int)) {
+                    return Status::semanticError(
+                        fn.name + " requires an INTEGER argument");
+                }
+                return TType::Int;
+            }
+            return arg.value(); // MIN / MAX
+        }
+        const FunctionImpl *impl =
+            FunctionRegistry::instance().find(fn.name);
+        if (impl == nullptr)
+            return Status::semanticError("no such function: " + fn.name);
+        if (fn.args.size() < impl->sig.minimumArgs() ||
+            fn.args.size() > impl->sig.maximumArgs()) {
+            return Status::semanticError(
+                "wrong number of arguments to " + fn.name);
+        }
+        TType arg0_type = TType::Unknown;
+        for (size_t i = 0; i < fn.args.size(); ++i) {
+            auto type = infer(*fn.args[i], scope);
+            if (!type.isOk())
+                return type;
+            if (i == 0)
+                arg0_type = type.value();
+            size_t spec_index = std::min(i, impl->sig.args.size() - 1);
+            TypeSpec spec = impl->sig.args.empty()
+                                ? TypeSpec::Any
+                                : impl->sig.args[spec_index];
+            TType want;
+            switch (spec) {
+              case TypeSpec::Int: want = TType::Int; break;
+              case TypeSpec::Text: want = TType::Text; break;
+              case TypeSpec::Bool: want = TType::Bool; break;
+              case TypeSpec::Any: continue;
+              default: continue;
+            }
+            if (!unify(type.value(), want)) {
+                return Status::semanticError(
+                    format("argument %zu of %s must be %s", i + 1,
+                           fn.name.c_str(), typeName(want)));
+            }
+        }
+        if (impl->sig.retSameAsArg0)
+            return arg0_type;
+        switch (impl->sig.ret) {
+          case TypeSpec::Int: return TType::Int;
+          case TypeSpec::Text: return TType::Text;
+          case TypeSpec::Bool: return TType::Bool;
+          case TypeSpec::Any: return TType::Unknown;
+        }
+        return TType::Unknown;
+      }
+      case ExprKind::Cast: {
+        const auto &cast = static_cast<const CastExpr &>(expr);
+        auto operand = infer(*cast.operand, scope);
+        if (!operand.isOk())
+            return operand;
+        return fromDataType(cast.target);
+      }
+      case ExprKind::Exists: {
+        const auto &exists = static_cast<const ExistsExpr &>(expr);
+        Status status = checkSelect(*exists.subquery, &scope);
+        if (!status.isOk())
+            return status;
+        return TType::Bool;
+      }
+      case ExprKind::InSubquery: {
+        const auto &in = static_cast<const InSubqueryExpr &>(expr);
+        auto operand = infer(*in.operand, scope);
+        if (!operand.isOk())
+            return operand;
+        Status status = checkSelect(*in.subquery, &scope);
+        if (!status.isOk())
+            return status;
+        auto types = outputTypes(*in.subquery, &scope);
+        if (!types.isOk())
+            return types.status();
+        if (types.value().size() != 1) {
+            return Status::semanticError(
+                "IN subquery must return one column");
+        }
+        if (!unify(operand.value(), types.value()[0].second)) {
+            return Status::semanticError(
+                "IN operand and subquery column must share a type");
+        }
+        return TType::Bool;
+      }
+      case ExprKind::ScalarSubquery: {
+        const auto &sub = static_cast<const ScalarSubqueryExpr &>(expr);
+        Status status = checkSelect(*sub.subquery, &scope);
+        if (!status.isOk())
+            return status;
+        auto types = outputTypes(*sub.subquery, &scope);
+        if (!types.isOk())
+            return types.status();
+        if (types.value().size() != 1) {
+            return Status::semanticError(
+                "scalar subquery must return one column");
+        }
+        return types.value()[0].second;
+      }
+    }
+    return Status::internal("unhandled expression kind in type checker");
+}
+
+Status
+Checker::checkSelect(const SelectStmt &select, const TypedScope *outer)
+{
+    auto scope = buildScope(select, outer);
+    if (!scope.isOk())
+        return scope.status();
+    for (const JoinClause &join : select.joins) {
+        if (join.on == nullptr)
+            continue;
+        if (Status s = requireType(*join.on, scope.value(), TType::Bool,
+                                   "JOIN ON condition");
+            !s.isOk()) {
+            return s;
+        }
+    }
+    if (select.where != nullptr) {
+        if (Status s = requireType(*select.where, scope.value(),
+                                   TType::Bool, "WHERE clause");
+            !s.isOk()) {
+            return s;
+        }
+    }
+    for (const ExprPtr &key : select.groupBy) {
+        auto type = infer(*key, scope.value());
+        if (!type.isOk())
+            return type.status();
+    }
+    if (select.having != nullptr) {
+        if (Status s = requireType(*select.having, scope.value(),
+                                   TType::Bool, "HAVING clause");
+            !s.isOk()) {
+            return s;
+        }
+    }
+    for (const SelectItem &item : select.items) {
+        if (item.star)
+            continue;
+        auto type = infer(*item.expr, scope.value());
+        if (!type.isOk())
+            return type.status();
+    }
+    for (const OrderTerm &term : select.orderBy) {
+        auto type = infer(*term.expr, scope.value());
+        if (!type.isOk())
+            return type.status();
+    }
+    return Status::ok();
+}
+
+Status
+Checker::checkInsert(const InsertStmt &insert)
+{
+    const StoredTable *table = catalog_.table(insert.table);
+    if (table == nullptr)
+        return Status::semanticError("no such table: " + insert.table);
+    std::vector<TType> target_types;
+    if (insert.columns.empty()) {
+        for (const ColumnDef &col : table->columns)
+            target_types.push_back(fromDataType(col.type));
+    } else {
+        for (const std::string &name : insert.columns) {
+            size_t ordinal = table->columnOrdinal(name);
+            if (ordinal == StoredTable::npos) {
+                return Status::semanticError("no such column: " + name);
+            }
+            target_types.push_back(
+                fromDataType(table->columns[ordinal].type));
+        }
+    }
+    TypedScope empty;
+    for (const auto &row : insert.rows) {
+        if (row.size() != target_types.size()) {
+            return Status::semanticError(
+                "INSERT value count does not match column count");
+        }
+        for (size_t i = 0; i < row.size(); ++i) {
+            auto type = infer(*row[i], empty);
+            if (!type.isOk())
+                return type.status();
+            if (!unify(type.value(), target_types[i])) {
+                return Status::semanticError(
+                    format("column %zu expects %s", i + 1,
+                           typeName(target_types[i])));
+            }
+        }
+    }
+    return Status::ok();
+}
+
+Status
+Checker::checkCreateIndex(const CreateIndexStmt &index)
+{
+    if (index.where == nullptr)
+        return Status::ok();
+    const StoredTable *table = catalog_.table(index.table);
+    if (table == nullptr)
+        return Status::semanticError("no such table: " + index.table);
+    TypedScope scope;
+    TypedBinding binding;
+    binding.name = table->name;
+    for (const ColumnDef &col : table->columns)
+        binding.columns.emplace_back(col.name, fromDataType(col.type));
+    scope.bindings.push_back(std::move(binding));
+    return requireType(*index.where, scope, TType::Bool,
+                       "partial index predicate");
+}
+
+Status
+Checker::checkCreateView(const CreateViewStmt &view)
+{
+    return checkSelect(*view.select, nullptr);
+}
+
+} // namespace
+
+Status
+typeCheckStatement(const Stmt &stmt, const Catalog &catalog)
+{
+    Checker checker(catalog);
+    switch (stmt.kind()) {
+      case StmtKind::Select:
+        return checker.checkSelect(static_cast<const SelectStmt &>(stmt),
+                                   nullptr);
+      case StmtKind::Insert:
+        return checker.checkInsert(static_cast<const InsertStmt &>(stmt));
+      case StmtKind::CreateIndex:
+        return checker.checkCreateIndex(
+            static_cast<const CreateIndexStmt &>(stmt));
+      case StmtKind::CreateView:
+        return checker.checkCreateView(
+            static_cast<const CreateViewStmt &>(stmt));
+      default:
+        return Status::ok();
+    }
+}
+
+} // namespace sqlpp

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Static type checking for strictly-typed dialects.
+ *
+ * The paper models "statically typed vs. dynamically typed" as an
+ * abstract SQL feature: PostgreSQL-style systems reject ill-typed
+ * statements while SQLite-style systems coerce at run time. Dialects
+ * with EngineBehavior::staticTyping run this checker before execution;
+ * its rejections are SemanticErrors, exactly the feedback signal from
+ * which the adaptive generator learns a target's typing discipline.
+ *
+ * Typing rules (PostgreSQL-flavoured):
+ *  - arithmetic/bitwise operators require INTEGER operands;
+ *  - comparisons require operands of one common type;
+ *  - AND/OR/NOT and WHERE/HAVING/ON predicates require BOOLEAN;
+ *  - string operators (||, LIKE) require TEXT;
+ *  - NULL literals have unknown type and unify with anything.
+ */
+#ifndef SQLPP_ENGINE_TYPECHECK_H
+#define SQLPP_ENGINE_TYPECHECK_H
+
+#include "engine/catalog.h"
+#include "sqlir/ast.h"
+#include "util/status.h"
+
+namespace sqlpp {
+
+/** Statement-level static type check against a catalog. */
+Status typeCheckStatement(const Stmt &stmt, const Catalog &catalog);
+
+} // namespace sqlpp
+
+#endif // SQLPP_ENGINE_TYPECHECK_H

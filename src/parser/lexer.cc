@@ -1,0 +1,154 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentBody(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character operators, longest first so maximal munch works. */
+const char *const kMultiSymbols[] = {
+    "<=>", "<>", "!=", "<=", ">=", "<<", ">>", "||",
+};
+
+} // namespace
+
+StatusOr<std::vector<Token>>
+tokenize(const std::string &sql)
+{
+    std::vector<Token> tokens;
+    size_t i = 0;
+    const size_t n = sql.size();
+    while (i < n) {
+        char c = sql[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+            while (i < n && sql[i] != '\n')
+                ++i;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+            size_t end = sql.find("*/", i + 2);
+            if (end == std::string::npos) {
+                return Status::syntaxError(
+                    format("unterminated comment at offset %zu", i));
+            }
+            i = end + 2;
+            continue;
+        }
+        if (isIdentStart(c)) {
+            size_t start = i;
+            while (i < n && isIdentBody(sql[i]))
+                ++i;
+            Token token;
+            token.kind = TokenKind::Identifier;
+            token.text = sql.substr(start, i - start);
+            token.offset = start;
+            tokens.push_back(std::move(token));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            while (i < n && std::isdigit(static_cast<unsigned char>(sql[i])))
+                ++i;
+            Token token;
+            token.kind = TokenKind::Integer;
+            token.text = sql.substr(start, i - start);
+            token.offset = start;
+            try {
+                token.intValue = std::stoll(token.text);
+            } catch (...) {
+                return Status::syntaxError(
+                    format("integer literal out of range at offset %zu",
+                           start));
+            }
+            tokens.push_back(std::move(token));
+            continue;
+        }
+        if (c == '\'') {
+            size_t start = i;
+            ++i;
+            std::string decoded;
+            bool closed = false;
+            while (i < n) {
+                if (sql[i] == '\'') {
+                    if (i + 1 < n && sql[i + 1] == '\'') {
+                        decoded.push_back('\'');
+                        i += 2;
+                        continue;
+                    }
+                    ++i;
+                    closed = true;
+                    break;
+                }
+                decoded.push_back(sql[i]);
+                ++i;
+            }
+            if (!closed) {
+                return Status::syntaxError(
+                    format("unterminated string at offset %zu", start));
+            }
+            Token token;
+            token.kind = TokenKind::String;
+            token.text = std::move(decoded);
+            token.offset = start;
+            tokens.push_back(std::move(token));
+            continue;
+        }
+        // Multi-character symbols (longest match first).
+        bool matched = false;
+        for (const char *symbol : kMultiSymbols) {
+            size_t len = std::char_traits<char>::length(symbol);
+            if (sql.compare(i, len, symbol) == 0) {
+                Token token;
+                token.kind = TokenKind::Symbol;
+                token.text = symbol;
+                token.offset = i;
+                tokens.push_back(std::move(token));
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        static const std::string kSingles = "+-*/%()=<>,.&|^~;";
+        if (kSingles.find(c) != std::string::npos) {
+            Token token;
+            token.kind = TokenKind::Symbol;
+            token.text = std::string(1, c);
+            token.offset = i;
+            tokens.push_back(std::move(token));
+            ++i;
+            continue;
+        }
+        return Status::syntaxError(
+            format("unexpected character '%c' at offset %zu", c, i));
+    }
+    Token eof;
+    eof.kind = TokenKind::EndOfInput;
+    eof.offset = n;
+    tokens.push_back(std::move(eof));
+    return tokens;
+}
+
+} // namespace sqlpp

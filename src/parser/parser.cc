@@ -1,0 +1,1184 @@
+#include "parser/parser.h"
+
+#include <cassert>
+
+#include "parser/lexer.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+namespace {
+
+/**
+ * Token-stream cursor with keyword matching helpers. All parse methods
+ * return StatusOr and never throw; the first error aborts the parse.
+ */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    StatusOr<StmtPtr> parseStatementTop();
+    StatusOr<ExprPtr> parseExpressionTop();
+
+  private:
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t idx = pos_ + ahead;
+        if (idx >= tokens_.size())
+            idx = tokens_.size() - 1;
+        return tokens_[idx];
+    }
+
+    const Token &advance() { return tokens_[pos_++]; }
+
+    bool
+    atKeyword(const char *keyword, size_t ahead = 0) const
+    {
+        const Token &token = peek(ahead);
+        return token.kind == TokenKind::Identifier &&
+               equalsIgnoreCase(token.text, keyword);
+    }
+
+    bool
+    eatKeyword(const char *keyword)
+    {
+        if (!atKeyword(keyword))
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    atSymbol(const char *symbol) const
+    {
+        const Token &token = peek();
+        return token.kind == TokenKind::Symbol && token.text == symbol;
+    }
+
+    bool
+    eatSymbol(const char *symbol)
+    {
+        if (!atSymbol(symbol))
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    Status
+    expectKeyword(const char *keyword)
+    {
+        if (eatKeyword(keyword))
+            return Status::ok();
+        return err(format("expected %s", keyword));
+    }
+
+    Status
+    expectSymbol(const char *symbol)
+    {
+        if (eatSymbol(symbol))
+            return Status::ok();
+        return err(format("expected '%s'", symbol));
+    }
+
+    StatusOr<std::string>
+    expectIdentifier(const char *what)
+    {
+        const Token &token = peek();
+        if (token.kind != TokenKind::Identifier)
+            return err(format("expected %s", what));
+        ++pos_;
+        return token.text;
+    }
+
+    Status
+    err(const std::string &message) const
+    {
+        return Status::syntaxError(
+            format("%s near offset %zu", message.c_str(), peek().offset));
+    }
+
+    // Statement parsers.
+    StatusOr<StmtPtr> parseCreate();
+    StatusOr<StmtPtr> parseCreateTable();
+    StatusOr<StmtPtr> parseCreateIndex(bool unique);
+    StatusOr<StmtPtr> parseCreateView();
+    StatusOr<StmtPtr> parseInsert();
+    StatusOr<StmtPtr> parseDrop();
+    StatusOr<SelectPtr> parseSelect();
+    StatusOr<TableRef> parseTableRef();
+
+    // Expression precedence ladder (lowest first).
+    StatusOr<ExprPtr> parseExpr() { return parseOr(); }
+    StatusOr<ExprPtr> parseOr();
+    StatusOr<ExprPtr> parseAnd();
+    StatusOr<ExprPtr> parseNot();
+    StatusOr<ExprPtr> parseComparison();
+    StatusOr<ExprPtr> parseBitOr();
+    StatusOr<ExprPtr> parseBitAnd();
+    StatusOr<ExprPtr> parseShift();
+    StatusOr<ExprPtr> parseAdditive();
+    StatusOr<ExprPtr> parseMultiplicative();
+    StatusOr<ExprPtr> parseConcat();
+    StatusOr<ExprPtr> parseUnary();
+    StatusOr<ExprPtr> parsePrimary();
+
+    /** IS / IN / BETWEEN / LIKE postfix chain applied after an operand. */
+    StatusOr<ExprPtr> parsePostfix(ExprPtr operand);
+
+    StatusOr<std::vector<ExprPtr>> parseExprList();
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+};
+
+StatusOr<StmtPtr>
+Parser::parseStatementTop()
+{
+    StatusOr<StmtPtr> result = Status::syntaxError("empty statement");
+    if (atKeyword("CREATE")) {
+        result = parseCreate();
+    } else if (atKeyword("INSERT")) {
+        result = parseInsert();
+    } else if (atKeyword("ANALYZE")) {
+        advance();
+        auto stmt = std::make_unique<AnalyzeStmt>();
+        if (peek().kind == TokenKind::Identifier)
+            stmt->table = advance().text;
+        result = StmtPtr(std::move(stmt));
+    } else if (atKeyword("SELECT")) {
+        auto select = parseSelect();
+        if (!select.isOk())
+            return select.status();
+        result = StmtPtr(select.takeValue());
+    } else if (atKeyword("DROP")) {
+        result = parseDrop();
+    } else if (peek().kind == TokenKind::EndOfInput) {
+        return Status::syntaxError("empty statement");
+    } else {
+        return err("unrecognized statement keyword '" + peek().text + "'");
+    }
+    if (!result.isOk())
+        return result;
+    eatSymbol(";");
+    if (peek().kind != TokenKind::EndOfInput)
+        return err("trailing input after statement");
+    return result;
+}
+
+StatusOr<ExprPtr>
+Parser::parseExpressionTop()
+{
+    auto expr = parseExpr();
+    if (!expr.isOk())
+        return expr;
+    if (peek().kind != TokenKind::EndOfInput)
+        return err("trailing input after expression");
+    return expr;
+}
+
+StatusOr<StmtPtr>
+Parser::parseCreate()
+{
+    advance(); // CREATE
+    if (eatKeyword("TABLE"))
+        return parseCreateTable();
+    if (eatKeyword("UNIQUE")) {
+        if (Status s = expectKeyword("INDEX"); !s.isOk())
+            return s;
+        return parseCreateIndex(/*unique=*/true);
+    }
+    if (eatKeyword("INDEX"))
+        return parseCreateIndex(/*unique=*/false);
+    if (eatKeyword("VIEW"))
+        return parseCreateView();
+    return err("expected TABLE, INDEX, UNIQUE INDEX, or VIEW");
+}
+
+StatusOr<StmtPtr>
+Parser::parseCreateTable()
+{
+    auto stmt = std::make_unique<CreateTableStmt>();
+    if (eatKeyword("IF")) {
+        if (Status s = expectKeyword("NOT"); !s.isOk())
+            return s;
+        if (Status s = expectKeyword("EXISTS"); !s.isOk())
+            return s;
+        stmt->ifNotExists = true;
+    }
+    auto name = expectIdentifier("table name");
+    if (!name.isOk())
+        return name.status();
+    stmt->name = name.takeValue();
+    if (Status s = expectSymbol("("); !s.isOk())
+        return s;
+    for (;;) {
+        ColumnDef col;
+        auto col_name = expectIdentifier("column name");
+        if (!col_name.isOk())
+            return col_name.status();
+        col.name = col_name.takeValue();
+        auto type_name = expectIdentifier("column type");
+        if (!type_name.isOk())
+            return type_name.status();
+        if (!parseDataType(type_name.value(), col.type))
+            return err("unknown type '" + type_name.value() + "'");
+        for (;;) {
+            if (eatKeyword("PRIMARY")) {
+                if (Status s = expectKeyword("KEY"); !s.isOk())
+                    return s;
+                col.primaryKey = true;
+            } else if (eatKeyword("UNIQUE")) {
+                col.unique = true;
+            } else if (eatKeyword("NOT")) {
+                if (Status s = expectKeyword("NULL"); !s.isOk())
+                    return s;
+                col.notNull = true;
+            } else {
+                break;
+            }
+        }
+        stmt->columns.push_back(std::move(col));
+        if (eatSymbol(","))
+            continue;
+        break;
+    }
+    if (Status s = expectSymbol(")"); !s.isOk())
+        return s;
+    return StmtPtr(std::move(stmt));
+}
+
+StatusOr<StmtPtr>
+Parser::parseCreateIndex(bool unique)
+{
+    auto stmt = std::make_unique<CreateIndexStmt>();
+    stmt->unique = unique;
+    auto name = expectIdentifier("index name");
+    if (!name.isOk())
+        return name.status();
+    stmt->name = name.takeValue();
+    if (Status s = expectKeyword("ON"); !s.isOk())
+        return s;
+    auto table = expectIdentifier("table name");
+    if (!table.isOk())
+        return table.status();
+    stmt->table = table.takeValue();
+    if (Status s = expectSymbol("("); !s.isOk())
+        return s;
+    for (;;) {
+        auto col = expectIdentifier("column name");
+        if (!col.isOk())
+            return col.status();
+        stmt->columns.push_back(col.takeValue());
+        if (eatSymbol(","))
+            continue;
+        break;
+    }
+    if (Status s = expectSymbol(")"); !s.isOk())
+        return s;
+    if (eatKeyword("WHERE")) {
+        auto where = parseExpr();
+        if (!where.isOk())
+            return where.status();
+        stmt->where = where.takeValue();
+    }
+    return StmtPtr(std::move(stmt));
+}
+
+StatusOr<StmtPtr>
+Parser::parseCreateView()
+{
+    auto stmt = std::make_unique<CreateViewStmt>();
+    auto name = expectIdentifier("view name");
+    if (!name.isOk())
+        return name.status();
+    stmt->name = name.takeValue();
+    if (eatSymbol("(")) {
+        for (;;) {
+            auto col = expectIdentifier("column name");
+            if (!col.isOk())
+                return col.status();
+            stmt->columnNames.push_back(col.takeValue());
+            if (eatSymbol(","))
+                continue;
+            break;
+        }
+        if (Status s = expectSymbol(")"); !s.isOk())
+            return s;
+    }
+    if (Status s = expectKeyword("AS"); !s.isOk())
+        return s;
+    if (!atKeyword("SELECT"))
+        return err("expected SELECT after AS");
+    auto select = parseSelect();
+    if (!select.isOk())
+        return select.status();
+    stmt->select = select.takeValue();
+    return StmtPtr(std::move(stmt));
+}
+
+StatusOr<StmtPtr>
+Parser::parseInsert()
+{
+    advance(); // INSERT
+    auto stmt = std::make_unique<InsertStmt>();
+    if (eatKeyword("OR")) {
+        if (Status s = expectKeyword("IGNORE"); !s.isOk())
+            return s;
+        stmt->orIgnore = true;
+    }
+    if (Status s = expectKeyword("INTO"); !s.isOk())
+        return s;
+    auto table = expectIdentifier("table name");
+    if (!table.isOk())
+        return table.status();
+    stmt->table = table.takeValue();
+    if (eatSymbol("(")) {
+        for (;;) {
+            auto col = expectIdentifier("column name");
+            if (!col.isOk())
+                return col.status();
+            stmt->columns.push_back(col.takeValue());
+            if (eatSymbol(","))
+                continue;
+            break;
+        }
+        if (Status s = expectSymbol(")"); !s.isOk())
+            return s;
+    }
+    if (Status s = expectKeyword("VALUES"); !s.isOk())
+        return s;
+    for (;;) {
+        if (Status s = expectSymbol("("); !s.isOk())
+            return s;
+        auto row = parseExprList();
+        if (!row.isOk())
+            return row.status();
+        if (Status s = expectSymbol(")"); !s.isOk())
+            return s;
+        stmt->rows.push_back(row.takeValue());
+        if (eatSymbol(","))
+            continue;
+        break;
+    }
+    return StmtPtr(std::move(stmt));
+}
+
+StatusOr<StmtPtr>
+Parser::parseDrop()
+{
+    advance(); // DROP
+    StmtKind kind;
+    if (eatKeyword("TABLE")) {
+        kind = StmtKind::DropTable;
+    } else if (eatKeyword("VIEW")) {
+        kind = StmtKind::DropView;
+    } else if (eatKeyword("INDEX")) {
+        kind = StmtKind::DropIndex;
+    } else {
+        return err("expected TABLE, VIEW, or INDEX after DROP");
+    }
+    auto stmt = std::make_unique<DropStmt>(kind);
+    if (eatKeyword("IF")) {
+        if (Status s = expectKeyword("EXISTS"); !s.isOk())
+            return s;
+        stmt->ifExists = true;
+    }
+    auto name = expectIdentifier("object name");
+    if (!name.isOk())
+        return name.status();
+    stmt->name = name.takeValue();
+    return StmtPtr(std::move(stmt));
+}
+
+StatusOr<TableRef>
+Parser::parseTableRef()
+{
+    TableRef ref;
+    if (eatSymbol("(")) {
+        if (!atKeyword("SELECT"))
+            return err("expected SELECT in derived table");
+        auto select = parseSelect();
+        if (!select.isOk())
+            return select.status();
+        ref.subquery = select.takeValue();
+        if (Status s = expectSymbol(")"); !s.isOk())
+            return s;
+    } else {
+        auto name = expectIdentifier("table name");
+        if (!name.isOk())
+            return name.status();
+        ref.name = name.takeValue();
+    }
+    if (eatKeyword("AS")) {
+        auto alias = expectIdentifier("alias");
+        if (!alias.isOk())
+            return alias.status();
+        ref.alias = alias.takeValue();
+    } else if (peek().kind == TokenKind::Identifier && !atKeyword("ON") &&
+               !atKeyword("WHERE") && !atKeyword("GROUP") &&
+               !atKeyword("HAVING") && !atKeyword("ORDER") &&
+               !atKeyword("LIMIT") && !atKeyword("OFFSET") &&
+               !atKeyword("INNER") && !atKeyword("LEFT") &&
+               !atKeyword("RIGHT") && !atKeyword("FULL") &&
+               !atKeyword("CROSS") && !atKeyword("NATURAL") &&
+               !atKeyword("JOIN")) {
+        ref.alias = advance().text;
+    }
+    if (ref.subquery && ref.alias.empty())
+        return err("derived table requires an alias");
+    return ref;
+}
+
+StatusOr<SelectPtr>
+Parser::parseSelect()
+{
+    if (Status s = expectKeyword("SELECT"); !s.isOk())
+        return s;
+    auto select = std::make_unique<SelectStmt>();
+    if (eatKeyword("DISTINCT"))
+        select->distinct = true;
+    else
+        eatKeyword("ALL");
+    // Select list.
+    for (;;) {
+        SelectItem item;
+        if (eatSymbol("*")) {
+            item.star = true;
+        } else {
+            auto expr = parseExpr();
+            if (!expr.isOk())
+                return expr.status();
+            item.expr = expr.takeValue();
+            if (eatKeyword("AS")) {
+                auto alias = expectIdentifier("alias");
+                if (!alias.isOk())
+                    return alias.status();
+                item.alias = alias.takeValue();
+            }
+        }
+        select->items.push_back(std::move(item));
+        if (eatSymbol(","))
+            continue;
+        break;
+    }
+    if (eatKeyword("FROM")) {
+        for (;;) {
+            auto ref = parseTableRef();
+            if (!ref.isOk())
+                return ref.status();
+            select->from.push_back(ref.takeValue());
+            // Join chain attached to the most recent source.
+            for (;;) {
+                JoinClause join;
+                bool has_join = false;
+                if (eatKeyword("INNER")) {
+                    if (Status s = expectKeyword("JOIN"); !s.isOk())
+                        return s;
+                    join.type = JoinType::Inner;
+                    has_join = true;
+                } else if (eatKeyword("LEFT")) {
+                    eatKeyword("OUTER");
+                    if (Status s = expectKeyword("JOIN"); !s.isOk())
+                        return s;
+                    join.type = JoinType::Left;
+                    has_join = true;
+                } else if (eatKeyword("RIGHT")) {
+                    eatKeyword("OUTER");
+                    if (Status s = expectKeyword("JOIN"); !s.isOk())
+                        return s;
+                    join.type = JoinType::Right;
+                    has_join = true;
+                } else if (eatKeyword("FULL")) {
+                    eatKeyword("OUTER");
+                    if (Status s = expectKeyword("JOIN"); !s.isOk())
+                        return s;
+                    join.type = JoinType::Full;
+                    has_join = true;
+                } else if (eatKeyword("CROSS")) {
+                    if (Status s = expectKeyword("JOIN"); !s.isOk())
+                        return s;
+                    join.type = JoinType::Cross;
+                    has_join = true;
+                } else if (eatKeyword("NATURAL")) {
+                    if (Status s = expectKeyword("JOIN"); !s.isOk())
+                        return s;
+                    join.type = JoinType::Natural;
+                    has_join = true;
+                } else if (eatKeyword("JOIN")) {
+                    join.type = JoinType::Inner;
+                    has_join = true;
+                }
+                if (!has_join)
+                    break;
+                auto table = parseTableRef();
+                if (!table.isOk())
+                    return table.status();
+                join.table = table.takeValue();
+                if (join.type != JoinType::Cross &&
+                    join.type != JoinType::Natural) {
+                    if (Status s = expectKeyword("ON"); !s.isOk())
+                        return s;
+                    auto on = parseExpr();
+                    if (!on.isOk())
+                        return on.status();
+                    join.on = on.takeValue();
+                }
+                select->joins.push_back(std::move(join));
+            }
+            if (eatSymbol(","))
+                continue;
+            break;
+        }
+    }
+    if (eatKeyword("WHERE")) {
+        auto where = parseExpr();
+        if (!where.isOk())
+            return where.status();
+        select->where = where.takeValue();
+    }
+    if (eatKeyword("GROUP")) {
+        if (Status s = expectKeyword("BY"); !s.isOk())
+            return s;
+        for (;;) {
+            auto key = parseExpr();
+            if (!key.isOk())
+                return key.status();
+            select->groupBy.push_back(key.takeValue());
+            if (eatSymbol(","))
+                continue;
+            break;
+        }
+    }
+    // HAVING is accepted without GROUP BY; the engine decides whether
+    // the combination is legal (it requires aggregation).
+    if (eatKeyword("HAVING")) {
+        auto having = parseExpr();
+        if (!having.isOk())
+            return having.status();
+        select->having = having.takeValue();
+    }
+    if (eatKeyword("ORDER")) {
+        if (Status s = expectKeyword("BY"); !s.isOk())
+            return s;
+        for (;;) {
+            OrderTerm term;
+            auto expr = parseExpr();
+            if (!expr.isOk())
+                return expr.status();
+            term.expr = expr.takeValue();
+            if (eatKeyword("DESC"))
+                term.ascending = false;
+            else
+                eatKeyword("ASC");
+            select->orderBy.push_back(std::move(term));
+            if (eatSymbol(","))
+                continue;
+            break;
+        }
+    }
+    if (eatKeyword("LIMIT")) {
+        if (peek().kind != TokenKind::Integer)
+            return err("expected integer after LIMIT");
+        select->limit = advance().intValue;
+    }
+    if (eatKeyword("OFFSET")) {
+        if (peek().kind != TokenKind::Integer)
+            return err("expected integer after OFFSET");
+        select->offset = advance().intValue;
+    }
+    return select;
+}
+
+StatusOr<std::vector<ExprPtr>>
+Parser::parseExprList()
+{
+    std::vector<ExprPtr> out;
+    for (;;) {
+        auto expr = parseExpr();
+        if (!expr.isOk())
+            return expr.status();
+        out.push_back(expr.takeValue());
+        if (eatSymbol(","))
+            continue;
+        break;
+    }
+    return out;
+}
+
+StatusOr<ExprPtr>
+Parser::parseOr()
+{
+    auto lhs = parseAnd();
+    if (!lhs.isOk())
+        return lhs;
+    ExprPtr expr = lhs.takeValue();
+    while (eatKeyword("OR")) {
+        auto rhs = parseAnd();
+        if (!rhs.isOk())
+            return rhs;
+        expr = std::make_unique<BinaryExpr>(BinaryOp::Or, std::move(expr),
+                                            rhs.takeValue());
+    }
+    return expr;
+}
+
+StatusOr<ExprPtr>
+Parser::parseAnd()
+{
+    auto lhs = parseNot();
+    if (!lhs.isOk())
+        return lhs;
+    ExprPtr expr = lhs.takeValue();
+    while (atKeyword("AND")) {
+        advance();
+        auto rhs = parseNot();
+        if (!rhs.isOk())
+            return rhs;
+        expr = std::make_unique<BinaryExpr>(BinaryOp::And, std::move(expr),
+                                            rhs.takeValue());
+    }
+    return expr;
+}
+
+StatusOr<ExprPtr>
+Parser::parseNot()
+{
+    if (atKeyword("NOT") && !atKeyword("EXISTS", 1)) {
+        advance();
+        auto operand = parseNot();
+        if (!operand.isOk())
+            return operand;
+        return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::Not,
+                                                   operand.takeValue()));
+    }
+    return parseComparison();
+}
+
+StatusOr<ExprPtr>
+Parser::parseComparison()
+{
+    auto lhs = parseBitOr();
+    if (!lhs.isOk())
+        return lhs;
+    ExprPtr expr = lhs.takeValue();
+    for (;;) {
+        BinaryOp op;
+        if (eatSymbol("<=>")) {
+            op = BinaryOp::NullSafeEq;
+        } else if (eatSymbol("<>")) {
+            op = BinaryOp::NotEq;
+        } else if (eatSymbol("!=")) {
+            op = BinaryOp::NotEqBang;
+        } else if (eatSymbol("<=")) {
+            op = BinaryOp::LessEq;
+        } else if (eatSymbol(">=")) {
+            op = BinaryOp::GreaterEq;
+        } else if (eatSymbol("=")) {
+            op = BinaryOp::Eq;
+        } else if (eatSymbol("<")) {
+            op = BinaryOp::Less;
+        } else if (eatSymbol(">")) {
+            op = BinaryOp::Greater;
+        } else if (atKeyword("LIKE")) {
+            advance();
+            op = BinaryOp::Like;
+        } else if (atKeyword("GLOB")) {
+            advance();
+            op = BinaryOp::Glob;
+        } else {
+            // IS / IN / BETWEEN / NOT LIKE postfix family.
+            auto post = parsePostfix(std::move(expr));
+            return post;
+        }
+        auto rhs = parseBitOr();
+        if (!rhs.isOk())
+            return rhs;
+        expr = std::make_unique<BinaryExpr>(op, std::move(expr),
+                                            rhs.takeValue());
+    }
+}
+
+StatusOr<ExprPtr>
+Parser::parsePostfix(ExprPtr operand)
+{
+    for (;;) {
+        if (atKeyword("IS")) {
+            advance();
+            bool negated = eatKeyword("NOT");
+            if (eatKeyword("NULL")) {
+                operand = std::make_unique<UnaryExpr>(
+                    negated ? UnaryOp::IsNotNull : UnaryOp::IsNull,
+                    std::move(operand));
+                continue;
+            }
+            if (eatKeyword("TRUE")) {
+                operand = std::make_unique<UnaryExpr>(
+                    negated ? UnaryOp::IsNotTrue : UnaryOp::IsTrue,
+                    std::move(operand));
+                continue;
+            }
+            if (eatKeyword("FALSE")) {
+                operand = std::make_unique<UnaryExpr>(
+                    negated ? UnaryOp::IsNotFalse : UnaryOp::IsFalse,
+                    std::move(operand));
+                continue;
+            }
+            if (eatKeyword("DISTINCT")) {
+                if (Status s = expectKeyword("FROM"); !s.isOk())
+                    return s;
+                auto rhs = parseBitOr();
+                if (!rhs.isOk())
+                    return rhs;
+                operand = std::make_unique<BinaryExpr>(
+                    negated ? BinaryOp::IsNotDistinctFrom
+                            : BinaryOp::IsDistinctFrom,
+                    std::move(operand), rhs.takeValue());
+                continue;
+            }
+            return err("expected NULL, TRUE, FALSE, or DISTINCT after IS");
+        }
+        if (atKeyword("NOT") &&
+            (atKeyword("IN", 1) || atKeyword("BETWEEN", 1) ||
+             atKeyword("LIKE", 1))) {
+            advance(); // NOT
+            if (eatKeyword("LIKE")) {
+                auto rhs = parseBitOr();
+                if (!rhs.isOk())
+                    return rhs;
+                operand = std::make_unique<BinaryExpr>(
+                    BinaryOp::NotLike, std::move(operand), rhs.takeValue());
+                continue;
+            }
+            if (eatKeyword("BETWEEN")) {
+                auto low = parseBitOr();
+                if (!low.isOk())
+                    return low;
+                if (Status s = expectKeyword("AND"); !s.isOk())
+                    return s;
+                auto high = parseBitOr();
+                if (!high.isOk())
+                    return high;
+                operand = std::make_unique<BetweenExpr>(
+                    std::move(operand), low.takeValue(), high.takeValue(),
+                    /*negated=*/true);
+                continue;
+            }
+            // NOT IN
+            advance(); // IN
+            if (Status s = expectSymbol("("); !s.isOk())
+                return s;
+            if (atKeyword("SELECT")) {
+                auto select = parseSelect();
+                if (!select.isOk())
+                    return select.status();
+                if (Status s = expectSymbol(")"); !s.isOk())
+                    return s;
+                operand = std::make_unique<InSubqueryExpr>(
+                    std::move(operand), select.takeValue(),
+                    /*negated=*/true);
+            } else {
+                auto items = parseExprList();
+                if (!items.isOk())
+                    return items.status();
+                if (Status s = expectSymbol(")"); !s.isOk())
+                    return s;
+                operand = std::make_unique<InListExpr>(
+                    std::move(operand), items.takeValue(), /*negated=*/true);
+            }
+            continue;
+        }
+        if (atKeyword("BETWEEN")) {
+            advance();
+            auto low = parseBitOr();
+            if (!low.isOk())
+                return low;
+            if (Status s = expectKeyword("AND"); !s.isOk())
+                return s;
+            auto high = parseBitOr();
+            if (!high.isOk())
+                return high;
+            operand = std::make_unique<BetweenExpr>(
+                std::move(operand), low.takeValue(), high.takeValue(),
+                /*negated=*/false);
+            continue;
+        }
+        if (atKeyword("IN")) {
+            advance();
+            if (Status s = expectSymbol("("); !s.isOk())
+                return s;
+            if (atKeyword("SELECT")) {
+                auto select = parseSelect();
+                if (!select.isOk())
+                    return select.status();
+                if (Status s = expectSymbol(")"); !s.isOk())
+                    return s;
+                operand = std::make_unique<InSubqueryExpr>(
+                    std::move(operand), select.takeValue(),
+                    /*negated=*/false);
+            } else {
+                auto items = parseExprList();
+                if (!items.isOk())
+                    return items.status();
+                if (Status s = expectSymbol(")"); !s.isOk())
+                    return s;
+                operand = std::make_unique<InListExpr>(
+                    std::move(operand), items.takeValue(),
+                    /*negated=*/false);
+            }
+            continue;
+        }
+        return operand;
+    }
+}
+
+StatusOr<ExprPtr>
+Parser::parseBitOr()
+{
+    auto lhs = parseBitAnd();
+    if (!lhs.isOk())
+        return lhs;
+    ExprPtr expr = lhs.takeValue();
+    for (;;) {
+        BinaryOp op;
+        if (eatSymbol("|")) {
+            op = BinaryOp::BitOr;
+        } else if (eatSymbol("^")) {
+            op = BinaryOp::BitXor;
+        } else {
+            return expr;
+        }
+        auto rhs = parseBitAnd();
+        if (!rhs.isOk())
+            return rhs;
+        expr = std::make_unique<BinaryExpr>(op, std::move(expr),
+                                            rhs.takeValue());
+    }
+}
+
+StatusOr<ExprPtr>
+Parser::parseBitAnd()
+{
+    auto lhs = parseShift();
+    if (!lhs.isOk())
+        return lhs;
+    ExprPtr expr = lhs.takeValue();
+    while (eatSymbol("&")) {
+        auto rhs = parseShift();
+        if (!rhs.isOk())
+            return rhs;
+        expr = std::make_unique<BinaryExpr>(BinaryOp::BitAnd,
+                                            std::move(expr),
+                                            rhs.takeValue());
+    }
+    return expr;
+}
+
+StatusOr<ExprPtr>
+Parser::parseShift()
+{
+    auto lhs = parseAdditive();
+    if (!lhs.isOk())
+        return lhs;
+    ExprPtr expr = lhs.takeValue();
+    for (;;) {
+        BinaryOp op;
+        if (eatSymbol("<<")) {
+            op = BinaryOp::ShiftLeft;
+        } else if (eatSymbol(">>")) {
+            op = BinaryOp::ShiftRight;
+        } else {
+            return expr;
+        }
+        auto rhs = parseAdditive();
+        if (!rhs.isOk())
+            return rhs;
+        expr = std::make_unique<BinaryExpr>(op, std::move(expr),
+                                            rhs.takeValue());
+    }
+}
+
+StatusOr<ExprPtr>
+Parser::parseAdditive()
+{
+    auto lhs = parseMultiplicative();
+    if (!lhs.isOk())
+        return lhs;
+    ExprPtr expr = lhs.takeValue();
+    for (;;) {
+        BinaryOp op;
+        if (eatSymbol("+")) {
+            op = BinaryOp::Add;
+        } else if (eatSymbol("-")) {
+            op = BinaryOp::Sub;
+        } else {
+            return expr;
+        }
+        auto rhs = parseMultiplicative();
+        if (!rhs.isOk())
+            return rhs;
+        expr = std::make_unique<BinaryExpr>(op, std::move(expr),
+                                            rhs.takeValue());
+    }
+}
+
+StatusOr<ExprPtr>
+Parser::parseMultiplicative()
+{
+    auto lhs = parseConcat();
+    if (!lhs.isOk())
+        return lhs;
+    ExprPtr expr = lhs.takeValue();
+    for (;;) {
+        BinaryOp op;
+        if (eatSymbol("*")) {
+            op = BinaryOp::Mul;
+        } else if (eatSymbol("/")) {
+            op = BinaryOp::Div;
+        } else if (eatSymbol("%")) {
+            op = BinaryOp::Mod;
+        } else {
+            return expr;
+        }
+        auto rhs = parseConcat();
+        if (!rhs.isOk())
+            return rhs;
+        expr = std::make_unique<BinaryExpr>(op, std::move(expr),
+                                            rhs.takeValue());
+    }
+}
+
+StatusOr<ExprPtr>
+Parser::parseConcat()
+{
+    auto lhs = parseUnary();
+    if (!lhs.isOk())
+        return lhs;
+    ExprPtr expr = lhs.takeValue();
+    while (eatSymbol("||")) {
+        auto rhs = parseUnary();
+        if (!rhs.isOk())
+            return rhs;
+        expr = std::make_unique<BinaryExpr>(BinaryOp::Concat,
+                                            std::move(expr),
+                                            rhs.takeValue());
+    }
+    return expr;
+}
+
+StatusOr<ExprPtr>
+Parser::parseUnary()
+{
+    if (eatSymbol("-")) {
+        auto operand = parseUnary();
+        if (!operand.isOk())
+            return operand;
+        ExprPtr inner = operand.takeValue();
+        // Fold "-<int literal>" into a negative literal so that
+        // print/parse round trips are idempotent and negative constants
+        // stay literal (index probes match "col > -3").
+        if (inner->kind() == ExprKind::Literal) {
+            const Value &value =
+                static_cast<const LiteralExpr &>(*inner).value;
+            if (value.kind() == Value::Kind::Int &&
+                value.asInt() != INT64_MIN) {
+                return ExprPtr(std::make_unique<LiteralExpr>(
+                    Value::integer(-value.asInt())));
+            }
+        }
+        return ExprPtr(
+            std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(inner)));
+    }
+    if (eatSymbol("+")) {
+        auto operand = parseUnary();
+        if (!operand.isOk())
+            return operand;
+        return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::Plus,
+                                                   operand.takeValue()));
+    }
+    if (eatSymbol("~")) {
+        auto operand = parseUnary();
+        if (!operand.isOk())
+            return operand;
+        return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::BitNot,
+                                                   operand.takeValue()));
+    }
+    return parsePrimary();
+}
+
+StatusOr<ExprPtr>
+Parser::parsePrimary()
+{
+    const Token &token = peek();
+    if (token.kind == TokenKind::Integer) {
+        advance();
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(Value::integer(token.intValue)));
+    }
+    if (token.kind == TokenKind::String) {
+        advance();
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(Value::text(token.text)));
+    }
+    if (eatSymbol("(")) {
+        if (atKeyword("SELECT")) {
+            auto select = parseSelect();
+            if (!select.isOk())
+                return select.status();
+            if (Status s = expectSymbol(")"); !s.isOk())
+                return s;
+            return ExprPtr(
+                std::make_unique<ScalarSubqueryExpr>(select.takeValue()));
+        }
+        auto inner = parseExpr();
+        if (!inner.isOk())
+            return inner;
+        if (Status s = expectSymbol(")"); !s.isOk())
+            return s;
+        // Parenthesised operands can still take postfix forms:
+        // (a) IS NULL, (a) IN (...), etc.
+        return parsePostfix(inner.takeValue());
+    }
+    if (token.kind != TokenKind::Identifier)
+        return err("expected expression");
+    // Keyword-led primaries.
+    if (atKeyword("NULL")) {
+        advance();
+        return ExprPtr(std::make_unique<LiteralExpr>(Value::null()));
+    }
+    if (atKeyword("TRUE")) {
+        advance();
+        return ExprPtr(std::make_unique<LiteralExpr>(Value::boolean(true)));
+    }
+    if (atKeyword("FALSE")) {
+        advance();
+        return ExprPtr(std::make_unique<LiteralExpr>(Value::boolean(false)));
+    }
+    if (atKeyword("CAST")) {
+        advance();
+        if (Status s = expectSymbol("("); !s.isOk())
+            return s;
+        auto operand = parseExpr();
+        if (!operand.isOk())
+            return operand;
+        if (Status s = expectKeyword("AS"); !s.isOk())
+            return s;
+        auto type_name = expectIdentifier("type name");
+        if (!type_name.isOk())
+            return type_name.status();
+        DataType target;
+        if (!parseDataType(type_name.value(), target))
+            return err("unknown type '" + type_name.value() + "'");
+        if (Status s = expectSymbol(")"); !s.isOk())
+            return s;
+        return ExprPtr(std::make_unique<CastExpr>(operand.takeValue(),
+                                                  target));
+    }
+    if (atKeyword("CASE")) {
+        advance();
+        ExprPtr case_operand;
+        if (!atKeyword("WHEN")) {
+            auto operand = parseExpr();
+            if (!operand.isOk())
+                return operand;
+            case_operand = operand.takeValue();
+        }
+        std::vector<CaseExpr::Arm> arms;
+        while (eatKeyword("WHEN")) {
+            auto when = parseExpr();
+            if (!when.isOk())
+                return when;
+            if (Status s = expectKeyword("THEN"); !s.isOk())
+                return s;
+            auto then = parseExpr();
+            if (!then.isOk())
+                return then;
+            arms.push_back(
+                CaseExpr::Arm{when.takeValue(), then.takeValue()});
+        }
+        if (arms.empty())
+            return err("CASE requires at least one WHEN arm");
+        ExprPtr else_expr;
+        if (eatKeyword("ELSE")) {
+            auto inner = parseExpr();
+            if (!inner.isOk())
+                return inner;
+            else_expr = inner.takeValue();
+        }
+        if (Status s = expectKeyword("END"); !s.isOk())
+            return s;
+        return ExprPtr(std::make_unique<CaseExpr>(std::move(case_operand),
+                                                  std::move(arms),
+                                                  std::move(else_expr)));
+    }
+    if (atKeyword("EXISTS") ||
+        (atKeyword("NOT") && atKeyword("EXISTS", 1))) {
+        bool negated = eatKeyword("NOT");
+        advance(); // EXISTS
+        if (Status s = expectSymbol("("); !s.isOk())
+            return s;
+        auto select = parseSelect();
+        if (!select.isOk())
+            return select.status();
+        if (Status s = expectSymbol(")"); !s.isOk())
+            return s;
+        return ExprPtr(std::make_unique<ExistsExpr>(select.takeValue(),
+                                                    negated));
+    }
+    // Function call or column reference.
+    std::string first = advance().text;
+    if (atSymbol("(")) {
+        advance();
+        std::string fn_name = toUpper(first);
+        if (eatSymbol("*")) {
+            if (Status s = expectSymbol(")"); !s.isOk())
+                return s;
+            return ExprPtr(std::make_unique<FunctionExpr>(
+                fn_name, std::vector<ExprPtr>{}, /*star=*/true));
+        }
+        bool distinct = eatKeyword("DISTINCT");
+        std::vector<ExprPtr> args;
+        if (!atSymbol(")")) {
+            auto list = parseExprList();
+            if (!list.isOk())
+                return list.status();
+            args = list.takeValue();
+        }
+        if (Status s = expectSymbol(")"); !s.isOk())
+            return s;
+        return ExprPtr(std::make_unique<FunctionExpr>(
+            fn_name, std::move(args), /*star=*/false, distinct));
+    }
+    if (eatSymbol(".")) {
+        auto column = expectIdentifier("column name");
+        if (!column.isOk())
+            return column.status();
+        return ExprPtr(
+            std::make_unique<ColumnRefExpr>(first, column.takeValue()));
+    }
+    return ExprPtr(std::make_unique<ColumnRefExpr>("", std::move(first)));
+}
+
+} // namespace
+
+StatusOr<StmtPtr>
+parseStatement(const std::string &sql)
+{
+    auto tokens = tokenize(sql);
+    if (!tokens.isOk())
+        return tokens.status();
+    Parser parser(tokens.takeValue());
+    return parser.parseStatementTop();
+}
+
+StatusOr<ExprPtr>
+parseExpression(const std::string &sql)
+{
+    auto tokens = tokenize(sql);
+    if (!tokens.isOk())
+        return tokens.status();
+    Parser parser(tokens.takeValue());
+    return parser.parseExpressionTop();
+}
+
+} // namespace sqlpp

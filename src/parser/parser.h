@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Recursive-descent SQL parser producing the shared AST.
+ *
+ * Grammar (simplified):
+ *
+ *   stmt        ::= create-table | create-index | create-view | insert
+ *                 | analyze | select | drop
+ *   select      ::= SELECT [DISTINCT] items FROM sources join* [WHERE expr]
+ *                   [GROUP BY exprs [HAVING expr]] [ORDER BY terms]
+ *                   [LIMIT n [OFFSET n]]
+ *   expr        ::= or-expr with standard SQL precedence, IS/IN/BETWEEN/
+ *                   LIKE postfix forms, CASE, CAST, function calls, and
+ *                   (SELECT ...) scalar/EXISTS/IN subqueries
+ *
+ * Unknown leading keywords and malformed syntax yield SyntaxError; name
+ * resolution and typing are deferred to the engine (SemanticError there),
+ * mirroring the error staging of real systems — which is exactly the
+ * signal the adaptive generator learns from.
+ */
+#ifndef SQLPP_PARSER_PARSER_H
+#define SQLPP_PARSER_PARSER_H
+
+#include <memory>
+#include <string>
+
+#include "sqlir/ast.h"
+#include "util/status.h"
+
+namespace sqlpp {
+
+/** Parse one SQL statement (optional trailing semicolon). */
+StatusOr<StmtPtr> parseStatement(const std::string &sql);
+
+/** Parse a standalone expression, mostly for tests and the reducer. */
+StatusOr<ExprPtr> parseExpression(const std::string &sql);
+
+} // namespace sqlpp
+
+#endif // SQLPP_PARSER_PARSER_H

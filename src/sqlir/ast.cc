@@ -1,0 +1,255 @@
+#include "sqlir/ast.h"
+
+namespace sqlpp {
+
+const char *
+binaryOpSymbol(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Add: return "+";
+      case BinaryOp::Sub: return "-";
+      case BinaryOp::Mul: return "*";
+      case BinaryOp::Div: return "/";
+      case BinaryOp::Mod: return "%";
+      case BinaryOp::Eq: return "=";
+      case BinaryOp::NotEq: return "<>";
+      case BinaryOp::NotEqBang: return "!=";
+      case BinaryOp::Less: return "<";
+      case BinaryOp::LessEq: return "<=";
+      case BinaryOp::Greater: return ">";
+      case BinaryOp::GreaterEq: return ">=";
+      case BinaryOp::NullSafeEq: return "<=>";
+      case BinaryOp::And: return "AND";
+      case BinaryOp::Or: return "OR";
+      case BinaryOp::BitAnd: return "&";
+      case BinaryOp::BitOr: return "|";
+      case BinaryOp::BitXor: return "^";
+      case BinaryOp::ShiftLeft: return "<<";
+      case BinaryOp::ShiftRight: return ">>";
+      case BinaryOp::Concat: return "||";
+      case BinaryOp::Like: return "LIKE";
+      case BinaryOp::NotLike: return "NOT LIKE";
+      case BinaryOp::Glob: return "GLOB";
+      case BinaryOp::IsDistinctFrom: return "IS DISTINCT FROM";
+      case BinaryOp::IsNotDistinctFrom: return "IS NOT DISTINCT FROM";
+    }
+    return "?";
+}
+
+bool
+isComparisonOp(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Eq:
+      case BinaryOp::NotEq:
+      case BinaryOp::NotEqBang:
+      case BinaryOp::Less:
+      case BinaryOp::LessEq:
+      case BinaryOp::Greater:
+      case BinaryOp::GreaterEq:
+      case BinaryOp::NullSafeEq:
+      case BinaryOp::IsDistinctFrom:
+      case BinaryOp::IsNotDistinctFrom:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isLogicalOp(BinaryOp op)
+{
+    return op == BinaryOp::And || op == BinaryOp::Or;
+}
+
+const char *
+joinTypeName(JoinType type)
+{
+    switch (type) {
+      case JoinType::Inner: return "INNER JOIN";
+      case JoinType::Left: return "LEFT JOIN";
+      case JoinType::Right: return "RIGHT JOIN";
+      case JoinType::Full: return "FULL JOIN";
+      case JoinType::Cross: return "CROSS JOIN";
+      case JoinType::Natural: return "NATURAL JOIN";
+    }
+    return "?";
+}
+
+ExprPtr
+InListExpr::clone() const
+{
+    std::vector<ExprPtr> cloned;
+    cloned.reserve(items.size());
+    for (const ExprPtr &item : items)
+        cloned.push_back(item->clone());
+    return std::make_unique<InListExpr>(operand->clone(), std::move(cloned),
+                                        negated);
+}
+
+std::vector<const Expr *>
+InListExpr::children() const
+{
+    std::vector<const Expr *> out{operand.get()};
+    for (const ExprPtr &item : items)
+        out.push_back(item.get());
+    return out;
+}
+
+ExprPtr
+CaseExpr::clone() const
+{
+    std::vector<Arm> cloned_arms;
+    cloned_arms.reserve(arms.size());
+    for (const Arm &arm : arms)
+        cloned_arms.push_back(Arm{arm.when->clone(), arm.then->clone()});
+    return std::make_unique<CaseExpr>(
+        operand ? operand->clone() : nullptr, std::move(cloned_arms),
+        elseExpr ? elseExpr->clone() : nullptr);
+}
+
+std::vector<const Expr *>
+CaseExpr::children() const
+{
+    std::vector<const Expr *> out;
+    if (operand)
+        out.push_back(operand.get());
+    for (const Arm &arm : arms) {
+        out.push_back(arm.when.get());
+        out.push_back(arm.then.get());
+    }
+    if (elseExpr)
+        out.push_back(elseExpr.get());
+    return out;
+}
+
+ExprPtr
+FunctionExpr::clone() const
+{
+    std::vector<ExprPtr> cloned;
+    cloned.reserve(args.size());
+    for (const ExprPtr &arg : args)
+        cloned.push_back(arg->clone());
+    return std::make_unique<FunctionExpr>(name, std::move(cloned), star,
+                                          distinct);
+}
+
+std::vector<const Expr *>
+FunctionExpr::children() const
+{
+    std::vector<const Expr *> out;
+    for (const ExprPtr &arg : args)
+        out.push_back(arg.get());
+    return out;
+}
+
+ExistsExpr::ExistsExpr(SelectPtr subquery, bool negated)
+    : Expr(ExprKind::Exists), subquery(std::move(subquery)), negated(negated)
+{
+}
+
+ExistsExpr::~ExistsExpr() = default;
+
+ExprPtr
+ExistsExpr::clone() const
+{
+    return std::make_unique<ExistsExpr>(subquery->cloneSelect(), negated);
+}
+
+InSubqueryExpr::InSubqueryExpr(ExprPtr operand, SelectPtr subquery,
+                               bool negated)
+    : Expr(ExprKind::InSubquery), operand(std::move(operand)),
+      subquery(std::move(subquery)), negated(negated)
+{
+}
+
+InSubqueryExpr::~InSubqueryExpr() = default;
+
+ExprPtr
+InSubqueryExpr::clone() const
+{
+    return std::make_unique<InSubqueryExpr>(
+        operand->clone(), subquery->cloneSelect(), negated);
+}
+
+ScalarSubqueryExpr::ScalarSubqueryExpr(SelectPtr subquery)
+    : Expr(ExprKind::ScalarSubquery), subquery(std::move(subquery))
+{
+}
+
+ScalarSubqueryExpr::~ScalarSubqueryExpr() = default;
+
+ExprPtr
+ScalarSubqueryExpr::clone() const
+{
+    return std::make_unique<ScalarSubqueryExpr>(subquery->cloneSelect());
+}
+
+CreateViewStmt::CreateViewStmt() : Stmt(StmtKind::CreateView)
+{
+}
+
+CreateViewStmt::CreateViewStmt(const CreateViewStmt &other)
+    : Stmt(StmtKind::CreateView), name(other.name),
+      columnNames(other.columnNames),
+      select(other.select ? other.select->cloneSelect() : nullptr)
+{
+}
+
+CreateViewStmt::~CreateViewStmt() = default;
+
+InsertStmt::InsertStmt(const InsertStmt &other)
+    : Stmt(StmtKind::Insert), table(other.table), columns(other.columns),
+      orIgnore(other.orIgnore)
+{
+    rows.reserve(other.rows.size());
+    for (const auto &row : other.rows) {
+        std::vector<ExprPtr> cloned;
+        cloned.reserve(row.size());
+        for (const ExprPtr &expr : row)
+            cloned.push_back(expr->clone());
+        rows.push_back(std::move(cloned));
+    }
+}
+
+TableRef::TableRef(const TableRef &other)
+    : name(other.name), alias(other.alias),
+      subquery(other.subquery ? other.subquery->cloneSelect() : nullptr)
+{
+}
+
+TableRef &
+TableRef::operator=(const TableRef &other)
+{
+    if (this != &other) {
+        name = other.name;
+        alias = other.alias;
+        subquery = other.subquery ? other.subquery->cloneSelect() : nullptr;
+    }
+    return *this;
+}
+
+TableRef::~TableRef() = default;
+
+SelectStmt::SelectStmt(const SelectStmt &other)
+    : Stmt(StmtKind::Select), distinct(other.distinct), items(other.items),
+      from(other.from), joins(other.joins),
+      where(other.where ? other.where->clone() : nullptr),
+      having(other.having ? other.having->clone() : nullptr),
+      orderBy(other.orderBy), limit(other.limit), offset(other.offset)
+{
+    groupBy.reserve(other.groupBy.size());
+    for (const ExprPtr &expr : other.groupBy)
+        groupBy.push_back(expr->clone());
+}
+
+void
+forEachExprNode(const Expr &root,
+                const std::function<void(const Expr &)> &fn)
+{
+    fn(root);
+    for (const Expr *child : root.children())
+        forEachExprNode(*child, fn);
+}
+
+} // namespace sqlpp

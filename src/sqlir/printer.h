@@ -1,0 +1,32 @@
+/**
+ * @file
+ * AST → SQL text rendering.
+ *
+ * The generator communicates with the DBMS under test exclusively through
+ * SQL text, so the printer defines the concrete dialect-neutral syntax
+ * the platform emits. Every expression is printed fully parenthesised,
+ * which keeps the output unambiguous across dialects with different
+ * operator precedence tables (a real portability hazard the paper's
+ * generator also sidesteps this way).
+ */
+#ifndef SQLPP_SQLIR_PRINTER_H
+#define SQLPP_SQLIR_PRINTER_H
+
+#include <string>
+
+#include "sqlir/ast.h"
+
+namespace sqlpp {
+
+/** Render an expression as SQL text (fully parenthesised). */
+std::string printExpr(const Expr &expr);
+
+/** Render any statement as SQL text (no trailing semicolon). */
+std::string printStmt(const Stmt &stmt);
+
+/** Render a SELECT as SQL text (usable as a subquery body). */
+std::string printSelect(const SelectStmt &select);
+
+} // namespace sqlpp
+
+#endif // SQLPP_SQLIR_PRINTER_H

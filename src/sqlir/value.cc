@@ -1,0 +1,211 @@
+#include "sqlir/value.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+const char *
+dataTypeName(DataType type)
+{
+    switch (type) {
+      case DataType::Int: return "INTEGER";
+      case DataType::Text: return "TEXT";
+      case DataType::Bool: return "BOOLEAN";
+    }
+    return "?";
+}
+
+bool
+parseDataType(const std::string &name, DataType &out)
+{
+    std::string upper = toUpper(name);
+    if (upper == "INTEGER" || upper == "INT" || upper == "BIGINT") {
+        out = DataType::Int;
+        return true;
+    }
+    if (upper == "TEXT" || upper == "VARCHAR" || upper == "STRING" ||
+        upper == "CHAR") {
+        out = DataType::Text;
+        return true;
+    }
+    if (upper == "BOOLEAN" || upper == "BOOL") {
+        out = DataType::Bool;
+        return true;
+    }
+    return false;
+}
+
+Value::Kind
+Value::kind() const
+{
+    switch (payload_.index()) {
+      case 0: return Kind::Null;
+      case 1: return Kind::Int;
+      case 2: return Kind::Text;
+      default: return Kind::Bool;
+    }
+}
+
+std::string
+Value::toString() const
+{
+    switch (kind()) {
+      case Kind::Null: return "NULL";
+      case Kind::Int: return std::to_string(asInt());
+      case Kind::Text: return asText();
+      case Kind::Bool: return asBool() ? "TRUE" : "FALSE";
+    }
+    return "?";
+}
+
+std::string
+Value::literal() const
+{
+    switch (kind()) {
+      case Kind::Null: return "NULL";
+      case Kind::Int: return std::to_string(asInt());
+      case Kind::Text: return sqlQuote(asText());
+      case Kind::Bool: return asBool() ? "TRUE" : "FALSE";
+    }
+    return "?";
+}
+
+namespace {
+
+int
+kindRank(Value::Kind kind)
+{
+    switch (kind) {
+      case Value::Kind::Null: return 0;
+      case Value::Kind::Bool: return 1;
+      case Value::Kind::Int: return 2;
+      case Value::Kind::Text: return 3;
+    }
+    return 4;
+}
+
+} // namespace
+
+int
+Value::compareTotal(const Value &other) const
+{
+    int lhs_rank = kindRank(kind());
+    int rhs_rank = kindRank(other.kind());
+    if (lhs_rank != rhs_rank)
+        return lhs_rank < rhs_rank ? -1 : 1;
+    switch (kind()) {
+      case Kind::Null:
+        return 0;
+      case Kind::Bool:
+        if (asBool() == other.asBool())
+            return 0;
+        return asBool() ? 1 : -1;
+      case Kind::Int:
+        if (asInt() == other.asInt())
+            return 0;
+        return asInt() < other.asInt() ? -1 : 1;
+      case Kind::Text: {
+        int c = asText().compare(other.asText());
+        return c < 0 ? -1 : (c > 0 ? 1 : 0);
+      }
+    }
+    return 0;
+}
+
+uint64_t
+Value::hash() const
+{
+    switch (kind()) {
+      case Kind::Null:
+        return 0x9e3779b97f4a7c15ULL;
+      case Kind::Int:
+        return fnv1a("i") ^
+               (static_cast<uint64_t>(asInt()) * 0xff51afd7ed558ccdULL);
+      case Kind::Text:
+        return fnv1a(asText(), fnv1a("t"));
+      case Kind::Bool:
+        return asBool() ? 0xda942042e4dd58b5ULL : 0x2545f4914f6cdd1dULL;
+    }
+    return 0;
+}
+
+uint64_t
+ResultSet::multisetFingerprint() const
+{
+    // XOR of per-row hashes multiplied against a row-local mix is
+    // order-insensitive; summing guards against duplicate cancellation.
+    uint64_t xor_acc = 0;
+    uint64_t sum_acc = 0;
+    for (const Row &row : rows_) {
+        uint64_t row_hash = 0xcbf29ce484222325ULL;
+        for (const Value &value : row) {
+            row_hash ^= value.hash();
+            row_hash *= 0x100000001b3ULL;
+        }
+        xor_acc ^= row_hash;
+        sum_acc += row_hash * 0x9e3779b97f4a7c15ULL + 1;
+    }
+    return xor_acc ^ (sum_acc * 0xff51afd7ed558ccdULL) ^
+           (static_cast<uint64_t>(rows_.size()) << 32);
+}
+
+bool
+ResultSet::sameRowMultiset(const ResultSet &other) const
+{
+    if (rowCount() != other.rowCount())
+        return false;
+    if (multisetFingerprint() != other.multisetFingerprint())
+        return false;
+    // Fingerprints can collide; confirm with a sorted comparison.
+    auto key = [](const Row &row) {
+        std::string out;
+        for (const Value &value : row) {
+            out += value.literal();
+            out.push_back('\x1f');
+        }
+        return out;
+    };
+    std::vector<std::string> lhs_keys, rhs_keys;
+    lhs_keys.reserve(rows_.size());
+    rhs_keys.reserve(other.rows_.size());
+    for (const Row &row : rows_)
+        lhs_keys.push_back(key(row));
+    for (const Row &row : other.rows_)
+        rhs_keys.push_back(key(row));
+    std::sort(lhs_keys.begin(), lhs_keys.end());
+    std::sort(rhs_keys.begin(), rhs_keys.end());
+    return lhs_keys == rhs_keys;
+}
+
+void
+ResultSet::absorb(const ResultSet &other)
+{
+    for (const Row &row : other.rows())
+        rows_.push_back(row);
+}
+
+std::string
+ResultSet::toString(size_t max_rows) const
+{
+    std::string out = join(columns_, " | ");
+    out += "\n";
+    size_t shown = 0;
+    for (const Row &row : rows_) {
+        if (shown++ >= max_rows) {
+            out += format("... (%zu rows total)\n", rows_.size());
+            break;
+        }
+        std::vector<std::string> cells;
+        cells.reserve(row.size());
+        for (const Value &value : row)
+            cells.push_back(value.toString());
+        out += join(cells, " | ");
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace sqlpp

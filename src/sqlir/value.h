@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Runtime SQL values with three-valued logic.
+ *
+ * The platform generates three data types (integer, string, boolean —
+ * Table 1 of the paper) plus SQL NULL. Value is the runtime representation
+ * shared by the expression evaluator, the storage layer, and the oracles'
+ * result comparison.
+ */
+#ifndef SQLPP_SQLIR_VALUE_H
+#define SQLPP_SQLIR_VALUE_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sqlpp {
+
+/** Static SQL data types supported by the generator and the engine. */
+enum class DataType
+{
+    Int,
+    Text,
+    Bool,
+};
+
+/** SQL name of a data type (INTEGER, TEXT, BOOLEAN). */
+const char *dataTypeName(DataType type);
+
+/** Parse a type name (case-insensitive, accepts common aliases). */
+bool parseDataType(const std::string &name, DataType &out);
+
+/**
+ * A runtime SQL value: NULL, 64-bit integer, string, or boolean.
+ *
+ * Booleans are distinct from integers at the Value level; dialects with
+ * numeric booleans (SQLite-style) coerce during evaluation, not here.
+ */
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Int,
+        Text,
+        Bool,
+    };
+
+    /** Default-constructed Value is NULL. */
+    Value() : payload_(std::monostate{}) {}
+
+    static Value null() { return Value(); }
+    static Value integer(int64_t v) { return Value(Payload(v)); }
+    static Value text(std::string v) { return Value(Payload(std::move(v))); }
+    static Value boolean(bool v) { return Value(Payload(v)); }
+
+    Kind kind() const;
+    bool isNull() const { return kind() == Kind::Null; }
+
+    /** Accessors; caller must check kind() first. */
+    int64_t asInt() const { return std::get<int64_t>(payload_); }
+    const std::string &asText() const
+    {
+        return std::get<std::string>(payload_);
+    }
+    bool asBool() const { return std::get<bool>(payload_); }
+
+    /**
+     * SQL display rendering (NULL, 42, hello, TRUE) as a result cell.
+     * Distinct from literal(), which renders a parseable SQL literal.
+     */
+    std::string toString() const;
+
+    /** Render as a SQL literal (NULL, 42, 'hello', TRUE). */
+    std::string literal() const;
+
+    /**
+     * Total ordering for sorting and index keys: NULL < BOOL < INT < TEXT,
+     * FALSE < TRUE, integers numerically, text lexicographically.
+     * This is storage order, not SQL comparison (which is three-valued).
+     */
+    int compareTotal(const Value &other) const;
+
+    /** Exact equality including kind (NULL == NULL here, unlike SQL). */
+    bool operator==(const Value &other) const
+    {
+        return compareTotal(other) == 0;
+    }
+
+    /** Stable hash for result-set comparison and dedup keys. */
+    uint64_t hash() const;
+
+  private:
+    using Payload = std::variant<std::monostate, int64_t, std::string, bool>;
+    explicit Value(Payload payload) : payload_(std::move(payload)) {}
+
+    Payload payload_;
+};
+
+/** One result row. */
+using Row = std::vector<Value>;
+
+/**
+ * A query result: column names plus rows.
+ *
+ * Oracles compare results as multisets (paper: TLP recombines partitions
+ * as a multiset union), so ResultSet offers an order-insensitive
+ * fingerprint alongside ordered equality.
+ */
+class ResultSet
+{
+  public:
+    ResultSet() = default;
+    explicit ResultSet(std::vector<std::string> column_names)
+        : columns_(std::move(column_names)) {}
+
+    const std::vector<std::string> &columns() const { return columns_; }
+    std::vector<std::string> &columns() { return columns_; }
+
+    const std::vector<Row> &rows() const { return rows_; }
+    void addRow(Row row) { rows_.push_back(std::move(row)); }
+
+    size_t rowCount() const { return rows_.size(); }
+    size_t columnCount() const { return columns_.size(); }
+
+    /** Order-insensitive multiset fingerprint of the row contents. */
+    uint64_t multisetFingerprint() const;
+
+    /** True if both hold the same multiset of rows (column names ignored). */
+    bool sameRowMultiset(const ResultSet &other) const;
+
+    /** Append all rows of `other` (multiset union; arity must match). */
+    void absorb(const ResultSet &other);
+
+    /** Human-readable table, for bug reports and examples. */
+    std::string toString(size_t max_rows = 16) const;
+
+  private:
+    std::vector<std::string> columns_;
+    std::vector<Row> rows_;
+};
+
+} // namespace sqlpp
+
+#endif // SQLPP_SQLIR_VALUE_H

@@ -1,0 +1,70 @@
+#include "util/coverage.h"
+
+namespace sqlpp {
+
+CoverageRegistry &
+CoverageRegistry::instance()
+{
+    static CoverageRegistry registry;
+    return registry;
+}
+
+size_t
+CoverageRegistry::slot(const std::string &name)
+{
+    auto it = slots_.find(name);
+    if (it != slots_.end())
+        return it->second;
+    size_t index = counts_.size();
+    slots_.emplace(name, index);
+    names_.push_back(name);
+    counts_.push_back(0);
+    return index;
+}
+
+size_t
+CoverageRegistry::covered() const
+{
+    size_t n = 0;
+    for (uint64_t count : counts_) {
+        if (count > 0)
+            ++n;
+    }
+    return n;
+}
+
+double
+CoverageRegistry::ratio() const
+{
+    if (counts_.empty())
+        return 0.0;
+    return static_cast<double>(covered()) /
+           static_cast<double>(declared());
+}
+
+uint64_t
+CoverageRegistry::hits(const std::string &name) const
+{
+    auto it = slots_.find(name);
+    return it == slots_.end() ? 0 : counts_[it->second];
+}
+
+void
+CoverageRegistry::reset()
+{
+    for (uint64_t &count : counts_)
+        count = 0;
+}
+
+std::vector<std::string>
+CoverageRegistry::uncovered() const
+{
+    std::vector<std::string> out;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            out.push_back(names_[i]);
+    }
+    return out;
+}
+
+} // namespace sqlpp

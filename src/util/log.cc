@@ -1,0 +1,44 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace sqlpp {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Silent: return "SILENT";
+    }
+    return "?";
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+logMessage(LogLevel level, const std::string &message)
+{
+    if (level < g_level || g_level == LogLevel::Silent)
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+}
+
+} // namespace sqlpp

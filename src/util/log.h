@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal leveled logger for campaign progress and debugging.
+ */
+#ifndef SQLPP_UTIL_LOG_H
+#define SQLPP_UTIL_LOG_H
+
+#include <string>
+
+namespace sqlpp {
+
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    /** Disables all output. */
+    Silent = 4,
+};
+
+/** Set the process-wide minimum level that is emitted. */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide minimum level. */
+LogLevel logLevel();
+
+/** Emit a message at the given level to stderr if enabled. */
+void logMessage(LogLevel level, const std::string &message);
+
+inline void logDebug(const std::string &m) { logMessage(LogLevel::Debug, m); }
+inline void logInfo(const std::string &m) { logMessage(LogLevel::Info, m); }
+inline void logWarn(const std::string &m) { logMessage(LogLevel::Warn, m); }
+inline void logError(const std::string &m) { logMessage(LogLevel::Error, m); }
+
+} // namespace sqlpp
+
+#endif // SQLPP_UTIL_LOG_H

@@ -1,0 +1,118 @@
+#include "util/persist.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+namespace {
+constexpr const char *kHeader = "sqlancerpp-kv-v1";
+} // namespace
+
+void
+KvStore::put(const std::string &key, const std::string &value)
+{
+    entries_[key] = value;
+}
+
+void
+KvStore::putDouble(const std::string &key, double value)
+{
+    put(key, format("%.17g", value));
+}
+
+void
+KvStore::putInt(const std::string &key, int64_t value)
+{
+    put(key, format("%lld", static_cast<long long>(value)));
+}
+
+std::optional<std::string>
+KvStore::get(const std::string &key) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<double>
+KvStore::getDouble(const std::string &key) const
+{
+    auto raw = get(key);
+    if (!raw)
+        return std::nullopt;
+    try {
+        size_t pos = 0;
+        double value = std::stod(*raw, &pos);
+        if (pos != raw->size())
+            return std::nullopt;
+        return value;
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+std::optional<int64_t>
+KvStore::getInt(const std::string &key) const
+{
+    auto raw = get(key);
+    if (!raw)
+        return std::nullopt;
+    try {
+        size_t pos = 0;
+        long long value = std::stoll(*raw, &pos);
+        if (pos != raw->size())
+            return std::nullopt;
+        return static_cast<int64_t>(value);
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+void
+KvStore::erase(const std::string &key)
+{
+    entries_.erase(key);
+}
+
+Status
+KvStore::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return Status::runtimeError("cannot open for write: " + path);
+    out << kHeader << "\n";
+    for (const auto &[key, value] : entries_)
+        out << key << "=" << value << "\n";
+    out.flush();
+    if (!out)
+        return Status::runtimeError("write failed: " + path);
+    return Status::ok();
+}
+
+Status
+KvStore::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::runtimeError("cannot open for read: " + path);
+    std::string line;
+    if (!std::getline(in, line) || line != kHeader)
+        return Status::runtimeError("bad header in: " + path);
+    entries_.clear();
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return Status::runtimeError("bad line in " + path + ": " + line);
+        entries_[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+    return Status::ok();
+}
+
+} // namespace sqlpp

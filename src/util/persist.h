@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Flat key/value persistence for learned generator state.
+ *
+ * The paper notes that the probabilities computed in step (4) of the
+ * adaptive generator "can be persisted in a file and loaded in step (1)
+ * of future executions". KvStore is that file format: a line-oriented
+ * `key=value` store with a format-version header, robust to missing
+ * files and unknown keys so learned state survives tool upgrades.
+ */
+#ifndef SQLPP_UTIL_PERSIST_H
+#define SQLPP_UTIL_PERSIST_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/status.h"
+
+namespace sqlpp {
+
+/**
+ * In-memory string map with load/save to a versioned text file.
+ *
+ * Keys must not contain '=' or '\n'; values must not contain '\n'.
+ * Both constraints hold for the feature names and decimal numbers the
+ * platform stores.
+ */
+class KvStore
+{
+  public:
+    /** Set (or overwrite) a key. */
+    void put(const std::string &key, const std::string &value);
+
+    /** Convenience numeric setters. */
+    void putDouble(const std::string &key, double value);
+    void putInt(const std::string &key, int64_t value);
+
+    /** Fetch a key if present. */
+    std::optional<std::string> get(const std::string &key) const;
+    std::optional<double> getDouble(const std::string &key) const;
+    std::optional<int64_t> getInt(const std::string &key) const;
+
+    /** Remove a key; no-op when absent. */
+    void erase(const std::string &key);
+
+    /** Number of stored keys. */
+    size_t size() const { return entries_.size(); }
+
+    /** All entries, sorted by key (stable file output). */
+    const std::map<std::string, std::string> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Write the store to a file, replacing its contents. */
+    Status save(const std::string &path) const;
+
+    /** Load a store from a file; fails on missing file or bad header. */
+    Status load(const std::string &path);
+
+  private:
+    std::map<std::string, std::string> entries_;
+};
+
+} // namespace sqlpp
+
+#endif // SQLPP_UTIL_PERSIST_H

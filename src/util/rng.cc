@@ -1,0 +1,133 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace sqlpp {
+
+Rng::Rng(uint64_t seed)
+{
+    reseed(seed);
+}
+
+void
+Rng::reseed(uint64_t seed)
+{
+    // PCG32 initialization: fixed odd increment, seed mixed through one step.
+    state_ = 0;
+    inc_ = (seed << 1u) | 1u;
+    next32();
+    state_ += 0x853c49e6748fea9bULL + seed;
+    next32();
+}
+
+uint32_t
+Rng::next32()
+{
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+}
+
+uint64_t
+Rng::next64()
+{
+    return (static_cast<uint64_t>(next32()) << 32) | next32();
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    if (bound <= 1)
+        return 0;
+    // Rejection sampling to remove modulo bias.
+    uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(below(span));
+}
+
+double
+Rng::uniform()
+{
+    return (next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+bool
+Rng::coin()
+{
+    return (next32() & 1u) != 0;
+}
+
+size_t
+Rng::pickWeighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += (w > 0.0 ? w : 0.0);
+    if (total <= 0.0)
+        return below(weights.size());
+    double target = uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] <= 0.0)
+            continue;
+        acc += weights[i];
+        if (target < acc)
+            return i;
+    }
+    // Floating-point slop: fall back to the last positive-weight entry.
+    for (size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::string
+Rng::identifier(size_t length)
+{
+    static const char alphabet[] = "abcdefghijklmnopqrstuvwxyz";
+    std::string out;
+    out.reserve(length);
+    for (size_t i = 0; i < length; ++i)
+        out.push_back(alphabet[below(26)]);
+    return out;
+}
+
+std::string
+Rng::text(size_t max_length)
+{
+    static const char alphabet[] =
+        "abcdefghijklmnopqrstuvwxyz"
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        "0123456789 _%.-";
+    size_t len = below(max_length + 1);
+    std::string out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        out.push_back(alphabet[below(sizeof(alphabet) - 1)]);
+    return out;
+}
+
+} // namespace sqlpp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for test-case generation.
+ *
+ * All randomness in the platform flows through Rng so that every campaign,
+ * generator run, and benchmark is reproducible from a single 64-bit seed.
+ * The implementation is PCG32 (O'Neill, 2014): small state, good statistical
+ * quality, and cheap enough to sit on the hot path of statement generation.
+ */
+#ifndef SQLPP_UTIL_RNG_H
+#define SQLPP_UTIL_RNG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sqlpp {
+
+/**
+ * PCG32-based random number generator.
+ *
+ * Not thread-safe; each thread of a campaign owns its own Rng, seeded
+ * from the campaign seed plus the thread index.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed; equal seeds yield equal streams. */
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+    /** Reseed in place, restarting the stream. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 32-bit value. */
+    uint32_t next32();
+
+    /** Next raw 64-bit value. */
+    uint64_t next64();
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+    /** Fair coin flip. */
+    bool coin();
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &items)
+    {
+        return items[below(items.size())];
+    }
+
+    /**
+     * Pick an index according to a weight vector.
+     *
+     * Zero-weight entries are never selected. If all weights are zero,
+     * returns a uniformly random index as a fail-safe so generation can
+     * always make progress.
+     */
+    size_t pickWeighted(const std::vector<double> &weights);
+
+    /** Random identifier-safe lowercase string of the given length. */
+    std::string identifier(size_t length);
+
+    /** Random printable string drawn from a small SQL-friendly alphabet. */
+    std::string text(size_t max_length);
+
+  private:
+    uint64_t state_;
+    uint64_t inc_;
+};
+
+} // namespace sqlpp
+
+#endif // SQLPP_UTIL_RNG_H

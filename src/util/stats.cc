@@ -1,0 +1,123 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+void
+RunningStat::add(double sample)
+{
+    if (count_ == 0) {
+        min_ = max_ = sample;
+    } else {
+        if (sample < min_)
+            min_ = sample;
+        if (sample > max_)
+            max_ = sample;
+    }
+    ++count_;
+    double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+std::string
+RunningStat::summary() const
+{
+    return format("%.2f ± %.2f (n=%zu)", mean(), stddev(), count_);
+}
+
+namespace beta {
+
+namespace {
+
+/**
+ * Continued-fraction evaluation for the regularized incomplete beta
+ * function (Lentz's algorithm), following Numerical Recipes' betacf.
+ */
+double
+continuedFraction(double a, double b, double x)
+{
+    constexpr int max_iterations = 300;
+    constexpr double epsilon = 3.0e-12;
+    constexpr double tiny = 1.0e-300;
+
+    double qab = a + b;
+    double qap = a + 1.0;
+    double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < tiny)
+        d = tiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= max_iterations; ++m) {
+        int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < epsilon)
+            break;
+    }
+    return h;
+}
+
+} // namespace
+
+double
+regularizedIncomplete(double a, double b, double x)
+{
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+    double front =
+        std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
+    // Use the symmetry relation to keep the continued fraction convergent.
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * continuedFraction(a, b, x) / a;
+    return 1.0 - front * continuedFraction(b, a, 1.0 - x) / b;
+}
+
+double
+cdf(double a, double b, double x)
+{
+    return regularizedIncomplete(a, b, x);
+}
+
+} // namespace beta
+
+} // namespace sqlpp

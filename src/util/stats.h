@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Streaming statistics used by benches to report means across runs.
+ */
+#ifndef SQLPP_UTIL_STATS_H
+#define SQLPP_UTIL_STATS_H
+
+#include <cstddef>
+#include <string>
+
+namespace sqlpp {
+
+/**
+ * Welford-style running mean/variance accumulator.
+ *
+ * The evaluation reports averages across 5 or 10 runs; RunningStat
+ * accumulates those without storing the samples.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** "mean ± stddev (n=count)" for bench tables. */
+    std::string summary() const;
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Beta-distribution helpers for the feedback mechanism's posterior.
+ *
+ * The posterior for a feature's success probability is
+ * Beta(y + 1, N - y + 1) under the paper's uniform prior. The feedback
+ * mechanism needs the CDF at the user threshold p to decide whether the
+ * probability mass is "predominantly" below p.
+ */
+namespace beta {
+
+/** Regularized incomplete beta function I_x(a, b). */
+double regularizedIncomplete(double a, double b, double x);
+
+/** CDF of Beta(a, b) at x. */
+double cdf(double a, double b, double x);
+
+/** Mean of Beta(a, b). */
+inline double
+mean(double a, double b)
+{
+    return a / (a + b);
+}
+
+} // namespace beta
+
+} // namespace sqlpp
+
+#endif // SQLPP_UTIL_STATS_H

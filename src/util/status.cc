@@ -1,0 +1,30 @@
+#include "util/status.h"
+
+namespace sqlpp {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "OK";
+      case ErrorCode::SyntaxError: return "SYNTAX_ERROR";
+      case ErrorCode::SemanticError: return "SEMANTIC_ERROR";
+      case ErrorCode::RuntimeError: return "RUNTIME_ERROR";
+      case ErrorCode::Unsupported: return "UNSUPPORTED";
+      case ErrorCode::Internal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "OK";
+    std::string out = errorCodeName(code_);
+    out += ": ";
+    out += message_;
+    return out;
+}
+
+} // namespace sqlpp

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Lightweight error propagation for the engine and platform.
+ *
+ * A real DBMS signals statement failure with an error code and message;
+ * the adaptive generator learns from exactly that signal. Status carries
+ * the same information across module boundaries without exceptions, which
+ * keeps failure handling explicit on the generation hot path.
+ */
+#ifndef SQLPP_UTIL_STATUS_H
+#define SQLPP_UTIL_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sqlpp {
+
+/** Broad error classes mirroring how a DBMS rejects a statement. */
+enum class ErrorCode
+{
+    Ok,
+    /** The statement could not be parsed (unknown keyword, bad syntax). */
+    SyntaxError,
+    /** Parsed but invalid: unknown table/column/function, type mismatch. */
+    SemanticError,
+    /** Valid statement whose execution failed (constraint, overflow). */
+    RuntimeError,
+    /** Feature recognised but not available in this dialect. */
+    Unsupported,
+    /** Internal invariant violation in the engine itself. */
+    Internal,
+};
+
+/** Human-readable name of an ErrorCode. */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * Result of an operation that can fail with a coded message.
+ *
+ * Cheap to copy in the Ok case (empty message); failure paths are cold
+ * relative to generation but common relative to typical C++ error rates,
+ * so no allocation-free trickery is attempted.
+ */
+class Status
+{
+  public:
+    Status() : code_(ErrorCode::Ok) {}
+    Status(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message)) {}
+
+    static Status ok() { return Status(); }
+
+    static Status
+    syntaxError(std::string msg)
+    {
+        return Status(ErrorCode::SyntaxError, std::move(msg));
+    }
+
+    static Status
+    semanticError(std::string msg)
+    {
+        return Status(ErrorCode::SemanticError, std::move(msg));
+    }
+
+    static Status
+    runtimeError(std::string msg)
+    {
+        return Status(ErrorCode::RuntimeError, std::move(msg));
+    }
+
+    static Status
+    unsupported(std::string msg)
+    {
+        return Status(ErrorCode::Unsupported, std::move(msg));
+    }
+
+    static Status
+    internal(std::string msg)
+    {
+        return Status(ErrorCode::Internal, std::move(msg));
+    }
+
+    bool isOk() const { return code_ == ErrorCode::Ok; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "OK" or "<code>: <message>", for logs and bug reports. */
+    std::string toString() const;
+
+  private:
+    ErrorCode code_;
+    std::string message_;
+};
+
+/**
+ * Either a value or a failure Status.
+ *
+ * @tparam T Payload type; must be movable.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /* implicit */ StatusOr(T value)
+        : status_(Status::ok()), value_(std::move(value)) {}
+    /* implicit */ StatusOr(Status status) : status_(std::move(status))
+    {
+        assert(!status_.isOk() && "StatusOr from Ok status needs a value");
+    }
+
+    bool isOk() const { return status_.isOk(); }
+    const Status &status() const { return status_; }
+
+    const T &
+    value() const
+    {
+        assert(isOk());
+        return *value_;
+    }
+
+    T &
+    value()
+    {
+        assert(isOk());
+        return *value_;
+    }
+
+    T
+    takeValue()
+    {
+        assert(isOk());
+        return std::move(*value_);
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace sqlpp
+
+#endif // SQLPP_UTIL_STATUS_H

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * End-to-end campaign tests: bug finding on faulty dialects, silence on
+ * the clean one, prioritization, ground-truth attribution, and the
+ * feedback ablation.
+ */
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+
+namespace sqlpp {
+namespace {
+
+CampaignConfig
+smallConfig(const std::string &dialect, uint64_t seed = 7)
+{
+    CampaignConfig config;
+    config.dialect = dialect;
+    config.seed = seed;
+    config.setupStatements = 60;
+    config.checks = 400;
+    config.feedback.updateInterval = 150;
+    config.feedback.ddlFailureLimit = 6;
+    config.generator.depthStep = 100;
+    return config;
+}
+
+TEST(CampaignTest, FindsBugsOnCrateDbLike)
+{
+    CampaignRunner runner(smallConfig("cratedb-like"));
+    CampaignStats stats = runner.run();
+    EXPECT_GT(stats.checksAttempted, 100u);
+    EXPECT_GT(stats.bugsDetected, 0u);
+    EXPECT_GT(stats.prioritizedBugs.size(), 0u);
+    // Prioritization must collapse the detected volume dramatically.
+    EXPECT_LT(stats.prioritizedBugs.size(), stats.bugsDetected);
+}
+
+TEST(CampaignTest, CleanDialectYieldsNoBugs)
+{
+    CampaignRunner runner(smallConfig("postgres-like"));
+    CampaignStats stats = runner.run();
+    EXPECT_EQ(stats.bugsDetected, 0u);
+    EXPECT_TRUE(stats.prioritizedBugs.empty());
+    EXPECT_GT(stats.checksValid, 0u);
+}
+
+TEST(CampaignTest, PrioritizedBugsReproduce)
+{
+    CampaignConfig config = smallConfig("sqlite-like");
+    config.checks = 600;
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    const DialectProfile *profile = findDialect("sqlite-like");
+    size_t reproduced = 0;
+    for (const BugCase &bug : stats.prioritizedBugs) {
+        if (CampaignRunner::reproduces(*profile, bug))
+            ++reproduced;
+    }
+    // Most prioritized cases replay (all setup statements recorded).
+    EXPECT_GT(stats.prioritizedBugs.size(), 0u);
+    EXPECT_GE(reproduced, stats.prioritizedBugs.size() / 2);
+}
+
+TEST(CampaignTest, AttributionFindsTheCausalFault)
+{
+    // Hand-built Listing 4 case on sqlite-like: attribution must point
+    // at ON_TO_WHERE_RIGHT_JOIN and not at the other enabled faults.
+    const DialectProfile *sqlite = findDialect("sqlite-like");
+    BugCase bug;
+    bug.dialect = sqlite->name;
+    bug.oracle = "NOREC";
+    bug.setup = {"CREATE TABLE t0 (c0 INT)", "CREATE TABLE t1 (c0 INT)",
+                 "INSERT INTO t0 VALUES (1)",
+                 "INSERT INTO t1 VALUES (1), (9)"};
+    bug.baseText = "SELECT * FROM t0 RIGHT JOIN t1 ON (t0.c0 = t1.c0)";
+    bug.predicateText = "TRUE";
+    auto fault = CampaignRunner::attributeFault(*sqlite, bug);
+    ASSERT_TRUE(fault.has_value());
+    EXPECT_EQ(*fault, FaultId::OnToWhereRightJoin);
+}
+
+TEST(CampaignTest, AttributionReturnsNulloptForNonBug)
+{
+    const DialectProfile *pg = findDialect("postgres-like");
+    BugCase bug;
+    bug.dialect = pg->name;
+    bug.oracle = "TLP";
+    bug.setup = {"CREATE TABLE t0 (c0 INT)",
+                 "INSERT INTO t0 VALUES (1)"};
+    bug.baseText = "SELECT * FROM t0";
+    bug.predicateText = "(t0.c0 > 0)";
+    EXPECT_FALSE(
+        CampaignRunner::attributeFault(*pg, bug).has_value());
+}
+
+TEST(CampaignTest, UniqueBugCountBoundedByFaultCount)
+{
+    CampaignConfig config = smallConfig("cratedb-like");
+    config.checks = 500;
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    const DialectProfile *profile = findDialect("cratedb-like");
+    size_t unique = CampaignRunner::countUniqueBugs(
+        *profile, stats.prioritizedBugs);
+    EXPECT_GT(unique, 0u);
+    EXPECT_LE(unique, profile->faults.size() + 1);
+    EXPECT_LE(unique, stats.prioritizedBugs.size());
+}
+
+TEST(CampaignTest, FeedbackImprovesValidity)
+{
+    // Feature exposure in oracle shapes is ~3-5% per unsupported
+    // feature, so verdicts need a few thousand checks to accumulate
+    // (the paper runs 100K-statement windows).
+    CampaignConfig with = smallConfig("postgres-like", 11);
+    with.checks = 3000;
+    CampaignConfig without = with;
+    without.mode = GeneratorMode::AdaptiveNoFeedback;
+    double v_with = CampaignRunner(with).run().validityRate();
+    double v_without = CampaignRunner(without).run().validityRate();
+    EXPECT_GT(v_with, v_without)
+        << "with=" << v_with << " without=" << v_without;
+}
+
+TEST(CampaignTest, BaselineModeRunsCleanly)
+{
+    CampaignConfig config = smallConfig("mysql-like");
+    config.mode = GeneratorMode::Baseline;
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    // Omniscient gating: very high validity without any learning.
+    EXPECT_GT(stats.validityRate(), 0.55);
+}
+
+TEST(CampaignTest, PlanFingerprintsAccumulate)
+{
+    CampaignRunner runner(smallConfig("sqlite-like"));
+    CampaignStats stats = runner.run();
+    EXPECT_GT(stats.planFingerprints.size(), 10u);
+}
+
+TEST(CampaignTest, BothOraclesCanRunTogether)
+{
+    CampaignConfig config = smallConfig("umbra-like");
+    config.oracles = {"TLP", "NOREC"};
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    EXPECT_GT(stats.bugsDetected, 0u);
+    bool saw_tlp = false, saw_norec = false;
+    for (const BugCase &bug : stats.prioritizedBugs) {
+        saw_tlp |= bug.oracle == "TLP";
+        saw_norec |= bug.oracle == "NOREC";
+    }
+    EXPECT_TRUE(saw_tlp || saw_norec);
+}
+
+TEST(CampaignTest, DeterministicUnderSeed)
+{
+    CampaignStats a = CampaignRunner(smallConfig("dolt-like", 3)).run();
+    CampaignStats b = CampaignRunner(smallConfig("dolt-like", 3)).run();
+    EXPECT_EQ(a.bugsDetected, b.bugsDetected);
+    EXPECT_EQ(a.prioritizedBugs.size(), b.prioritizedBugs.size());
+    EXPECT_EQ(a.checksValid, b.checksValid);
+}
+
+TEST(CampaignTest, RebuildEveryRebuildsState)
+{
+    CampaignConfig config = smallConfig("sqlite-like");
+    config.checks = 200;
+    config.rebuildEvery = 50;
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    // Four builds' worth of setup statements.
+    EXPECT_GE(stats.setupGenerated, 4 * config.setupStatements);
+}
+
+TEST(CampaignTest, UnknownDialectFallsBack)
+{
+    CampaignConfig config = smallConfig("no-such-dbms");
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run(); // must not crash
+    EXPECT_GT(stats.setupGenerated, 0u);
+}
+
+} // namespace
+} // namespace sqlpp

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Feature registry tests, including the Table 1 taxonomy counts.
+ */
+#include <gtest/gtest.h>
+
+#include "core/feature.h"
+
+namespace sqlpp {
+namespace {
+
+TEST(FeatureRegistryTest, InternIsIdempotent)
+{
+    FeatureRegistry registry;
+    FeatureId a = registry.intern("X_TEST", FeatureKind::Property);
+    FeatureId b = registry.intern("X_TEST", FeatureKind::Property);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(registry.name(a), "X_TEST");
+    EXPECT_EQ(registry.kind(a), FeatureKind::Property);
+}
+
+TEST(FeatureRegistryTest, FindUnknownReturnsSentinel)
+{
+    FeatureRegistry registry;
+    EXPECT_EQ(registry.find("NOT_A_FEATURE"),
+              static_cast<FeatureId>(-1));
+    EXPECT_NE(registry.find("STMT_SELECT"), static_cast<FeatureId>(-1));
+}
+
+TEST(FeatureRegistryTest, Table1Counts)
+{
+    FeatureRegistry registry;
+    // Paper Table 1: 6 statements, 58 functions, 3 data types. We count
+    // the generator-visible statements (drop statements are platform
+    // plumbing, not generated features).
+    EXPECT_EQ(registry.ofKind(FeatureKind::Statement).size(), 6u);
+    EXPECT_EQ(registry.ofKind(FeatureKind::Function).size(), 58u);
+    EXPECT_EQ(registry.ofKind(FeatureKind::DataType).size(), 3u);
+    // Operators: 26 binary + 10 unary + 11 constructs = 47 (Table 1).
+    EXPECT_EQ(registry.ofKind(FeatureKind::Operator).size(), 47u);
+    // Clauses & keywords: 6 joins + 17 clause/keyword flags.
+    EXPECT_EQ(registry.ofKind(FeatureKind::Clause).size(), 23u);
+}
+
+TEST(FeatureNamesTest, CanonicalSpellings)
+{
+    EXPECT_EQ(features::stmt(StmtKind::CreateIndex),
+              "STMT_CREATE_INDEX");
+    EXPECT_EQ(features::join(JoinType::Right), "JOIN_RIGHT");
+    EXPECT_EQ(features::binaryOp(BinaryOp::NullSafeEq), "OP_<=>");
+    EXPECT_EQ(features::unaryOp(UnaryOp::Not), "OP_NOT");
+    EXPECT_EQ(features::function("SIN"), "FN_SIN");
+    EXPECT_EQ(features::dataType(DataType::Bool), "TYPE_BOOLEAN");
+}
+
+TEST(FeatureNamesTest, CompositeArgFeaturesMatchPaperNaming)
+{
+    // Paper Fig. 5: SIN1INT = first argument of SIN has integer type.
+    EXPECT_EQ(features::functionArg("SIN", 0, DataType::Int), "SIN1INT");
+    EXPECT_EQ(features::functionArg("SIN", 0, DataType::Text),
+              "SIN1STRING");
+    EXPECT_EQ(features::functionArg("NULLIF", 1, DataType::Bool),
+              "NULLIF2BOOL");
+}
+
+TEST(FeatureRegistryTest, DescribeRendersSortedNames)
+{
+    FeatureRegistry registry;
+    FeatureSet set;
+    set.insert(registry.intern("FN_SIN", FeatureKind::Function));
+    set.insert(registry.intern("OP_NOT", FeatureKind::Operator));
+    std::string rendered = registry.describe(set);
+    EXPECT_NE(rendered.find("FN_SIN"), std::string::npos);
+    EXPECT_NE(rendered.find("OP_NOT"), std::string::npos);
+}
+
+TEST(FeatureRegistryTest, CompositeFeaturesInternedOnDemand)
+{
+    FeatureRegistry registry;
+    size_t before = registry.size();
+    registry.intern(features::functionArg("ABS", 0, DataType::Text),
+                    FeatureKind::Property);
+    EXPECT_EQ(registry.size(), before + 1);
+}
+
+} // namespace
+} // namespace sqlpp

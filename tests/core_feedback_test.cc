@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Validity-feedback tests: the Beta-Binomial suppression rule, the
+ * DDL repeated-failure rule, interval updates, and persistence.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/feedback.h"
+
+namespace sqlpp {
+namespace {
+
+FeatureSet
+only(FeatureId id)
+{
+    return FeatureSet{id};
+}
+
+TEST(FeedbackTest, UnknownFeatureIsAllowed)
+{
+    FeedbackTracker tracker;
+    EXPECT_TRUE(tracker.shouldGenerate(0));
+    EXPECT_TRUE(tracker.shouldGenerate(999));
+}
+
+TEST(FeedbackTest, PaperScenario400FailuresSuppresses)
+{
+    // Paper Section 4: y=0, N=400, p=0.01 -> Beta(1,401) puts >95% of
+    // its mass below 0.01 -> unsupported.
+    FeedbackConfig config;
+    config.threshold = 0.01;
+    config.updateInterval = 400;
+    FeedbackTracker tracker(config);
+    for (int i = 0; i < 400; ++i)
+        tracker.record(only(7), /*success=*/false, /*is_query=*/true);
+    EXPECT_FALSE(tracker.shouldGenerate(7));
+    EXPECT_GT(tracker.massBelowThreshold(7), 0.95);
+}
+
+TEST(FeedbackTest, FewFailuresDoNotSuppress)
+{
+    FeedbackConfig config;
+    config.updateInterval = 10;
+    FeedbackTracker tracker(config);
+    for (int i = 0; i < 10; ++i)
+        tracker.record(only(3), false, true);
+    // Beta(1, 11): CDF(0.01) ~= 0.105 << 0.95.
+    EXPECT_TRUE(tracker.shouldGenerate(3));
+}
+
+TEST(FeedbackTest, MixedResultsKeepFeature)
+{
+    FeedbackConfig config;
+    config.updateInterval = 100;
+    FeedbackTracker tracker(config);
+    for (int i = 0; i < 500; ++i)
+        tracker.record(only(5), i % 3 == 0, true);
+    EXPECT_TRUE(tracker.shouldGenerate(5));
+    EXPECT_NEAR(tracker.estimatedProbability(5), 1.0 / 3.0, 0.05);
+}
+
+TEST(FeedbackTest, VerdictOnlyRefreshedAtInterval)
+{
+    FeedbackConfig config;
+    config.updateInterval = 1000; // far away
+    FeedbackTracker tracker(config);
+    for (int i = 0; i < 500; ++i)
+        tracker.record(only(2), false, true);
+    // No interval boundary crossed: still allowed.
+    EXPECT_TRUE(tracker.shouldGenerate(2));
+    tracker.updateNow();
+    EXPECT_FALSE(tracker.shouldGenerate(2));
+}
+
+TEST(FeedbackTest, DdlRepeatedFailureRule)
+{
+    FeedbackConfig config;
+    config.ddlFailureLimit = 5;
+    FeedbackTracker tracker(config);
+    for (int i = 0; i < 4; ++i)
+        tracker.record(only(9), false, /*is_query=*/false);
+    EXPECT_TRUE(tracker.shouldGenerate(9));
+    tracker.record(only(9), false, false);
+    EXPECT_FALSE(tracker.shouldGenerate(9)); // 5th consecutive failure
+}
+
+TEST(FeedbackTest, DdlSuccessResetsSuppression)
+{
+    FeedbackConfig config;
+    config.ddlFailureLimit = 3;
+    FeedbackTracker tracker(config);
+    for (int i = 0; i < 3; ++i)
+        tracker.record(only(4), false, false);
+    EXPECT_FALSE(tracker.shouldGenerate(4));
+    tracker.record(only(4), true, false);
+    EXPECT_TRUE(tracker.shouldGenerate(4));
+}
+
+TEST(FeedbackTest, DisabledFeedbackAllowsEverything)
+{
+    FeedbackConfig config;
+    config.enabled = false;
+    FeedbackTracker tracker(config);
+    for (int i = 0; i < 1000; ++i)
+        tracker.record(only(1), false, true);
+    tracker.updateNow();
+    EXPECT_TRUE(tracker.shouldGenerate(1));
+}
+
+TEST(FeedbackTest, WholeSetSharesTheOutcome)
+{
+    FeedbackConfig config;
+    config.updateInterval = 400;
+    FeedbackTracker tracker(config);
+    FeatureSet set{11, 12, 13};
+    // Beta(1, 401).cdf(0.01) ~= 0.982 >= 0.95 (200 would not suffice:
+    // 1 - 0.99^201 ~= 0.87).
+    for (int i = 0; i < 400; ++i)
+        tracker.record(set, false, true);
+    for (FeatureId id : set)
+        EXPECT_FALSE(tracker.shouldGenerate(id)) << id;
+}
+
+TEST(FeedbackTest, SuppressedFeatureListing)
+{
+    FeedbackConfig config;
+    config.updateInterval = 400;
+    FeedbackTracker tracker(config);
+    for (int i = 0; i < 400; ++i)
+        tracker.record(only(6), false, true);
+    auto suppressed = tracker.suppressedFeatures();
+    ASSERT_EQ(suppressed.size(), 1u);
+    EXPECT_EQ(suppressed[0], 6u);
+}
+
+TEST(FeedbackTest, PersistenceRoundTrip)
+{
+    FeatureRegistry registry;
+    FeatureId sin = registry.find("FN_SIN");
+    FeatureId index = registry.find("STMT_CREATE_INDEX");
+    ASSERT_NE(sin, static_cast<FeatureId>(-1));
+
+    FeedbackConfig config;
+    config.updateInterval = 400;
+    FeedbackTracker tracker(config);
+    for (int i = 0; i < 400; ++i)
+        tracker.record(only(sin), false, true);
+    for (int i = 0; i < 12; ++i)
+        tracker.record(only(index), false, false);
+    ASSERT_FALSE(tracker.shouldGenerate(sin));
+    ASSERT_FALSE(tracker.shouldGenerate(index));
+
+    KvStore store;
+    tracker.save(registry, store);
+
+    FeedbackTracker restored(config);
+    restored.load(registry, store);
+    EXPECT_FALSE(restored.shouldGenerate(sin));
+    EXPECT_FALSE(restored.shouldGenerate(index));
+    EXPECT_EQ(restored.stats(sin).executions, 400u);
+    EXPECT_EQ(restored.stats(sin).successes, 0u);
+}
+
+TEST(FeedbackTest, PersistenceSurvivesFile)
+{
+    FeatureRegistry registry;
+    FeatureId glob = registry.find("OP_GLOB");
+    ASSERT_NE(glob, static_cast<FeatureId>(-1));
+    FeedbackConfig config;
+    config.updateInterval = 500;
+    FeedbackTracker tracker(config);
+    for (int i = 0; i < 500; ++i)
+        tracker.record(only(glob), false, true);
+
+    std::string path =
+        (std::filesystem::temp_directory_path() / "sqlpp_fb.kv")
+            .string();
+    KvStore store;
+    tracker.save(registry, store);
+    ASSERT_TRUE(store.save(path).isOk());
+
+    KvStore loaded;
+    ASSERT_TRUE(loaded.load(path).isOk());
+    FeedbackTracker restored(config);
+    restored.load(registry, loaded);
+    EXPECT_FALSE(restored.shouldGenerate(glob));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace sqlpp

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Adaptive generator tests: statement well-formedness, feature
+ * recording, schema-model discipline, gating, the depth schedule,
+ * determinism, and end-to-end validity learning against dialects.
+ */
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/feedback.h"
+#include "core/generator.h"
+#include "dialect/connection.h"
+#include "parser/parser.h"
+
+namespace sqlpp {
+namespace {
+
+class GeneratorTest : public ::testing::Test
+{
+  protected:
+    GeneratorTest() : gen_(makeConfig(), registry_, gate_, model_) {}
+
+    static GeneratorConfig
+    makeConfig()
+    {
+        GeneratorConfig config;
+        config.seed = 42;
+        return config;
+    }
+
+    FeatureRegistry registry_;
+    OpenGate gate_;
+    SchemaModel model_;
+    AdaptiveGenerator gen_;
+};
+
+TEST_F(GeneratorTest, FirstSetupStatementCreatesTable)
+{
+    GeneratedStatement stmt = gen_.generateSetupStatement();
+    EXPECT_EQ(stmt.kind, StmtKind::CreateTable);
+    EXPECT_TRUE(stmt.pendingTable.has_value());
+    EXPECT_TRUE(parseStatement(stmt.text).isOk()) << stmt.text;
+}
+
+TEST_F(GeneratorTest, SchemaModelOnlyUpdatedOnSuccess)
+{
+    GeneratedStatement stmt = gen_.generateSetupStatement();
+    gen_.noteExecution(stmt, /*success=*/false);
+    EXPECT_EQ(model_.tableCount(false), 0u);
+    gen_.noteExecution(stmt, /*success=*/true);
+    EXPECT_EQ(model_.tableCount(false), 1u);
+}
+
+TEST_F(GeneratorTest, SetupStatementsAlwaysParse)
+{
+    for (int i = 0; i < 300; ++i) {
+        GeneratedStatement stmt = gen_.generateSetupStatement();
+        auto parsed = parseStatement(stmt.text);
+        ASSERT_TRUE(parsed.isOk())
+            << stmt.text << " -> " << parsed.status().toString();
+        gen_.noteExecution(stmt, true);
+    }
+}
+
+TEST_F(GeneratorTest, SelectsAlwaysParse)
+{
+    for (int i = 0; i < 10; ++i)
+        gen_.noteExecution(gen_.generateSetupStatement(), true);
+    for (int i = 0; i < 300; ++i) {
+        GeneratedStatement stmt = gen_.generateSelect();
+        ASSERT_TRUE(stmt.isQuery);
+        auto parsed = parseStatement(stmt.text);
+        ASSERT_TRUE(parsed.isOk())
+            << stmt.text << " -> " << parsed.status().toString();
+    }
+}
+
+TEST_F(GeneratorTest, EveryStatementRecordsItsStatementFeature)
+{
+    GeneratedStatement stmt = gen_.generateSetupStatement();
+    FeatureId create =
+        registry_.find(features::stmt(StmtKind::CreateTable));
+    EXPECT_TRUE(stmt.features.count(create));
+}
+
+TEST_F(GeneratorTest, QueryShapeNeedsTables)
+{
+    EXPECT_FALSE(gen_.generateQueryShape().has_value());
+    for (int i = 0; i < 5; ++i)
+        gen_.noteExecution(gen_.generateSetupStatement(), true);
+    auto shape = gen_.generateQueryShape();
+    ASSERT_TRUE(shape.has_value());
+    ASSERT_NE(shape->base, nullptr);
+    ASSERT_NE(shape->predicate, nullptr);
+    EXPECT_EQ(shape->base->where, nullptr); // predicate kept separate
+    EXPECT_FALSE(shape->base->from.empty());
+}
+
+TEST_F(GeneratorTest, DepthScheduleProgresses)
+{
+    GeneratorConfig config;
+    config.seed = 1;
+    config.depthStep = 10;
+    config.maxDepth = 3;
+    SchemaModel model;
+    AdaptiveGenerator gen(config, registry_, gate_, model);
+    EXPECT_EQ(gen.currentDepth(), 1);
+    for (int i = 0; i < 10; ++i)
+        gen.generateSetupStatement();
+    EXPECT_EQ(gen.currentDepth(), 2);
+    for (int i = 0; i < 10; ++i)
+        gen.generateSetupStatement();
+    EXPECT_EQ(gen.currentDepth(), 3);
+    for (int i = 0; i < 100; ++i)
+        gen.generateSetupStatement();
+    EXPECT_EQ(gen.currentDepth(), 3); // capped
+}
+
+TEST_F(GeneratorTest, DeterministicUnderSeed)
+{
+    GeneratorConfig config;
+    config.seed = 99;
+    SchemaModel model_a, model_b;
+    AdaptiveGenerator a(config, registry_, gate_, model_a);
+    AdaptiveGenerator b(config, registry_, gate_, model_b);
+    for (int i = 0; i < 50; ++i) {
+        GeneratedStatement sa = a.generateSetupStatement();
+        GeneratedStatement sb = b.generateSetupStatement();
+        ASSERT_EQ(sa.text, sb.text);
+        a.noteExecution(sa, true);
+        b.noteExecution(sb, true);
+    }
+}
+
+TEST_F(GeneratorTest, SubqueriesCanBeDisabled)
+{
+    GeneratorConfig config;
+    config.seed = 5;
+    config.enableSubqueries = false;
+    SchemaModel model;
+    AdaptiveGenerator gen(config, registry_, gate_, model);
+    for (int i = 0; i < 10; ++i)
+        gen.noteExecution(gen.generateSetupStatement(), true);
+    for (int i = 0; i < 200; ++i) {
+        GeneratedStatement stmt = gen.generateSelect();
+        EXPECT_EQ(stmt.text.find("(SELECT"), std::string::npos)
+            << stmt.text;
+    }
+}
+
+class GateDenyAll : public FeatureGate
+{
+  public:
+    explicit GateDenyAll(FeatureId denied) : denied_(denied) {}
+    bool
+    allow(FeatureId id) const override
+    {
+        return id != denied_;
+    }
+
+  private:
+    FeatureId denied_;
+};
+
+TEST(GeneratorGateTest, SuppressedStatementFeatureNeverGenerated)
+{
+    FeatureRegistry registry;
+    FeatureId index_feature =
+        registry.intern(features::stmt(StmtKind::CreateIndex),
+                        FeatureKind::Statement);
+    GateDenyAll gate(index_feature);
+    SchemaModel model;
+    GeneratorConfig config;
+    config.seed = 3;
+    AdaptiveGenerator gen(config, registry, gate, model);
+    for (int i = 0; i < 400; ++i) {
+        GeneratedStatement stmt = gen.generateSetupStatement();
+        EXPECT_NE(stmt.kind, StmtKind::CreateIndex) << stmt.text;
+        gen.noteExecution(stmt, true);
+    }
+}
+
+TEST(GeneratorGateTest, SuppressedOperatorNeverAppears)
+{
+    FeatureRegistry registry;
+    FeatureId nullsafe = registry.intern(
+        features::binaryOp(BinaryOp::NullSafeEq), FeatureKind::Operator);
+    GateDenyAll gate(nullsafe);
+    SchemaModel model;
+    GeneratorConfig config;
+    config.seed = 8;
+    AdaptiveGenerator gen(config, registry, gate, model);
+    for (int i = 0; i < 10; ++i)
+        gen.noteExecution(gen.generateSetupStatement(), true);
+    for (int i = 0; i < 400; ++i) {
+        GeneratedStatement stmt = gen.generateSelect();
+        EXPECT_EQ(stmt.text.find("<=>"), std::string::npos) << stmt.text;
+    }
+}
+
+/**
+ * End-to-end learning: running the generator with feedback against a
+ * dialect must raise the validity rate substantially over the
+ * feedback-free configuration (paper Table 4's shape).
+ */
+double
+measureValidity(const DialectProfile &profile, bool with_feedback,
+                uint64_t seed)
+{
+    FeatureRegistry registry;
+    FeedbackConfig fb;
+    fb.enabled = with_feedback;
+    fb.updateInterval = 200;
+    fb.ddlFailureLimit = 8;
+    FeedbackTracker tracker(fb);
+    FeedbackGate gate(tracker);
+    SchemaModel model;
+    GeneratorConfig config;
+    config.seed = seed;
+    config.depthStep = 150;
+    AdaptiveGenerator gen(config, registry, gate, model);
+    Connection connection(profile);
+
+    for (int i = 0; i < 120; ++i) {
+        GeneratedStatement stmt = gen.generateSetupStatement();
+        bool ok = connection.executeAdapted(stmt.text).isOk();
+        tracker.record(stmt.features, ok, false);
+        gen.noteExecution(stmt, ok);
+    }
+    // Warm-up queries to learn, then measure.
+    auto run_queries = [&](int count, bool measure) {
+        int ok_count = 0;
+        for (int i = 0; i < count; ++i) {
+            GeneratedStatement stmt = gen.generateSelect();
+            bool ok = connection.execute(stmt.text).isOk();
+            tracker.record(stmt.features, ok, true);
+            ok_count += ok ? 1 : 0;
+        }
+        return measure ? static_cast<double>(ok_count) / count : 0.0;
+    };
+    run_queries(1500, false);
+    return run_queries(600, true);
+}
+
+TEST(GeneratorLearningTest, FeedbackRaisesValidityOnStrictDialect)
+{
+    const DialectProfile *pg = findDialect("postgres-like");
+    ASSERT_NE(pg, nullptr);
+    double with = measureValidity(*pg, true, 21);
+    double without = measureValidity(*pg, false, 21);
+    // The paper's +121% relative gain on PostgreSQL is compressed at
+    // this budget (see EXPERIMENTS.md); the direction must be clear.
+    EXPECT_GT(with, without + 0.05)
+        << "with=" << with << " without=" << without;
+}
+
+TEST(GeneratorLearningTest, LearnsUnsupportedStatementsQuickly)
+{
+    // cratedb-like has no CREATE INDEX: after the DDL failure limit the
+    // generator must stop producing it.
+    const DialectProfile *crate = findDialect("cratedb-like");
+    ASSERT_NE(crate, nullptr);
+    FeatureRegistry registry;
+    FeedbackConfig fb;
+    fb.ddlFailureLimit = 6;
+    FeedbackTracker tracker(fb);
+    FeedbackGate gate(tracker);
+    SchemaModel model;
+    GeneratorConfig config;
+    config.seed = 12;
+    AdaptiveGenerator gen(config, registry, gate, model);
+    Connection connection(*crate);
+    int late_index_attempts = 0;
+    for (int i = 0; i < 600; ++i) {
+        GeneratedStatement stmt = gen.generateSetupStatement();
+        bool ok = connection.executeAdapted(stmt.text).isOk();
+        tracker.record(stmt.features, ok, false);
+        gen.noteExecution(stmt, ok);
+        if (i > 300 && stmt.kind == StmtKind::CreateIndex)
+            ++late_index_attempts;
+    }
+    EXPECT_EQ(late_index_attempts, 0);
+}
+
+TEST(BaselineGateTest, MatchesProfileCapabilities)
+{
+    FeatureRegistry registry;
+    const DialectProfile *mysql = findDialect("mysql-like");
+    ASSERT_NE(mysql, nullptr);
+    ProfileGate gate(*mysql, registry);
+    EXPECT_TRUE(gate.allowName("OP_<=>"));
+    EXPECT_FALSE(gate.allowName("OP_||"));
+    EXPECT_FALSE(gate.allowName("JOIN_FULL"));
+    EXPECT_TRUE(gate.allowName("JOIN_LEFT"));
+    EXPECT_TRUE(gate.allowName("FN_SIN"));
+    EXPECT_FALSE(gate.allowName("FN_TYPEOF"));
+    EXPECT_TRUE(gate.allowName("PROP_UNTYPED_EXPR")); // dynamic typing
+}
+
+TEST(BaselineGateTest, CompositeArgFeaturesFollowTyping)
+{
+    FeatureRegistry registry;
+    const DialectProfile *pg = findDialect("postgres-like");
+    const DialectProfile *sqlite = findDialect("sqlite-like");
+    ProfileGate pg_gate(*pg, registry);
+    ProfileGate sqlite_gate(*sqlite, registry);
+    // Static typing: SIN only takes integers.
+    EXPECT_TRUE(pg_gate.allowName("SIN1INT"));
+    EXPECT_FALSE(pg_gate.allowName("SIN1STRING"));
+    EXPECT_FALSE(pg_gate.allowName("PROP_UNTYPED_EXPR"));
+    // Dynamic typing: anything goes.
+    EXPECT_TRUE(sqlite_gate.allowName("SIN1INT"));
+    EXPECT_TRUE(sqlite_gate.allowName("SIN1STRING"));
+}
+
+TEST(BaselineGateTest, BaselineGeneratorIsHighlyValidImmediately)
+{
+    // The omniscient baseline needs no learning phase: its validity is
+    // high from the first statement (the paper's hand-written
+    // generator property).
+    const DialectProfile *pg = findDialect("postgres-like");
+    FeatureRegistry registry;
+    ProfileGate gate(*pg, registry);
+    SchemaModel model;
+    GeneratorConfig config;
+    config.seed = 31;
+    AdaptiveGenerator gen(config, registry, gate, model);
+    Connection connection(*pg);
+    int setup_ok = 0;
+    for (int i = 0; i < 100; ++i) {
+        GeneratedStatement stmt = gen.generateSetupStatement();
+        bool ok = connection.executeAdapted(stmt.text).isOk();
+        gen.noteExecution(stmt, ok);
+        setup_ok += ok ? 1 : 0;
+    }
+    int query_ok = 0;
+    for (int i = 0; i < 300; ++i) {
+        GeneratedStatement stmt = gen.generateSelect();
+        query_ok += connection.execute(stmt.text).isOk() ? 1 : 0;
+    }
+    EXPECT_GT(setup_ok, 60);
+    EXPECT_GT(query_ok, 200);
+}
+
+} // namespace
+} // namespace sqlpp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Bug-prioritizer tests reproducing the paper's Fig. 4 walkthrough.
+ */
+#include <gtest/gtest.h>
+
+#include "core/prioritizer.h"
+
+namespace sqlpp {
+namespace {
+
+TEST(PrioritizerTest, FirstBugIsAlwaysNew)
+{
+    BugPrioritizer prioritizer;
+    EXPECT_TRUE(prioritizer.considerNew({1, 2}));
+    EXPECT_EQ(prioritizer.size(), 1u);
+}
+
+TEST(PrioritizerTest, SupersetIsDuplicate)
+{
+    BugPrioritizer prioritizer;
+    ASSERT_TRUE(prioritizer.considerNew({1, 2}));
+    // {1,2} ⊆ {1,2,3}: duplicate.
+    EXPECT_FALSE(prioritizer.considerNew({1, 2, 3}));
+    EXPECT_EQ(prioritizer.size(), 1u);
+}
+
+TEST(PrioritizerTest, ExactMatchIsDuplicate)
+{
+    BugPrioritizer prioritizer;
+    ASSERT_TRUE(prioritizer.considerNew({4, 5}));
+    EXPECT_FALSE(prioritizer.considerNew({4, 5}));
+}
+
+TEST(PrioritizerTest, DisjointAndPartialOverlapAreNew)
+{
+    BugPrioritizer prioritizer;
+    ASSERT_TRUE(prioritizer.considerNew({1, 2}));
+    EXPECT_TRUE(prioritizer.considerNew({3, 4}));
+    // {1,2} is not a subset of {2,3}; {3,4} is not either.
+    EXPECT_TRUE(prioritizer.considerNew({2, 3}));
+    EXPECT_EQ(prioritizer.size(), 3u);
+}
+
+TEST(PrioritizerTest, SubsetOfKnownIsStillNew)
+{
+    // A *smaller* feature set than a known bug is new (the known set is
+    // not a subset of it) — matching the paper's definition exactly.
+    BugPrioritizer prioritizer;
+    ASSERT_TRUE(prioritizer.considerNew({1, 2, 3}));
+    EXPECT_TRUE(prioritizer.considerNew({1, 2}));
+    // And now {1,2,3}-shaped cases are duplicates of {1,2}.
+    EXPECT_FALSE(prioritizer.considerNew({1, 2, 9}));
+}
+
+TEST(PrioritizerTest, PaperFigure4Walkthrough)
+{
+    // Feature ids: NULLIF=10, !=/<> spellings 11 and 12, IS_NULL=13.
+    BugPrioritizer prioritizer;
+    // Test case 1: {NULLIF, !=} -> new.
+    EXPECT_TRUE(prioritizer.considerNew({10, 11}));
+    // Test cases 2 and 3 contain {NULLIF, !=} plus extras -> duplicates.
+    EXPECT_FALSE(prioritizer.considerNew({10, 11, 13}));
+    EXPECT_FALSE(prioritizer.considerNew({10, 11, 12, 13}));
+    // The paper's misclassification example: NULLIF with <> (different
+    // spelling) is treated as NEW even if the root cause is the same.
+    EXPECT_TRUE(prioritizer.considerNew({10, 12}));
+    EXPECT_EQ(prioritizer.size(), 2u);
+}
+
+TEST(PrioritizerTest, QueryFormDoesNotRecord)
+{
+    BugPrioritizer prioritizer;
+    ASSERT_TRUE(prioritizer.considerNew({1}));
+    EXPECT_TRUE(prioritizer.isPotentialDuplicate({1, 2}));
+    EXPECT_FALSE(prioritizer.isPotentialDuplicate({2}));
+    EXPECT_EQ(prioritizer.size(), 1u); // unchanged by queries
+}
+
+TEST(PrioritizerTest, ClearResets)
+{
+    BugPrioritizer prioritizer;
+    ASSERT_TRUE(prioritizer.considerNew({1}));
+    prioritizer.clear();
+    EXPECT_EQ(prioritizer.size(), 0u);
+    EXPECT_TRUE(prioritizer.considerNew({1, 2}));
+}
+
+TEST(PrioritizerTest, EmptySetSubsumesEverything)
+{
+    BugPrioritizer prioritizer;
+    ASSERT_TRUE(prioritizer.considerNew({}));
+    // The empty set is a subset of anything: everything else duplicates.
+    EXPECT_FALSE(prioritizer.considerNew({1}));
+    EXPECT_FALSE(prioritizer.considerNew({1, 2, 3}));
+}
+
+TEST(PrioritizerTest, ScalesToManySets)
+{
+    BugPrioritizer prioritizer;
+    size_t added = 0;
+    for (FeatureId i = 0; i < 200; ++i) {
+        if (prioritizer.considerNew({i, i + 1000}))
+            ++added;
+    }
+    EXPECT_EQ(added, 200u);
+    EXPECT_FALSE(prioritizer.considerNew({5, 1005, 77}));
+}
+
+} // namespace
+} // namespace sqlpp

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reducer tests: setup-statement elimination and predicate shrinking,
+ * both against synthetic replay predicates and a real buggy dialect.
+ */
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+#include "core/reducer.h"
+
+namespace sqlpp {
+namespace {
+
+TEST(ReducerTest, DropsIrrelevantSetupStatements)
+{
+    BugCase bug;
+    bug.setup = {"KEEP-1", "junk-a", "KEEP-2", "junk-b", "junk-c"};
+    bug.predicateText = "TRUE";
+    // Bug "reproduces" iff both KEEP statements are present.
+    auto replay = [](const BugCase &candidate) {
+        int keeps = 0;
+        for (const std::string &statement : candidate.setup) {
+            if (statement.rfind("KEEP", 0) == 0)
+                ++keeps;
+        }
+        return keeps == 2;
+    };
+    ReduceStats stats = reduceBugCase(bug, replay);
+    EXPECT_EQ(stats.setupBefore, 5u);
+    EXPECT_EQ(stats.setupAfter, 2u);
+    ASSERT_EQ(bug.setup.size(), 2u);
+    EXPECT_EQ(bug.setup[0], "KEEP-1");
+    EXPECT_EQ(bug.setup[1], "KEEP-2");
+}
+
+TEST(ReducerTest, ShrinksPredicateToRelevantCore)
+{
+    BugCase bug;
+    bug.predicateText =
+        "((c0 > 5) AND ((c1 LIKE 'x%') OR (SIN(c0) = 9)))";
+    // Bug reproduces whenever the predicate still mentions c0 > 5.
+    auto replay = [](const BugCase &candidate) {
+        return candidate.predicateText.find("c0 > 5") !=
+               std::string::npos;
+    };
+    ReduceStats stats = reduceBugCase(bug, replay);
+    EXPECT_LT(stats.predicateNodesAfter, stats.predicateNodesBefore);
+    EXPECT_EQ(bug.predicateText, "(c0 > 5)");
+}
+
+TEST(ReducerTest, LeavesUnreducibleCaseIntact)
+{
+    BugCase bug;
+    bug.setup = {"A", "B"};
+    bug.predicateText = "(c0 = 1)";
+    // Everything is load-bearing.
+    auto replay = [](const BugCase &candidate) {
+        return candidate.setup.size() == 2 &&
+               candidate.predicateText == "(c0 = 1)";
+    };
+    ReduceStats stats = reduceBugCase(bug, replay);
+    EXPECT_EQ(bug.setup.size(), 2u);
+    EXPECT_EQ(stats.setupAfter, 2u);
+    EXPECT_EQ(bug.predicateText, "(c0 = 1)");
+}
+
+TEST(ReducerTest, RespectsReplayBudget)
+{
+    BugCase bug;
+    for (int i = 0; i < 50; ++i)
+        bug.setup.push_back("junk-" + std::to_string(i));
+    bug.setup.push_back("KEEP");
+    bug.predicateText = "TRUE";
+    size_t replays = 0;
+    auto replay = [&replays](const BugCase &candidate) {
+        ++replays;
+        for (const std::string &statement : candidate.setup) {
+            if (statement == "KEEP")
+                return true;
+        }
+        return false;
+    };
+    ReduceStats stats = reduceBugCase(bug, replay, /*max_replays=*/30);
+    EXPECT_LE(stats.replays, 30u);
+}
+
+TEST(ReducerTest, EndToEndAgainstBuggyDialect)
+{
+    // Build a real bug case on the sqlite-like dialect (Listing 3's
+    // context-dependent comparison) padded with irrelevant setup, then
+    // reduce it with the campaign replay function.
+    const DialectProfile *sqlite = findDialect("sqlite-like");
+    ASSERT_NE(sqlite, nullptr);
+    BugCase bug;
+    bug.dialect = sqlite->name;
+    bug.oracle = "TLP";
+    bug.setup = {
+        "CREATE TABLE t9 (z INT)",          // irrelevant
+        "CREATE TABLE t0 (c0 TEXT)",        // load-bearing
+        "INSERT INTO t9 VALUES (5)",        // irrelevant
+        "INSERT INTO t0 (c0) VALUES (1)",   // load-bearing
+        "CREATE INDEX i9 ON t9(z)",         // irrelevant
+    };
+    bug.baseText = "SELECT * FROM t0";
+    bug.predicateText = "((t0.c0 = REPLACE(1, '', 0)) OR FALSE)";
+    ASSERT_TRUE(CampaignRunner::reproduces(*sqlite, bug));
+
+    ReduceStats stats = reduceBugCase(bug, [&](const BugCase &candidate) {
+        return CampaignRunner::reproduces(*sqlite, candidate);
+    });
+    EXPECT_EQ(stats.setupAfter, 2u);
+    EXPECT_LE(stats.predicateNodesAfter, stats.predicateNodesBefore);
+    // The reduced case still reproduces.
+    EXPECT_TRUE(CampaignRunner::reproduces(*sqlite, bug));
+    // The irrelevant table is gone.
+    for (const std::string &statement : bug.setup)
+        EXPECT_EQ(statement.find("t9"), std::string::npos) << statement;
+}
+
+} // namespace
+} // namespace sqlpp

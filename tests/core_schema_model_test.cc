@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Internal schema-model tests (paper Fig. 3 semantics).
+ */
+#include <gtest/gtest.h>
+
+#include "core/schema_model.h"
+
+namespace sqlpp {
+namespace {
+
+ModelTable
+table(const std::string &name, bool is_view = false)
+{
+    ModelTable out;
+    out.name = name;
+    out.isView = is_view;
+    out.columns.push_back({"c0", DataType::Int, false, false, false});
+    return out;
+}
+
+TEST(SchemaModelTest, AddAndLookup)
+{
+    SchemaModel model;
+    EXPECT_FALSE(model.hasTable("t0"));
+    model.addTable(table("t0"));
+    EXPECT_TRUE(model.hasTable("t0"));
+    ASSERT_NE(model.table("t0"), nullptr);
+    EXPECT_EQ(model.table("t0")->columns.size(), 1u);
+    EXPECT_EQ(model.table("zzz"), nullptr);
+}
+
+TEST(SchemaModelTest, CountsSeparateViewsFromTables)
+{
+    SchemaModel model;
+    model.addTable(table("t0"));
+    model.addTable(table("v0", /*is_view=*/true));
+    EXPECT_EQ(model.tableCount(false), 1u);
+    EXPECT_EQ(model.tableCount(true), 1u);
+}
+
+TEST(SchemaModelTest, DropTableRemovesItsIndexes)
+{
+    SchemaModel model;
+    model.addTable(table("t0"));
+    model.addIndex({"i0", "t0"});
+    model.addIndex({"i1", "t0"});
+    EXPECT_EQ(model.indexCount(), 2u);
+    model.dropTable("t0");
+    EXPECT_FALSE(model.hasTable("t0"));
+    EXPECT_EQ(model.indexCount(), 0u);
+}
+
+TEST(SchemaModelTest, DropIndex)
+{
+    SchemaModel model;
+    model.addTable(table("t0"));
+    model.addIndex({"i0", "t0"});
+    model.dropIndex("i0");
+    EXPECT_EQ(model.indexCount(), 0u);
+}
+
+TEST(SchemaModelTest, FreeNamesNeverRepeat)
+{
+    SchemaModel model;
+    std::string first = model.freeName("t");
+    model.addTable(table(first));
+    std::string second = model.freeName("t");
+    EXPECT_NE(first, second);
+    model.addTable(table(second));
+    model.dropTable(first);
+    // Dropped names are not reused (monotone counter).
+    EXPECT_NE(model.freeName("t"), first);
+}
+
+TEST(SchemaModelTest, NoteInsertAccumulates)
+{
+    SchemaModel model;
+    model.addTable(table("t0"));
+    model.noteInsert("t0", 3);
+    model.noteInsert("t0", 2);
+    EXPECT_EQ(model.table("t0")->assumedRows, 5u);
+    model.noteInsert("missing", 1); // silently ignored
+}
+
+TEST(SchemaModelTest, RandomSelectionRespectsFilters)
+{
+    SchemaModel model;
+    Rng rng(7);
+    EXPECT_FALSE(model.randomTable(rng, true).has_value());
+    EXPECT_FALSE(model.randomBaseTable(rng).has_value());
+    EXPECT_FALSE(model.randomIndex(rng).has_value());
+
+    model.addTable(table("v0", /*is_view=*/true));
+    EXPECT_FALSE(model.randomBaseTable(rng).has_value());
+    EXPECT_TRUE(model.randomTable(rng, true).has_value());
+    EXPECT_FALSE(model.randomTable(rng, false).has_value());
+
+    model.addTable(table("t0"));
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(*model.randomBaseTable(rng), "t0");
+}
+
+} // namespace
+} // namespace sqlpp

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Dialect layer tests: capability validation, profile diversity, and
+ * the Connection adapter (including CrateDB-style REFRESH visibility).
+ */
+#include <gtest/gtest.h>
+
+#include "dialect/connection.h"
+#include "dialect/profile.h"
+
+namespace sqlpp {
+namespace {
+
+const DialectProfile &
+dialect(const std::string &name)
+{
+    const DialectProfile *profile = findDialect(name);
+    EXPECT_NE(profile, nullptr) << name;
+    return *profile;
+}
+
+TEST(ProfilesTest, SeventeenCampaignDialectsPlusPostgres)
+{
+    EXPECT_EQ(campaignDialects().size(), 17u);
+    EXPECT_EQ(allDialectProfiles().size(), 18u);
+    EXPECT_NE(findDialect("postgres-like"), nullptr);
+    EXPECT_EQ(findDialect("oracle-like"), nullptr);
+}
+
+TEST(ProfilesTest, Table2FactsHold)
+{
+    // Facts the paper states explicitly.
+    EXPECT_FALSE(dialect("cratedb-like")
+                     .supportsStatement(StmtKind::CreateIndex));
+    EXPECT_TRUE(dialect("cratedb-like").requiresRefreshAfterInsert);
+    EXPECT_TRUE(
+        dialect("mysql-like").supportsBinaryOp(BinaryOp::NullSafeEq));
+    EXPECT_FALSE(
+        dialect("mysql-like").supportsJoin(JoinType::Full));
+    EXPECT_FALSE(dialect("sqlite-like").behavior.staticTyping);
+    EXPECT_TRUE(dialect("postgres-like").behavior.staticTyping);
+    EXPECT_TRUE(
+        dialect("sqlite-like").supportsBinaryOp(BinaryOp::Glob));
+    EXPECT_FALSE(
+        dialect("postgres-like").supportsBinaryOp(BinaryOp::Glob));
+}
+
+TEST(ProfilesTest, EveryDialectSupportsTheCommonCore)
+{
+    for (const DialectProfile &profile : allDialectProfiles()) {
+        EXPECT_TRUE(profile.supportsStatement(StmtKind::CreateTable))
+            << profile.name;
+        EXPECT_TRUE(profile.supportsStatement(StmtKind::Insert))
+            << profile.name;
+        EXPECT_TRUE(profile.supportsStatement(StmtKind::Select))
+            << profile.name;
+        EXPECT_TRUE(profile.supportsJoin(JoinType::Inner))
+            << profile.name;
+        EXPECT_TRUE(profile.supportsBinaryOp(BinaryOp::Eq))
+            << profile.name;
+        EXPECT_TRUE(profile.supportsType(DataType::Int)) << profile.name;
+        EXPECT_TRUE(profile.supportsFunction("COUNT")) << profile.name;
+    }
+}
+
+TEST(ProfilesTest, DialectMatricesAreDiverse)
+{
+    // No two dialects should expose an identical capability surface;
+    // dialect diversity is the premise of the whole platform.
+    auto signature = [](const DialectProfile &p) {
+        std::string sig;
+        for (StmtKind kind : p.statements)
+            sig += std::to_string(static_cast<int>(kind)) + ",";
+        sig += "|";
+        for (BinaryOp op : p.binaryOps)
+            sig += std::to_string(static_cast<int>(op)) + ",";
+        sig += "|";
+        for (const std::string &fn : p.functions)
+            sig += fn + ",";
+        sig += "|";
+        for (JoinType join : p.joins)
+            sig += std::to_string(static_cast<int>(join)) + ",";
+        sig += p.behavior.staticTyping ? "S" : "D";
+        return sig;
+    };
+    std::set<std::string> signatures;
+    for (const DialectProfile &profile : allDialectProfiles())
+        signatures.insert(signature(profile));
+    EXPECT_EQ(signatures.size(), allDialectProfiles().size());
+}
+
+TEST(ProfilesTest, EveryCampaignDialectHasGroundTruthBugs)
+{
+    for (const DialectProfile *profile : campaignDialects())
+        EXPECT_GT(profile->faults.size(), 0u) << profile->name;
+    EXPECT_EQ(dialect("postgres-like").faults.size(), 0u);
+    // Umbra-like and cratedb-like carry the heaviest load (Table 2).
+    EXPECT_GE(dialect("umbra-like").faults.size(), 8u);
+    EXPECT_GE(dialect("cratedb-like").faults.size(), 10u);
+    EXPECT_LE(dialect("mysql-like").faults.size(), 2u);
+}
+
+TEST(ValidationTest, UnsupportedFeaturesAreSyntaxErrors)
+{
+    Connection pg(dialect("postgres-like"));
+    ASSERT_TRUE(pg.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    // <=> is MySQL-only.
+    auto result = pg.execute("SELECT * FROM t0 WHERE c0 <=> 1");
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), ErrorCode::SyntaxError);
+    // GLOB is SQLite-only.
+    EXPECT_FALSE(
+        pg.execute("SELECT * FROM t0 WHERE 'a' GLOB 'a'").isOk());
+
+    Connection mysql(dialect("mysql-like"));
+    ASSERT_TRUE(mysql.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    EXPECT_TRUE(
+        mysql.execute("SELECT * FROM t0 WHERE c0 <=> 1").isOk());
+    EXPECT_FALSE(mysql.execute("SELECT 'a' || 'b'").isOk());
+}
+
+TEST(ValidationTest, StatementLevelGaps)
+{
+    Connection crate(dialect("cratedb-like"));
+    ASSERT_TRUE(crate.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    auto result = crate.execute("CREATE INDEX i0 ON t0(c0)");
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), ErrorCode::SyntaxError);
+
+    Connection virtuoso(dialect("virtuoso-like"));
+    ASSERT_TRUE(virtuoso.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    EXPECT_FALSE(
+        virtuoso.execute("CREATE VIEW v0 AS SELECT * FROM t0").isOk());
+    EXPECT_FALSE(
+        virtuoso
+            .execute("SELECT * FROM t0 WHERE c0 IN (SELECT 1)")
+            .isOk());
+    EXPECT_FALSE(virtuoso.execute("SELECT SIN(1)").isOk());
+}
+
+TEST(ValidationTest, UnsupportedFunctionsAndJoins)
+{
+    Connection virtuoso(dialect("virtuoso-like"));
+    ASSERT_TRUE(virtuoso.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    ASSERT_TRUE(virtuoso.execute("CREATE TABLE t1 (c0 INT)").isOk());
+    EXPECT_FALSE(virtuoso
+                     .execute("SELECT * FROM t0 RIGHT JOIN t1 "
+                              "ON t0.c0 = t1.c0")
+                     .isOk());
+    EXPECT_TRUE(virtuoso
+                    .execute("SELECT * FROM t0 LEFT JOIN t1 "
+                             "ON t0.c0 = t1.c0")
+                    .isOk());
+    EXPECT_FALSE(virtuoso.execute("SELECT TRUE").isOk());
+}
+
+TEST(ValidationTest, ClauseGaps)
+{
+    Connection cubrid(dialect("cubrid-like"));
+    ASSERT_TRUE(cubrid.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    EXPECT_TRUE(cubrid.execute("SELECT c0 FROM t0 LIMIT 1").isOk());
+    EXPECT_FALSE(
+        cubrid.execute("SELECT c0 FROM t0 LIMIT 1 OFFSET 1").isOk());
+
+    Connection firebird(dialect("firebird-like"));
+    ASSERT_TRUE(firebird.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    EXPECT_FALSE(
+        firebird.execute("INSERT INTO t0 VALUES (1), (2)").isOk());
+    EXPECT_TRUE(firebird.execute("INSERT INTO t0 VALUES (1)").isOk());
+}
+
+TEST(ConnectionTest, RefreshVisibilitySemantics)
+{
+    Connection crate(dialect("cratedb-like"));
+    ASSERT_TRUE(crate.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    ASSERT_TRUE(crate.execute("INSERT INTO t0 VALUES (1)").isOk());
+    // Not yet visible.
+    auto before = crate.execute("SELECT * FROM t0");
+    ASSERT_TRUE(before.isOk());
+    EXPECT_EQ(before.value().rowCount(), 0u);
+    EXPECT_EQ(crate.pendingRows(), 1u);
+    // REFRESH makes it visible.
+    ASSERT_TRUE(crate.execute("REFRESH t0").isOk());
+    auto after = crate.execute("SELECT * FROM t0");
+    ASSERT_TRUE(after.isOk());
+    EXPECT_EQ(after.value().rowCount(), 1u);
+    EXPECT_EQ(crate.pendingRows(), 0u);
+}
+
+TEST(ConnectionTest, RefreshRejectedElsewhere)
+{
+    Connection sqlite(dialect("sqlite-like"));
+    auto result = sqlite.execute("REFRESH t0");
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), ErrorCode::SyntaxError);
+}
+
+TEST(ConnectionTest, ExecuteAdaptedFlushesAutomatically)
+{
+    Connection crate(dialect("cratedb-like"));
+    ASSERT_TRUE(crate.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    ASSERT_TRUE(
+        crate.executeAdapted("INSERT INTO t0 VALUES (1)").isOk());
+    auto result = crate.execute("SELECT * FROM t0");
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value().rowCount(), 1u);
+}
+
+TEST(ConnectionTest, AdaptedSurfacesDeferredConstraintErrors)
+{
+    Connection crate(dialect("cratedb-like"));
+    ASSERT_TRUE(
+        crate.execute("CREATE TABLE t0 (c0 INT PRIMARY KEY)").isOk());
+    ASSERT_TRUE(
+        crate.executeAdapted("INSERT INTO t0 VALUES (1)").isOk());
+    auto dup = crate.executeAdapted("INSERT INTO t0 VALUES (1)");
+    ASSERT_FALSE(dup.isOk());
+    EXPECT_EQ(dup.status().code(), ErrorCode::RuntimeError);
+}
+
+TEST(ConnectionTest, DialectFaultsAreLive)
+{
+    // The sqlite-like profile must actually exhibit Listing 4.
+    Connection sqlite(dialect("sqlite-like"));
+    ASSERT_TRUE(sqlite.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    ASSERT_TRUE(sqlite.execute("CREATE TABLE t1 (c0 INT)").isOk());
+    ASSERT_TRUE(sqlite.execute("INSERT INTO t0 VALUES (1)").isOk());
+    ASSERT_TRUE(sqlite.execute("INSERT INTO t1 VALUES (1), (9)").isOk());
+    // The buggy flattener pass needs a WHERE clause to run.
+    auto clean = sqlite.execute(
+        "SELECT * FROM t0 RIGHT JOIN t1 ON t0.c0 = t1.c0");
+    ASSERT_TRUE(clean.isOk());
+    EXPECT_EQ(clean.value().rowCount(), 2u);
+    auto result = sqlite.execute(
+        "SELECT * FROM t0 RIGHT JOIN t1 ON t0.c0 = t1.c0 WHERE TRUE");
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value().rowCount(), 1u); // buggy: should be 2
+}
+
+TEST(ConnectionTest, TypingDisciplineVisibleThroughConnection)
+{
+    Connection pg(dialect("postgres-like"));
+    ASSERT_TRUE(pg.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    EXPECT_FALSE(pg.execute("SELECT * FROM t0 WHERE c0").isOk());
+
+    Connection sqlite(dialect("sqlite-like"));
+    ASSERT_TRUE(sqlite.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    EXPECT_TRUE(sqlite.execute("SELECT * FROM t0 WHERE c0").isOk());
+}
+
+TEST(ConnectionTest, StatementsIssuedCounter)
+{
+    Connection sqlite(dialect("sqlite-like"));
+    EXPECT_EQ(sqlite.statementsIssued(), 0u);
+    (void)sqlite.execute("CREATE TABLE t0 (c0 INT)");
+    (void)sqlite.execute("SELECT 1");
+    EXPECT_EQ(sqlite.statementsIssued(), 2u);
+}
+
+} // namespace
+} // namespace sqlpp

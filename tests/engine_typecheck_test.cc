@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Static type checker tests: a strictly-typed Database must reject the
+ * ill-typed statements a dynamically-typed one accepts.
+ */
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace sqlpp {
+namespace {
+
+class TypecheckTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        EngineConfig config;
+        config.behavior.staticTyping = true;
+        strict = std::make_unique<Database>(config);
+        ASSERT_TRUE(strict
+                        ->execute("CREATE TABLE t0 "
+                                  "(i INT, s TEXT, b BOOLEAN)")
+                        .isOk());
+    }
+
+    void
+    accepts(const std::string &sql)
+    {
+        auto result = strict->execute(sql);
+        EXPECT_TRUE(result.isOk())
+            << sql << " -> " << result.status().toString();
+    }
+
+    void
+    rejects(const std::string &sql)
+    {
+        auto result = strict->execute(sql);
+        EXPECT_FALSE(result.isOk()) << sql;
+        if (!result.isOk()) {
+            EXPECT_EQ(result.status().code(), ErrorCode::SemanticError)
+                << sql << " -> " << result.status().toString();
+        }
+    }
+
+    std::unique_ptr<Database> strict;
+};
+
+TEST_F(TypecheckTest, ArithmeticRequiresIntegers)
+{
+    accepts("SELECT i + 1 FROM t0");
+    accepts("SELECT i + NULL FROM t0"); // unknown unifies
+    rejects("SELECT s + 1 FROM t0");
+    rejects("SELECT i + b FROM t0");
+    rejects("SELECT -s FROM t0");
+    rejects("SELECT ~b FROM t0");
+}
+
+TEST_F(TypecheckTest, ComparisonsRequireCommonType)
+{
+    accepts("SELECT i = 1 FROM t0");
+    accepts("SELECT s < 'x' FROM t0");
+    accepts("SELECT b = TRUE FROM t0");
+    accepts("SELECT i = NULL FROM t0");
+    rejects("SELECT i = s FROM t0");
+    rejects("SELECT i = '1' FROM t0");
+    rejects("SELECT b < 1 FROM t0");
+    rejects("SELECT i <=> s FROM t0");
+}
+
+TEST_F(TypecheckTest, LogicalOperatorsRequireBooleans)
+{
+    accepts("SELECT b AND TRUE FROM t0");
+    accepts("SELECT NOT b FROM t0");
+    rejects("SELECT i AND b FROM t0");
+    rejects("SELECT NOT i FROM t0");
+    rejects("SELECT s OR b FROM t0");
+}
+
+TEST_F(TypecheckTest, WhereMustBeBoolean)
+{
+    accepts("SELECT * FROM t0 WHERE b");
+    accepts("SELECT * FROM t0 WHERE i > 1");
+    accepts("SELECT * FROM t0 WHERE NULL");
+    rejects("SELECT * FROM t0 WHERE i");
+    rejects("SELECT * FROM t0 WHERE s");
+}
+
+TEST_F(TypecheckTest, OnAndHavingMustBeBoolean)
+{
+    ASSERT_TRUE(strict->execute("CREATE TABLE t1 (i INT)").isOk());
+    accepts("SELECT * FROM t0 INNER JOIN t1 ON t0.i = t1.i");
+    rejects("SELECT * FROM t0 INNER JOIN t1 ON t0.i + t1.i");
+    accepts("SELECT i FROM t0 GROUP BY i HAVING COUNT(*) > 0");
+    rejects("SELECT i FROM t0 GROUP BY i HAVING SUM(i)");
+}
+
+TEST_F(TypecheckTest, StringOperatorsRequireText)
+{
+    accepts("SELECT s || 'x' FROM t0");
+    accepts("SELECT s LIKE 'a%' FROM t0");
+    rejects("SELECT i || 'x' FROM t0");
+    rejects("SELECT i LIKE 'a%' FROM t0");
+    rejects("SELECT s LIKE 1 FROM t0");
+}
+
+TEST_F(TypecheckTest, IsFormsAndBetween)
+{
+    accepts("SELECT i IS NULL FROM t0");
+    accepts("SELECT s IS NOT NULL FROM t0");
+    accepts("SELECT b IS TRUE FROM t0");
+    rejects("SELECT i IS TRUE FROM t0");
+    accepts("SELECT i BETWEEN 1 AND 3 FROM t0");
+    rejects("SELECT i BETWEEN 1 AND 'x' FROM t0");
+    accepts("SELECT i IN (1, 2, NULL) FROM t0");
+    rejects("SELECT i IN (1, 'x') FROM t0");
+}
+
+TEST_F(TypecheckTest, CaseBranchesMustAgree)
+{
+    accepts("SELECT CASE WHEN b THEN 1 ELSE 2 END FROM t0");
+    accepts("SELECT CASE WHEN b THEN 1 ELSE NULL END FROM t0");
+    rejects("SELECT CASE WHEN b THEN 1 ELSE 'x' END FROM t0");
+    rejects("SELECT CASE WHEN i THEN 1 END FROM t0");
+    accepts("SELECT CASE i WHEN 1 THEN 'x' END FROM t0");
+    rejects("SELECT CASE i WHEN 's' THEN 'x' END FROM t0");
+}
+
+TEST_F(TypecheckTest, FunctionSignatures)
+{
+    accepts("SELECT ABS(i) FROM t0");
+    rejects("SELECT ABS(s) FROM t0");
+    accepts("SELECT LENGTH(s) FROM t0");
+    rejects("SELECT LENGTH(i) FROM t0");
+    accepts("SELECT SIN(i) FROM t0");
+    rejects("SELECT SIN(s) FROM t0");
+    accepts("SELECT COALESCE(i, 1) FROM t0");
+    accepts("SELECT NULLIF(i, 1) + 1 FROM t0");
+    // NULLIF returns the first argument's type: TEXT + 1 is ill-typed.
+    rejects("SELECT NULLIF(s, 'x') + 1 FROM t0");
+    accepts("SELECT SUM(i) FROM t0");
+    rejects("SELECT SUM(s) FROM t0");
+    accepts("SELECT MAX(s) FROM t0");
+}
+
+TEST_F(TypecheckTest, CastBridgesTypes)
+{
+    accepts("SELECT CAST(i AS TEXT) || 'x' FROM t0");
+    accepts("SELECT CAST(s AS INTEGER) + 1 FROM t0");
+    accepts("SELECT * FROM t0 WHERE CAST(i AS BOOLEAN)");
+}
+
+TEST_F(TypecheckTest, InsertTypesChecked)
+{
+    accepts("INSERT INTO t0 VALUES (1, 'x', TRUE)");
+    accepts("INSERT INTO t0 VALUES (NULL, NULL, NULL)");
+    rejects("INSERT INTO t0 VALUES ('x', 'x', TRUE)");
+    rejects("INSERT INTO t0 (i) VALUES (TRUE)");
+    rejects("INSERT INTO t0 (b) VALUES (1)");
+}
+
+TEST_F(TypecheckTest, SubqueriesChecked)
+{
+    ASSERT_TRUE(strict->execute("CREATE TABLE t1 (i INT)").isOk());
+    accepts("SELECT * FROM t0 WHERE i IN (SELECT i FROM t1)");
+    rejects("SELECT * FROM t0 WHERE s IN (SELECT i FROM t1)");
+    rejects("SELECT * FROM t0 WHERE i IN (SELECT s + 1 FROM t0)");
+    accepts("SELECT (SELECT MAX(i) FROM t1) + 1");
+    rejects("SELECT (SELECT MAX(s) FROM t0) + 1 FROM t0");
+}
+
+TEST_F(TypecheckTest, DerivedTableTypesPropagate)
+{
+    accepts("SELECT d.x + 1 FROM (SELECT i AS x FROM t0) AS d");
+    rejects("SELECT d.x + 1 FROM (SELECT s AS x FROM t0) AS d");
+}
+
+TEST_F(TypecheckTest, ViewTypesPropagate)
+{
+    ASSERT_TRUE(
+        strict->execute("CREATE VIEW v0(x) AS SELECT s FROM t0")
+            .isOk());
+    rejects("SELECT x + 1 FROM v0");
+    accepts("SELECT x || 'y' FROM v0");
+}
+
+TEST_F(TypecheckTest, PartialIndexPredicateChecked)
+{
+    accepts("CREATE INDEX i0 ON t0(i) WHERE i > 1");
+    rejects("CREATE INDEX i1 ON t0(i) WHERE i + 1");
+    rejects("CREATE INDEX i2 ON t0(i) WHERE s");
+}
+
+TEST_F(TypecheckTest, DynamicDatabaseAcceptsEverything)
+{
+    // The same statements a strict dialect rejects run fine dynamically.
+    Database dynamic;
+    ASSERT_TRUE(
+        dynamic.execute("CREATE TABLE t0 (i INT, s TEXT, b BOOLEAN)")
+            .isOk());
+    EXPECT_TRUE(dynamic.execute("SELECT s + 1 FROM t0").isOk());
+    EXPECT_TRUE(dynamic.execute("SELECT * FROM t0 WHERE i").isOk());
+    EXPECT_TRUE(dynamic.execute("SELECT i || 'x' FROM t0").isOk());
+}
+
+} // namespace
+} // namespace sqlpp

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the SQL lexer.
+ */
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+
+namespace sqlpp {
+namespace {
+
+std::vector<Token>
+lex(const std::string &sql)
+{
+    auto result = tokenize(sql);
+    EXPECT_TRUE(result.isOk()) << result.status().toString();
+    return result.isOk() ? result.takeValue() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEof)
+{
+    auto tokens = lex("");
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::EndOfInput);
+}
+
+TEST(LexerTest, IdentifiersAndIntegers)
+{
+    auto tokens = lex("SELECT c0 FROM t0 LIMIT 42");
+    ASSERT_EQ(tokens.size(), 7u);
+    EXPECT_EQ(tokens[0].text, "SELECT");
+    EXPECT_EQ(tokens[1].text, "c0");
+    EXPECT_EQ(tokens[5].kind, TokenKind::Integer);
+    EXPECT_EQ(tokens[5].intValue, 42);
+}
+
+TEST(LexerTest, StringWithEscapedQuote)
+{
+    auto tokens = lex("'it''s'");
+    ASSERT_GE(tokens.size(), 1u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::String);
+    EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, EmptyString)
+{
+    auto tokens = lex("''");
+    EXPECT_EQ(tokens[0].kind, TokenKind::String);
+    EXPECT_EQ(tokens[0].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringFails)
+{
+    auto result = tokenize("'abc");
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), ErrorCode::SyntaxError);
+}
+
+TEST(LexerTest, MultiCharSymbolsMaximalMunch)
+{
+    auto tokens = lex("a <=> b <> c != d <= e >= f << g >> h || i");
+    std::vector<std::string> symbols;
+    for (const Token &t : tokens) {
+        if (t.kind == TokenKind::Symbol)
+            symbols.push_back(t.text);
+    }
+    std::vector<std::string> expected{"<=>", "<>", "!=", "<=",
+                                      ">=", "<<", ">>", "||"};
+    EXPECT_EQ(symbols, expected);
+}
+
+TEST(LexerTest, SingleCharSymbols)
+{
+    auto tokens = lex("(a+b)*c-d/e%f=g<h>i,~j;");
+    int symbol_count = 0;
+    for (const Token &t : tokens) {
+        if (t.kind == TokenKind::Symbol)
+            ++symbol_count;
+    }
+    // ( + ) * - / % = < > , ~ ; — 13 symbols.
+    EXPECT_EQ(symbol_count, 13);
+}
+
+TEST(LexerTest, LineCommentSkipped)
+{
+    auto tokens = lex("SELECT 1 -- comment here\n, 2");
+    // SELECT 1 , 2 EOF
+    ASSERT_EQ(tokens.size(), 5u);
+    EXPECT_EQ(tokens[3].intValue, 2);
+}
+
+TEST(LexerTest, BlockCommentSkipped)
+{
+    auto tokens = lex("SELECT /* hidden */ 1");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[1].intValue, 1);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails)
+{
+    EXPECT_FALSE(tokenize("SELECT /* oops").isOk());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails)
+{
+    auto result = tokenize("SELECT @");
+    ASSERT_FALSE(result.isOk());
+    EXPECT_NE(result.status().message().find("unexpected character"),
+              std::string::npos);
+}
+
+TEST(LexerTest, IntegerOverflowFails)
+{
+    EXPECT_FALSE(tokenize("99999999999999999999999999").isOk());
+}
+
+TEST(LexerTest, OffsetsRecorded)
+{
+    auto tokens = lex("ab cd");
+    EXPECT_EQ(tokens[0].offset, 0u);
+    EXPECT_EQ(tokens[1].offset, 3u);
+}
+
+TEST(LexerTest, UnderscoreIdentifiers)
+{
+    auto tokens = lex("_private my_col2");
+    EXPECT_EQ(tokens[0].text, "_private");
+    EXPECT_EQ(tokens[1].text, "my_col2");
+}
+
+} // namespace
+} // namespace sqlpp

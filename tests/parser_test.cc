@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for the SQL parser: statement forms, expression precedence,
+ * error staging, and print→parse round trips.
+ */
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "sqlir/printer.h"
+
+namespace sqlpp {
+namespace {
+
+StmtPtr
+parseOk(const std::string &sql)
+{
+    auto result = parseStatement(sql);
+    EXPECT_TRUE(result.isOk()) << sql << " -> " << result.status().toString();
+    return result.isOk() ? result.takeValue() : nullptr;
+}
+
+ExprPtr
+parseExprOk(const std::string &sql)
+{
+    auto result = parseExpression(sql);
+    EXPECT_TRUE(result.isOk()) << sql << " -> " << result.status().toString();
+    return result.isOk() ? result.takeValue() : nullptr;
+}
+
+TEST(ParserTest, CreateTableBasic)
+{
+    StmtPtr stmt = parseOk("CREATE TABLE t0 (c0 INT, c1 TEXT NOT NULL)");
+    ASSERT_NE(stmt, nullptr);
+    ASSERT_EQ(stmt->kind(), StmtKind::CreateTable);
+    auto *create = static_cast<CreateTableStmt *>(stmt.get());
+    EXPECT_EQ(create->name, "t0");
+    ASSERT_EQ(create->columns.size(), 2u);
+    EXPECT_EQ(create->columns[0].type, DataType::Int);
+    EXPECT_TRUE(create->columns[1].notNull);
+}
+
+TEST(ParserTest, CreateTableConstraints)
+{
+    StmtPtr stmt = parseOk(
+        "CREATE TABLE IF NOT EXISTS t0 "
+        "(c0 INTEGER PRIMARY KEY, c1 BOOLEAN UNIQUE NOT NULL)");
+    auto *create = static_cast<CreateTableStmt *>(stmt.get());
+    EXPECT_TRUE(create->ifNotExists);
+    EXPECT_TRUE(create->columns[0].primaryKey);
+    EXPECT_TRUE(create->columns[1].unique);
+    EXPECT_TRUE(create->columns[1].notNull);
+    EXPECT_EQ(create->columns[1].type, DataType::Bool);
+}
+
+TEST(ParserTest, CreateIndexForms)
+{
+    StmtPtr stmt = parseOk(
+        "CREATE UNIQUE INDEX i0 ON t0(c0, c1) WHERE c0 > 5");
+    auto *index = static_cast<CreateIndexStmt *>(stmt.get());
+    EXPECT_TRUE(index->unique);
+    EXPECT_EQ(index->table, "t0");
+    EXPECT_EQ(index->columns.size(), 2u);
+    ASSERT_NE(index->where, nullptr);
+
+    StmtPtr plain = parseOk("CREATE INDEX i1 ON t0(c0)");
+    EXPECT_FALSE(static_cast<CreateIndexStmt *>(plain.get())->unique);
+}
+
+TEST(ParserTest, CreateView)
+{
+    StmtPtr stmt = parseOk("CREATE VIEW v0(a, b) AS SELECT c0, c1 FROM t0");
+    auto *view = static_cast<CreateViewStmt *>(stmt.get());
+    EXPECT_EQ(view->name, "v0");
+    EXPECT_EQ(view->columnNames.size(), 2u);
+    ASSERT_NE(view->select, nullptr);
+    EXPECT_EQ(view->select->items.size(), 2u);
+}
+
+TEST(ParserTest, InsertMultiRow)
+{
+    StmtPtr stmt = parseOk(
+        "INSERT INTO t0 (c0, c1) VALUES (1, 'a'), (NULL, 'b')");
+    auto *insert = static_cast<InsertStmt *>(stmt.get());
+    EXPECT_EQ(insert->table, "t0");
+    EXPECT_EQ(insert->columns.size(), 2u);
+    ASSERT_EQ(insert->rows.size(), 2u);
+    EXPECT_EQ(insert->rows[1].size(), 2u);
+}
+
+TEST(ParserTest, InsertOrIgnore)
+{
+    StmtPtr stmt = parseOk("INSERT OR IGNORE INTO t0 VALUES (1)");
+    EXPECT_TRUE(static_cast<InsertStmt *>(stmt.get())->orIgnore);
+}
+
+TEST(ParserTest, AnalyzeForms)
+{
+    EXPECT_EQ(parseOk("ANALYZE")->kind(), StmtKind::Analyze);
+    StmtPtr stmt = parseOk("ANALYZE t0");
+    EXPECT_EQ(static_cast<AnalyzeStmt *>(stmt.get())->table, "t0");
+}
+
+TEST(ParserTest, DropForms)
+{
+    EXPECT_EQ(parseOk("DROP TABLE t0")->kind(), StmtKind::DropTable);
+    EXPECT_EQ(parseOk("DROP VIEW v0")->kind(), StmtKind::DropView);
+    EXPECT_EQ(parseOk("DROP INDEX i0")->kind(), StmtKind::DropIndex);
+    StmtPtr stmt = parseOk("DROP TABLE IF EXISTS t0");
+    EXPECT_TRUE(static_cast<DropStmt *>(stmt.get())->ifExists);
+}
+
+TEST(ParserTest, SelectMinimal)
+{
+    StmtPtr stmt = parseOk("SELECT 1");
+    auto *select = static_cast<SelectStmt *>(stmt.get());
+    EXPECT_TRUE(select->from.empty());
+    EXPECT_EQ(select->items.size(), 1u);
+}
+
+TEST(ParserTest, SelectFull)
+{
+    StmtPtr stmt = parseOk(
+        "SELECT DISTINCT t0.c0 AS x, COUNT(*) FROM t0 "
+        "LEFT OUTER JOIN t1 ON t0.c0 = t1.c0 "
+        "WHERE t0.c0 IS NOT NULL GROUP BY t0.c0 HAVING COUNT(*) > 1 "
+        "ORDER BY t0.c0 DESC LIMIT 10 OFFSET 5");
+    auto *select = static_cast<SelectStmt *>(stmt.get());
+    EXPECT_TRUE(select->distinct);
+    EXPECT_EQ(select->items[0].alias, "x");
+    ASSERT_EQ(select->joins.size(), 1u);
+    EXPECT_EQ(select->joins[0].type, JoinType::Left);
+    ASSERT_NE(select->where, nullptr);
+    EXPECT_EQ(select->groupBy.size(), 1u);
+    ASSERT_NE(select->having, nullptr);
+    EXPECT_FALSE(select->orderBy[0].ascending);
+    EXPECT_EQ(select->limit, 10);
+    EXPECT_EQ(select->offset, 5);
+}
+
+TEST(ParserTest, AllJoinTypes)
+{
+    struct Case { const char *sql; JoinType type; };
+    const Case cases[] = {
+        {"SELECT * FROM t0 INNER JOIN t1 ON 1", JoinType::Inner},
+        {"SELECT * FROM t0 JOIN t1 ON 1", JoinType::Inner},
+        {"SELECT * FROM t0 LEFT JOIN t1 ON 1", JoinType::Left},
+        {"SELECT * FROM t0 RIGHT JOIN t1 ON 1", JoinType::Right},
+        {"SELECT * FROM t0 FULL JOIN t1 ON 1", JoinType::Full},
+        {"SELECT * FROM t0 CROSS JOIN t1", JoinType::Cross},
+        {"SELECT * FROM t0 NATURAL JOIN t1", JoinType::Natural},
+    };
+    for (const Case &c : cases) {
+        StmtPtr stmt = parseOk(c.sql);
+        auto *select = static_cast<SelectStmt *>(stmt.get());
+        ASSERT_EQ(select->joins.size(), 1u) << c.sql;
+        EXPECT_EQ(select->joins[0].type, c.type) << c.sql;
+    }
+}
+
+TEST(ParserTest, CommaSeparatedFrom)
+{
+    StmtPtr stmt = parseOk("SELECT * FROM t0, t1 AS a, t2 b");
+    auto *select = static_cast<SelectStmt *>(stmt.get());
+    ASSERT_EQ(select->from.size(), 3u);
+    EXPECT_EQ(select->from[1].alias, "a");
+    EXPECT_EQ(select->from[2].alias, "b");
+}
+
+TEST(ParserTest, DerivedTableRequiresAlias)
+{
+    EXPECT_FALSE(parseStatement("SELECT * FROM (SELECT 1)").isOk());
+    StmtPtr stmt = parseOk("SELECT * FROM (SELECT 1 AS x) AS sub0");
+    auto *select = static_cast<SelectStmt *>(stmt.get());
+    ASSERT_NE(select->from[0].subquery, nullptr);
+    EXPECT_EQ(select->from[0].alias, "sub0");
+}
+
+TEST(ParserTest, PrecedenceOrAndNot)
+{
+    // a OR b AND NOT c parses as a OR (b AND (NOT c)).
+    ExprPtr expr = parseExprOk("a OR b AND NOT c");
+    EXPECT_EQ(printExpr(*expr), "(a OR (b AND (NOT c)))");
+}
+
+TEST(ParserTest, PrecedenceArithmeticOverComparison)
+{
+    ExprPtr expr = parseExprOk("1 + 2 * 3 < 4");
+    EXPECT_EQ(printExpr(*expr), "((1 + (2 * 3)) < 4)");
+}
+
+TEST(ParserTest, PrecedenceBitwise)
+{
+    ExprPtr expr = parseExprOk("1 | 2 & 3 << 4");
+    EXPECT_EQ(printExpr(*expr), "(1 | (2 & (3 << 4)))");
+}
+
+TEST(ParserTest, IsNullFamily)
+{
+    EXPECT_EQ(printExpr(*parseExprOk("c0 IS NULL")), "(c0 IS NULL)");
+    EXPECT_EQ(printExpr(*parseExprOk("c0 IS NOT NULL")),
+              "(c0 IS NOT NULL)");
+    EXPECT_EQ(printExpr(*parseExprOk("c0 IS TRUE")), "(c0 IS TRUE)");
+    EXPECT_EQ(printExpr(*parseExprOk("c0 IS NOT FALSE")),
+              "(c0 IS NOT FALSE)");
+}
+
+TEST(ParserTest, IsDistinctFrom)
+{
+    EXPECT_EQ(printExpr(*parseExprOk("a IS DISTINCT FROM b")),
+              "(a IS DISTINCT FROM b)");
+    EXPECT_EQ(printExpr(*parseExprOk("a IS NOT DISTINCT FROM b")),
+              "(a IS NOT DISTINCT FROM b)");
+}
+
+TEST(ParserTest, BetweenAndNotBetween)
+{
+    EXPECT_EQ(printExpr(*parseExprOk("c0 BETWEEN 1 AND 3")),
+              "(c0 BETWEEN 1 AND 3)");
+    EXPECT_EQ(printExpr(*parseExprOk("c0 NOT BETWEEN 1 AND 3")),
+              "(c0 NOT BETWEEN 1 AND 3)");
+}
+
+TEST(ParserTest, InListAndSubquery)
+{
+    EXPECT_EQ(printExpr(*parseExprOk("c0 IN (1, 2)")), "(c0 IN (1, 2))");
+    EXPECT_EQ(printExpr(*parseExprOk("c0 NOT IN (SELECT 1)")),
+              "(c0 NOT IN (SELECT 1))");
+}
+
+TEST(ParserTest, ExistsForms)
+{
+    EXPECT_EQ(printExpr(*parseExprOk("EXISTS (SELECT 1)")),
+              "(EXISTS (SELECT 1))");
+    EXPECT_EQ(printExpr(*parseExprOk("NOT EXISTS (SELECT 1)")),
+              "(NOT EXISTS (SELECT 1))");
+}
+
+TEST(ParserTest, ScalarSubquery)
+{
+    EXPECT_EQ(printExpr(*parseExprOk("(SELECT 1) + 2")),
+              "((SELECT 1) + 2)");
+}
+
+TEST(ParserTest, CaseForms)
+{
+    EXPECT_EQ(printExpr(*parseExprOk(
+                  "CASE WHEN a THEN 1 ELSE 2 END")),
+              "(CASE WHEN a THEN 1 ELSE 2 END)");
+    EXPECT_EQ(printExpr(*parseExprOk("CASE c0 WHEN 1 THEN 2 END")),
+              "(CASE c0 WHEN 1 THEN 2 END)");
+}
+
+TEST(ParserTest, CastForms)
+{
+    EXPECT_EQ(printExpr(*parseExprOk("CAST(c0 AS TEXT)")),
+              "CAST(c0 AS TEXT)");
+    EXPECT_FALSE(parseExpression("CAST(c0 AS BLOB)").isOk());
+}
+
+TEST(ParserTest, FunctionCalls)
+{
+    EXPECT_EQ(printExpr(*parseExprOk("nullif(a, b)")), "NULLIF(a, b)");
+    EXPECT_EQ(printExpr(*parseExprOk("COUNT(*)")), "COUNT(*)");
+    EXPECT_EQ(printExpr(*parseExprOk("SUM(DISTINCT c0)")),
+              "SUM(DISTINCT c0)");
+    EXPECT_EQ(printExpr(*parseExprOk("PI()")), "PI()");
+}
+
+TEST(ParserTest, NullSafeEqualsAndLike)
+{
+    EXPECT_EQ(printExpr(*parseExprOk("a <=> b")), "(a <=> b)");
+    EXPECT_EQ(printExpr(*parseExprOk("a LIKE 'x%'")), "(a LIKE 'x%')");
+    EXPECT_EQ(printExpr(*parseExprOk("a NOT LIKE 'x%'")),
+              "(a NOT LIKE 'x%')");
+    EXPECT_EQ(printExpr(*parseExprOk("a GLOB 'x*'")), "(a GLOB 'x*')");
+}
+
+TEST(ParserTest, ParenthesisedPostfix)
+{
+    EXPECT_EQ(printExpr(*parseExprOk("(a + b) IS NULL")),
+              "((a + b) IS NULL)");
+}
+
+TEST(ParserTest, ErrorsAreSyntaxErrors)
+{
+    const char *bad[] = {
+        "",
+        "UPDATE t0 SET c0 = 1",  // unsupported statement kind
+        "SELECT FROM t0",
+        "CREATE TABLE (c0 INT)",
+        "CREATE TABLE t0 (c0 BLOB)",
+        "INSERT INTO t0",
+        "SELECT 1 extra garbage (",
+        "SELECT * FROM t0 LEFT JOIN t1",  // missing ON
+        "CASE WHEN 1 THEN 2",             // not a statement
+    };
+    for (const char *sql : bad) {
+        auto result = parseStatement(sql);
+        EXPECT_FALSE(result.isOk()) << sql;
+        if (!result.isOk()) {
+            EXPECT_EQ(result.status().code(), ErrorCode::SyntaxError)
+                << sql;
+        }
+    }
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted)
+{
+    EXPECT_NE(parseOk("SELECT 1;"), nullptr);
+}
+
+TEST(ParserTest, PrintParseRoundTrip)
+{
+    const char *queries[] = {
+        "SELECT DISTINCT t0.c0 FROM t0 RIGHT JOIN t1 ON (t0.c0 = t1.c0) "
+        "WHERE ((t0.c0 + 1) > 2) ORDER BY t0.c0 ASC LIMIT 3",
+        "SELECT * FROM (SELECT 1 AS x) AS sub0 CROSS JOIN t0",
+        "INSERT INTO t0 (c0) VALUES ((1 + 2)), (NULL)",
+        "CREATE VIEW v0 AS SELECT (c0 IS NULL) AS a FROM t0",
+        "SELECT (CASE WHEN (c0 <=> 1) THEN 'a' ELSE 'b' END) FROM t0",
+        "SELECT * FROM t0 WHERE (c0 IN (SELECT c1 FROM t1))",
+    };
+    for (const char *sql : queries) {
+        StmtPtr first = parseOk(sql);
+        ASSERT_NE(first, nullptr) << sql;
+        std::string printed = printStmt(*first);
+        StmtPtr second = parseOk(printed);
+        ASSERT_NE(second, nullptr) << printed;
+        EXPECT_EQ(printStmt(*second), printed) << sql;
+    }
+}
+
+} // namespace
+} // namespace sqlpp

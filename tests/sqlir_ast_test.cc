@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Unit tests for AST construction, cloning, tree walking, and printing.
+ */
+#include <gtest/gtest.h>
+
+#include "sqlir/ast.h"
+#include "sqlir/printer.h"
+
+namespace sqlpp {
+namespace {
+
+ExprPtr
+lit(int64_t v)
+{
+    return std::make_unique<LiteralExpr>(Value::integer(v));
+}
+
+ExprPtr
+col(const std::string &table, const std::string &column)
+{
+    return std::make_unique<ColumnRefExpr>(table, column);
+}
+
+TEST(AstTest, BinaryOpSymbols)
+{
+    EXPECT_STREQ(binaryOpSymbol(BinaryOp::NullSafeEq), "<=>");
+    EXPECT_STREQ(binaryOpSymbol(BinaryOp::NotEq), "<>");
+    EXPECT_STREQ(binaryOpSymbol(BinaryOp::NotEqBang), "!=");
+    EXPECT_STREQ(binaryOpSymbol(BinaryOp::Concat), "||");
+    EXPECT_STREQ(binaryOpSymbol(BinaryOp::IsDistinctFrom),
+                 "IS DISTINCT FROM");
+}
+
+TEST(AstTest, OpClassification)
+{
+    EXPECT_TRUE(isComparisonOp(BinaryOp::Eq));
+    EXPECT_TRUE(isComparisonOp(BinaryOp::NullSafeEq));
+    EXPECT_FALSE(isComparisonOp(BinaryOp::Add));
+    EXPECT_TRUE(isLogicalOp(BinaryOp::And));
+    EXPECT_FALSE(isLogicalOp(BinaryOp::Like));
+}
+
+TEST(AstTest, CloneBinaryIsDeep)
+{
+    auto expr = std::make_unique<BinaryExpr>(BinaryOp::Add, lit(1), lit(2));
+    ExprPtr cloned = expr->clone();
+    ASSERT_EQ(cloned->kind(), ExprKind::Binary);
+    auto *bin = static_cast<BinaryExpr *>(cloned.get());
+    EXPECT_NE(bin->lhs.get(), expr->lhs.get());
+    EXPECT_EQ(printExpr(*cloned), printExpr(*expr));
+}
+
+TEST(AstTest, CloneCasePreservesArms)
+{
+    std::vector<CaseExpr::Arm> arms;
+    arms.push_back(CaseExpr::Arm{lit(1), lit(10)});
+    arms.push_back(CaseExpr::Arm{lit(2), lit(20)});
+    auto expr = std::make_unique<CaseExpr>(col("", "c0"), std::move(arms),
+                                           lit(99));
+    ExprPtr cloned = expr->clone();
+    EXPECT_EQ(printExpr(*cloned), printExpr(*expr));
+}
+
+TEST(AstTest, ForEachExprNodeVisitsAll)
+{
+    // (1 + 2) * c0 has 5 nodes.
+    auto sum = std::make_unique<BinaryExpr>(BinaryOp::Add, lit(1), lit(2));
+    auto expr = std::make_unique<BinaryExpr>(BinaryOp::Mul, std::move(sum),
+                                             col("t0", "c0"));
+    int count = 0;
+    forEachExprNode(*expr, [&](const Expr &) { ++count; });
+    EXPECT_EQ(count, 5);
+}
+
+TEST(AstTest, SelectCloneIsDeep)
+{
+    SelectStmt select;
+    SelectItem item;
+    item.expr = col("t0", "c0");
+    select.items.push_back(std::move(item));
+    TableRef ref;
+    ref.name = "t0";
+    select.from.push_back(std::move(ref));
+    select.where = std::make_unique<BinaryExpr>(BinaryOp::Greater,
+                                                col("t0", "c0"), lit(5));
+    select.limit = 10;
+
+    SelectPtr cloned = select.cloneSelect();
+    EXPECT_EQ(printSelect(*cloned), printSelect(select));
+    // Mutating the clone must not affect the original.
+    cloned->limit = 99;
+    EXPECT_EQ(select.limit, 10);
+}
+
+TEST(AstTest, TableRefBindingName)
+{
+    TableRef ref;
+    ref.name = "t0";
+    EXPECT_EQ(ref.bindingName(), "t0");
+    ref.alias = "a";
+    EXPECT_EQ(ref.bindingName(), "a");
+}
+
+TEST(PrinterTest, LiteralAndColumn)
+{
+    EXPECT_EQ(printExpr(*lit(42)), "42");
+    EXPECT_EQ(printExpr(*col("t0", "c0")), "t0.c0");
+    EXPECT_EQ(printExpr(*col("", "c0")), "c0");
+    LiteralExpr text(Value::text("a'b"));
+    EXPECT_EQ(printExpr(text), "'a''b'");
+}
+
+TEST(PrinterTest, FullyParenthesisedBinary)
+{
+    auto sum = std::make_unique<BinaryExpr>(BinaryOp::Add, lit(1), lit(2));
+    auto expr = std::make_unique<BinaryExpr>(BinaryOp::Mul, std::move(sum),
+                                             lit(3));
+    EXPECT_EQ(printExpr(*expr), "((1 + 2) * 3)");
+}
+
+TEST(PrinterTest, UnaryForms)
+{
+    EXPECT_EQ(printExpr(UnaryExpr(UnaryOp::Neg, lit(5))), "(- 5)");
+    EXPECT_EQ(printExpr(UnaryExpr(UnaryOp::Not, lit(1))), "(NOT 1)");
+    EXPECT_EQ(printExpr(UnaryExpr(UnaryOp::IsNull, col("", "c0"))),
+              "(c0 IS NULL)");
+    EXPECT_EQ(printExpr(UnaryExpr(UnaryOp::IsNotTrue, col("", "c0"))),
+              "(c0 IS NOT TRUE)");
+}
+
+TEST(PrinterTest, BetweenAndIn)
+{
+    BetweenExpr between(col("", "c0"), lit(1), lit(9), /*negated=*/true);
+    EXPECT_EQ(printExpr(between), "(c0 NOT BETWEEN 1 AND 9)");
+
+    std::vector<ExprPtr> items;
+    items.push_back(lit(1));
+    items.push_back(lit(2));
+    InListExpr in(col("", "c0"), std::move(items), /*negated=*/false);
+    EXPECT_EQ(printExpr(in), "(c0 IN (1, 2))");
+}
+
+TEST(PrinterTest, FunctionForms)
+{
+    FunctionExpr count("COUNT", {}, /*star=*/true);
+    EXPECT_EQ(printExpr(count), "COUNT(*)");
+
+    std::vector<ExprPtr> args;
+    args.push_back(col("", "c0"));
+    FunctionExpr sum("SUM", std::move(args), false, /*distinct=*/true);
+    EXPECT_EQ(printExpr(sum), "SUM(DISTINCT c0)");
+}
+
+TEST(PrinterTest, CastExpr)
+{
+    CastExpr cast(lit(1), DataType::Text);
+    EXPECT_EQ(printExpr(cast), "CAST(1 AS TEXT)");
+}
+
+TEST(PrinterTest, CreateTable)
+{
+    CreateTableStmt stmt;
+    stmt.name = "t0";
+    stmt.columns.push_back({"c0", DataType::Int, false, false, true});
+    stmt.columns.push_back({"c1", DataType::Text, true, true, false});
+    EXPECT_EQ(printStmt(stmt),
+              "CREATE TABLE t0 (c0 INTEGER PRIMARY KEY, "
+              "c1 TEXT UNIQUE NOT NULL)");
+}
+
+TEST(PrinterTest, CreateIndexWithPartialPredicate)
+{
+    CreateIndexStmt stmt;
+    stmt.name = "i0";
+    stmt.table = "t0";
+    stmt.columns = {"c0", "c1"};
+    stmt.unique = true;
+    stmt.where = std::make_unique<UnaryExpr>(UnaryOp::IsNotNull,
+                                             col("", "c0"));
+    EXPECT_EQ(printStmt(stmt),
+              "CREATE UNIQUE INDEX i0 ON t0(c0, c1) WHERE (c0 IS NOT NULL)");
+}
+
+TEST(PrinterTest, Insert)
+{
+    InsertStmt stmt;
+    stmt.table = "t0";
+    stmt.columns = {"c0"};
+    std::vector<ExprPtr> row;
+    row.push_back(lit(1));
+    stmt.rows.push_back(std::move(row));
+    EXPECT_EQ(printStmt(stmt), "INSERT INTO t0 (c0) VALUES (1)");
+}
+
+TEST(PrinterTest, SelectWithEverything)
+{
+    SelectStmt select;
+    select.distinct = true;
+    SelectItem item;
+    item.star = true;
+    select.items.push_back(std::move(item));
+    TableRef t0;
+    t0.name = "t0";
+    select.from.push_back(std::move(t0));
+    JoinClause join;
+    join.type = JoinType::Left;
+    join.table.name = "t1";
+    join.on = std::make_unique<BinaryExpr>(BinaryOp::Eq, col("t0", "c0"),
+                                           col("t1", "c0"));
+    select.joins.push_back(std::move(join));
+    select.where = std::make_unique<UnaryExpr>(UnaryOp::IsNotNull,
+                                               col("t0", "c0"));
+    OrderTerm term;
+    term.expr = col("t0", "c0");
+    term.ascending = false;
+    select.orderBy.push_back(std::move(term));
+    select.limit = 5;
+    select.offset = 2;
+    EXPECT_EQ(printStmt(select),
+              "SELECT DISTINCT * FROM t0 LEFT JOIN t1 ON (t0.c0 = t1.c0) "
+              "WHERE (t0.c0 IS NOT NULL) ORDER BY t0.c0 DESC "
+              "LIMIT 5 OFFSET 2");
+}
+
+TEST(PrinterTest, DerivedTable)
+{
+    SelectStmt inner;
+    SelectItem one;
+    one.expr = lit(1);
+    one.alias = "x";
+    inner.items.push_back(std::move(one));
+
+    SelectStmt outer;
+    SelectItem star;
+    star.star = true;
+    outer.items.push_back(std::move(star));
+    TableRef derived;
+    derived.subquery = inner.cloneSelect();
+    derived.alias = "sub0";
+    outer.from.push_back(std::move(derived));
+    EXPECT_EQ(printStmt(outer),
+              "SELECT * FROM (SELECT 1 AS x) AS sub0");
+}
+
+TEST(PrinterTest, SubqueryExpressions)
+{
+    SelectStmt sub;
+    SelectItem one;
+    one.expr = lit(1);
+    sub.items.push_back(std::move(one));
+
+    ExistsExpr exists(sub.cloneSelect(), /*negated=*/true);
+    EXPECT_EQ(printExpr(exists), "(NOT EXISTS (SELECT 1))");
+
+    InSubqueryExpr in(col("", "c0"), sub.cloneSelect(), /*negated=*/false);
+    EXPECT_EQ(printExpr(in), "(c0 IN (SELECT 1))");
+
+    ScalarSubqueryExpr scalar(sub.cloneSelect());
+    EXPECT_EQ(printExpr(scalar), "(SELECT 1)");
+}
+
+TEST(PrinterTest, DropStatements)
+{
+    DropStmt drop(StmtKind::DropTable);
+    drop.name = "t0";
+    EXPECT_EQ(printStmt(drop), "DROP TABLE t0");
+    drop.ifExists = true;
+    EXPECT_EQ(printStmt(drop), "DROP TABLE IF EXISTS t0");
+}
+
+TEST(PrinterTest, AnalyzeForms)
+{
+    AnalyzeStmt analyze;
+    EXPECT_EQ(printStmt(analyze), "ANALYZE");
+    analyze.table = "t0";
+    EXPECT_EQ(printStmt(analyze), "ANALYZE t0");
+}
+
+TEST(PrinterTest, CreateView)
+{
+    CreateViewStmt view;
+    view.name = "v0";
+    view.columnNames = {"c0"};
+    SelectStmt select;
+    SelectItem item;
+    item.expr = lit(0);
+    select.items.push_back(std::move(item));
+    view.select = select.cloneSelect();
+    EXPECT_EQ(printStmt(view), "CREATE VIEW v0(c0) AS SELECT 0");
+}
+
+} // namespace
+} // namespace sqlpp

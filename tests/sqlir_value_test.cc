@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for Value, DataType, and ResultSet multiset comparison.
+ */
+#include <gtest/gtest.h>
+
+#include "sqlir/value.h"
+
+namespace sqlpp {
+namespace {
+
+TEST(DataTypeTest, Names)
+{
+    EXPECT_STREQ(dataTypeName(DataType::Int), "INTEGER");
+    EXPECT_STREQ(dataTypeName(DataType::Text), "TEXT");
+    EXPECT_STREQ(dataTypeName(DataType::Bool), "BOOLEAN");
+}
+
+TEST(DataTypeTest, ParseAliases)
+{
+    DataType type;
+    EXPECT_TRUE(parseDataType("int", type));
+    EXPECT_EQ(type, DataType::Int);
+    EXPECT_TRUE(parseDataType("VARCHAR", type));
+    EXPECT_EQ(type, DataType::Text);
+    EXPECT_TRUE(parseDataType("Bool", type));
+    EXPECT_EQ(type, DataType::Bool);
+    EXPECT_FALSE(parseDataType("BLOB", type));
+}
+
+TEST(ValueTest, DefaultIsNull)
+{
+    Value v;
+    EXPECT_TRUE(v.isNull());
+    EXPECT_EQ(v.kind(), Value::Kind::Null);
+}
+
+TEST(ValueTest, FactoriesAndAccessors)
+{
+    EXPECT_EQ(Value::integer(42).asInt(), 42);
+    EXPECT_EQ(Value::text("x").asText(), "x");
+    EXPECT_TRUE(Value::boolean(true).asBool());
+    EXPECT_EQ(Value::integer(-1).kind(), Value::Kind::Int);
+    EXPECT_EQ(Value::text("").kind(), Value::Kind::Text);
+    EXPECT_EQ(Value::boolean(false).kind(), Value::Kind::Bool);
+}
+
+TEST(ValueTest, ToStringAndLiteral)
+{
+    EXPECT_EQ(Value::null().toString(), "NULL");
+    EXPECT_EQ(Value::integer(7).toString(), "7");
+    EXPECT_EQ(Value::text("hi").toString(), "hi");
+    EXPECT_EQ(Value::boolean(true).toString(), "TRUE");
+
+    EXPECT_EQ(Value::null().literal(), "NULL");
+    EXPECT_EQ(Value::text("it's").literal(), "'it''s'");
+    EXPECT_EQ(Value::boolean(false).literal(), "FALSE");
+}
+
+TEST(ValueTest, TotalOrderAcrossKinds)
+{
+    // NULL < BOOL < INT < TEXT.
+    EXPECT_LT(Value::null().compareTotal(Value::boolean(false)), 0);
+    EXPECT_LT(Value::boolean(true).compareTotal(Value::integer(0)), 0);
+    EXPECT_LT(Value::integer(999).compareTotal(Value::text("")), 0);
+}
+
+TEST(ValueTest, TotalOrderWithinKinds)
+{
+    EXPECT_EQ(Value::null().compareTotal(Value::null()), 0);
+    EXPECT_LT(Value::boolean(false).compareTotal(Value::boolean(true)), 0);
+    EXPECT_LT(Value::integer(-5).compareTotal(Value::integer(3)), 0);
+    EXPECT_GT(Value::text("b").compareTotal(Value::text("a")), 0);
+    EXPECT_EQ(Value::text("a").compareTotal(Value::text("a")), 0);
+}
+
+TEST(ValueTest, HashDistinguishesKinds)
+{
+    // 1, '1', and TRUE must hash differently (result comparison depends
+    // on it).
+    EXPECT_NE(Value::integer(1).hash(), Value::text("1").hash());
+    EXPECT_NE(Value::integer(1).hash(), Value::boolean(true).hash());
+    EXPECT_EQ(Value::integer(1).hash(), Value::integer(1).hash());
+}
+
+TEST(ResultSetTest, MultisetEqualityIgnoresOrder)
+{
+    ResultSet a({"c0"});
+    a.addRow({Value::integer(1)});
+    a.addRow({Value::integer(2)});
+    ResultSet b({"x"});
+    b.addRow({Value::integer(2)});
+    b.addRow({Value::integer(1)});
+    EXPECT_TRUE(a.sameRowMultiset(b));
+}
+
+TEST(ResultSetTest, MultisetRespectsDuplicateCounts)
+{
+    ResultSet a({"c0"});
+    a.addRow({Value::integer(1)});
+    a.addRow({Value::integer(1)});
+    ResultSet b({"c0"});
+    b.addRow({Value::integer(1)});
+    EXPECT_FALSE(a.sameRowMultiset(b));
+    b.addRow({Value::integer(1)});
+    EXPECT_TRUE(a.sameRowMultiset(b));
+}
+
+TEST(ResultSetTest, MultisetDistinguishesNullFromZero)
+{
+    ResultSet a({"c0"});
+    a.addRow({Value::null()});
+    ResultSet b({"c0"});
+    b.addRow({Value::integer(0)});
+    EXPECT_FALSE(a.sameRowMultiset(b));
+}
+
+TEST(ResultSetTest, AbsorbUnionsRows)
+{
+    ResultSet a({"c0"});
+    a.addRow({Value::integer(1)});
+    ResultSet b({"c0"});
+    b.addRow({Value::integer(2)});
+    a.absorb(b);
+    EXPECT_EQ(a.rowCount(), 2u);
+}
+
+TEST(ResultSetTest, FingerprintOrderInsensitive)
+{
+    ResultSet a({"c0", "c1"});
+    a.addRow({Value::integer(1), Value::text("x")});
+    a.addRow({Value::null(), Value::boolean(true)});
+    ResultSet b({"c0", "c1"});
+    b.addRow({Value::null(), Value::boolean(true)});
+    b.addRow({Value::integer(1), Value::text("x")});
+    EXPECT_EQ(a.multisetFingerprint(), b.multisetFingerprint());
+}
+
+TEST(ResultSetTest, ToStringTruncates)
+{
+    ResultSet rs({"c0"});
+    for (int i = 0; i < 20; ++i)
+        rs.addRow({Value::integer(i)});
+    std::string rendered = rs.toString(4);
+    EXPECT_NE(rendered.find("20 rows total"), std::string::npos);
+}
+
+} // namespace
+} // namespace sqlpp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the coverage-probe registry.
+ */
+#include <gtest/gtest.h>
+
+#include "util/coverage.h"
+
+namespace sqlpp {
+namespace {
+
+TEST(CoverageTest, DeclareFixesDenominator)
+{
+    CoverageRegistry reg;
+    reg.declare("a");
+    reg.declare("b");
+    EXPECT_EQ(reg.declared(), 2u);
+    EXPECT_EQ(reg.covered(), 0u);
+    EXPECT_DOUBLE_EQ(reg.ratio(), 0.0);
+}
+
+TEST(CoverageTest, HitCoversAndCounts)
+{
+    CoverageRegistry reg;
+    reg.declare("a");
+    reg.declare("b");
+    reg.hit("a");
+    reg.hit("a");
+    EXPECT_EQ(reg.covered(), 1u);
+    EXPECT_EQ(reg.hits("a"), 2u);
+    EXPECT_EQ(reg.hits("b"), 0u);
+    EXPECT_DOUBLE_EQ(reg.ratio(), 0.5);
+}
+
+TEST(CoverageTest, HitDeclaresUnknownProbe)
+{
+    CoverageRegistry reg;
+    reg.hit("new_probe");
+    EXPECT_EQ(reg.declared(), 1u);
+    EXPECT_EQ(reg.covered(), 1u);
+}
+
+TEST(CoverageTest, ResetClearsHitsKeepsDeclarations)
+{
+    CoverageRegistry reg;
+    reg.declare("a");
+    reg.hit("a");
+    reg.reset();
+    EXPECT_EQ(reg.declared(), 1u);
+    EXPECT_EQ(reg.covered(), 0u);
+    EXPECT_EQ(reg.hits("a"), 0u);
+}
+
+TEST(CoverageTest, UncoveredLists)
+{
+    CoverageRegistry reg;
+    reg.declare("a");
+    reg.declare("b");
+    reg.hit("b");
+    auto uncovered = reg.uncovered();
+    ASSERT_EQ(uncovered.size(), 1u);
+    EXPECT_EQ(uncovered[0], "a");
+}
+
+TEST(CoverageTest, EmptyRegistryRatioZero)
+{
+    CoverageRegistry reg;
+    EXPECT_DOUBLE_EQ(reg.ratio(), 0.0);
+}
+
+TEST(CoverageTest, GlobalInstanceIsSingleton)
+{
+    EXPECT_EQ(&CoverageRegistry::instance(), &CoverageRegistry::instance());
+}
+
+} // namespace
+} // namespace sqlpp

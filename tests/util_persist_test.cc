@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for KvStore persistence.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/persist.h"
+
+namespace sqlpp {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(KvStoreTest, PutGetRoundTrip)
+{
+    KvStore store;
+    store.put("k", "v");
+    ASSERT_TRUE(store.get("k").has_value());
+    EXPECT_EQ(*store.get("k"), "v");
+    EXPECT_FALSE(store.get("missing").has_value());
+}
+
+TEST(KvStoreTest, OverwriteReplaces)
+{
+    KvStore store;
+    store.put("k", "v1");
+    store.put("k", "v2");
+    EXPECT_EQ(*store.get("k"), "v2");
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, NumericHelpers)
+{
+    KvStore store;
+    store.putDouble("d", 0.125);
+    store.putInt("i", -7);
+    EXPECT_DOUBLE_EQ(*store.getDouble("d"), 0.125);
+    EXPECT_EQ(*store.getInt("i"), -7);
+}
+
+TEST(KvStoreTest, NumericParseRejectsGarbage)
+{
+    KvStore store;
+    store.put("d", "not-a-number");
+    EXPECT_FALSE(store.getDouble("d").has_value());
+    EXPECT_FALSE(store.getInt("d").has_value());
+    store.put("partial", "12x");
+    EXPECT_FALSE(store.getInt("partial").has_value());
+}
+
+TEST(KvStoreTest, EraseRemoves)
+{
+    KvStore store;
+    store.put("k", "v");
+    store.erase("k");
+    EXPECT_FALSE(store.get("k").has_value());
+    store.erase("k"); // no-op
+}
+
+TEST(KvStoreTest, SaveLoadRoundTrip)
+{
+    std::string path = tempPath("sqlpp_kv_test1.txt");
+    KvStore store;
+    store.put("feature.SIN", "0.98");
+    store.put("feature.INDEX", "0");
+    store.put("with=equals", "a=b=c");
+    ASSERT_TRUE(store.save(path).isOk());
+
+    KvStore loaded;
+    ASSERT_TRUE(loaded.load(path).isOk());
+    EXPECT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(*loaded.get("feature.SIN"), "0.98");
+    EXPECT_EQ(*loaded.get("with"), "equals=a=b=c");
+    std::remove(path.c_str());
+}
+
+TEST(KvStoreTest, LoadMissingFileFails)
+{
+    KvStore store;
+    EXPECT_FALSE(store.load("/nonexistent/path/xyz.kv").isOk());
+}
+
+TEST(KvStoreTest, LoadRejectsBadHeader)
+{
+    std::string path = tempPath("sqlpp_kv_test2.txt");
+    {
+        FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("wrong-header\nk=v\n", f);
+        std::fclose(f);
+    }
+    KvStore store;
+    EXPECT_FALSE(store.load(path).isOk());
+    std::remove(path.c_str());
+}
+
+TEST(KvStoreTest, DoubleRoundTripPrecision)
+{
+    std::string path = tempPath("sqlpp_kv_test3.txt");
+    KvStore store;
+    double value = 1.0 / 3.0;
+    store.putDouble("p", value);
+    ASSERT_TRUE(store.save(path).isOk());
+    KvStore loaded;
+    ASSERT_TRUE(loaded.load(path).isOk());
+    EXPECT_DOUBLE_EQ(*loaded.getDouble("p"), value);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace sqlpp

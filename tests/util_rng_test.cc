@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the PCG32-based Rng: determinism, range contracts,
+ * distribution sanity, and weighted selection.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace sqlpp {
+namespace {
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next64() == b.next64())
+            ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream)
+{
+    Rng rng(7);
+    uint64_t first = rng.next64();
+    rng.next64();
+    rng.reseed(7);
+    EXPECT_EQ(first, rng.next64());
+}
+
+TEST(RngTest, BelowStaysInBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, BelowOneAlwaysZero)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, RangeInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, ChanceApproximatesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, PickWeightedSkipsZeroWeights)
+{
+    Rng rng(17);
+    std::vector<double> weights{0.0, 1.0, 0.0, 1.0};
+    for (int i = 0; i < 1000; ++i) {
+        size_t idx = rng.pickWeighted(weights);
+        EXPECT_TRUE(idx == 1 || idx == 3);
+    }
+}
+
+TEST(RngTest, PickWeightedProportions)
+{
+    Rng rng(19);
+    std::vector<double> weights{1.0, 3.0};
+    int second = 0;
+    for (int i = 0; i < 20000; ++i)
+        second += rng.pickWeighted(weights) == 1 ? 1 : 0;
+    EXPECT_NEAR(second / 20000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, PickWeightedAllZeroFallsBackUniform)
+{
+    Rng rng(23);
+    std::vector<double> weights{0.0, 0.0, 0.0};
+    std::set<size_t> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(rng.pickWeighted(weights));
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, IdentifierShapeAndDeterminism)
+{
+    Rng a(29), b(29);
+    std::string ident = a.identifier(8);
+    EXPECT_EQ(ident.size(), 8u);
+    for (char c : ident)
+        EXPECT_TRUE(c >= 'a' && c <= 'z');
+    EXPECT_EQ(ident, b.identifier(8));
+}
+
+TEST(RngTest, TextRespectsMaxLength)
+{
+    Rng rng(31);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_LE(rng.text(10).size(), 10u);
+}
+
+TEST(RngTest, PickReturnsElementOfVector)
+{
+    Rng rng(37);
+    std::vector<int> items{5, 6, 7};
+    for (int i = 0; i < 100; ++i) {
+        int v = rng.pick(items);
+        EXPECT_TRUE(v >= 5 && v <= 7);
+    }
+}
+
+} // namespace
+} // namespace sqlpp

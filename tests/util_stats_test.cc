@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for RunningStat and the Beta-distribution helpers that back
+ * the feedback mechanism's posterior computation.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace sqlpp {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, MeanAndVariance)
+{
+    RunningStat stat;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(v);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    // Sample variance with n-1 = 7: sum of squared deviations is 32.
+    EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatTest, MinMaxTracked)
+{
+    RunningStat stat;
+    stat.add(3.0);
+    stat.add(-1.0);
+    stat.add(10.0);
+    EXPECT_DOUBLE_EQ(stat.min(), -1.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 10.0);
+}
+
+TEST(RunningStatTest, SingleSample)
+{
+    RunningStat stat;
+    stat.add(42.0);
+    EXPECT_DOUBLE_EQ(stat.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 42.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 42.0);
+}
+
+TEST(BetaTest, CdfBoundaries)
+{
+    EXPECT_DOUBLE_EQ(beta::cdf(2.0, 3.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(beta::cdf(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(BetaTest, UniformPriorIsLinear)
+{
+    // Beta(1, 1) is the uniform distribution: CDF(x) = x.
+    for (double x : {0.1, 0.25, 0.5, 0.9})
+        EXPECT_NEAR(beta::cdf(1.0, 1.0, x), x, 1e-9);
+}
+
+TEST(BetaTest, SymmetricAtHalf)
+{
+    EXPECT_NEAR(beta::cdf(5.0, 5.0, 0.5), 0.5, 1e-9);
+}
+
+TEST(BetaTest, KnownClosedForm)
+{
+    // Beta(1, n): CDF(x) = 1 - (1-x)^n.
+    double x = 0.01;
+    double n = 401.0;
+    EXPECT_NEAR(beta::cdf(1.0, n, x), 1.0 - std::pow(1.0 - x, n), 1e-9);
+}
+
+TEST(BetaTest, PaperScenarioFeatureDeemedUnsupported)
+{
+    // Paper Section 4: y=0, N=400 gives posterior Beta(1, 401); more than
+    // 95% of the mass lies below the threshold p=0.01.
+    double mass_below = beta::cdf(1.0, 401.0, 0.01);
+    EXPECT_GT(mass_below, 0.95);
+}
+
+TEST(BetaTest, HealthyFeatureKeepsMassAboveThreshold)
+{
+    // 300 successes out of 400: essentially no mass below 1%.
+    double mass_below = beta::cdf(301.0, 101.0, 0.01);
+    EXPECT_LT(mass_below, 1e-6);
+}
+
+TEST(BetaTest, MeanHelper)
+{
+    EXPECT_DOUBLE_EQ(beta::mean(1.0, 1.0), 0.5);
+    EXPECT_NEAR(beta::mean(1.0, 401.0), 1.0 / 402.0, 1e-12);
+}
+
+} // namespace
+} // namespace sqlpp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for Status / StatusOr error propagation.
+ */
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace sqlpp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::Ok);
+    EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage)
+{
+    EXPECT_EQ(Status::syntaxError("x").code(), ErrorCode::SyntaxError);
+    EXPECT_EQ(Status::semanticError("x").code(), ErrorCode::SemanticError);
+    EXPECT_EQ(Status::runtimeError("x").code(), ErrorCode::RuntimeError);
+    EXPECT_EQ(Status::unsupported("x").code(), ErrorCode::Unsupported);
+    EXPECT_EQ(Status::internal("x").code(), ErrorCode::Internal);
+    EXPECT_EQ(Status::syntaxError("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName)
+{
+    Status s = Status::semanticError("no such table t9");
+    EXPECT_EQ(s.toString(), "SEMANTIC_ERROR: no such table t9");
+}
+
+TEST(StatusTest, ErrorCodeNames)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::Ok), "OK");
+    EXPECT_STREQ(errorCodeName(ErrorCode::SyntaxError), "SYNTAX_ERROR");
+    EXPECT_STREQ(errorCodeName(ErrorCode::RuntimeError), "RUNTIME_ERROR");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "INTERNAL");
+}
+
+TEST(StatusOrTest, HoldsValue)
+{
+    StatusOr<int> result(42);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError)
+{
+    StatusOr<int> result(Status::runtimeError("bad"));
+    EXPECT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), ErrorCode::RuntimeError);
+}
+
+TEST(StatusOrTest, TakeValueMoves)
+{
+    StatusOr<std::string> result(std::string("hello"));
+    std::string taken = result.takeValue();
+    EXPECT_EQ(taken, "hello");
+}
+
+TEST(StatusOrTest, MoveOnlyPayload)
+{
+    StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(5));
+    ASSERT_TRUE(result.isOk());
+    std::unique_ptr<int> p = result.takeValue();
+    EXPECT_EQ(*p, 5);
+}
+
+} // namespace
+} // namespace sqlpp
