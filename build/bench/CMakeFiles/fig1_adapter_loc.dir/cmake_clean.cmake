@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_adapter_loc.dir/fig1_adapter_loc.cc.o"
+  "CMakeFiles/fig1_adapter_loc.dir/fig1_adapter_loc.cc.o.d"
+  "fig1_adapter_loc"
+  "fig1_adapter_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_adapter_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

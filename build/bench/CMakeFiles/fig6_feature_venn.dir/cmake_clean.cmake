@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_feature_venn.dir/fig6_feature_venn.cc.o"
+  "CMakeFiles/fig6_feature_venn.dir/fig6_feature_venn.cc.o.d"
+  "fig6_feature_venn"
+  "fig6_feature_venn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_feature_venn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cross_dialect.dir/fig7_cross_dialect.cc.o"
+  "CMakeFiles/fig7_cross_dialect.dir/fig7_cross_dialect.cc.o.d"
+  "fig7_cross_dialect"
+  "fig7_cross_dialect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cross_dialect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_query_plans.dir/fig8_query_plans.cc.o"
+  "CMakeFiles/fig8_query_plans.dir/fig8_query_plans.cc.o.d"
+  "fig8_query_plans"
+  "fig8_query_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_query_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

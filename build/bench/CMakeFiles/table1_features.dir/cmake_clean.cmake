@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_features.dir/table1_features.cc.o"
+  "CMakeFiles/table1_features.dir/table1_features.cc.o.d"
+  "table1_features"
+  "table1_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_campaign.dir/table2_campaign.cc.o"
+  "CMakeFiles/table2_campaign.dir/table2_campaign.cc.o.d"
+  "table2_campaign"
+  "table2_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

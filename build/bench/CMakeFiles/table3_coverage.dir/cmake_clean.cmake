@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_coverage.dir/table3_coverage.cc.o"
+  "CMakeFiles/table3_coverage.dir/table3_coverage.cc.o.d"
+  "table3_coverage"
+  "table3_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_validity.dir/table4_validity.cc.o"
+  "CMakeFiles/table4_validity.dir/table4_validity.cc.o.d"
+  "table4_validity"
+  "table4_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_prioritization.dir/table5_prioritization.cc.o"
+  "CMakeFiles/table5_prioritization.dir/table5_prioritization.cc.o.d"
+  "table5_prioritization"
+  "table5_prioritization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_prioritization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bug_hunt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_oracle.dir/custom_oracle.cpp.o"
+  "CMakeFiles/custom_oracle.dir/custom_oracle.cpp.o.d"
+  "custom_oracle"
+  "custom_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

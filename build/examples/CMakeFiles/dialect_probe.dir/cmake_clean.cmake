@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialect_probe.dir/dialect_probe.cpp.o"
+  "CMakeFiles/dialect_probe.dir/dialect_probe.cpp.o.d"
+  "dialect_probe"
+  "dialect_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialect_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cc" "src/core/CMakeFiles/sqlpp_core.dir/baseline.cc.o" "gcc" "src/core/CMakeFiles/sqlpp_core.dir/baseline.cc.o.d"
+  "/root/repo/src/core/campaign.cc" "src/core/CMakeFiles/sqlpp_core.dir/campaign.cc.o" "gcc" "src/core/CMakeFiles/sqlpp_core.dir/campaign.cc.o.d"
+  "/root/repo/src/core/feature.cc" "src/core/CMakeFiles/sqlpp_core.dir/feature.cc.o" "gcc" "src/core/CMakeFiles/sqlpp_core.dir/feature.cc.o.d"
+  "/root/repo/src/core/feedback.cc" "src/core/CMakeFiles/sqlpp_core.dir/feedback.cc.o" "gcc" "src/core/CMakeFiles/sqlpp_core.dir/feedback.cc.o.d"
+  "/root/repo/src/core/generator.cc" "src/core/CMakeFiles/sqlpp_core.dir/generator.cc.o" "gcc" "src/core/CMakeFiles/sqlpp_core.dir/generator.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/sqlpp_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/sqlpp_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/prioritizer.cc" "src/core/CMakeFiles/sqlpp_core.dir/prioritizer.cc.o" "gcc" "src/core/CMakeFiles/sqlpp_core.dir/prioritizer.cc.o.d"
+  "/root/repo/src/core/reducer.cc" "src/core/CMakeFiles/sqlpp_core.dir/reducer.cc.o" "gcc" "src/core/CMakeFiles/sqlpp_core.dir/reducer.cc.o.d"
+  "/root/repo/src/core/schema_model.cc" "src/core/CMakeFiles/sqlpp_core.dir/schema_model.cc.o" "gcc" "src/core/CMakeFiles/sqlpp_core.dir/schema_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dialect/CMakeFiles/sqlpp_dialect.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sqlpp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/sqlpp_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlir/CMakeFiles/sqlpp_sqlir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sqlpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

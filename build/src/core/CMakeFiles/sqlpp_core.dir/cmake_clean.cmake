@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlpp_core.dir/baseline.cc.o"
+  "CMakeFiles/sqlpp_core.dir/baseline.cc.o.d"
+  "CMakeFiles/sqlpp_core.dir/campaign.cc.o"
+  "CMakeFiles/sqlpp_core.dir/campaign.cc.o.d"
+  "CMakeFiles/sqlpp_core.dir/feature.cc.o"
+  "CMakeFiles/sqlpp_core.dir/feature.cc.o.d"
+  "CMakeFiles/sqlpp_core.dir/feedback.cc.o"
+  "CMakeFiles/sqlpp_core.dir/feedback.cc.o.d"
+  "CMakeFiles/sqlpp_core.dir/generator.cc.o"
+  "CMakeFiles/sqlpp_core.dir/generator.cc.o.d"
+  "CMakeFiles/sqlpp_core.dir/oracle.cc.o"
+  "CMakeFiles/sqlpp_core.dir/oracle.cc.o.d"
+  "CMakeFiles/sqlpp_core.dir/prioritizer.cc.o"
+  "CMakeFiles/sqlpp_core.dir/prioritizer.cc.o.d"
+  "CMakeFiles/sqlpp_core.dir/reducer.cc.o"
+  "CMakeFiles/sqlpp_core.dir/reducer.cc.o.d"
+  "CMakeFiles/sqlpp_core.dir/schema_model.cc.o"
+  "CMakeFiles/sqlpp_core.dir/schema_model.cc.o.d"
+  "libsqlpp_core.a"
+  "libsqlpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

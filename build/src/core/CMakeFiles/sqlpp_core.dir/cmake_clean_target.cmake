@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqlpp_core.a"
+)

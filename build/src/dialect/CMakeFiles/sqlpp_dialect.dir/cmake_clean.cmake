@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlpp_dialect.dir/connection.cc.o"
+  "CMakeFiles/sqlpp_dialect.dir/connection.cc.o.d"
+  "CMakeFiles/sqlpp_dialect.dir/profile.cc.o"
+  "CMakeFiles/sqlpp_dialect.dir/profile.cc.o.d"
+  "CMakeFiles/sqlpp_dialect.dir/profiles.cc.o"
+  "CMakeFiles/sqlpp_dialect.dir/profiles.cc.o.d"
+  "libsqlpp_dialect.a"
+  "libsqlpp_dialect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlpp_dialect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sqlpp_dialect.
+# This may be replaced when dependencies are built.

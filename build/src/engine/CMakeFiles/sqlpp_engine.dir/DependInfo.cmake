@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/catalog.cc" "src/engine/CMakeFiles/sqlpp_engine.dir/catalog.cc.o" "gcc" "src/engine/CMakeFiles/sqlpp_engine.dir/catalog.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/sqlpp_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/sqlpp_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/eval.cc" "src/engine/CMakeFiles/sqlpp_engine.dir/eval.cc.o" "gcc" "src/engine/CMakeFiles/sqlpp_engine.dir/eval.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/sqlpp_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/sqlpp_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/faults.cc" "src/engine/CMakeFiles/sqlpp_engine.dir/faults.cc.o" "gcc" "src/engine/CMakeFiles/sqlpp_engine.dir/faults.cc.o.d"
+  "/root/repo/src/engine/functions.cc" "src/engine/CMakeFiles/sqlpp_engine.dir/functions.cc.o" "gcc" "src/engine/CMakeFiles/sqlpp_engine.dir/functions.cc.o.d"
+  "/root/repo/src/engine/typecheck.cc" "src/engine/CMakeFiles/sqlpp_engine.dir/typecheck.cc.o" "gcc" "src/engine/CMakeFiles/sqlpp_engine.dir/typecheck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/sqlpp_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlir/CMakeFiles/sqlpp_sqlir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sqlpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlpp_engine.dir/catalog.cc.o"
+  "CMakeFiles/sqlpp_engine.dir/catalog.cc.o.d"
+  "CMakeFiles/sqlpp_engine.dir/database.cc.o"
+  "CMakeFiles/sqlpp_engine.dir/database.cc.o.d"
+  "CMakeFiles/sqlpp_engine.dir/eval.cc.o"
+  "CMakeFiles/sqlpp_engine.dir/eval.cc.o.d"
+  "CMakeFiles/sqlpp_engine.dir/executor.cc.o"
+  "CMakeFiles/sqlpp_engine.dir/executor.cc.o.d"
+  "CMakeFiles/sqlpp_engine.dir/faults.cc.o"
+  "CMakeFiles/sqlpp_engine.dir/faults.cc.o.d"
+  "CMakeFiles/sqlpp_engine.dir/functions.cc.o"
+  "CMakeFiles/sqlpp_engine.dir/functions.cc.o.d"
+  "CMakeFiles/sqlpp_engine.dir/typecheck.cc.o"
+  "CMakeFiles/sqlpp_engine.dir/typecheck.cc.o.d"
+  "libsqlpp_engine.a"
+  "libsqlpp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlpp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

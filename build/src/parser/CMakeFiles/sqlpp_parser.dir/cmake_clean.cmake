@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlpp_parser.dir/lexer.cc.o"
+  "CMakeFiles/sqlpp_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/sqlpp_parser.dir/parser.cc.o"
+  "CMakeFiles/sqlpp_parser.dir/parser.cc.o.d"
+  "libsqlpp_parser.a"
+  "libsqlpp_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlpp_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlir/ast.cc" "src/sqlir/CMakeFiles/sqlpp_sqlir.dir/ast.cc.o" "gcc" "src/sqlir/CMakeFiles/sqlpp_sqlir.dir/ast.cc.o.d"
+  "/root/repo/src/sqlir/printer.cc" "src/sqlir/CMakeFiles/sqlpp_sqlir.dir/printer.cc.o" "gcc" "src/sqlir/CMakeFiles/sqlpp_sqlir.dir/printer.cc.o.d"
+  "/root/repo/src/sqlir/value.cc" "src/sqlir/CMakeFiles/sqlpp_sqlir.dir/value.cc.o" "gcc" "src/sqlir/CMakeFiles/sqlpp_sqlir.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sqlpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlpp_sqlir.dir/ast.cc.o"
+  "CMakeFiles/sqlpp_sqlir.dir/ast.cc.o.d"
+  "CMakeFiles/sqlpp_sqlir.dir/printer.cc.o"
+  "CMakeFiles/sqlpp_sqlir.dir/printer.cc.o.d"
+  "CMakeFiles/sqlpp_sqlir.dir/value.cc.o"
+  "CMakeFiles/sqlpp_sqlir.dir/value.cc.o.d"
+  "libsqlpp_sqlir.a"
+  "libsqlpp_sqlir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlpp_sqlir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

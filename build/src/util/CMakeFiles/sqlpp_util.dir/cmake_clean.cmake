@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlpp_util.dir/coverage.cc.o"
+  "CMakeFiles/sqlpp_util.dir/coverage.cc.o.d"
+  "CMakeFiles/sqlpp_util.dir/log.cc.o"
+  "CMakeFiles/sqlpp_util.dir/log.cc.o.d"
+  "CMakeFiles/sqlpp_util.dir/persist.cc.o"
+  "CMakeFiles/sqlpp_util.dir/persist.cc.o.d"
+  "CMakeFiles/sqlpp_util.dir/rng.cc.o"
+  "CMakeFiles/sqlpp_util.dir/rng.cc.o.d"
+  "CMakeFiles/sqlpp_util.dir/stats.cc.o"
+  "CMakeFiles/sqlpp_util.dir/stats.cc.o.d"
+  "CMakeFiles/sqlpp_util.dir/status.cc.o"
+  "CMakeFiles/sqlpp_util.dir/status.cc.o.d"
+  "CMakeFiles/sqlpp_util.dir/strutil.cc.o"
+  "CMakeFiles/sqlpp_util.dir/strutil.cc.o.d"
+  "libsqlpp_util.a"
+  "libsqlpp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlpp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

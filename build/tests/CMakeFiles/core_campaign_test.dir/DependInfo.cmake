@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_campaign_test.cc" "tests/CMakeFiles/core_campaign_test.dir/core_campaign_test.cc.o" "gcc" "tests/CMakeFiles/core_campaign_test.dir/core_campaign_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sqlpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialect/CMakeFiles/sqlpp_dialect.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sqlpp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/sqlpp_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlir/CMakeFiles/sqlpp_sqlir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sqlpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

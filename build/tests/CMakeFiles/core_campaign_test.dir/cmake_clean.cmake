@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_campaign_test.dir/core_campaign_test.cc.o"
+  "CMakeFiles/core_campaign_test.dir/core_campaign_test.cc.o.d"
+  "core_campaign_test"
+  "core_campaign_test.pdb"
+  "core_campaign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

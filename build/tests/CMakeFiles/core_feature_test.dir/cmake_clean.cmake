@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_feature_test.dir/core_feature_test.cc.o"
+  "CMakeFiles/core_feature_test.dir/core_feature_test.cc.o.d"
+  "core_feature_test"
+  "core_feature_test.pdb"
+  "core_feature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_feature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

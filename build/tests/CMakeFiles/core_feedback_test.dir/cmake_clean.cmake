@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_feedback_test.dir/core_feedback_test.cc.o"
+  "CMakeFiles/core_feedback_test.dir/core_feedback_test.cc.o.d"
+  "core_feedback_test"
+  "core_feedback_test.pdb"
+  "core_feedback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_feedback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

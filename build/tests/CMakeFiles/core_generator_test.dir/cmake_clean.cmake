@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_generator_test.dir/core_generator_test.cc.o"
+  "CMakeFiles/core_generator_test.dir/core_generator_test.cc.o.d"
+  "core_generator_test"
+  "core_generator_test.pdb"
+  "core_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_oracle_test.dir/core_oracle_test.cc.o"
+  "CMakeFiles/core_oracle_test.dir/core_oracle_test.cc.o.d"
+  "core_oracle_test"
+  "core_oracle_test.pdb"
+  "core_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_prioritizer_test.dir/core_prioritizer_test.cc.o"
+  "CMakeFiles/core_prioritizer_test.dir/core_prioritizer_test.cc.o.d"
+  "core_prioritizer_test"
+  "core_prioritizer_test.pdb"
+  "core_prioritizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_prioritizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

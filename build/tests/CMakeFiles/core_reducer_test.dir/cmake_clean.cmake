@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_reducer_test.dir/core_reducer_test.cc.o"
+  "CMakeFiles/core_reducer_test.dir/core_reducer_test.cc.o.d"
+  "core_reducer_test"
+  "core_reducer_test.pdb"
+  "core_reducer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_reducer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialect_test.dir/dialect_test.cc.o"
+  "CMakeFiles/dialect_test.dir/dialect_test.cc.o.d"
+  "dialect_test"
+  "dialect_test.pdb"
+  "dialect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

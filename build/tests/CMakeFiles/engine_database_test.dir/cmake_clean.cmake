@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_database_test.dir/engine_database_test.cc.o"
+  "CMakeFiles/engine_database_test.dir/engine_database_test.cc.o.d"
+  "engine_database_test"
+  "engine_database_test.pdb"
+  "engine_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_faults_test.dir/engine_faults_test.cc.o"
+  "CMakeFiles/engine_faults_test.dir/engine_faults_test.cc.o.d"
+  "engine_faults_test"
+  "engine_faults_test.pdb"
+  "engine_faults_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_faults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_functions_test.dir/engine_functions_test.cc.o"
+  "CMakeFiles/engine_functions_test.dir/engine_functions_test.cc.o.d"
+  "engine_functions_test"
+  "engine_functions_test.pdb"
+  "engine_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlir_ast_test.dir/sqlir_ast_test.cc.o"
+  "CMakeFiles/sqlir_ast_test.dir/sqlir_ast_test.cc.o.d"
+  "sqlir_ast_test"
+  "sqlir_ast_test.pdb"
+  "sqlir_ast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlir_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

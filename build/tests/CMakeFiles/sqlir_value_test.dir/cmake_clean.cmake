@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlir_value_test.dir/sqlir_value_test.cc.o"
+  "CMakeFiles/sqlir_value_test.dir/sqlir_value_test.cc.o.d"
+  "sqlir_value_test"
+  "sqlir_value_test.pdb"
+  "sqlir_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlir_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

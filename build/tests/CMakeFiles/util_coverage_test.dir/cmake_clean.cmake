@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_coverage_test.dir/util_coverage_test.cc.o"
+  "CMakeFiles/util_coverage_test.dir/util_coverage_test.cc.o.d"
+  "util_coverage_test"
+  "util_coverage_test.pdb"
+  "util_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_persist_test.dir/util_persist_test.cc.o"
+  "CMakeFiles/util_persist_test.dir/util_persist_test.cc.o.d"
+  "util_persist_test"
+  "util_persist_test.pdb"
+  "util_persist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_persist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_strutil_test.dir/util_strutil_test.cc.o"
+  "CMakeFiles/util_strutil_test.dir/util_strutil_test.cc.o.d"
+  "util_strutil_test"
+  "util_strutil_test.pdb"
+  "util_strutil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_strutil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_status_test[1]_include.cmake")
+include("/root/repo/build/tests/util_strutil_test[1]_include.cmake")
+include("/root/repo/build/tests/util_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/util_persist_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sqlir_value_test[1]_include.cmake")
+include("/root/repo/build/tests/sqlir_ast_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_functions_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_database_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_faults_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_typecheck_test[1]_include.cmake")
+include("/root/repo/build/tests/dialect_test[1]_include.cmake")
+include("/root/repo/build/tests/core_feature_test[1]_include.cmake")
+include("/root/repo/build/tests/core_feedback_test[1]_include.cmake")
+include("/root/repo/build/tests/core_schema_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/core_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/core_prioritizer_test[1]_include.cmake")
+include("/root/repo/build/tests/core_reducer_test[1]_include.cmake")
+include("/root/repo/build/tests/core_campaign_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
