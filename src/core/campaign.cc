@@ -7,6 +7,20 @@
 
 namespace sqlpp {
 
+void
+CampaignStats::merge(const CampaignStats &other)
+{
+    setupGenerated += other.setupGenerated;
+    setupSucceeded += other.setupSucceeded;
+    checksAttempted += other.checksAttempted;
+    checksValid += other.checksValid;
+    bugsDetected += other.bugsDetected;
+    for (const BugCase &bug : other.prioritizedBugs)
+        prioritizedBugs.push_back(bug);
+    planFingerprints.insert(other.planFingerprints.begin(),
+                            other.planFingerprints.end());
+}
+
 CampaignRunner::CampaignRunner(CampaignConfig config)
     : config_(std::move(config))
 {
@@ -127,7 +141,9 @@ CampaignRunner::run()
         if (all_ran)
             ++stats.checksValid;
         tracker_->record(shape->features, all_ran, /*is_query=*/true);
-        for (uint64_t fingerprint : connection->seenPlans())
+        // Drain only the plans this check added; re-inserting the full
+        // seenPlans() set here made a campaign O(checks x plans).
+        for (uint64_t fingerprint : connection->takeNewPlans())
             stats.planFingerprints.insert(fingerprint);
     }
     return stats;

@@ -98,6 +98,16 @@ struct CampaignStats
         return static_cast<double>(setupSucceeded) /
                static_cast<double>(setupGenerated);
     }
+
+    /**
+     * Fold another campaign's results into this one: counters are
+     * summed, plan fingerprints unioned, and `other`'s prioritized
+     * bugs appended in order. Merging shards in a fixed order yields
+     * identical totals regardless of how many workers produced them;
+     * cross-shard bug dedup is the scheduler's job (it re-runs the
+     * prioritizer over the merged stream before calling this).
+     */
+    void merge(const CampaignStats &other);
 };
 
 /** Runs campaigns against one dialect. */

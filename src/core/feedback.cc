@@ -11,6 +11,7 @@ FeedbackTracker::mutableStats(FeatureId id)
     if (id >= stats_.size()) {
         stats_.resize(id + 1);
         is_query_feature_.resize(id + 1, true);
+        classified_.resize(id + 1, false);
     }
     return stats_[id];
 }
@@ -34,8 +35,15 @@ FeedbackTracker::record(const FeatureSet &features, bool success,
             ++stat.successes;
             ++stat.windowSuccesses;
         }
-        is_query_feature_[id] = is_query;
-        if (!is_query && config_.enabled) {
+        // First writer wins: a feature seen in both setup DDL and
+        // queries must not flip between the inline DDL-suppression
+        // rule and the posterior-verdict path depending on which
+        // statement happened to run last.
+        if (!classified_[id]) {
+            is_query_feature_[id] = is_query;
+            classified_[id] = true;
+        }
+        if (!is_query_feature_[id] && config_.enabled) {
             // DDL/DML rule: repeated failure with no success suppresses
             // immediately once the limit is reached.
             if (stat.successes == 0 &&
@@ -90,6 +98,56 @@ FeedbackTracker::refreshVerdicts()
 void
 FeedbackTracker::updateNow()
 {
+    refreshVerdicts();
+}
+
+bool
+FeedbackTracker::classifiedAsQuery(FeatureId id) const
+{
+    return id < is_query_feature_.size() ? is_query_feature_[id] : true;
+}
+
+bool
+FeedbackTracker::isClassified(FeatureId id) const
+{
+    return id < classified_.size() && classified_[id];
+}
+
+void
+FeedbackTracker::absorb(const FeedbackTracker &other,
+                        const FeatureRegistry &other_registry,
+                        FeatureRegistry &registry)
+{
+    for (FeatureId other_id = 0; other_id < other.stats_.size();
+         ++other_id) {
+        const FeatureStats &theirs = other.stats_[other_id];
+        if (theirs.executions == 0)
+            continue;
+        const std::string &name = other_registry.name(other_id);
+        FeatureId id = registry.intern(name, other_registry.kind(other_id));
+        FeatureStats &mine = mutableStats(id);
+        mine.executions += theirs.executions;
+        mine.successes += theirs.successes;
+        mine.windowExecutions += theirs.windowExecutions;
+        mine.windowSuccesses += theirs.windowSuccesses;
+        if (!classified_[id] && other.isClassified(other_id)) {
+            is_query_feature_[id] = other.classifiedAsQuery(other_id);
+            classified_[id] = true;
+        }
+    }
+    recorded_ += other.recorded_;
+    if (!config_.enabled)
+        return;
+    // Re-derive every verdict from the merged evidence. DDL/DML
+    // features replay the inline repeated-failure rule; query features
+    // go through the posterior refresh below.
+    for (FeatureId id = 0; id < stats_.size(); ++id) {
+        if (is_query_feature_[id])
+            continue;
+        FeatureStats &stat = stats_[id];
+        stat.suppressed = stat.successes == 0 &&
+                          stat.executions >= config_.ddlFailureLimit;
+    }
     refreshVerdicts();
 }
 
@@ -162,8 +220,10 @@ FeedbackTracker::load(const FeatureRegistry &registry,
             stat.successes = static_cast<uint64_t>(*parsed);
         else if (field == "suppressed")
             stat.suppressed = *parsed != 0;
-        else if (field == "query")
+        else if (field == "query") {
             is_query_feature_[id] = *parsed != 0;
+            classified_[id] = true;
+        }
     }
 }
 

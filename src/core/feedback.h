@@ -72,10 +72,34 @@ class FeedbackTracker
     /**
      * Record the outcome of executing one statement whose generation
      * used `features`. Success/failure is attributed to every feature
-     * in the set (paper Fig. 5 step 2). `is_query` selects the
-     * Bayesian (query) or repeated-failure (DDL/DML) rule.
+     * in the set (paper Fig. 5 step 2). `is_query` classifies the
+     * feature on first sight — the classification is sticky (first
+     * writer wins), so a feature seen in both setup DDL and queries is
+     * judged by one rule consistently: the Bayesian rule for query
+     * features, the repeated-failure rule for DDL/DML features.
      */
     void record(const FeatureSet &features, bool success, bool is_query);
+
+    /** Sticky classification of a feature (true = query rule). */
+    bool classifiedAsQuery(FeatureId id) const;
+
+    /** Whether the feature has been classified (recorded or loaded). */
+    bool isClassified(FeatureId id) const;
+
+    /**
+     * Merge another tracker's observations into this one (the post-run
+     * fan-in of a parallel campaign). Feature ids are translated by
+     * *name*: `other_registry` names the other tracker's ids and
+     * `registry` interns them into this tracker's id space, so shards
+     * whose registries interned composite features in different orders
+     * merge correctly. Counters are summed, unclassified features adopt
+     * the other side's classification, and every verdict is recomputed
+     * from the merged evidence — a merged tracker can reach verdicts
+     * (e.g. 2x200 failures) that no single shard could.
+     */
+    void absorb(const FeedbackTracker &other,
+                const FeatureRegistry &other_registry,
+                FeatureRegistry &registry);
 
     /**
      * True if the generator may use this feature (paper Listing 2's
@@ -117,6 +141,8 @@ class FeedbackTracker
     FeedbackConfig config_;
     std::vector<FeatureStats> stats_;
     std::vector<bool> is_query_feature_;
+    /** Whether is_query_feature_[id] has been decided (sticky). */
+    std::vector<bool> classified_;
     uint64_t recorded_ = 0;
 };
 

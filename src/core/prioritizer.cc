@@ -25,4 +25,15 @@ BugPrioritizer::considerNew(const FeatureSet &features)
     return true;
 }
 
+size_t
+BugPrioritizer::absorb(const BugPrioritizer &other)
+{
+    size_t adopted = 0;
+    for (const FeatureSet &features : other.known_) {
+        if (considerNew(features))
+            ++adopted;
+    }
+    return adopted;
+}
+
 } // namespace sqlpp

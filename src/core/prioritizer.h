@@ -35,6 +35,16 @@ class BugPrioritizer
     /** Pure query form of the subset check, with no recording. */
     bool isPotentialDuplicate(const FeatureSet &features) const;
 
+    /**
+     * Merge another prioritizer's reported sets (same feature-id
+     * space), preserving single-run semantics: each set goes through
+     * considerNew() in order, so sets already subsumed by this
+     * prioritizer's known sets are dropped. Returns how many sets were
+     * adopted. Parallel shards with independently interned registries
+     * must translate ids by name first (the scheduler does).
+     */
+    size_t absorb(const BugPrioritizer &other);
+
     /** Feature sets of the bugs reported so far. */
     const std::vector<FeatureSet> &knownSets() const { return known_; }
 

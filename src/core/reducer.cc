@@ -73,21 +73,24 @@ reduceBugCase(BugCase &bug, const ReplayFn &replay, size_t max_replays)
     ReduceStats stats;
     stats.setupBefore = bug.setup.size();
 
-    // Phase 1: greedy statement elimination to a fixed point.
+    // Phase 1: greedy statement elimination to a fixed point. After a
+    // successful elimination the scan continues from the current index
+    // (the next candidate just shifted into it) — restarting from 0
+    // would re-replay prefixes already proven necessary this pass.
     bool progress = true;
     while (progress && stats.replays < max_replays) {
         progress = false;
-        for (size_t i = 0; i < bug.setup.size(); ++i) {
-            if (stats.replays >= max_replays)
-                break;
+        for (size_t i = 0;
+             i < bug.setup.size() && stats.replays < max_replays;) {
             std::vector<std::string> saved = bug.setup;
             bug.setup.erase(bug.setup.begin() + static_cast<long>(i));
             ++stats.replays;
             if (replay(bug)) {
                 progress = true;
-                break; // indices shifted; restart the scan
+            } else {
+                bug.setup = std::move(saved);
+                ++i;
             }
-            bug.setup = std::move(saved);
         }
     }
     stats.setupAfter = bug.setup.size();

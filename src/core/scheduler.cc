@@ -1,0 +1,153 @@
+#include "core/scheduler.h"
+
+#include <chrono>
+
+#include "util/thread_pool.h"
+
+namespace sqlpp {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+CampaignScheduler::CampaignScheduler(SchedulerConfig config)
+    : config_(std::move(config))
+{
+    if (config_.workers == 0)
+        config_.workers = 1;
+    FeedbackConfig feedback_config = config_.campaign.feedback;
+    if (config_.campaign.mode == GeneratorMode::AdaptiveNoFeedback)
+        feedback_config.enabled = false;
+    tracker_ = std::make_unique<FeedbackTracker>(feedback_config);
+}
+
+std::vector<CampaignConfig>
+CampaignScheduler::plan() const
+{
+    std::vector<CampaignConfig> shards;
+    if (config_.mode == ScheduleMode::ShardDialects) {
+        std::vector<std::string> dialects = config_.dialects;
+        if (dialects.empty()) {
+            for (const DialectProfile *profile : campaignDialects())
+                dialects.push_back(profile->name);
+        }
+        for (const std::string &dialect : dialects) {
+            CampaignConfig shard = config_.campaign;
+            shard.dialect = dialect;
+            shards.push_back(std::move(shard));
+        }
+        return shards;
+    }
+    size_t slices =
+        config_.slices > 0 ? config_.slices : config_.workers;
+    size_t per_slice = config_.campaign.checks / slices;
+    size_t remainder = config_.campaign.checks % slices;
+    for (size_t index = 0; index < slices; ++index) {
+        CampaignConfig shard = config_.campaign;
+        // Per-shard Rng streams: campaign seed ⊕ shard index, the
+        // convention util/rng.h documents. Shard 0 keeps the campaign
+        // seed itself.
+        shard.seed = config_.campaign.seed ^ index;
+        shard.checks = per_slice + (index < remainder ? 1 : 0);
+        shards.push_back(std::move(shard));
+    }
+    return shards;
+}
+
+ScheduleReport
+CampaignScheduler::run()
+{
+    std::vector<CampaignConfig> shard_configs = plan();
+
+    /** One slot per shard, written by exactly one worker. */
+    struct Slot
+    {
+        std::unique_ptr<CampaignRunner> runner;
+        CampaignStats stats;
+        size_t workerIndex = 0;
+        double seconds = 0.0;
+    };
+    std::vector<Slot> slots(shard_configs.size());
+
+    IndexQueue queue(shard_configs.size());
+    auto dispatch_start = std::chrono::steady_clock::now();
+    runOnWorkers(config_.workers, [&](size_t worker_index) {
+        for (;;) {
+            size_t shard = queue.pop();
+            if (shard >= slots.size())
+                return;
+            auto shard_start = std::chrono::steady_clock::now();
+            Slot &slot = slots[shard];
+            slot.runner = std::make_unique<CampaignRunner>(
+                shard_configs[shard]);
+            slot.stats = slot.runner->run();
+            slot.seconds = secondsSince(shard_start);
+            slot.workerIndex = worker_index;
+        }
+    });
+
+    ScheduleReport report;
+    report.queueDrainSeconds = secondsSince(dispatch_start);
+    report.workers.resize(config_.workers);
+    for (size_t index = 0; index < config_.workers; ++index)
+        report.workers[index].workerIndex = index;
+
+    // In dialect-sharding mode every shard keeps its own prioritizer
+    // semantics (a sequential multi-dialect campaign never dedups
+    // across dialects); the merged prioritizer still records the union
+    // view. In slice mode the shards split one dialect's budget, so
+    // cross-shard duplicates collapse exactly as in a sequential run.
+    bool cross_shard_dedup = config_.mode == ScheduleMode::SliceChecks;
+
+    for (size_t index = 0; index < slots.size(); ++index) {
+        Slot &slot = slots[index];
+        ShardOutcome outcome;
+        outcome.shardIndex = index;
+        outcome.dialect = shard_configs[index].dialect;
+        outcome.seed = shard_configs[index].seed;
+        outcome.workerIndex = slot.workerIndex;
+        outcome.seconds = slot.seconds;
+
+        WorkerReport &worker = report.workers[slot.workerIndex];
+        ++worker.shardsRun;
+        worker.checksAttempted += slot.stats.checksAttempted;
+        worker.busySeconds += slot.seconds;
+
+        CampaignStats contribution = slot.stats;
+        std::vector<BugCase> kept;
+        for (BugCase &bug : contribution.prioritizedBugs) {
+            FeatureSet features;
+            for (const std::string &name : bug.featureNames) {
+                FeatureId shard_id = slot.runner->registry().find(name);
+                FeatureKind kind =
+                    shard_id == static_cast<FeatureId>(-1)
+                        ? FeatureKind::Property
+                        : slot.runner->registry().kind(shard_id);
+                features.insert(registry_.intern(name, kind));
+            }
+            bool fresh = prioritizer_.considerNew(features);
+            if (fresh || !cross_shard_dedup)
+                kept.push_back(std::move(bug));
+        }
+        outcome.bugsKeptAfterMerge = kept.size();
+        contribution.prioritizedBugs = std::move(kept);
+
+        tracker_->absorb(slot.runner->feedback(),
+                         slot.runner->registry(), registry_);
+        outcome.stats = std::move(slot.stats);
+        report.merged.merge(contribution);
+        report.shards.push_back(std::move(outcome));
+        slot.runner.reset();
+    }
+    return report;
+}
+
+} // namespace sqlpp

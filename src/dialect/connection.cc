@@ -13,6 +13,14 @@ Connection::Connection(const DialectProfile &profile) : profile_(profile)
     db_ = std::make_unique<Database>(config);
 }
 
+std::vector<uint64_t>
+Connection::takeNewPlans()
+{
+    std::vector<uint64_t> drained;
+    drained.swap(new_plans_);
+    return drained;
+}
+
 size_t
 Connection::pendingRows() const
 {
@@ -27,19 +35,30 @@ Connection::handleRefresh(const std::string &table)
 {
     ResultSet result(std::vector<std::string>{});
     std::vector<std::unique_ptr<InsertStmt>> keep;
-    Status first_error = Status::ok();
-    for (auto &insert : pending_) {
+    Status error = Status::ok();
+    size_t index = 0;
+    for (; index < pending_.size(); ++index) {
+        auto &insert = pending_[index];
         if (!table.empty() && insert->table != table) {
             keep.push_back(std::move(insert));
             continue;
         }
         auto flushed = db_->executeStmt(*insert, ExecMode::Optimized);
-        if (!flushed.isOk() && first_error.isOk())
-            first_error = flushed.status();
+        if (!flushed.isOk()) {
+            // Stop at the first failure: the failing INSERT is
+            // consumed (its verdict is this error), but inserts that
+            // were never attempted stay buffered for the next REFRESH
+            // instead of being silently dropped.
+            error = flushed.status();
+            ++index;
+            break;
+        }
     }
+    for (; index < pending_.size(); ++index)
+        keep.push_back(std::move(pending_[index]));
     pending_ = std::move(keep);
-    if (!first_error.isOk())
-        return first_error;
+    if (!error.isOk())
+        return error;
     return result;
 }
 
@@ -76,8 +95,10 @@ Connection::execute(const std::string &sql)
         // Only completed executions count as explored plans (failed
         // statements never finish a plan; counting them would let
         // invalid queries inflate the Fig. 8 metric).
-        if (result.isOk())
-            seen_plans_.insert(db_->lastPlanFingerprint());
+        if (result.isOk() &&
+            seen_plans_.insert(db_->lastPlanFingerprint()).second) {
+            new_plans_.push_back(db_->lastPlanFingerprint());
+        }
         return result;
     }
     if (profile_.requiresRefreshAfterInsert &&
@@ -94,15 +115,26 @@ Connection::execute(const std::string &sql)
 StatusOr<ResultSet>
 Connection::executeAdapted(const std::string &sql)
 {
+    size_t already_pending = pending_.size();
     auto result = execute(sql);
     if (!result.isOk())
         return result;
     if (profile_.requiresRefreshAfterInsert && !pending_.empty()) {
         // The per-dialect adapter: flush immediately so the platform
         // sees constraint errors attached to the INSERT it issued.
+        bool buffered_now = pending_.size() > already_pending;
         auto refreshed = execute("REFRESH");
-        if (!refreshed.isOk())
-            return refreshed.status();
+        if (!refreshed.isOk()) {
+            // The flush stops at the first failing INSERT. If this
+            // statement's own insert failed (nothing buffered after it,
+            // so a failure leaves the queue empty), the error is its
+            // verdict. If an *older* buffered insert failed, this
+            // statement's insert was never attempted and stays pending;
+            // its result stands, and the error belongs to the statement
+            // that buffered the failing insert.
+            if (!buffered_now || pending_.empty())
+                return refreshed.status();
+        }
     }
     return result;
 }

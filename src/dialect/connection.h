@@ -61,6 +61,13 @@ class Connection
      */
     const std::set<uint64_t> &seenPlans() const { return seen_plans_; }
 
+    /**
+     * Fingerprints first seen since the previous call, drained. Lets a
+     * campaign accumulate plans incrementally in O(new) per check
+     * instead of re-scanning the full seenPlans() set every time.
+     */
+    std::vector<uint64_t> takeNewPlans();
+
   private:
     StatusOr<ResultSet> handleRefresh(const std::string &table);
 
@@ -70,6 +77,8 @@ class Connection
     std::vector<std::unique_ptr<InsertStmt>> pending_;
     uint64_t statements_ = 0;
     std::set<uint64_t> seen_plans_;
+    /** Fingerprints added to seen_plans_ since the last drain. */
+    std::vector<uint64_t> new_plans_;
 };
 
 } // namespace sqlpp

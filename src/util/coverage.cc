@@ -1,6 +1,15 @@
 #include "util/coverage.h"
 
+#include <cassert>
+
 namespace sqlpp {
+
+CoverageRegistry::CoverageRegistry()
+    : counts_(new std::atomic<uint64_t>[kMaxProbes])
+{
+    for (size_t i = 0; i < kMaxProbes; ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+}
 
 CoverageRegistry &
 CoverageRegistry::instance()
@@ -12,22 +21,25 @@ CoverageRegistry::instance()
 size_t
 CoverageRegistry::slot(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = slots_.find(name);
     if (it != slots_.end())
         return it->second;
-    size_t index = counts_.size();
+    size_t index = names_.size();
+    assert(index < kMaxProbes && "coverage probe universe overflow");
     slots_.emplace(name, index);
     names_.push_back(name);
-    counts_.push_back(0);
+    declared_.store(names_.size(), std::memory_order_release);
     return index;
 }
 
 size_t
 CoverageRegistry::covered() const
 {
+    size_t total = declared();
     size_t n = 0;
-    for (uint64_t count : counts_) {
-        if (count > 0)
+    for (size_t i = 0; i < total; ++i) {
+        if (counts_[i].load(std::memory_order_relaxed) > 0)
             ++n;
     }
     return n;
@@ -36,32 +48,37 @@ CoverageRegistry::covered() const
 double
 CoverageRegistry::ratio() const
 {
-    if (counts_.empty())
+    size_t total = declared();
+    if (total == 0)
         return 0.0;
-    return static_cast<double>(covered()) /
-           static_cast<double>(declared());
+    return static_cast<double>(covered()) / static_cast<double>(total);
 }
 
 uint64_t
 CoverageRegistry::hits(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = slots_.find(name);
-    return it == slots_.end() ? 0 : counts_[it->second];
+    if (it == slots_.end())
+        return 0;
+    return counts_[it->second].load(std::memory_order_relaxed);
 }
 
 void
 CoverageRegistry::reset()
 {
-    for (uint64_t &count : counts_)
-        count = 0;
+    size_t total = declared();
+    for (size_t i = 0; i < total; ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
 }
 
 std::vector<std::string>
 CoverageRegistry::uncovered() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::string> out;
-    for (size_t i = 0; i < counts_.size(); ++i) {
-        if (counts_[i] == 0)
+    for (size_t i = 0; i < names_.size(); ++i) {
+        if (counts_[i].load(std::memory_order_relaxed) == 0)
             out.push_back(names_[i]);
     }
     return out;

@@ -13,13 +13,21 @@
  *
  * Probes sit on per-row evaluation hot paths, so hits must be cheap:
  * call sites resolve their name to a slot once (function-local static)
- * and afterwards a hit is a single vector increment.
+ * and afterwards a hit is a single relaxed atomic increment.
+ *
+ * The registry is shared by every campaign worker thread (the engine
+ * probes always hit the process-wide instance), so slot counters live
+ * in a fixed-capacity atomic array that never reallocates: hits need
+ * no lock, and only name registration takes the registry mutex.
  */
 #ifndef SQLPP_UTIL_COVERAGE_H
 #define SQLPP_UTIL_COVERAGE_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,26 +43,44 @@ namespace sqlpp {
 class CoverageRegistry
 {
   public:
+    /**
+     * Upper bound on probes per registry. Counters live in a
+     * fixed-capacity array so hitSlot() never races a reallocation;
+     * the engine universe is a few hundred probes, far below this.
+     */
+    static constexpr size_t kMaxProbes = 4096;
+
+    CoverageRegistry();
+
     /** The process-wide instance used by the engine's probes. */
     static CoverageRegistry &instance();
 
     /**
      * Resolve a probe name to its slot, declaring it if unknown.
-     * Slots are stable for the process lifetime.
+     * Slots are stable for the process lifetime. Thread-safe.
      */
     size_t slot(const std::string &name);
 
     /** Declare a probe without hitting it (fixes the denominator). */
     void declare(const std::string &name) { (void)slot(name); }
 
-    /** Record one hit via a pre-resolved slot (hot path). */
-    void hitSlot(size_t slot_index) { ++counts_[slot_index]; }
+    /**
+     * Record one hit via a pre-resolved slot (hot path). Lock-free;
+     * safe to call concurrently from campaign worker threads.
+     */
+    void hitSlot(size_t slot_index)
+    {
+        counts_[slot_index].fetch_add(1, std::memory_order_relaxed);
+    }
 
     /** Record one hit by name (cold path; resolves the slot). */
     void hit(const std::string &name) { hitSlot(slot(name)); }
 
     /** Number of declared probes. */
-    size_t declared() const { return counts_.size(); }
+    size_t declared() const
+    {
+        return declared_.load(std::memory_order_acquire);
+    }
 
     /** Number of probes with at least one hit. */
     size_t covered() const;
@@ -72,9 +98,14 @@ class CoverageRegistry
     std::vector<std::string> uncovered() const;
 
   private:
+    /** Guards slots_ and names_; counters themselves are atomic. */
+    mutable std::mutex mutex_;
     std::map<std::string, size_t> slots_;
     std::vector<std::string> names_;
-    std::vector<uint64_t> counts_;
+    /** Published count of declared probes (reads need no lock). */
+    std::atomic<size_t> declared_{0};
+    /** Fixed-capacity hit counters: indexes never move or reallocate. */
+    std::unique_ptr<std::atomic<uint64_t>[]> counts_;
 };
 
 /** Hit a probe on the process-wide registry (cold path). */

@@ -19,8 +19,10 @@ namespace sqlpp {
 /**
  * PCG32-based random number generator.
  *
- * Not thread-safe; each thread of a campaign owns its own Rng, seeded
- * from the campaign seed plus the thread index.
+ * Not thread-safe; each worker of a campaign owns its own Rng stream,
+ * seeded from the campaign seed combined with the worker's shard index
+ * (seed ⊕ index — see core/scheduler.h), so streams never interleave
+ * and every parallel run replays from the one campaign seed.
  */
 class Rng
 {

@@ -94,6 +94,21 @@ continuedFraction(double a, double b, double x)
     return h;
 }
 
+// Thread-safe ln(Gamma(x)): glibc's lgamma() writes the global
+// `signgam`, which races when campaign workers evaluate posteriors
+// concurrently. lgamma_r takes the sign as an out-parameter instead;
+// all our arguments are positive so the sign is discarded.
+double
+logGamma(double x)
+{
+#if defined(__GLIBC__) || defined(__USE_GNU)
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
+
 } // namespace
 
 double
@@ -103,7 +118,7 @@ regularizedIncomplete(double a, double b, double x)
         return 0.0;
     if (x >= 1.0)
         return 1.0;
-    double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+    double ln_beta = logGamma(a + b) - logGamma(a) - logGamma(b);
     double front =
         std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
     // Use the symmetry relation to keep the continued fraction convergent.

@@ -1,0 +1,23 @@
+#include "util/thread_pool.h"
+
+#include <thread>
+#include <vector>
+
+namespace sqlpp {
+
+void
+runOnWorkers(size_t workers, const std::function<void(size_t)> &body)
+{
+    if (workers <= 1) {
+        body(0);
+        return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t index = 0; index < workers; ++index)
+        threads.emplace_back([&body, index] { body(index); });
+    for (std::thread &thread : threads)
+        thread.join();
+}
+
+} // namespace sqlpp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Join-based worker pool for fan-out/fan-in parallelism.
+ *
+ * The scheduler's concurrency model is deliberately minimal: a fixed
+ * set of worker threads drains an atomic index queue, each worker owns
+ * all of its mutable state, and results land in pre-sized slots that
+ * only one worker ever writes. No mutexes, no condition variables —
+ * the only synchronization points are the atomic queue head and the
+ * final join, which keeps the model trivially ThreadSanitizer-clean.
+ */
+#ifndef SQLPP_UTIL_THREAD_POOL_H
+#define SQLPP_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+namespace sqlpp {
+
+/**
+ * Hand out the indices [0, size) at most once each, in claim order.
+ * pop() returns size when the queue is drained. Safe to call from any
+ * number of threads concurrently.
+ */
+class IndexQueue
+{
+  public:
+    explicit IndexQueue(size_t size) : size_(size) {}
+
+    /** Claim the next index; returns size() once exhausted. */
+    size_t
+    pop()
+    {
+        size_t index = next_.fetch_add(1, std::memory_order_relaxed);
+        return index < size_ ? index : size_;
+    }
+
+    size_t size() const { return size_; }
+
+  private:
+    std::atomic<size_t> next_{0};
+    size_t size_;
+};
+
+/**
+ * Run body(worker_index) on `workers` threads and join them all before
+ * returning. With workers <= 1 the body runs inline on the calling
+ * thread (index 0) — no thread is spawned, which keeps single-worker
+ * runs easy to step through in a debugger.
+ */
+void runOnWorkers(size_t workers,
+                  const std::function<void(size_t)> &body);
+
+} // namespace sqlpp
+
+#endif // SQLPP_UTIL_THREAD_POOL_H

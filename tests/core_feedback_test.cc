@@ -135,6 +135,116 @@ TEST(FeedbackTest, SuppressedFeatureListing)
     EXPECT_EQ(suppressed[0], 6u);
 }
 
+TEST(FeedbackTest, DdlClassificationStaysSticky)
+{
+    // Regression: a feature first seen in setup DDL used to flip to
+    // the query rule as soon as a query recorded it, un-suppressing a
+    // standing DDL verdict because the young posterior was still
+    // indecisive.
+    FeedbackConfig config;
+    config.ddlFailureLimit = 5;
+    config.updateInterval = 1000;
+    FeedbackTracker tracker(config);
+    for (int i = 0; i < 5; ++i)
+        tracker.record(only(17), false, /*is_query=*/false);
+    ASSERT_FALSE(tracker.shouldGenerate(17));
+    tracker.record(only(17), false, /*is_query=*/true);
+    tracker.updateNow();
+    EXPECT_FALSE(tracker.shouldGenerate(17));
+    EXPECT_FALSE(tracker.classifiedAsQuery(17));
+    EXPECT_TRUE(tracker.isClassified(17));
+}
+
+TEST(FeedbackTest, QueryClassificationImmuneToDdlRule)
+{
+    // Regression (the flip side): a query-classified feature that later
+    // shows up in setup statements must keep its Bayesian verdict — a
+    // handful of failures used to trip the DDL repeated-failure rule
+    // once the last writer happened to be a setup statement.
+    FeedbackConfig config;
+    config.ddlFailureLimit = 3;
+    config.updateInterval = 1000;
+    FeedbackTracker tracker(config);
+    for (int i = 0; i < 4; ++i)
+        tracker.record(only(23), false, /*is_query=*/true);
+    ASSERT_TRUE(tracker.shouldGenerate(23));
+    for (int i = 0; i < 5; ++i)
+        tracker.record(only(23), false, /*is_query=*/false);
+    // 9 failures: far from a posterior verdict, and the DDL rule must
+    // not apply to a query feature.
+    EXPECT_TRUE(tracker.shouldGenerate(23));
+    EXPECT_TRUE(tracker.classifiedAsQuery(23));
+}
+
+TEST(FeedbackTest, AbsorbMergesEvidenceAcrossTrackers)
+{
+    // Two shards each observe 200 failures — neither alone reaches the
+    // credible-mass bar, the merged evidence does. Registries intern
+    // the feature in different orders; absorb maps ids by name.
+    FeedbackConfig config;
+    config.threshold = 0.01;
+    config.credibleMass = 0.90;
+    config.updateInterval = 1000;
+
+    FeatureRegistry registry_a;
+    FeatureId id_a =
+        registry_a.intern("FN_TESTONLY", FeatureKind::Function);
+    FeedbackTracker shard_a(config);
+    for (int i = 0; i < 200; ++i)
+        shard_a.record(only(id_a), false, true);
+    shard_a.updateNow();
+    ASSERT_TRUE(shard_a.shouldGenerate(id_a)); // 200 is not enough
+
+    FeatureRegistry registry_b;
+    registry_b.intern("FN_PADDING", FeatureKind::Function);
+    FeatureId id_b =
+        registry_b.intern("FN_TESTONLY", FeatureKind::Function);
+    ASSERT_NE(id_a, id_b); // interned in a different order
+    FeedbackTracker shard_b(config);
+    for (int i = 0; i < 200; ++i)
+        shard_b.record(only(id_b), false, true);
+
+    FeatureRegistry merged_registry;
+    FeedbackTracker merged(config);
+    merged.absorb(shard_a, registry_a, merged_registry);
+    merged.absorb(shard_b, registry_b, merged_registry);
+
+    FeatureId merged_id = merged_registry.find("FN_TESTONLY");
+    ASSERT_NE(merged_id, static_cast<FeatureId>(-1));
+    EXPECT_EQ(merged.stats(merged_id).executions, 400u);
+    EXPECT_EQ(merged.recorded(), 400u);
+    // Beta(1, 401) puts ~98% of its mass below 0.01: suppressed.
+    EXPECT_FALSE(merged.shouldGenerate(merged_id));
+}
+
+TEST(FeedbackTest, AbsorbDdlSuccessLiftsSuppression)
+{
+    FeedbackConfig config;
+    config.ddlFailureLimit = 10;
+    FeatureRegistry registry;
+    FeatureId id = registry.find("STMT_CREATE_INDEX");
+    ASSERT_NE(id, static_cast<FeatureId>(-1));
+
+    FeedbackTracker failing(config);
+    for (int i = 0; i < 12; ++i)
+        failing.record(only(id), false, false);
+    ASSERT_FALSE(failing.shouldGenerate(id));
+
+    FeedbackTracker succeeding(config);
+    succeeding.record(only(id), true, false);
+
+    FeatureRegistry merged_registry;
+    FeedbackTracker merged(config);
+    merged.absorb(failing, registry, merged_registry);
+    merged.absorb(succeeding, registry, merged_registry);
+    FeatureId merged_id = merged_registry.find("STMT_CREATE_INDEX");
+    // The merged evidence has a success: the repeated-failure rule no
+    // longer suppresses.
+    EXPECT_TRUE(merged.shouldGenerate(merged_id));
+    EXPECT_EQ(merged.stats(merged_id).executions, 13u);
+    EXPECT_EQ(merged.stats(merged_id).successes, 1u);
+}
+
 TEST(FeedbackTest, PersistenceRoundTrip)
 {
     FeatureRegistry registry;

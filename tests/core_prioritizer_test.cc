@@ -25,6 +25,26 @@ TEST(PrioritizerTest, SupersetIsDuplicate)
     EXPECT_EQ(prioritizer.size(), 1u);
 }
 
+TEST(PrioritizerTest, AbsorbPreservesSubsumptionSemantics)
+{
+    // The scheduler's post-run merge: folding shard B's known sets into
+    // shard A's must behave exactly like one prioritizer that saw the
+    // concatenated stream.
+    BugPrioritizer a;
+    ASSERT_TRUE(a.considerNew({1, 2}));
+
+    BugPrioritizer b;
+    ASSERT_TRUE(b.considerNew({1, 2, 3}));
+    ASSERT_TRUE(b.considerNew({4}));
+
+    // {1,2,3} is subsumed by the already-known {1,2}; {4} is new.
+    EXPECT_EQ(a.absorb(b), 1u);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_TRUE(a.isPotentialDuplicate({1, 2, 3}));
+    EXPECT_TRUE(a.isPotentialDuplicate({4, 5}));
+    EXPECT_FALSE(a.isPotentialDuplicate({5}));
+}
+
 TEST(PrioritizerTest, ExactMatchIsDuplicate)
 {
     BugPrioritizer prioritizer;

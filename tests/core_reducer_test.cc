@@ -64,6 +64,33 @@ TEST(ReducerTest, LeavesUnreducibleCaseIntact)
     EXPECT_EQ(bug.predicateText, "(c0 = 1)");
 }
 
+TEST(ReducerTest, ContinuesScanInsteadOfRestarting)
+{
+    // Regression: phase 1 used to restart from index 0 after every
+    // successful elimination, re-replaying prefixes already proven
+    // necessary. With a necessary head statement and k junk tails the
+    // old scan cost O(k^2) replays; the fixed scan is linear.
+    BugCase bug;
+    bug.setup.push_back("KEEP");
+    for (int i = 0; i < 10; ++i)
+        bug.setup.push_back("junk-" + std::to_string(i));
+    bug.predicateText = "TRUE";
+    auto replay = [](const BugCase &candidate) {
+        for (const std::string &statement : candidate.setup) {
+            if (statement == "KEEP")
+                return true;
+        }
+        return false;
+    };
+    ReduceStats stats = reduceBugCase(bug, replay);
+    ASSERT_EQ(bug.setup.size(), 1u);
+    EXPECT_EQ(bug.setup[0], "KEEP");
+    // Pass 1: 1 failed KEEP probe + 10 eliminations; pass 2 (fixed
+    // point): 1 failed probe. The old restart-from-zero scan needed a
+    // KEEP re-probe before every elimination (~22 replays).
+    EXPECT_LE(stats.replays, 12u);
+}
+
 TEST(ReducerTest, RespectsReplayBudget)
 {
     BugCase bug;

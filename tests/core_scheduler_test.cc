@@ -1,0 +1,241 @@
+/**
+ * @file
+ * CampaignScheduler tests: shard layout, worker-count-independent
+ * deterministic merging, cross-slice bug dedup, feedback fan-in, and
+ * per-worker observability.
+ */
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+
+namespace sqlpp {
+namespace {
+
+SchedulerConfig
+sliceConfig(size_t workers, size_t slices, uint64_t seed = 7)
+{
+    SchedulerConfig config;
+    config.mode = ScheduleMode::SliceChecks;
+    config.workers = workers;
+    config.slices = slices;
+    config.campaign.dialect = "sqlite-like";
+    config.campaign.seed = seed;
+    config.campaign.setupStatements = 40;
+    config.campaign.checks = 240;
+    config.campaign.feedback.updateInterval = 100;
+    config.campaign.feedback.ddlFailureLimit = 6;
+    config.campaign.generator.depthStep = 80;
+    return config;
+}
+
+TEST(SchedulerTest, SliceLayoutSplitsBudgetDeterministically)
+{
+    SchedulerConfig config = sliceConfig(/*workers=*/2, /*slices=*/4);
+    config.campaign.checks = 10;
+    CampaignScheduler scheduler(config);
+    auto shards = scheduler.plan();
+    ASSERT_EQ(shards.size(), 4u);
+    // 10 checks over 4 slices: 3, 3, 2, 2 — nothing lost.
+    EXPECT_EQ(shards[0].checks, 3u);
+    EXPECT_EQ(shards[1].checks, 3u);
+    EXPECT_EQ(shards[2].checks, 2u);
+    EXPECT_EQ(shards[3].checks, 2u);
+    size_t total = 0;
+    for (size_t i = 0; i < shards.size(); ++i) {
+        total += shards[i].checks;
+        EXPECT_EQ(shards[i].seed, config.campaign.seed ^ i) << i;
+        EXPECT_EQ(shards[i].dialect, "sqlite-like");
+    }
+    EXPECT_EQ(total, 10u);
+    // Shard 0 keeps the campaign seed itself.
+    EXPECT_EQ(shards[0].seed, config.campaign.seed);
+}
+
+TEST(SchedulerTest, SlicesDefaultToWorkerCount)
+{
+    SchedulerConfig config = sliceConfig(/*workers=*/3, /*slices=*/0);
+    CampaignScheduler scheduler(config);
+    EXPECT_EQ(scheduler.plan().size(), 3u);
+}
+
+TEST(SchedulerTest, DialectLayoutCoversCampaignFleet)
+{
+    SchedulerConfig config;
+    config.mode = ScheduleMode::ShardDialects;
+    config.campaign.seed = 5;
+    CampaignScheduler scheduler(config);
+    auto shards = scheduler.plan();
+    auto fleet = campaignDialects();
+    ASSERT_EQ(shards.size(), fleet.size());
+    for (size_t i = 0; i < shards.size(); ++i) {
+        EXPECT_EQ(shards[i].dialect, fleet[i]->name);
+        // Dialect shards keep the campaign seed: each matches what a
+        // sequential per-dialect loop would have run.
+        EXPECT_EQ(shards[i].seed, config.campaign.seed);
+    }
+}
+
+TEST(SchedulerTest, MergedStatsIdenticalAcrossWorkerCounts)
+{
+    // The acceptance bar: same seed and shard layout => bit-identical
+    // merged results whether 1 or 4 workers ran them.
+    ScheduleReport one = CampaignScheduler(sliceConfig(1, 4)).run();
+    ScheduleReport four = CampaignScheduler(sliceConfig(4, 4)).run();
+
+    EXPECT_EQ(one.merged.checksAttempted, four.merged.checksAttempted);
+    EXPECT_EQ(one.merged.checksValid, four.merged.checksValid);
+    EXPECT_EQ(one.merged.bugsDetected, four.merged.bugsDetected);
+    EXPECT_EQ(one.merged.setupGenerated, four.merged.setupGenerated);
+    EXPECT_EQ(one.merged.setupSucceeded, four.merged.setupSucceeded);
+    EXPECT_EQ(one.merged.planFingerprints, four.merged.planFingerprints);
+    ASSERT_EQ(one.merged.prioritizedBugs.size(),
+              four.merged.prioritizedBugs.size());
+    for (size_t i = 0; i < one.merged.prioritizedBugs.size(); ++i) {
+        EXPECT_EQ(one.merged.prioritizedBugs[i].baseText,
+                  four.merged.prioritizedBugs[i].baseText);
+        EXPECT_EQ(one.merged.prioritizedBugs[i].predicateText,
+                  four.merged.prioritizedBugs[i].predicateText);
+        EXPECT_EQ(one.merged.prioritizedBugs[i].oracle,
+                  four.merged.prioritizedBugs[i].oracle);
+    }
+    EXPECT_GT(one.merged.checksAttempted, 100u);
+    EXPECT_GT(one.merged.bugsDetected, 0u);
+}
+
+TEST(SchedulerTest, MergeMatchesManualSequentialRun)
+{
+    SchedulerConfig config = sliceConfig(/*workers=*/2, /*slices=*/3);
+    CampaignScheduler scheduler(config);
+    ScheduleReport report = scheduler.run();
+
+    // Re-run every shard config by hand and fold with
+    // CampaignStats::merge; counters and plans must agree exactly.
+    CampaignStats manual;
+    for (const CampaignConfig &shard_config :
+         CampaignScheduler(config).plan()) {
+        CampaignRunner runner(shard_config);
+        manual.merge(runner.run());
+    }
+    EXPECT_EQ(report.merged.checksAttempted, manual.checksAttempted);
+    EXPECT_EQ(report.merged.checksValid, manual.checksValid);
+    EXPECT_EQ(report.merged.bugsDetected, manual.bugsDetected);
+    EXPECT_EQ(report.merged.setupGenerated, manual.setupGenerated);
+    EXPECT_EQ(report.merged.planFingerprints, manual.planFingerprints);
+    // Scheduler-side cross-slice dedup can only shrink the bug list.
+    EXPECT_LE(report.merged.prioritizedBugs.size(),
+              manual.prioritizedBugs.size());
+}
+
+TEST(SchedulerTest, CrossSliceDuplicatesCollapse)
+{
+    CampaignScheduler scheduler(sliceConfig(2, 4));
+    ScheduleReport report = scheduler.run();
+    size_t shard_total = 0;
+    size_t kept_total = 0;
+    for (const ShardOutcome &shard : report.shards) {
+        shard_total += shard.stats.prioritizedBugs.size();
+        kept_total += shard.bugsKeptAfterMerge;
+    }
+    EXPECT_EQ(report.merged.prioritizedBugs.size(), kept_total);
+    EXPECT_LE(kept_total, shard_total);
+    // In slice mode the merged prioritizer holds exactly the surviving
+    // feature sets — single-run semantics over the merged stream.
+    EXPECT_EQ(scheduler.mergedPrioritizer().size(),
+              report.merged.prioritizedBugs.size());
+}
+
+TEST(SchedulerTest, MergedFeedbackAggregatesAllShards)
+{
+    CampaignScheduler scheduler(sliceConfig(2, 4));
+    ScheduleReport report = scheduler.run();
+    // One record() per setup statement and per attempted check, summed
+    // over shards, must land in the merged tracker.
+    EXPECT_EQ(scheduler.mergedFeedback().recorded(),
+              report.merged.setupGenerated +
+                  report.merged.checksAttempted);
+}
+
+TEST(SchedulerTest, WorkerObservabilityAccounted)
+{
+    ScheduleReport report = CampaignScheduler(sliceConfig(4, 8)).run();
+    ASSERT_EQ(report.workers.size(), 4u);
+    size_t shards_run = 0;
+    uint64_t checks = 0;
+    for (const WorkerReport &worker : report.workers) {
+        shards_run += worker.shardsRun;
+        checks += worker.checksAttempted;
+    }
+    EXPECT_EQ(shards_run, 8u);
+    EXPECT_EQ(checks, report.merged.checksAttempted);
+    EXPECT_GT(report.queueDrainSeconds, 0.0);
+    EXPECT_GT(report.checksPerSecond(), 0.0);
+    for (const ShardOutcome &shard : report.shards) {
+        EXPECT_LT(shard.workerIndex, 4u);
+        EXPECT_GE(shard.seconds, 0.0);
+    }
+}
+
+TEST(SchedulerTest, DialectModeMatchesSequentialPerDialectRuns)
+{
+    SchedulerConfig config;
+    config.mode = ScheduleMode::ShardDialects;
+    config.workers = 3;
+    config.dialects = {"sqlite-like", "cratedb-like", "mysql-like"};
+    config.campaign.seed = 11;
+    config.campaign.setupStatements = 40;
+    config.campaign.checks = 150;
+    config.campaign.feedback.updateInterval = 100;
+    ScheduleReport report = CampaignScheduler(config).run();
+    ASSERT_EQ(report.shards.size(), 3u);
+    for (const ShardOutcome &shard : report.shards) {
+        CampaignConfig single = config.campaign;
+        single.dialect = shard.dialect;
+        CampaignStats direct = CampaignRunner(single).run();
+        EXPECT_EQ(shard.stats.bugsDetected, direct.bugsDetected)
+            << shard.dialect;
+        EXPECT_EQ(shard.stats.checksValid, direct.checksValid)
+            << shard.dialect;
+        EXPECT_EQ(shard.stats.prioritizedBugs.size(),
+                  direct.prioritizedBugs.size())
+            << shard.dialect;
+    }
+    // Dialect mode never dedups across dialects: merged keeps every
+    // shard's prioritized bug.
+    size_t shard_total = 0;
+    for (const ShardOutcome &shard : report.shards)
+        shard_total += shard.stats.prioritizedBugs.size();
+    EXPECT_EQ(report.merged.prioritizedBugs.size(), shard_total);
+}
+
+TEST(CampaignStatsTest, MergeSumsCountersAndUnionsPlans)
+{
+    CampaignStats a;
+    a.setupGenerated = 10;
+    a.setupSucceeded = 8;
+    a.checksAttempted = 100;
+    a.checksValid = 60;
+    a.bugsDetected = 3;
+    a.planFingerprints = {1, 2, 3};
+    a.prioritizedBugs.resize(1);
+
+    CampaignStats b;
+    b.setupGenerated = 5;
+    b.setupSucceeded = 5;
+    b.checksAttempted = 50;
+    b.checksValid = 40;
+    b.bugsDetected = 1;
+    b.planFingerprints = {3, 4};
+    b.prioritizedBugs.resize(2);
+
+    a.merge(b);
+    EXPECT_EQ(a.setupGenerated, 15u);
+    EXPECT_EQ(a.setupSucceeded, 13u);
+    EXPECT_EQ(a.checksAttempted, 150u);
+    EXPECT_EQ(a.checksValid, 100u);
+    EXPECT_EQ(a.bugsDetected, 4u);
+    EXPECT_EQ(a.planFingerprints, (std::set<uint64_t>{1, 2, 3, 4}));
+    EXPECT_EQ(a.prioritizedBugs.size(), 3u);
+}
+
+} // namespace
+} // namespace sqlpp

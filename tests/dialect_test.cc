@@ -218,6 +218,93 @@ TEST(ConnectionTest, AdaptedSurfacesDeferredConstraintErrors)
     EXPECT_EQ(dup.status().code(), ErrorCode::RuntimeError);
 }
 
+TEST(ConnectionTest, RefreshKeepsUnattemptedInsertsOnFailure)
+{
+    // Regression: a failed flush used to drop *every* pending insert,
+    // including ones that were never attempted.
+    Connection crate(dialect("cratedb-like"));
+    ASSERT_TRUE(
+        crate.execute("CREATE TABLE t0 (c0 INT PRIMARY KEY)").isOk());
+    ASSERT_TRUE(crate.execute("INSERT INTO t0 VALUES (1)").isOk());
+    ASSERT_TRUE(crate.execute("INSERT INTO t0 VALUES (1)").isOk());
+    ASSERT_TRUE(crate.execute("INSERT INTO t0 VALUES (2)").isOk());
+    ASSERT_EQ(crate.pendingRows(), 3u);
+
+    // Flush: the first insert lands, the duplicate fails and is
+    // consumed, the third was never attempted and must stay buffered.
+    auto refreshed = crate.execute("REFRESH t0");
+    ASSERT_FALSE(refreshed.isOk());
+    EXPECT_EQ(refreshed.status().code(), ErrorCode::RuntimeError);
+    EXPECT_EQ(crate.pendingRows(), 1u);
+
+    // The surviving insert flushes cleanly on the next REFRESH.
+    ASSERT_TRUE(crate.execute("REFRESH t0").isOk());
+    auto rows = crate.execute("SELECT * FROM t0");
+    ASSERT_TRUE(rows.isOk());
+    EXPECT_EQ(rows.value().rowCount(), 2u);
+}
+
+TEST(ConnectionTest, AdaptedDoesNotBlameEarlierStatementsFailure)
+{
+    // Regression: when the implicit REFRESH failed on an *older*
+    // buffered insert, executeAdapted used to discard the current
+    // INSERT (never attempted) and report the old error against it.
+    Connection crate(dialect("cratedb-like"));
+    ASSERT_TRUE(
+        crate.execute("CREATE TABLE t0 (c0 INT PRIMARY KEY)").isOk());
+    ASSERT_TRUE(
+        crate.executeAdapted("INSERT INTO t0 VALUES (1)").isOk());
+    // Buffer a doomed duplicate via the raw (non-adapted) path.
+    ASSERT_TRUE(crate.execute("INSERT INTO t0 VALUES (1)").isOk());
+
+    // The new INSERT is fine; the implicit flush fails on the older
+    // duplicate, so this statement keeps its success and its insert
+    // stays pending.
+    auto result = crate.executeAdapted("INSERT INTO t0 VALUES (2)");
+    EXPECT_TRUE(result.isOk());
+    EXPECT_EQ(crate.pendingRows(), 1u);
+
+    ASSERT_TRUE(crate.execute("REFRESH t0").isOk());
+    auto rows = crate.execute("SELECT * FROM t0");
+    ASSERT_TRUE(rows.isOk());
+    EXPECT_EQ(rows.value().rowCount(), 2u);
+}
+
+TEST(ConnectionTest, AdaptedStillReportsOwnInsertsFailure)
+{
+    // The adapter's contract is unchanged when the failing insert IS
+    // this statement's: the constraint error is its verdict.
+    Connection crate(dialect("cratedb-like"));
+    ASSERT_TRUE(
+        crate.execute("CREATE TABLE t0 (c0 INT PRIMARY KEY)").isOk());
+    ASSERT_TRUE(
+        crate.executeAdapted("INSERT INTO t0 VALUES (1)").isOk());
+    auto dup = crate.executeAdapted("INSERT INTO t0 VALUES (1)");
+    ASSERT_FALSE(dup.isOk());
+    EXPECT_EQ(dup.status().code(), ErrorCode::RuntimeError);
+    EXPECT_EQ(crate.pendingRows(), 0u);
+}
+
+TEST(ConnectionTest, TakeNewPlansDrainsIncrementally)
+{
+    Connection sqlite(dialect("sqlite-like"));
+    ASSERT_TRUE(sqlite.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    ASSERT_TRUE(sqlite.execute("SELECT * FROM t0").isOk());
+    auto first = sqlite.takeNewPlans();
+    EXPECT_EQ(first.size(), sqlite.seenPlans().size());
+    EXPECT_GE(first.size(), 1u);
+    // Drained: a repeat of the same plan adds nothing new.
+    ASSERT_TRUE(sqlite.execute("SELECT * FROM t0").isOk());
+    EXPECT_TRUE(sqlite.takeNewPlans().empty());
+    // A structurally new query yields exactly the new fingerprints.
+    ASSERT_TRUE(
+        sqlite.execute("SELECT c0 FROM t0 WHERE c0 > 1").isOk());
+    auto second = sqlite.takeNewPlans();
+    EXPECT_GE(second.size(), 1u);
+    for (uint64_t fingerprint : second)
+        EXPECT_TRUE(sqlite.seenPlans().count(fingerprint));
+}
+
 TEST(ConnectionTest, DialectFaultsAreLive)
 {
     // The sqlite-like profile must actually exhibit Listing 4.

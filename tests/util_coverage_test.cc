@@ -4,6 +4,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "util/coverage.h"
 
 namespace sqlpp {
@@ -66,6 +69,27 @@ TEST(CoverageTest, EmptyRegistryRatioZero)
 {
     CoverageRegistry reg;
     EXPECT_DOUBLE_EQ(reg.ratio(), 0.0);
+}
+
+TEST(CoverageTest, ConcurrentHitsLoseNothing)
+{
+    CoverageRegistry reg;
+    const size_t hot = reg.slot("hot");
+    constexpr size_t kThreads = 4;
+    constexpr size_t kHitsPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg, hot, t] {
+            for (size_t i = 0; i < kHitsPerThread; ++i)
+                reg.hitSlot(hot);
+            // Late registration must not disturb live counters.
+            reg.declare("late_" + std::to_string(t));
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(reg.hits("hot"), kThreads * kHitsPerThread);
+    EXPECT_EQ(reg.declared(), 1u + kThreads);
 }
 
 TEST(CoverageTest, GlobalInstanceIsSingleton)
