@@ -15,6 +15,7 @@
  */
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -136,5 +137,71 @@ main(int argc, char **argv)
     std::printf("merged stats identical across worker counts: %s\n",
                 fleet_deterministic ? "OK" : "MISMATCH");
 
-    return (slice_deterministic && fleet_deterministic) ? 0 : 1;
+    bench::section("checkpoint round-trip: none vs write vs resume");
+    auto checkpointed_config = [&](size_t workers) {
+        SchedulerConfig config;
+        config.mode = ScheduleMode::SliceChecks;
+        config.workers = workers;
+        config.slices = 8;
+        config.campaign.dialect = "sqlite-like";
+        config.campaign.seed = 42;
+        config.campaign.checks = checks;
+        config.campaign.setupStatements = 60;
+        config.campaign.oracles = {"TLP", "NOREC"};
+        config.campaign.feedback.updateInterval = 200;
+        return config;
+    };
+    std::string checkpoint_path =
+        (std::filesystem::temp_directory_path() /
+         "sqlpp_bench_checkpoint.kv")
+            .string();
+    std::filesystem::remove(checkpoint_path);
+
+    ScheduleReport plain = CampaignScheduler(checkpointed_config(2)).run();
+
+    SchedulerConfig writing = checkpointed_config(2);
+    writing.checkpointPath = checkpoint_path;
+    ScheduleReport written = CampaignScheduler(writing).run();
+    double write_overhead =
+        plain.queueDrainSeconds > 0.0
+            ? written.queueDrainSeconds / plain.queueDrainSeconds
+            : 0.0;
+
+    SchedulerConfig resuming = writing;
+    resuming.resume = true;
+    ScheduleReport resumed = CampaignScheduler(resuming).run();
+
+    bool checkpoint_deterministic =
+        plain.merged == written.merged && plain.merged == resumed.merged;
+    std::printf("no checkpoint: %.3f s; checkpointed: %.3f s (%.2fx); "
+                "full resume: %.3f s (%zu/%zu shards restored)\n",
+                plain.queueDrainSeconds, written.queueDrainSeconds,
+                write_overhead, resumed.queueDrainSeconds,
+                resumed.shardsFromCheckpoint, resumed.shards.size());
+    std::printf("merged stats identical across the three runs: %s\n",
+                checkpoint_deterministic ? "OK" : "MISMATCH");
+    std::filesystem::remove(checkpoint_path);
+
+    bench::section("execution budget: throughput under tight budgets");
+    std::printf("%22s %9s %11s %8s %6s %10s\n", "budget", "drain(s)",
+                "attempted", "valid", "bugs", "res-errors");
+    for (uint64_t max_steps : {0ULL, 100000ULL, 10000ULL, 1000ULL}) {
+        SchedulerConfig config = checkpointed_config(2);
+        config.campaign.budget.maxSteps = max_steps;
+        ScheduleReport report = CampaignScheduler(config).run();
+        char label[32];
+        std::snprintf(label, sizeof label, "max-steps=%llu",
+                      (unsigned long long)max_steps);
+        std::printf("%22s %9.3f %11llu %8llu %6llu %10llu\n", label,
+                    report.queueDrainSeconds,
+                    (unsigned long long)report.merged.checksAttempted,
+                    (unsigned long long)report.merged.checksValid,
+                    (unsigned long long)report.merged.bugsDetected,
+                    (unsigned long long)report.merged.resourceErrors);
+    }
+
+    return (slice_deterministic && fleet_deterministic &&
+            checkpoint_deterministic)
+               ? 0
+               : 1;
 }

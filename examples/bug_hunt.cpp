@@ -8,6 +8,16 @@
  * the table below is identical for any --workers value.
  *
  *   ./bug_hunt [checks-per-dialect] [--workers N]
+ *              [--checkpoint FILE] [--resume]
+ *              [--shard-deadline SEC]
+ *              [--max-steps N] [--max-rows N]
+ *              [--max-intermediate-rows N]
+ *
+ * --checkpoint rewrites FILE atomically after every finished shard;
+ * rerunning with --resume skips finished shards and merges to stats
+ * bit-identical to an uninterrupted run. The budget flags bound every
+ * statement's engine work; budget-truncated statements count as
+ * resource errors, never as bugs.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -22,22 +32,54 @@ main(int argc, char **argv)
 {
     size_t checks = 600;
     size_t workers = 1;
+    std::string checkpoint_path;
+    bool resume = false;
+    double shard_deadline = 0.0;
+    StepBudget budget;
     for (int arg = 1; arg < argc; ++arg) {
-        if (std::strcmp(argv[arg], "--workers") == 0 &&
-            arg + 1 < argc) {
-            workers = std::strtoul(argv[++arg], nullptr, 10);
+        auto flagValue = [&](const char *flag, const char **value) {
+            if (std::strcmp(argv[arg], flag) != 0 || arg + 1 >= argc)
+                return false;
+            *value = argv[++arg];
+            return true;
+        };
+        const char *value = nullptr;
+        if (flagValue("--workers", &value)) {
+            workers = std::strtoul(value, nullptr, 10);
+        } else if (flagValue("--checkpoint", &value)) {
+            checkpoint_path = value;
+        } else if (std::strcmp(argv[arg], "--resume") == 0) {
+            resume = true;
+        } else if (flagValue("--shard-deadline", &value)) {
+            shard_deadline = std::strtod(value, nullptr);
+        } else if (flagValue("--max-steps", &value)) {
+            budget.maxSteps = std::strtoull(value, nullptr, 10);
+        } else if (flagValue("--max-rows", &value)) {
+            budget.maxRows = std::strtoull(value, nullptr, 10);
+        } else if (flagValue("--max-intermediate-rows", &value)) {
+            budget.maxIntermediateRows =
+                std::strtoull(value, nullptr, 10);
         } else {
             checks = std::strtoul(argv[arg], nullptr, 10);
         }
+    }
+    if (resume && checkpoint_path.empty()) {
+        std::fprintf(stderr,
+                     "--resume requires --checkpoint <file>\n");
+        return 1;
     }
 
     SchedulerConfig config;
     config.mode = ScheduleMode::ShardDialects;
     config.workers = workers;
+    config.checkpointPath = checkpoint_path;
+    config.resume = resume;
+    config.shardDeadlineSeconds = shard_deadline;
     config.campaign.seed = 1234;
     config.campaign.checks = checks;
     config.campaign.oracles = {"TLP", "NOREC"};
     config.campaign.feedback.updateInterval = 200;
+    config.campaign.budget = budget;
 
     std::printf("== SQLancer++ bug-finding campaign across %zu "
                 "dialects (%zu worker%s) ==\n\n",
@@ -57,16 +99,31 @@ main(int argc, char **argv)
             *profile, shard.stats.prioritizedBugs);
         total_prioritized += shard.stats.prioritizedBugs.size();
         total_unique += unique;
-        std::printf("%-16s %10llu %9zu %12zu %7.1f%% %7zu\n",
+        std::printf("%-16s %10llu %9zu %12zu %7.1f%% %7zu%s\n",
                     shard.dialect.c_str(),
                     (unsigned long long)shard.stats.bugsDetected,
                     shard.stats.prioritizedBugs.size(), unique,
                     100.0 * shard.stats.validityRate(),
-                    shard.stats.planFingerprints.size());
+                    shard.stats.planFingerprints.size(),
+                    shard.fromCheckpoint ? "  (resumed)" : "");
     }
     std::printf("\ntotal prioritized reports: %zu, distinct underlying "
                 "bugs: %zu\n",
                 total_prioritized, total_unique);
+    if (!checkpoint_path.empty())
+        std::printf("checkpoint: %s (%zu shard%s restored from a "
+                    "previous run)\n",
+                    checkpoint_path.c_str(),
+                    report.shardsFromCheckpoint,
+                    report.shardsFromCheckpoint == 1 ? "" : "s");
+    if (report.merged.resourceErrors > 0 ||
+        report.merged.shardsAbandoned > 0)
+        std::printf("budget/watchdog: %llu statements cut short by the "
+                    "execution budget, %llu shard%s abandoned at the "
+                    "deadline\n",
+                    (unsigned long long)report.merged.resourceErrors,
+                    (unsigned long long)report.merged.shardsAbandoned,
+                    report.merged.shardsAbandoned == 1 ? "" : "s");
     std::printf("queue drained in %.2f s (%.0f checks/s end to end)\n",
                 report.queueDrainSeconds, report.checksPerSecond());
     std::printf("(ground truth: every campaign dialect ships a fixed "

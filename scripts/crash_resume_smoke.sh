@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Crash/resume smoke test: SIGKILL a checkpointed bug_hunt mid-campaign,
+# assert the checkpoint file survived (atomic rewrite) and still loads,
+# then resume and require the run to complete with restored shards.
+#
+# Usage: scripts/crash_resume_smoke.sh [path/to/bug_hunt]
+set -u
+
+BUG_HUNT="${1:-build/examples/bug_hunt}"
+if [ ! -x "$BUG_HUNT" ]; then
+    echo "crash_resume_smoke: $BUG_HUNT not found; build first" >&2
+    exit 1
+fi
+
+WORKDIR="$(mktemp -d)"
+CHECKPOINT="$WORKDIR/campaign.ckpt"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# Enough checks per dialect that the fleet cannot finish instantly,
+# so the kill lands mid-campaign on any machine.
+CHECKS=2000
+
+"$BUG_HUNT" "$CHECKS" --checkpoint "$CHECKPOINT" \
+    > "$WORKDIR/first.log" 2>&1 &
+PID=$!
+
+# Wait for the first shard to be checkpointed, then kill -9.
+for _ in $(seq 1 120); do
+    [ -s "$CHECKPOINT" ] && break
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.5
+done
+
+if kill -0 "$PID" 2>/dev/null; then
+    kill -9 "$PID"
+    wait "$PID" 2>/dev/null
+    KILLED=1
+else
+    # Campaign finished before the kill window closed — still a valid
+    # (if less interesting) run; the resume below must then restore
+    # every shard.
+    wait "$PID"
+    KILLED=0
+fi
+
+if [ ! -s "$CHECKPOINT" ]; then
+    echo "FAIL: no checkpoint file was written" >&2
+    cat "$WORKDIR/first.log" >&2
+    exit 1
+fi
+
+head -1 "$CHECKPOINT" | grep -q "sqlancerpp-kv-v2" || {
+    echo "FAIL: checkpoint file is not a valid KvStore" >&2
+    exit 1
+}
+grep -q "meta.format=sqlancerpp-checkpoint-v1" "$CHECKPOINT" || {
+    echo "FAIL: checkpoint file has no campaign metadata" >&2
+    exit 1
+}
+
+"$BUG_HUNT" "$CHECKS" --checkpoint "$CHECKPOINT" --resume \
+    > "$WORKDIR/resume.log" 2>&1
+STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: resumed run exited with status $STATUS" >&2
+    cat "$WORKDIR/resume.log" >&2
+    exit 1
+fi
+
+RESTORED=$(sed -n 's/.*(\([0-9]*\) shards\{0,1\} restored.*/\1/p' \
+    "$WORKDIR/resume.log")
+if [ -z "$RESTORED" ] || [ "$RESTORED" -lt 1 ]; then
+    echo "FAIL: resumed run restored no shards" >&2
+    cat "$WORKDIR/resume.log" >&2
+    exit 1
+fi
+
+echo "OK: killed=$KILLED, resumed run restored $RESTORED shard(s)" \
+     "and completed"

@@ -1,5 +1,7 @@
 #include "core/campaign.h"
 
+#include <chrono>
+
 #include "parser/parser.h"
 #include "sqlir/printer.h"
 #include "util/log.h"
@@ -15,10 +17,28 @@ CampaignStats::merge(const CampaignStats &other)
     checksAttempted += other.checksAttempted;
     checksValid += other.checksValid;
     bugsDetected += other.bugsDetected;
+    resourceErrors += other.resourceErrors;
+    refreshRetries += other.refreshRetries;
+    shardsAbandoned += other.shardsAbandoned;
     for (const BugCase &bug : other.prioritizedBugs)
         prioritizedBugs.push_back(bug);
     planFingerprints.insert(other.planFingerprints.begin(),
                             other.planFingerprints.end());
+}
+
+bool
+CampaignStats::operator==(const CampaignStats &other) const
+{
+    return setupGenerated == other.setupGenerated &&
+           setupSucceeded == other.setupSucceeded &&
+           checksAttempted == other.checksAttempted &&
+           checksValid == other.checksValid &&
+           bugsDetected == other.bugsDetected &&
+           resourceErrors == other.resourceErrors &&
+           refreshRetries == other.refreshRetries &&
+           shardsAbandoned == other.shardsAbandoned &&
+           prioritizedBugs == other.prioritizedBugs &&
+           planFingerprints == other.planFingerprints;
 }
 
 CampaignRunner::CampaignRunner(CampaignConfig config)
@@ -30,6 +50,9 @@ CampaignRunner::CampaignRunner(CampaignConfig config)
         profile = &allDialectProfiles().front();
         config_.dialect = profile->name;
     }
+    profile_ = *profile;
+    if (config_.disableFaults)
+        profile_.faults = FaultSet();
     FeedbackConfig feedback_config = config_.feedback;
     if (config_.mode == GeneratorMode::AdaptiveNoFeedback)
         feedback_config.enabled = false;
@@ -42,7 +65,7 @@ CampaignRunner::CampaignRunner(CampaignConfig config)
         gate_ = std::make_unique<OpenGate>();
         break;
       case GeneratorMode::Baseline:
-        gate_ = std::make_unique<ProfileGate>(*profile, registry_);
+        gate_ = std::make_unique<ProfileGate>(profile_, registry_);
         break;
     }
 }
@@ -74,7 +97,8 @@ CampaignStats
 CampaignRunner::run()
 {
     CampaignStats stats;
-    const DialectProfile &profile = *findDialect(config_.dialect);
+    const DialectProfile &profile = profile_;
+    auto campaign_start = std::chrono::steady_clock::now();
 
     std::vector<std::unique_ptr<Oracle>> oracles;
     for (const std::string &name : config_.oracles) {
@@ -87,7 +111,18 @@ CampaignRunner::run()
 
     BugPrioritizer prioritizer;
 
-    auto connection = std::make_unique<Connection>(profile);
+    ConnectionOptions connection_options;
+    connection_options.budget = config_.budget;
+    connection_options.refreshRetry = config_.refreshRetry;
+    // Budget and retry counters live in the connection; fold them into
+    // the stats before a connection is replaced (rebuild) or dropped.
+    auto collect_counters = [&stats](const Connection &connection) {
+        stats.resourceErrors += connection.resourceErrors();
+        stats.refreshRetries += connection.refreshRetries();
+    };
+
+    auto connection =
+        std::make_unique<Connection>(profile, connection_options);
     std::vector<std::string> setup_log;
     model_ = SchemaModel();
     buildState(*connection, stats, setup_log);
@@ -98,9 +133,25 @@ CampaignRunner::run()
                                 model_);
 
     for (size_t check = 0; check < config_.checks; ++check) {
+        // Watchdog deadline: give up on the rest of the check budget
+        // and return what was gathered; the scheduler merge still
+        // consumes the partial stats deterministically.
+        if (config_.deadlineSeconds > 0.0 &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - campaign_start)
+                    .count() >= config_.deadlineSeconds) {
+            logWarn(format("campaign on %s hit its %.1fs deadline after "
+                           "%zu/%zu checks; abandoning shard",
+                           profile.name.c_str(), config_.deadlineSeconds,
+                           check, config_.checks));
+            stats.shardsAbandoned = 1;
+            break;
+        }
         if (config_.rebuildEvery > 0 && check > 0 &&
             check % config_.rebuildEvery == 0) {
-            connection = std::make_unique<Connection>(profile);
+            collect_counters(*connection);
+            connection =
+                std::make_unique<Connection>(profile, connection_options);
             model_ = SchemaModel();
             setup_log.clear();
             buildState(*connection, stats, setup_log);
@@ -146,6 +197,7 @@ CampaignRunner::run()
         for (uint64_t fingerprint : connection->takeNewPlans())
             stats.planFingerprints.insert(fingerprint);
     }
+    collect_counters(*connection);
     return stats;
 }
 

@@ -64,6 +64,18 @@ struct CampaignConfig
     bool reduce = false;
     GeneratorConfig generator;
     FeedbackConfig feedback;
+    /** Per-statement engine budget for every connection opened. */
+    StepBudget budget;
+    /** Retry policy for transient REFRESH failures. */
+    RefreshRetryPolicy refreshRetry;
+    /**
+     * Watchdog: abandon the campaign after this many wall-clock
+     * seconds (0 = no deadline). An abandoned campaign returns the
+     * stats gathered so far and sets CampaignStats::shardsAbandoned.
+     */
+    double deadlineSeconds = 0.0;
+    /** Strip the profile's injected faults (fault-free control runs). */
+    bool disableFaults = false;
 };
 
 /** Aggregated campaign results. */
@@ -80,6 +92,12 @@ struct CampaignStats
     std::vector<BugCase> prioritizedBugs;
     /** Distinct SELECT plan fingerprints (Fig. 8 metric). */
     std::set<uint64_t> planFingerprints;
+    /** Statements cut short by the execution budget (never bugs). */
+    uint64_t resourceErrors = 0;
+    /** REFRESH retries performed after transient failures. */
+    uint64_t refreshRetries = 0;
+    /** Campaigns abandoned by the watchdog deadline (0 or 1 pre-merge). */
+    uint64_t shardsAbandoned = 0;
 
     double
     validityRate() const
@@ -108,6 +126,9 @@ struct CampaignStats
      * prioritizer over the merged stream before calling this).
      */
     void merge(const CampaignStats &other);
+
+    /** Field-by-field equality (checkpoint/resume verification). */
+    bool operator==(const CampaignStats &other) const;
 };
 
 /** Runs campaigns against one dialect. */
@@ -150,6 +171,8 @@ class CampaignRunner
                     std::vector<std::string> &setup_log);
 
     CampaignConfig config_;
+    /** Local profile copy (faults stripped under disableFaults). */
+    DialectProfile profile_;
     FeatureRegistry registry_;
     std::unique_ptr<FeedbackTracker> tracker_;
     std::unique_ptr<FeatureGate> gate_;

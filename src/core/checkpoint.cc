@@ -1,0 +1,247 @@
+#include "core/checkpoint.h"
+
+#include <charconv>
+
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+namespace {
+
+/** Separator for feature-name lists; cannot occur in feature names. */
+constexpr char kUnitSep = '\x1f';
+
+std::optional<uint64_t>
+parseU64(std::string_view text)
+{
+    uint64_t value = 0;
+    const char *begin = text.data();
+    const char *end = begin + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end || text.empty())
+        return std::nullopt;
+    return value;
+}
+
+uint64_t
+countAt(const KvStore &payload, const std::string &key)
+{
+    auto value = payload.getInt(key);
+    return value && *value > 0 ? static_cast<uint64_t>(*value) : 0;
+}
+
+} // namespace
+
+KvStore
+checkpointShard(const CampaignStats &stats,
+                const FeedbackTracker &feedback,
+                const FeatureRegistry &registry, size_t worker_index,
+                double seconds)
+{
+    KvStore payload;
+    payload.putInt("stats.setupGenerated",
+                   static_cast<int64_t>(stats.setupGenerated));
+    payload.putInt("stats.setupSucceeded",
+                   static_cast<int64_t>(stats.setupSucceeded));
+    payload.putInt("stats.checksAttempted",
+                   static_cast<int64_t>(stats.checksAttempted));
+    payload.putInt("stats.checksValid",
+                   static_cast<int64_t>(stats.checksValid));
+    payload.putInt("stats.bugsDetected",
+                   static_cast<int64_t>(stats.bugsDetected));
+    payload.putInt("stats.resourceErrors",
+                   static_cast<int64_t>(stats.resourceErrors));
+    payload.putInt("stats.refreshRetries",
+                   static_cast<int64_t>(stats.refreshRetries));
+    payload.putInt("stats.shardsAbandoned",
+                   static_cast<int64_t>(stats.shardsAbandoned));
+
+    // Plan fingerprints are full-range uint64 hashes; the int accessor
+    // would fold the high bit, so serialize them as decimal text.
+    std::vector<std::string> plans;
+    plans.reserve(stats.planFingerprints.size());
+    for (uint64_t fingerprint : stats.planFingerprints)
+        plans.push_back(std::to_string(fingerprint));
+    payload.put("plans", join(plans, " "));
+
+    payload.putInt("bugs.count",
+                   static_cast<int64_t>(stats.prioritizedBugs.size()));
+    for (size_t j = 0; j < stats.prioritizedBugs.size(); ++j) {
+        const BugCase &bug = stats.prioritizedBugs[j];
+        std::string prefix = "bug." + std::to_string(j) + ".";
+        payload.put(prefix + "dialect", bug.dialect);
+        payload.put(prefix + "oracle", bug.oracle);
+        payload.put(prefix + "base", bug.baseText);
+        payload.put(prefix + "predicate", bug.predicateText);
+        payload.put(prefix + "details", bug.details);
+        std::string names;
+        for (size_t k = 0; k < bug.featureNames.size(); ++k) {
+            if (k > 0)
+                names.push_back(kUnitSep);
+            names += bug.featureNames[k];
+        }
+        payload.put(prefix + "features", names);
+        payload.putInt(prefix + "setup.count",
+                       static_cast<int64_t>(bug.setup.size()));
+        for (size_t k = 0; k < bug.setup.size(); ++k)
+            payload.put(prefix + "setup." + std::to_string(k),
+                        bug.setup[k]);
+    }
+
+    payload.putInt("worker", static_cast<int64_t>(worker_index));
+    payload.putDouble("seconds", seconds);
+
+    feedback.save(registry, payload);
+    // The tracker saves counters by feature *name*; record each saved
+    // feature's kind so restore can re-intern composite features that
+    // a fresh registry has never seen.
+    for (FeatureId id = 0; id < registry.size(); ++id) {
+        const std::string &name = registry.name(id);
+        if (payload.get("feature." + name + ".n").has_value())
+            payload.putInt("feature." + name + ".kind",
+                           static_cast<int64_t>(registry.kind(id)));
+    }
+    return payload;
+}
+
+Status
+restoreShard(const KvStore &payload,
+             const FeedbackConfig &feedback_config, RestoredShard &out)
+{
+    out = RestoredShard();
+    // Pass 1: re-intern every persisted feature, so the tracker load
+    // and the bug feature translation below resolve all names.
+    for (const auto &[key, value] : payload.entries()) {
+        constexpr std::string_view kKindSuffix = ".kind";
+        if (!startsWith(key, "feature.") ||
+            key.size() <= 8 + kKindSuffix.size() ||
+            key.compare(key.size() - kKindSuffix.size(),
+                        kKindSuffix.size(), kKindSuffix) != 0)
+            continue;
+        std::string name =
+            key.substr(8, key.size() - 8 - kKindSuffix.size());
+        auto kind = parseU64(value);
+        if (!kind ||
+            *kind > static_cast<uint64_t>(FeatureKind::Property))
+            return Status::runtimeError(
+                "checkpoint payload: bad feature kind for " + name);
+        out.registry.intern(name, static_cast<FeatureKind>(*kind));
+    }
+
+    out.feedback = FeedbackTracker(feedback_config);
+    out.feedback.load(out.registry, payload);
+
+    auto stat = [&payload](const char *name) {
+        return countAt(payload, std::string("stats.") + name);
+    };
+    out.stats.setupGenerated = stat("setupGenerated");
+    out.stats.setupSucceeded = stat("setupSucceeded");
+    out.stats.checksAttempted = stat("checksAttempted");
+    out.stats.checksValid = stat("checksValid");
+    out.stats.bugsDetected = stat("bugsDetected");
+    out.stats.resourceErrors = stat("resourceErrors");
+    out.stats.refreshRetries = stat("refreshRetries");
+    out.stats.shardsAbandoned = stat("shardsAbandoned");
+
+    if (auto plans = payload.get("plans")) {
+        for (const std::string &item : split(*plans, ' ')) {
+            if (item.empty())
+                continue;
+            auto fingerprint = parseU64(item);
+            if (!fingerprint)
+                return Status::runtimeError(
+                    "checkpoint payload: bad plan fingerprint: " +
+                    item);
+            out.stats.planFingerprints.insert(*fingerprint);
+        }
+    }
+
+    uint64_t bug_count = countAt(payload, "bugs.count");
+    for (uint64_t j = 0; j < bug_count; ++j) {
+        std::string prefix = "bug." + std::to_string(j) + ".";
+        auto dialect = payload.get(prefix + "dialect");
+        auto oracle = payload.get(prefix + "oracle");
+        auto base = payload.get(prefix + "base");
+        auto predicate = payload.get(prefix + "predicate");
+        if (!dialect || !oracle || !base || !predicate)
+            return Status::runtimeError(
+                "checkpoint payload: truncated bug record " +
+                std::to_string(j));
+        BugCase bug;
+        bug.dialect = *dialect;
+        bug.oracle = *oracle;
+        bug.baseText = *base;
+        bug.predicateText = *predicate;
+        bug.details = payload.get(prefix + "details").value_or("");
+        if (auto names = payload.get(prefix + "features");
+            names && !names->empty())
+            bug.featureNames = split(*names, kUnitSep);
+        uint64_t setup_count = countAt(payload, prefix + "setup.count");
+        for (uint64_t k = 0; k < setup_count; ++k) {
+            auto statement =
+                payload.get(prefix + "setup." + std::to_string(k));
+            if (!statement)
+                return Status::runtimeError(
+                    "checkpoint payload: truncated setup of bug " +
+                    std::to_string(j));
+            bug.setup.push_back(*statement);
+        }
+        out.stats.prioritizedBugs.push_back(std::move(bug));
+    }
+
+    out.workerIndex = countAt(payload, "worker");
+    out.seconds = payload.getDouble("seconds").value_or(0.0);
+    return Status::ok();
+}
+
+Status
+CampaignCheckpoint::saveTo(const std::string &path) const
+{
+    KvStore store;
+    store.put("meta.format", "sqlancerpp-checkpoint-v1");
+    store.put("meta.fingerprint", std::to_string(configFingerprint));
+    store.putInt("meta.totalShards",
+                 static_cast<int64_t>(totalShards));
+    for (const auto &[index, payload] : shards) {
+        std::string prefix = "shard." + std::to_string(index) + ".";
+        for (const auto &[key, value] : payload.entries())
+            store.put(prefix + key, value);
+    }
+    return store.save(path);
+}
+
+Status
+CampaignCheckpoint::loadFrom(const std::string &path)
+{
+    KvStore store;
+    if (Status loaded = store.load(path); !loaded.isOk())
+        return loaded;
+    auto fmt = store.get("meta.format");
+    if (!fmt || *fmt != "sqlancerpp-checkpoint-v1")
+        return Status::runtimeError(
+            "not a campaign checkpoint: " + path);
+    auto fingerprint = store.get("meta.fingerprint");
+    auto total = store.getInt("meta.totalShards");
+    if (!fingerprint || !parseU64(*fingerprint) || !total || *total < 0)
+        return Status::runtimeError(
+            "campaign checkpoint has broken metadata: " + path);
+    configFingerprint = *parseU64(*fingerprint);
+    totalShards = static_cast<size_t>(*total);
+    shards.clear();
+    for (const auto &[key, value] : store.entries()) {
+        if (!startsWith(key, "shard."))
+            continue;
+        size_t dot = key.find('.', 6);
+        if (dot == std::string::npos)
+            continue;
+        auto index = parseU64(std::string_view(key).substr(6, dot - 6));
+        if (!index)
+            return Status::runtimeError(
+                "campaign checkpoint has a broken shard key: " + key);
+        shards[static_cast<size_t>(*index)].put(key.substr(dot + 1),
+                                                value);
+    }
+    return Status::ok();
+}
+
+} // namespace sqlpp

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Crash-safe campaign checkpoints.
+ *
+ * Long campaigns (the paper runs 24-hour fleets) must survive a killed
+ * process. The scheduler serializes each finished shard into a flat
+ * KvStore *payload* — campaign stats, prioritized bugs, the shard's
+ * feature registry slice, and its FeedbackTracker posterior — and
+ * folds all payloads into one CampaignCheckpoint file, rewritten
+ * atomically (KvStore::save is write-temp-then-rename) after every
+ * shard completes. A SIGKILL therefore loses at most the in-flight
+ * shards; `--resume` reloads the file, skips finished shards, and the
+ * deterministic shard-order merge produces bit-identical CampaignStats
+ * to an uninterrupted run.
+ *
+ * To make that guarantee by construction rather than by parallel code
+ * paths, the scheduler routes *every* shard — live or resumed —
+ * through checkpointShard() → restoreShard() before merging, so the
+ * merge consumes identical inputs whether a shard ran just now or in a
+ * previous process.
+ */
+#ifndef SQLPP_CORE_CHECKPOINT_H
+#define SQLPP_CORE_CHECKPOINT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/campaign.h"
+#include "core/feature.h"
+#include "core/feedback.h"
+#include "util/persist.h"
+#include "util/status.h"
+
+namespace sqlpp {
+
+/** A shard reconstructed from its checkpoint payload. */
+struct RestoredShard
+{
+    CampaignStats stats;
+    /** Registry the restored feedback ids live in. */
+    FeatureRegistry registry;
+    FeedbackTracker feedback;
+    /** Observability carried through the payload (never merged). */
+    size_t workerIndex = 0;
+    double seconds = 0.0;
+};
+
+/**
+ * Serialize one finished shard into a flat payload. Lossless for
+ * everything the deterministic merge consumes: stats counters, plan
+ * fingerprints, prioritized bugs (all fields), and per-feature
+ * feedback counters keyed by feature *name* with their kinds, so a
+ * fresh registry can re-intern them on restore.
+ */
+KvStore checkpointShard(const CampaignStats &stats,
+                        const FeedbackTracker &feedback,
+                        const FeatureRegistry &registry,
+                        size_t worker_index, double seconds);
+
+/**
+ * Rebuild a shard from its payload. `feedback_config` parameterizes
+ * the reconstructed tracker (the scheduler passes its own merged-view
+ * config). Fails on structurally broken payloads; unknown keys are
+ * ignored for forward compatibility.
+ */
+Status restoreShard(const KvStore &payload,
+                    const FeedbackConfig &feedback_config,
+                    RestoredShard &out);
+
+/**
+ * The on-disk campaign checkpoint: shard payloads plus enough metadata
+ * to refuse resuming under a different configuration.
+ */
+class CampaignCheckpoint
+{
+  public:
+    /** Fingerprint of the resolved shard plan (see scheduler). */
+    uint64_t configFingerprint = 0;
+    /** Shards in the plan (not all need payloads yet). */
+    size_t totalShards = 0;
+    /** Finished shards by shard index. */
+    std::map<size_t, KvStore> shards;
+
+    /** Atomically write the checkpoint (temp file + rename). */
+    Status saveTo(const std::string &path) const;
+
+    /** Load a checkpoint; fails on missing file or broken metadata. */
+    Status loadFrom(const std::string &path);
+};
+
+} // namespace sqlpp
+
+#endif // SQLPP_CORE_CHECKPOINT_H

@@ -183,6 +183,10 @@ FeedbackTracker::save(const FeatureRegistry &registry,
                      static_cast<int64_t>(stat.executions));
         store.putInt("feature." + name + ".y",
                      static_cast<int64_t>(stat.successes));
+        store.putInt("feature." + name + ".wn",
+                     static_cast<int64_t>(stat.windowExecutions));
+        store.putInt("feature." + name + ".wy",
+                     static_cast<int64_t>(stat.windowSuccesses));
         store.putInt("feature." + name + ".suppressed",
                      stat.suppressed ? 1 : 0);
         store.putInt("feature." + name + ".query",
@@ -191,12 +195,17 @@ FeedbackTracker::save(const FeatureRegistry &registry,
                          ? 1
                          : 0);
     }
+    // Statement count, so a restored tracker resumes the interval
+    // cadence (and absorb() sums) exactly where the saved one stopped.
+    store.putInt("tracker.recorded", static_cast<int64_t>(recorded_));
 }
 
 void
 FeedbackTracker::load(const FeatureRegistry &registry,
                       const KvStore &store)
 {
+    if (auto recorded = store.getInt("tracker.recorded"))
+        recorded_ = static_cast<uint64_t>(*recorded);
     for (const auto &[key, value] : store.entries()) {
         if (!startsWith(key, "feature.") ||
             key.size() <= 10 /* shortest suffix */) {
@@ -218,6 +227,10 @@ FeedbackTracker::load(const FeatureRegistry &registry,
             stat.executions = static_cast<uint64_t>(*parsed);
         else if (field == "y")
             stat.successes = static_cast<uint64_t>(*parsed);
+        else if (field == "wn")
+            stat.windowExecutions = static_cast<uint64_t>(*parsed);
+        else if (field == "wy")
+            stat.windowSuccesses = static_cast<uint64_t>(*parsed);
         else if (field == "suppressed")
             stat.suppressed = *parsed != 0;
         else if (field == "query") {

@@ -37,6 +37,16 @@ struct BugCase
     std::vector<std::string> featureNames;
     /** Oracle evidence at detection time. */
     std::string details;
+
+    bool
+    operator==(const BugCase &other) const
+    {
+        return dialect == other.dialect && oracle == other.oracle &&
+               setup == other.setup && baseText == other.baseText &&
+               predicateText == other.predicateText &&
+               featureNames == other.featureNames &&
+               details == other.details;
+    }
 };
 
 /**

@@ -1,7 +1,11 @@
 #include "core/scheduler.h"
 
 #include <chrono>
+#include <mutex>
 
+#include "core/checkpoint.h"
+#include "util/log.h"
+#include "util/strutil.h"
 #include "util/thread_pool.h"
 
 namespace sqlpp {
@@ -16,6 +20,42 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/**
+ * Canonical text form of everything that shapes one shard's
+ * deterministic result. Anything missing here would let a checkpoint
+ * resume under a configuration that produces different stats.
+ */
+std::string
+describeShard(const CampaignConfig &config)
+{
+    const GeneratorConfig &g = config.generator;
+    const FeedbackConfig &f = config.feedback;
+    return format(
+        "%s|%llu|%d|%s|%zu|%zu|%zu|%d|%d|%llu|%llu|%llu|%g|%d|"
+        "%llu|%d|%d|%llu|%zu|%zu|%zu|%zu|%zu|%zu|%d|%g|"
+        "%d|%g|%g|%llu|%llu",
+        config.dialect.c_str(),
+        static_cast<unsigned long long>(config.seed),
+        static_cast<int>(config.mode),
+        join(config.oracles, ",").c_str(), config.setupStatements,
+        config.checks, config.rebuildEvery,
+        config.reduce ? 1 : 0, config.disableFaults ? 1 : 0,
+        static_cast<unsigned long long>(config.budget.maxSteps),
+        static_cast<unsigned long long>(config.budget.maxRows),
+        static_cast<unsigned long long>(
+            config.budget.maxIntermediateRows),
+        config.deadlineSeconds, 0 /* reserved */,
+        static_cast<unsigned long long>(g.seed), g.maxDepth,
+        g.progressiveDepth ? 1 : 0,
+        static_cast<unsigned long long>(g.depthStep), g.maxTables,
+        g.maxViews, g.maxColumnsPerTable, g.maxRowsPerInsert,
+        g.maxRowsPerTable, g.maxJoins, g.enableSubqueries ? 1 : 0,
+        g.looseTypeProbability, f.enabled ? 1 : 0, f.threshold,
+        f.credibleMass,
+        static_cast<unsigned long long>(f.updateInterval),
+        static_cast<unsigned long long>(f.ddlFailureLimit));
+}
+
 } // namespace
 
 CampaignScheduler::CampaignScheduler(SchedulerConfig config)
@@ -23,10 +63,10 @@ CampaignScheduler::CampaignScheduler(SchedulerConfig config)
 {
     if (config_.workers == 0)
         config_.workers = 1;
-    FeedbackConfig feedback_config = config_.campaign.feedback;
+    feedback_config_ = config_.campaign.feedback;
     if (config_.campaign.mode == GeneratorMode::AdaptiveNoFeedback)
-        feedback_config.enabled = false;
-    tracker_ = std::make_unique<FeedbackTracker>(feedback_config);
+        feedback_config_.enabled = false;
+    tracker_ = std::make_unique<FeedbackTracker>(feedback_config_);
 }
 
 std::vector<CampaignConfig>
@@ -42,6 +82,8 @@ CampaignScheduler::plan() const
         for (const std::string &dialect : dialects) {
             CampaignConfig shard = config_.campaign;
             shard.dialect = dialect;
+            if (config_.shardDeadlineSeconds > 0.0)
+                shard.deadlineSeconds = config_.shardDeadlineSeconds;
             shards.push_back(std::move(shard));
         }
         return shards;
@@ -57,40 +99,84 @@ CampaignScheduler::plan() const
         // seed itself.
         shard.seed = config_.campaign.seed ^ index;
         shard.checks = per_slice + (index < remainder ? 1 : 0);
+        if (config_.shardDeadlineSeconds > 0.0)
+            shard.deadlineSeconds = config_.shardDeadlineSeconds;
         shards.push_back(std::move(shard));
     }
     return shards;
+}
+
+uint64_t
+CampaignScheduler::planFingerprint() const
+{
+    uint64_t hash = fnv1a(format(
+        "mode=%d|shards=", static_cast<int>(config_.mode)));
+    for (const CampaignConfig &shard : plan())
+        hash = fnv1a(describeShard(shard) + "\n", hash);
+    return hash;
 }
 
 ScheduleReport
 CampaignScheduler::run()
 {
     std::vector<CampaignConfig> shard_configs = plan();
+    uint64_t fingerprint = planFingerprint();
 
-    /** One slot per shard, written by exactly one worker. */
-    struct Slot
-    {
-        std::unique_ptr<CampaignRunner> runner;
-        CampaignStats stats;
-        size_t workerIndex = 0;
-        double seconds = 0.0;
-    };
-    std::vector<Slot> slots(shard_configs.size());
+    CampaignCheckpoint checkpoint;
+    checkpoint.configFingerprint = fingerprint;
+    checkpoint.totalShards = shard_configs.size();
+
+    // Shards already finished by a previous (killed) run. Read-only
+    // while workers drain the queue.
+    std::vector<char> from_checkpoint(shard_configs.size(), 0);
+    if (config_.resume && !config_.checkpointPath.empty()) {
+        CampaignCheckpoint loaded;
+        Status status = loaded.loadFrom(config_.checkpointPath);
+        if (!status.isOk()) {
+            logWarn("resume requested but checkpoint is unusable (" +
+                    status.toString() + "); starting fresh");
+        } else if (loaded.configFingerprint != fingerprint ||
+                   loaded.totalShards != shard_configs.size()) {
+            logWarn("checkpoint " + config_.checkpointPath +
+                    " was written under a different campaign "
+                    "configuration; starting fresh");
+        } else {
+            for (auto &[index, payload] : loaded.shards) {
+                if (index >= shard_configs.size())
+                    continue;
+                from_checkpoint[index] = 1;
+                checkpoint.shards[index] = std::move(payload);
+            }
+        }
+    }
+
+    const bool persist = !config_.checkpointPath.empty();
+    std::mutex checkpoint_mutex;
 
     IndexQueue queue(shard_configs.size());
     auto dispatch_start = std::chrono::steady_clock::now();
     runOnWorkers(config_.workers, [&](size_t worker_index) {
         for (;;) {
             size_t shard = queue.pop();
-            if (shard >= slots.size())
+            if (shard >= shard_configs.size())
                 return;
+            if (from_checkpoint[shard] != 0)
+                continue;
             auto shard_start = std::chrono::steady_clock::now();
-            Slot &slot = slots[shard];
-            slot.runner = std::make_unique<CampaignRunner>(
-                shard_configs[shard]);
-            slot.stats = slot.runner->run();
-            slot.seconds = secondsSince(shard_start);
-            slot.workerIndex = worker_index;
+            CampaignRunner runner(shard_configs[shard]);
+            CampaignStats stats = runner.run();
+            KvStore payload = checkpointShard(
+                stats, runner.feedback(), runner.registry(),
+                worker_index, secondsSince(shard_start));
+            std::lock_guard<std::mutex> lock(checkpoint_mutex);
+            checkpoint.shards[shard] = std::move(payload);
+            if (persist) {
+                Status saved =
+                    checkpoint.saveTo(config_.checkpointPath);
+                if (!saved.isOk())
+                    logWarn("failed to write campaign checkpoint: " +
+                            saved.toString());
+            }
         }
     });
 
@@ -107,30 +193,59 @@ CampaignScheduler::run()
     // cross-shard duplicates collapse exactly as in a sequential run.
     bool cross_shard_dedup = config_.mode == ScheduleMode::SliceChecks;
 
-    for (size_t index = 0; index < slots.size(); ++index) {
-        Slot &slot = slots[index];
+    // Merge in shard-index order. Every shard — run just now or
+    // restored from disk — passes through the same payload round-trip,
+    // so a resumed run merges inputs identical to an uninterrupted one
+    // by construction.
+    for (size_t index = 0; index < shard_configs.size(); ++index) {
+        auto it = checkpoint.shards.find(index);
+        if (it == checkpoint.shards.end()) {
+            logWarn(format("shard %zu produced no result; merged "
+                           "stats are partial",
+                           index));
+            continue;
+        }
+        RestoredShard shard;
+        Status restored =
+            restoreShard(it->second, feedback_config_, shard);
+        if (!restored.isOk()) {
+            logWarn(format("shard %zu checkpoint payload is broken "
+                           "(%s); merged stats are partial",
+                           index, restored.toString().c_str()));
+            continue;
+        }
+
         ShardOutcome outcome;
         outcome.shardIndex = index;
         outcome.dialect = shard_configs[index].dialect;
         outcome.seed = shard_configs[index].seed;
-        outcome.workerIndex = slot.workerIndex;
-        outcome.seconds = slot.seconds;
+        outcome.workerIndex = shard.workerIndex;
+        outcome.seconds = shard.seconds;
+        outcome.fromCheckpoint = from_checkpoint[index] != 0;
 
-        WorkerReport &worker = report.workers[slot.workerIndex];
-        ++worker.shardsRun;
-        worker.checksAttempted += slot.stats.checksAttempted;
-        worker.busySeconds += slot.seconds;
+        if (outcome.fromCheckpoint) {
+            // The restoring run did not spend this time; the payload's
+            // worker index may not even exist in this run's pool.
+            ++report.shardsFromCheckpoint;
+        } else {
+            WorkerReport &worker =
+                report.workers[shard.workerIndex %
+                               report.workers.size()];
+            ++worker.shardsRun;
+            worker.checksAttempted += shard.stats.checksAttempted;
+            worker.busySeconds += shard.seconds;
+        }
 
-        CampaignStats contribution = slot.stats;
+        CampaignStats contribution = shard.stats;
         std::vector<BugCase> kept;
         for (BugCase &bug : contribution.prioritizedBugs) {
             FeatureSet features;
             for (const std::string &name : bug.featureNames) {
-                FeatureId shard_id = slot.runner->registry().find(name);
+                FeatureId shard_id = shard.registry.find(name);
                 FeatureKind kind =
                     shard_id == static_cast<FeatureId>(-1)
                         ? FeatureKind::Property
-                        : slot.runner->registry().kind(shard_id);
+                        : shard.registry.kind(shard_id);
                 features.insert(registry_.intern(name, kind));
             }
             bool fresh = prioritizer_.considerNew(features);
@@ -140,12 +255,10 @@ CampaignScheduler::run()
         outcome.bugsKeptAfterMerge = kept.size();
         contribution.prioritizedBugs = std::move(kept);
 
-        tracker_->absorb(slot.runner->feedback(),
-                         slot.runner->registry(), registry_);
-        outcome.stats = std::move(slot.stats);
+        tracker_->absorb(shard.feedback, shard.registry, registry_);
+        outcome.stats = std::move(shard.stats);
         report.merged.merge(contribution);
         report.shards.push_back(std::move(outcome));
-        slot.runner.reset();
     }
     return report;
 }

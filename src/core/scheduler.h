@@ -20,7 +20,12 @@
  * never on the worker count, and the post-run merge folds shards in
  * shard-index order. Hence the same seed yields bit-identical merged
  * stats for 1 worker and for N workers — worker count changes
- * wall-clock time, nothing else. The merge re-runs bug prioritization
+ * wall-clock time, nothing else. Crash safety extends this: every
+ * finished shard is serialized into an atomically-rewritten
+ * checkpoint file (core/checkpoint.h), all shards — live or resumed —
+ * reach the merge through the same serialize/restore round-trip, and
+ * so a killed-and-resumed run merges to stats bit-identical to an
+ * uninterrupted one. The merge re-runs bug prioritization
  * over the concatenated shard stream (translating feature ids by name
  * into a merged registry), so cross-shard duplicate bugs collapse
  * exactly as they would have in one sequential run, and absorbs every
@@ -62,6 +67,24 @@ struct SchedulerConfig
     size_t slices = 0;
     /** Dialects in ShardDialects mode; empty = all campaign dialects. */
     std::vector<std::string> dialects;
+    /**
+     * Checkpoint file rewritten (atomically) after every finished
+     * shard; empty = no checkpointing. A killed run loses at most its
+     * in-flight shards.
+     */
+    std::string checkpointPath;
+    /**
+     * Load `checkpointPath` before running and skip shards it already
+     * holds. The file must match this configuration (shard-plan
+     * fingerprint); a mismatched or unreadable checkpoint logs a
+     * warning and the run starts fresh.
+     */
+    bool resume = false;
+    /**
+     * Watchdog: per-shard wall-clock deadline in seconds (0 = none),
+     * copied into every shard's CampaignConfig::deadlineSeconds.
+     */
+    double shardDeadlineSeconds = 0.0;
 };
 
 /** One shard's outcome: the deterministic part plus timing. */
@@ -77,6 +100,8 @@ struct ShardOutcome
     /** Observability only — never feeds the deterministic merge. */
     size_t workerIndex = 0;
     double seconds = 0.0;
+    /** Restored from a checkpoint instead of run by this process. */
+    bool fromCheckpoint = false;
 };
 
 /** Per-worker observability (throughput accounting). */
@@ -103,6 +128,8 @@ struct ScheduleReport
     CampaignStats merged;
     std::vector<ShardOutcome> shards;
     std::vector<WorkerReport> workers;
+    /** Shards skipped because a resumed checkpoint already held them. */
+    size_t shardsFromCheckpoint = 0;
     /** Wall-clock seconds from first dispatch until the queue drained. */
     double queueDrainSeconds = 0.0;
 
@@ -126,6 +153,13 @@ class CampaignScheduler
     /** Resolve the shard layout (exposed for tests and benches). */
     std::vector<CampaignConfig> plan() const;
 
+    /**
+     * Fingerprint of the resolved shard plan — every field that shapes
+     * a shard's deterministic result. A checkpoint written under one
+     * fingerprint cannot be resumed under another.
+     */
+    uint64_t planFingerprint() const;
+
     /** Run all shards on the worker pool and merge deterministically. */
     ScheduleReport run();
 
@@ -141,6 +175,8 @@ class CampaignScheduler
 
   private:
     SchedulerConfig config_;
+    /** Feedback config for the merged view and restored shards. */
+    FeedbackConfig feedback_config_;
     FeatureRegistry registry_;
     std::unique_ptr<FeedbackTracker> tracker_;
     BugPrioritizer prioritizer_;

@@ -1,15 +1,21 @@
 #include "dialect/connection.h"
 
+#include <chrono>
+#include <thread>
+
 #include "parser/parser.h"
 #include "util/strutil.h"
 
 namespace sqlpp {
 
-Connection::Connection(const DialectProfile &profile) : profile_(profile)
+Connection::Connection(const DialectProfile &profile,
+                       const ConnectionOptions &options)
+    : profile_(profile), options_(options)
 {
     EngineConfig config;
     config.behavior = profile.behavior;
     config.faults = profile.faults;
+    config.budget = options.budget;
     db_ = std::make_unique<Database>(config);
 }
 
@@ -33,6 +39,14 @@ Connection::pendingRows() const
 StatusOr<ResultSet>
 Connection::handleRefresh(const std::string &table)
 {
+    if (transient_failures_ > 0) {
+        // Injected transient failure: fail before touching buffered
+        // rows, so a retry sees the exact same pending queue.
+        --transient_failures_;
+        last_refresh_transient_ = true;
+        return Status::runtimeError("transient REFRESH failure");
+    }
+    last_refresh_transient_ = false;
     ResultSet result(std::vector<std::string>{});
     std::vector<std::unique_ptr<InsertStmt>> keep;
     Status error = Status::ok();
@@ -64,6 +78,19 @@ Connection::handleRefresh(const std::string &table)
 
 StatusOr<ResultSet>
 Connection::execute(const std::string &sql)
+{
+    auto result = executeInternal(sql);
+    // Budget exhaustion is a resource condition, not a wrong answer:
+    // count it so campaigns can report it, distinct from real errors.
+    if (!result.isOk() &&
+        result.status().code() == ErrorCode::BudgetExhausted) {
+        ++resource_errors_;
+    }
+    return result;
+}
+
+StatusOr<ResultSet>
+Connection::executeInternal(const std::string &sql)
 {
     ++statements_;
     // REFRESH is not part of the engine grammar; it is a dialect-level
@@ -124,15 +151,34 @@ Connection::executeAdapted(const std::string &sql)
         // sees constraint errors attached to the INSERT it issued.
         bool buffered_now = pending_.size() > already_pending;
         auto refreshed = execute("REFRESH");
+        // Transient flush failures are retried with exponential backoff
+        // before the error is surfaced — the watchdog's second line of
+        // defense after the per-statement budget.
+        double backoff = options_.refreshRetry.backoffBaseMicros;
+        for (size_t attempt = 0;
+             !refreshed.isOk() && last_refresh_transient_ &&
+             attempt < options_.refreshRetry.maxRetries;
+             ++attempt) {
+            ++refresh_retries_;
+            if (backoff >= 1.0) {
+                std::this_thread::sleep_for(std::chrono::microseconds(
+                    static_cast<int64_t>(backoff)));
+            }
+            backoff *= options_.refreshRetry.backoffMultiplier;
+            refreshed = execute("REFRESH");
+        }
         if (!refreshed.isOk()) {
-            // The flush stops at the first failing INSERT. If this
+            // A transient failure that survived every retry touched no
+            // insert at all; it is this statement's verdict. Otherwise
+            // the flush stopped at the first failing INSERT: if this
             // statement's own insert failed (nothing buffered after it,
             // so a failure leaves the queue empty), the error is its
-            // verdict. If an *older* buffered insert failed, this
-            // statement's insert was never attempted and stays pending;
-            // its result stands, and the error belongs to the statement
-            // that buffered the failing insert.
-            if (!buffered_now || pending_.empty())
+            // verdict; if an *older* buffered insert failed, this
+            // statement's insert was never attempted and stays pending
+            // — its result stands, and the error belongs to the
+            // statement that buffered the failing insert.
+            if (last_refresh_transient_ || !buffered_now ||
+                pending_.empty())
                 return refreshed.status();
         }
     }

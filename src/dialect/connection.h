@@ -24,11 +24,35 @@
 
 namespace sqlpp {
 
+/**
+ * Retry policy for transient REFRESH failures (a distributed store's
+ * flush can fail transiently; real adapters retry with backoff before
+ * giving up on the shard).
+ */
+struct RefreshRetryPolicy
+{
+    /** Retries after the initial attempt; 0 disables retrying. */
+    size_t maxRetries = 3;
+    /** Sleep before the first retry, in microseconds. */
+    unsigned backoffBaseMicros = 500;
+    /** Multiplier applied to the sleep after each failed retry. */
+    double backoffMultiplier = 2.0;
+};
+
+/** Session knobs a campaign applies to every connection it opens. */
+struct ConnectionOptions
+{
+    /** Per-statement execution budget for the underlying engine. */
+    StepBudget budget;
+    RefreshRetryPolicy refreshRetry;
+};
+
 /** One open session against one dialect's DBMS instance. */
 class Connection
 {
   public:
-    explicit Connection(const DialectProfile &profile);
+    explicit Connection(const DialectProfile &profile,
+                        const ConnectionOptions &options = {});
 
     /**
      * Execute one SQL statement exactly as a client would: parse,
@@ -68,14 +92,40 @@ class Connection
      */
     std::vector<uint64_t> takeNewPlans();
 
+    /**
+     * Statements that failed with ErrorCode::BudgetExhausted — resource
+     * conditions, never bugs; campaigns report them separately.
+     */
+    uint64_t resourceErrors() const { return resource_errors_; }
+
+    /** REFRESH retries performed after transient failures. */
+    uint64_t refreshRetries() const { return refresh_retries_; }
+
+    /**
+     * Test hook: make the next @p count REFRESH flushes fail with a
+     * transient runtime error before touching buffered rows.
+     */
+    void injectTransientRefreshFailures(size_t count)
+    {
+        transient_failures_ = count;
+    }
+
   private:
+    StatusOr<ResultSet> executeInternal(const std::string &sql);
     StatusOr<ResultSet> handleRefresh(const std::string &table);
 
     const DialectProfile &profile_;
+    ConnectionOptions options_;
     std::unique_ptr<Database> db_;
     /** Buffered INSERTs per refresh-required dialect semantics. */
     std::vector<std::unique_ptr<InsertStmt>> pending_;
     uint64_t statements_ = 0;
+    uint64_t resource_errors_ = 0;
+    uint64_t refresh_retries_ = 0;
+    /** Injected transient REFRESH failures still owed (test hook). */
+    size_t transient_failures_ = 0;
+    /** True when the most recent REFRESH failed transiently. */
+    bool last_refresh_transient_ = false;
     std::set<uint64_t> seen_plans_;
     /** Fingerprints added to seen_plans_ since the last drain. */
     std::vector<uint64_t> new_plans_;

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-statement execution budgets.
+ *
+ * SQLancer-family testers bound every generated query so one
+ * pathological cross join cannot wedge a 24-hour campaign (Rigger & Su,
+ * PQS). StepBudget is the limit triple; BudgetMeter is the mutable
+ * counter a single statement execution charges against. Exhaustion
+ * surfaces as ErrorCode::BudgetExhausted — a resource condition, not a
+ * wrong answer — which the oracles skip and never compare.
+ */
+#ifndef SQLPP_ENGINE_BUDGET_H
+#define SQLPP_ENGINE_BUDGET_H
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace sqlpp {
+
+/**
+ * Limits for one statement execution. A limit of 0 means unlimited.
+ *
+ * maxIntermediateRows defaults to the engine's historical hard cap on
+ * materialized join products, so default-configured runs behave exactly
+ * as before — only the error *code* for blowing the cap changed.
+ */
+struct StepBudget
+{
+    /** Evaluator steps: one per expression node evaluated per row. */
+    uint64_t maxSteps = 0;
+    /** Rows emitted into any result set (before LIMIT). */
+    uint64_t maxRows = 0;
+    /** Rows materialized by scans, joins and derived tables. */
+    uint64_t maxIntermediateRows = 50000;
+
+    bool
+    operator==(const StepBudget &other) const
+    {
+        return maxSteps == other.maxSteps && maxRows == other.maxRows &&
+               maxIntermediateRows == other.maxIntermediateRows;
+    }
+};
+
+/**
+ * Mutable charge counters for one statement.
+ *
+ * One meter is shared by the executor, every child executor it spawns
+ * for subqueries/views/derived tables, and the recursive evaluator, so
+ * the budget bounds the statement as a whole, not any single loop.
+ */
+class BudgetMeter
+{
+  public:
+    BudgetMeter() = default;
+    explicit BudgetMeter(const StepBudget &limits) : limits_(limits) {}
+
+    const StepBudget &limits() const { return limits_; }
+
+    uint64_t steps() const { return steps_; }
+    uint64_t rows() const { return rows_; }
+    uint64_t intermediateRows() const { return intermediate_rows_; }
+
+    /** Charge evaluator/loop steps; fails once the limit is reached. */
+    Status
+    chargeSteps(uint64_t count)
+    {
+        steps_ += count;
+        if (limits_.maxSteps != 0 && steps_ > limits_.maxSteps)
+            return Status::budgetExhausted(
+                "statement exceeded step budget");
+        return Status::ok();
+    }
+
+    /** Charge result rows; fails once the limit is reached. */
+    Status
+    chargeRows(uint64_t count)
+    {
+        rows_ += count;
+        if (limits_.maxRows != 0 && rows_ > limits_.maxRows)
+            return Status::budgetExhausted(
+                "statement exceeded result-row budget");
+        return Status::ok();
+    }
+
+    /** Charge materialized intermediate rows (scan/join products). */
+    Status
+    chargeIntermediateRows(uint64_t count)
+    {
+        intermediate_rows_ += count;
+        if (limits_.maxIntermediateRows != 0 &&
+            intermediate_rows_ > limits_.maxIntermediateRows)
+            return Status::budgetExhausted(
+                "statement exceeded intermediate-row budget");
+        return Status::ok();
+    }
+
+  private:
+    StepBudget limits_;
+    uint64_t steps_ = 0;
+    uint64_t rows_ = 0;
+    uint64_t intermediate_rows_ = 0;
+};
+
+} // namespace sqlpp
+
+#endif // SQLPP_ENGINE_BUDGET_H

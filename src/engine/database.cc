@@ -69,8 +69,9 @@ Database::executeStmt(const Stmt &stmt, ExecMode mode)
         return runAnalyze(static_cast<const AnalyzeStmt &>(stmt));
       case StmtKind::Select: {
         SQLPP_COVER("db.select");
+        BudgetMeter meter(config_.budget);
         Executor executor(catalog_, config_.behavior, config_.faults,
-                          mode);
+                          mode, &meter);
         auto result = executor.runSelect(
             static_cast<const SelectStmt &>(stmt));
         last_plan_ = executor.planDescription();

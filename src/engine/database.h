@@ -28,6 +28,12 @@ struct EngineConfig
 {
     EngineBehavior behavior;
     FaultSet faults;
+    /**
+     * Per-statement execution budget applied to every SELECT (a fresh
+     * meter per statement). Defaults preserve historical behaviour:
+     * steps/rows unlimited, intermediate rows capped at 50000.
+     */
+    StepBudget budget;
 };
 
 /** An in-process DBMS instance. */

@@ -815,6 +815,12 @@ evalSubqueryScalar(const SelectStmt &select, const EvalContext &ctx)
 StatusOr<Value>
 evalExprImpl(const Expr &expr, const EvalContext &ctx)
 {
+    // One budget step per expression node per row: bounds runaway
+    // recursive evaluation for the whole statement.
+    if (ctx.budget != nullptr) {
+        if (Status s = ctx.budget->chargeSteps(1); !s.isOk())
+            return s;
+    }
     switch (expr.kind()) {
       case ExprKind::Literal:
         return static_cast<const LiteralExpr &>(expr).value;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/budget.h"
 #include "engine/faults.h"
 #include "sqlir/ast.h"
 #include "sqlir/value.h"
@@ -101,6 +102,12 @@ class EvalContext
     const EngineBehavior *behavior = nullptr;
     const FaultSet *faults = nullptr;
     SubqueryRunner *subqueries = nullptr;
+    /**
+     * Per-statement charge meter; the evaluator charges one step per
+     * expression node evaluated. Null means unmetered (type checker,
+     * constant folding).
+     */
+    BudgetMeter *budget = nullptr;
 
     /**
      * Number of enclosing NOT operators; the NegContextMixedEq fault

@@ -13,15 +13,6 @@ namespace sqlpp {
 
 namespace {
 
-/**
- * Hard cap on intermediate row counts. Deliberately tight: generated
- * databases are small (the platform inserts tens of rows per table, as
- * SQLancer does), so anything past this is a runaway cross product and
- * aborts with a resource error — the same answer a real DBMS's work_mem
- * limit would give.
- */
-constexpr size_t kMaxRows = 50000;
-
 /** Sort comparison: NULLs first, then SQL class ordering. */
 int
 compareForSort(const Value &lhs, const Value &rhs)
@@ -220,8 +211,10 @@ foldChildren(const Expr &expr, const EngineBehavior &behavior,
 } // namespace
 
 Executor::Executor(const Catalog &catalog, const EngineBehavior &behavior,
-                   const FaultSet &faults, ExecMode mode)
-    : catalog_(catalog), behavior_(behavior), faults_(faults), mode_(mode)
+                   const FaultSet &faults, ExecMode mode,
+                   BudgetMeter *budget)
+    : catalog_(catalog), behavior_(behavior), faults_(faults), mode_(mode),
+      budget_(budget != nullptr ? budget : &owned_budget_)
 {
 }
 
@@ -344,7 +337,7 @@ Executor::runSubquery(const SelectStmt &select, const EvalContext *outer)
         if (hit != subquery_cache_.end())
             return hit->second;
     }
-    Executor child(catalog_, behavior_, faults_, mode_);
+    Executor child(catalog_, behavior_, faults_, mode_, budget_);
     child.depth_ = depth_ + 1;
     auto result = child.runSelectImpl(select, outer);
     // Correlated subqueries run once per row; dedupe their plan shape so
@@ -370,7 +363,7 @@ Executor::prepareSource(const TableRef &ref, const EvalContext *outer)
     Source source;
     if (ref.subquery) {
         SQLPP_COVER("exec.source.derived");
-        Executor child(catalog_, behavior_, faults_, mode_);
+        Executor child(catalog_, behavior_, faults_, mode_, budget_);
         child.depth_ = depth_ + 1;
         auto result = child.runSelectImpl(*ref.subquery, outer);
         if (!result.isOk())
@@ -391,7 +384,7 @@ Executor::prepareSource(const TableRef &ref, const EvalContext *outer)
     }
     if (const StoredView *view = catalog_.view(ref.name)) {
         SQLPP_COVER("exec.source.view");
-        Executor child(catalog_, behavior_, faults_, mode_);
+        Executor child(catalog_, behavior_, faults_, mode_, budget_);
         child.depth_ = depth_ + 1;
         auto result = child.runSelectImpl(*view->select, outer);
         if (!result.isOk())
@@ -544,6 +537,10 @@ Executor::applySourceFilters(Source &source,
             key = Value::integer(valueToNumeric(key).value_or(0));
         }
         std::vector<size_t> ordinals;
+        if (Status s = budget_->chargeSteps(probe_index->entries.size());
+            !s.isOk()) {
+            return s;
+        }
         for (const StoredIndex::Entry &entry : probe_index->entries) {
             const Value &entry_key = entry.key[0];
             bool match = false;
@@ -587,6 +584,10 @@ Executor::applySourceFilters(Source &source,
     } else if (is_base) {
         SQLPP_COVER("exec.access.full_scan");
         note("SCAN(" + source.binding + ")");
+        if (Status s = budget_->chargeSteps(table->rows.size());
+            !s.isOk()) {
+            return s;
+        }
         source.rows = table->rows;
     }
 
@@ -627,6 +628,7 @@ Executor::predicateKeeps(const Expr &predicate, const Scope &scope,
     ctx.behavior = &behavior_;
     ctx.faults = &faults_;
     ctx.subqueries = this;
+    ctx.budget = budget_;
     auto value = evalExpr(predicate, ctx);
     if (!value.isOk())
         return value.status();
@@ -882,8 +884,8 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
 
         std::vector<Row> joined;
         auto emit = [&](Row row) -> Status {
-            if (joined.size() >= kMaxRows)
-                return Status::runtimeError("intermediate result too large");
+            if (Status s = budget_->chargeIntermediateRows(1); !s.isOk())
+                return s;
             joined.push_back(std::move(row));
             return Status::ok();
         };
@@ -950,6 +952,11 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
                                std::to_string(*valueToNumeric(value));
                     };
                     std::map<std::string, std::vector<size_t>> buckets;
+                    if (Status s = budget_->chargeSteps(
+                            right.rows.size() + current.size());
+                        !s.isOk()) {
+                        return s;
+                    }
                     for (size_t ri = 0; ri < right.rows.size(); ++ri) {
                         const Value &key = right.rows[ri][right_col];
                         if (key.isNull() && !null_match)
@@ -998,6 +1005,8 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
             for (const Row &left_row : current) {
                 bool matched = false;
                 for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+                    if (Status s = budget_->chargeSteps(1); !s.isOk())
+                        return s;
                     Row combined = left_row;
                     combined.insert(combined.end(),
                                     right.rows[ri].begin(),
@@ -1052,9 +1061,9 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
         std::vector<Row> joined;
         for (const Row &left_row : current) {
             for (const Row &right_row : right.rows) {
-                if (joined.size() >= kMaxRows) {
-                    return Status::runtimeError(
-                        "intermediate result too large");
+                if (Status s = budget_->chargeIntermediateRows(1);
+                    !s.isOk()) {
+                    return s;
                 }
                 Row combined = left_row;
                 combined.insert(combined.end(), right_row.begin(),
@@ -1132,6 +1141,8 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
                 return value.status();
             out_row.push_back(value.takeValue());
         }
+        if (Status s = budget_->chargeRows(1); !s.isOk())
+            return s;
         out.addRow(std::move(out_row));
         return Status::ok();
     };
@@ -1165,6 +1176,7 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
         ctx.behavior = &behavior_;
         ctx.faults = &faults_;
         ctx.subqueries = this;
+        ctx.budget = budget_;
         return ctx;
     };
 
@@ -1272,6 +1284,8 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
         std::set<std::string> seen;
         std::vector<size_t> kept;
         for (size_t i : order) {
+            if (Status s = budget_->chargeSteps(1); !s.isOk())
+                return s;
             const Row &row = result.rows()[i];
             bool has_null = false;
             for (const Value &value : row)
@@ -1290,6 +1304,8 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
     if (!select.orderBy.empty()) {
         SQLPP_COVER("exec.sort");
         note(format("SORT(%zu)", select.orderBy.size()));
+        if (Status s = budget_->chargeSteps(order.size()); !s.isOk())
+            return s;
         std::stable_sort(
             order.begin(), order.end(), [&](size_t a, size_t b) {
                 for (size_t k = 0; k < select.orderBy.size(); ++k) {

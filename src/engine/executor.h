@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/budget.h"
 #include "engine/catalog.h"
 #include "engine/eval.h"
 #include "sqlir/ast.h"
@@ -42,8 +43,15 @@ enum class ExecMode
 class Executor : public SubqueryRunner
 {
   public:
+    /**
+     * @param budget Shared per-statement charge meter; nullptr uses an
+     *     owned meter with default limits. Child executors spawned for
+     *     subqueries, views, and derived tables inherit the pointer, so
+     *     one budget bounds the whole statement.
+     */
     Executor(const Catalog &catalog, const EngineBehavior &behavior,
-             const FaultSet &faults, ExecMode mode);
+             const FaultSet &faults, ExecMode mode,
+             BudgetMeter *budget = nullptr);
 
     /** Execute a top-level SELECT. */
     StatusOr<ResultSet> runSelect(const SelectStmt &select,
@@ -101,6 +109,10 @@ class Executor : public SubqueryRunner
     const EngineBehavior &behavior_;
     const FaultSet &faults_;
     ExecMode mode_;
+    /** Fallback meter when the caller does not supply one. */
+    BudgetMeter owned_budget_;
+    /** The meter every loop and evaluator call charges against. */
+    BudgetMeter *budget_;
     std::string plan_;
     /** Re-entrancy guard for runaway recursive subqueries. */
     int depth_ = 0;

@@ -1,11 +1,19 @@
 #include "util/log.h"
 
 #include <cstdio>
+#include <mutex>
 
 namespace sqlpp {
 
 namespace {
 LogLevel g_level = LogLevel::Warn;
+
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
 
 const char *
 levelName(LogLevel level)
@@ -38,7 +46,17 @@ logMessage(LogLevel level, const std::string &message)
 {
     if (level < g_level || g_level == LogLevel::Silent)
         return;
-    std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+    /* Build the whole line first and emit it in one write under a
+     * mutex, so concurrent campaign workers never interleave or tear
+     * log lines. */
+    std::string line = "[";
+    line += levelName(level);
+    line += "] ";
+    line += message;
+    line += "\n";
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
 }
 
 } // namespace sqlpp

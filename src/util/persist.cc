@@ -1,15 +1,78 @@
 #include "util/persist.h"
 
+#include <cerrno>
+#include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define SQLPP_HAVE_FSYNC 1
+#endif
 
 #include "util/strutil.h"
 
 namespace sqlpp {
 
 namespace {
-constexpr const char *kHeader = "sqlancerpp-kv-v1";
+/*
+ * v2 percent-escapes '=', '%', '\r' and '\n' in keys and values, so any
+ * string round-trips (feature names like "OP_=" broke the v1 format).
+ * v1 files are still accepted on load, unescaped.
+ */
+constexpr const char *kHeader = "sqlancerpp-kv-v2";
+constexpr const char *kHeaderV1 = "sqlancerpp-kv-v1";
+
+std::string
+escapeField(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '%': out += "%25"; break;
+          case '=': out += "%3D"; break;
+          case '\n': out += "%0A"; break;
+          case '\r': out += "%0D"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+std::string
+unescapeField(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i] == '%' && i + 2 < raw.size()) {
+            int hi = hexDigit(raw[i + 1]);
+            int lo = hexDigit(raw[i + 2]);
+            if (hi >= 0 && lo >= 0) {
+                out += static_cast<char>(hi * 16 + lo);
+                i += 2;
+                continue;
+            }
+        }
+        out += raw[i];
+    }
+    return out;
+}
 } // namespace
 
 void
@@ -21,7 +84,15 @@ KvStore::put(const std::string &key, const std::string &value)
 void
 KvStore::putDouble(const std::string &key, double value)
 {
-    put(key, format("%.17g", value));
+    /* std::to_chars is locale-independent (always '.') and emits the
+     * shortest representation that round-trips exactly. */
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+    if (ec != std::errc()) {
+        put(key, "0");
+        return;
+    }
+    put(key, std::string(buf, ptr));
 }
 
 void
@@ -43,34 +114,30 @@ std::optional<double>
 KvStore::getDouble(const std::string &key) const
 {
     auto raw = get(key);
-    if (!raw)
+    if (!raw || raw->empty())
         return std::nullopt;
-    try {
-        size_t pos = 0;
-        double value = std::stod(*raw, &pos);
-        if (pos != raw->size())
-            return std::nullopt;
-        return value;
-    } catch (...) {
+    double value = 0.0;
+    const char *first = raw->data();
+    const char *last = first + raw->size();
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last)
         return std::nullopt;
-    }
+    return value;
 }
 
 std::optional<int64_t>
 KvStore::getInt(const std::string &key) const
 {
     auto raw = get(key);
-    if (!raw)
+    if (!raw || raw->empty())
         return std::nullopt;
-    try {
-        size_t pos = 0;
-        long long value = std::stoll(*raw, &pos);
-        if (pos != raw->size())
-            return std::nullopt;
-        return static_cast<int64_t>(value);
-    } catch (...) {
+    int64_t value = 0;
+    const char *first = raw->data();
+    const char *last = first + raw->size();
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last)
         return std::nullopt;
-    }
+    return value;
 }
 
 void
@@ -82,15 +149,39 @@ KvStore::erase(const std::string &key)
 Status
 KvStore::save(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        return Status::runtimeError("cannot open for write: " + path);
-    out << kHeader << "\n";
-    for (const auto &[key, value] : entries_)
-        out << key << "=" << value << "\n";
-    out.flush();
-    if (!out)
-        return Status::runtimeError("write failed: " + path);
+    /* Write-temp-then-rename: the target file is replaced atomically,
+     * so a crash mid-save leaves either the old state or the new one,
+     * never a truncated half-write. */
+    const std::string tmp_path = path + ".tmp";
+    std::FILE *out = std::fopen(tmp_path.c_str(), "wb");
+    if (out == nullptr)
+        return Status::runtimeError("cannot open for write: " + tmp_path);
+
+    std::string body = kHeader;
+    body += '\n';
+    for (const auto &[key, value] : entries_) {
+        body += escapeField(key);
+        body += '=';
+        body += escapeField(value);
+        body += '\n';
+    }
+
+    bool ok = std::fwrite(body.data(), 1, body.size(), out) == body.size();
+    ok = (std::fflush(out) == 0) && ok;
+#ifdef SQLPP_HAVE_FSYNC
+    ok = (::fsync(::fileno(out)) == 0) && ok;
+#endif
+    ok = (std::fclose(out) == 0) && ok;
+    if (!ok) {
+        std::remove(tmp_path.c_str());
+        return Status::runtimeError("write failed: " + tmp_path);
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        return Status::runtimeError("rename failed: " + tmp_path + " -> " +
+                                    path + " (" + std::strerror(errno) +
+                                    ")");
+    }
     return Status::ok();
 }
 
@@ -101,7 +192,14 @@ KvStore::load(const std::string &path)
     if (!in)
         return Status::runtimeError("cannot open for read: " + path);
     std::string line;
-    if (!std::getline(in, line) || line != kHeader)
+    if (!std::getline(in, line))
+        return Status::runtimeError("bad header in: " + path);
+    bool escaped;
+    if (line == kHeader)
+        escaped = true;
+    else if (line == kHeaderV1)
+        escaped = false;
+    else
         return Status::runtimeError("bad header in: " + path);
     entries_.clear();
     while (std::getline(in, line)) {
@@ -110,7 +208,13 @@ KvStore::load(const std::string &path)
         size_t eq = line.find('=');
         if (eq == std::string::npos)
             return Status::runtimeError("bad line in " + path + ": " + line);
-        entries_[line.substr(0, eq)] = line.substr(eq + 1);
+        std::string key = line.substr(0, eq);
+        std::string value = line.substr(eq + 1);
+        if (escaped) {
+            key = unescapeField(key);
+            value = unescapeField(value);
+        }
+        entries_[key] = value;
     }
     return Status::ok();
 }

@@ -22,9 +22,13 @@ namespace sqlpp {
 /**
  * In-memory string map with load/save to a versioned text file.
  *
- * Keys must not contain '=' or '\n'; values must not contain '\n'.
- * Both constraints hold for the feature names and decimal numbers the
- * platform stores.
+ * Arbitrary keys and values round-trip: '=', '%' and newlines are
+ * percent-escaped on disk (format v2; v1 files load unchanged).
+ * Numeric accessors are locale-independent — a store saved under a
+ * comma-decimal locale reloads identically.
+ *
+ * save() writes a sibling temp file and rename()s it over the target,
+ * so a crash mid-save never leaves a half-written state file.
  */
 class KvStore
 {

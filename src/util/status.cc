@@ -12,6 +12,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::RuntimeError: return "RUNTIME_ERROR";
       case ErrorCode::Unsupported: return "UNSUPPORTED";
       case ErrorCode::Internal: return "INTERNAL";
+      case ErrorCode::BudgetExhausted: return "BUDGET_EXHAUSTED";
     }
     return "UNKNOWN";
 }

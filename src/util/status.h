@@ -31,6 +31,12 @@ enum class ErrorCode
     Unsupported,
     /** Internal invariant violation in the engine itself. */
     Internal,
+    /**
+     * The statement exceeded its execution budget (steps/rows). A
+     * resource limit, not a wrong answer: oracles must skip, never
+     * compare, results cut short by this code.
+     */
+    BudgetExhausted,
 };
 
 /** Human-readable name of an ErrorCode. */
@@ -80,6 +86,12 @@ class Status
     internal(std::string msg)
     {
         return Status(ErrorCode::Internal, std::move(msg));
+    }
+
+    static Status
+    budgetExhausted(std::string msg)
+    {
+        return Status(ErrorCode::BudgetExhausted, std::move(msg));
     }
 
     bool isOk() const { return code_ == ErrorCode::Ok; }

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Checkpoint/resume tests: payload round-trips must be lossless, the
+ * checkpoint file must survive process death (atomic rewrite), and a
+ * resumed run must merge to CampaignStats bit-identical to an
+ * uninterrupted run for any worker count.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/checkpoint.h"
+#include "core/scheduler.h"
+
+namespace sqlpp {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+CampaignConfig
+smallCampaign()
+{
+    CampaignConfig config;
+    config.dialect = "sqlite-like";
+    config.seed = 7;
+    config.checks = 120;
+    config.setupStatements = 30;
+    config.oracles = {"TLP", "NOREC"};
+    config.feedback.updateInterval = 50;
+    return config;
+}
+
+SchedulerConfig
+smallSchedule(size_t workers)
+{
+    SchedulerConfig config;
+    config.mode = ScheduleMode::SliceChecks;
+    config.workers = workers;
+    config.slices = 4;
+    config.campaign = smallCampaign();
+    return config;
+}
+
+TEST(CheckpointTest, ShardPayloadRoundTripsLosslessly)
+{
+    CampaignRunner runner(smallCampaign());
+    CampaignStats stats = runner.run();
+    ASSERT_GT(stats.checksAttempted, 0u);
+
+    KvStore payload = checkpointShard(stats, runner.feedback(),
+                                      runner.registry(), 3, 1.5);
+    RestoredShard restored;
+    Status status = restoreShard(payload, FeedbackConfig{}, restored);
+    ASSERT_TRUE(status.isOk()) << status.toString();
+
+    EXPECT_TRUE(restored.stats == stats);
+    EXPECT_EQ(restored.workerIndex, 3u);
+    EXPECT_DOUBLE_EQ(restored.seconds, 1.5);
+    EXPECT_EQ(restored.feedback.recorded(),
+              runner.feedback().recorded());
+}
+
+TEST(CheckpointTest, FileRoundTripPreservesShards)
+{
+    std::string path = tempPath("sqlpp_ckpt_roundtrip.kv");
+    CampaignCheckpoint checkpoint;
+    checkpoint.configFingerprint = 0xdeadbeefcafef00dULL;
+    checkpoint.totalShards = 3;
+    checkpoint.shards[0].put("stats.checksAttempted", "5");
+    checkpoint.shards[2].put("bug.0.dialect", "sqlite-like");
+    ASSERT_TRUE(checkpoint.saveTo(path).isOk());
+
+    CampaignCheckpoint loaded;
+    ASSERT_TRUE(loaded.loadFrom(path).isOk());
+    EXPECT_EQ(loaded.configFingerprint, checkpoint.configFingerprint);
+    EXPECT_EQ(loaded.totalShards, 3u);
+    ASSERT_EQ(loaded.shards.size(), 2u);
+    EXPECT_EQ(*loaded.shards[0].get("stats.checksAttempted"), "5");
+    EXPECT_EQ(*loaded.shards[2].get("bug.0.dialect"), "sqlite-like");
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, LoadRejectsForeignFiles)
+{
+    std::string path = tempPath("sqlpp_ckpt_foreign.kv");
+    KvStore store;
+    store.put("unrelated", "content");
+    ASSERT_TRUE(store.save(path).isOk());
+    CampaignCheckpoint checkpoint;
+    EXPECT_FALSE(checkpoint.loadFrom(path).isOk());
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, CheckpointedRunMatchesPlainRun)
+{
+    std::string path = tempPath("sqlpp_ckpt_match.kv");
+    std::filesystem::remove(path);
+
+    ScheduleReport plain = CampaignScheduler(smallSchedule(1)).run();
+
+    SchedulerConfig writing = smallSchedule(1);
+    writing.checkpointPath = path;
+    ScheduleReport written = CampaignScheduler(writing).run();
+
+    EXPECT_TRUE(plain.merged == written.merged);
+    EXPECT_TRUE(std::filesystem::exists(path));
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, PartialResumeReproducesUninterruptedStats)
+{
+    std::string path = tempPath("sqlpp_ckpt_partial.kv");
+    std::filesystem::remove(path);
+
+    ScheduleReport reference = CampaignScheduler(smallSchedule(1)).run();
+
+    SchedulerConfig writing = smallSchedule(1);
+    writing.checkpointPath = path;
+    ASSERT_TRUE(CampaignScheduler(writing)
+                    .run()
+                    .merged == reference.merged);
+
+    // Simulate a kill that lost shards 1 and 3: drop them from the
+    // file, then resume. The resumed run must re-run exactly those
+    // shards and merge to identical stats.
+    CampaignCheckpoint checkpoint;
+    ASSERT_TRUE(checkpoint.loadFrom(path).isOk());
+    ASSERT_EQ(checkpoint.shards.size(), 4u);
+    checkpoint.shards.erase(1);
+    checkpoint.shards.erase(3);
+    ASSERT_TRUE(checkpoint.saveTo(path).isOk());
+
+    SchedulerConfig resuming = writing;
+    resuming.resume = true;
+    ScheduleReport resumed = CampaignScheduler(resuming).run();
+    EXPECT_TRUE(resumed.merged == reference.merged);
+    EXPECT_EQ(resumed.shardsFromCheckpoint, 2u);
+    ASSERT_EQ(resumed.shards.size(), 4u);
+    EXPECT_TRUE(resumed.shards[0].fromCheckpoint);
+    EXPECT_FALSE(resumed.shards[1].fromCheckpoint);
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, ResumeIsBitIdenticalForOneTwoFourWorkers)
+{
+    ScheduleReport reference = CampaignScheduler(smallSchedule(1)).run();
+    for (size_t workers : {1u, 2u, 4u}) {
+        std::string path = tempPath("sqlpp_ckpt_workers.kv");
+        std::filesystem::remove(path);
+
+        SchedulerConfig writing = smallSchedule(workers);
+        writing.checkpointPath = path;
+        ScheduleReport written = CampaignScheduler(writing).run();
+        EXPECT_TRUE(written.merged == reference.merged)
+            << workers << " workers (write pass)";
+
+        SchedulerConfig resuming = writing;
+        resuming.resume = true;
+        ScheduleReport resumed = CampaignScheduler(resuming).run();
+        EXPECT_TRUE(resumed.merged == reference.merged)
+            << workers << " workers (resume pass)";
+        EXPECT_EQ(resumed.shardsFromCheckpoint, 4u);
+        std::filesystem::remove(path);
+    }
+}
+
+TEST(CheckpointTest, MismatchedConfigurationStartsFresh)
+{
+    std::string path = tempPath("sqlpp_ckpt_mismatch.kv");
+    std::filesystem::remove(path);
+
+    SchedulerConfig writing = smallSchedule(1);
+    writing.checkpointPath = path;
+    (void)CampaignScheduler(writing).run();
+
+    SchedulerConfig different = writing;
+    different.campaign.seed = 999;
+    different.resume = true;
+    ScheduleReport report = CampaignScheduler(different).run();
+    // Nothing restored: the checkpoint belongs to another campaign.
+    EXPECT_EQ(report.shardsFromCheckpoint, 0u);
+
+    SchedulerConfig plain = smallSchedule(1);
+    plain.campaign.seed = 999;
+    ScheduleReport reference = CampaignScheduler(plain).run();
+    EXPECT_TRUE(report.merged == reference.merged);
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace sqlpp

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Campaign watchdog tests: REFRESH retry-with-backoff, wall-clock
+ * shard deadlines, and the budget/oracle interaction — a fault-free
+ * dialect under a starvation-level budget must report zero bugs, since
+ * budget-truncated results are skipped, never compared.
+ */
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+
+namespace sqlpp {
+namespace {
+
+const DialectProfile *
+refreshDialect()
+{
+    for (const DialectProfile *profile : campaignDialects()) {
+        if (profile->requiresRefreshAfterInsert)
+            return profile;
+    }
+    return nullptr;
+}
+
+TEST(RefreshRetryTest, TransientFailuresAreRetriedToSuccess)
+{
+    const DialectProfile *profile = refreshDialect();
+    ASSERT_NE(profile, nullptr);
+    ConnectionOptions options;
+    options.refreshRetry.maxRetries = 3;
+    options.refreshRetry.backoffBaseMicros = 1;
+    Connection connection(*profile, options);
+    ASSERT_TRUE(
+        connection.executeAdapted("CREATE TABLE t0 (c0 INT)").isOk());
+
+    connection.injectTransientRefreshFailures(2);
+    auto insert =
+        connection.executeAdapted("INSERT INTO t0 VALUES (1)");
+    EXPECT_TRUE(insert.isOk()) << insert.status().toString();
+    EXPECT_EQ(connection.refreshRetries(), 2u);
+
+    auto rows = connection.execute("SELECT * FROM t0");
+    ASSERT_TRUE(rows.isOk());
+    EXPECT_EQ(rows.value().rowCount(), 1u);
+}
+
+TEST(RefreshRetryTest, GivesUpAfterMaxRetries)
+{
+    const DialectProfile *profile = refreshDialect();
+    ASSERT_NE(profile, nullptr);
+    ConnectionOptions options;
+    options.refreshRetry.maxRetries = 2;
+    options.refreshRetry.backoffBaseMicros = 1;
+    Connection connection(*profile, options);
+    ASSERT_TRUE(
+        connection.executeAdapted("CREATE TABLE t0 (c0 INT)").isOk());
+
+    connection.injectTransientRefreshFailures(10);
+    auto insert =
+        connection.executeAdapted("INSERT INTO t0 VALUES (1)");
+    EXPECT_FALSE(insert.isOk());
+    EXPECT_EQ(connection.refreshRetries(), 2u);
+}
+
+TEST(WatchdogTest, DeadlineAbandonsTheShard)
+{
+    CampaignConfig config;
+    config.dialect = "sqlite-like";
+    config.checks = 1u << 20; // would run far past the deadline
+    config.setupStatements = 20;
+    config.deadlineSeconds = 0.05;
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    EXPECT_EQ(stats.shardsAbandoned, 1u);
+    EXPECT_LT(stats.checksAttempted, config.checks);
+}
+
+TEST(WatchdogTest, NoDeadlineMeansNoAbandonment)
+{
+    CampaignConfig config;
+    config.dialect = "sqlite-like";
+    config.checks = 50;
+    config.setupStatements = 20;
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    EXPECT_EQ(stats.shardsAbandoned, 0u);
+}
+
+TEST(BudgetOracleTest, FaultFreeDialectUnderTinyBudgetReportsNoBugs)
+{
+    // The acceptance bar for the budget/oracle contract: truncated
+    // results must be skipped, never compared, so a dialect with no
+    // injected faults cannot produce a single bug report no matter how
+    // many statements the budget cuts short.
+    CampaignConfig config;
+    config.dialect = "sqlite-like";
+    config.disableFaults = true;
+    config.oracles = {"TLP", "NOREC"};
+    config.checks = 300;
+    config.setupStatements = 40;
+    config.budget.maxSteps = 50;
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    EXPECT_EQ(stats.bugsDetected, 0u);
+    EXPECT_TRUE(stats.prioritizedBugs.empty());
+    // The budget actually bit: a 50-step budget cannot run a whole
+    // table scan plus per-row predicate evaluation.
+    EXPECT_GT(stats.resourceErrors, 0u);
+}
+
+TEST(BudgetOracleTest, FaultyDialectStillFindsBugsUnderGenerousBudget)
+{
+    CampaignConfig config;
+    config.dialect = "sqlite-like";
+    config.oracles = {"TLP", "NOREC"};
+    config.checks = 300;
+    config.setupStatements = 40;
+    config.budget.maxSteps = 1u << 20;
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    EXPECT_GT(stats.bugsDetected, 0u);
+}
+
+} // namespace
+} // namespace sqlpp
