@@ -8,6 +8,12 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "core/baseline.h"
 #include "core/campaign.h"
 #include "core/feedback.h"
@@ -15,6 +21,7 @@
 #include "core/oracle.h"
 #include "parser/parser.h"
 #include "sqlir/printer.h"
+#include "util/metrics.h"
 
 using namespace sqlpp;
 
@@ -113,6 +120,31 @@ BM_TlpCheck(benchmark::State &state)
 }
 BENCHMARK(BM_TlpCheck);
 
+/**
+ * Overhead of one counter increment (slot already resolved). With
+ * -DSQLPP_METRICS=OFF this measures the empty no-op macro — compare
+ * the two builds to price the instrumentation itself.
+ */
+void
+BM_MetricsCounter(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SQLPP_COUNT("bench.metrics.counter");
+    }
+}
+BENCHMARK(BM_MetricsCounter);
+
+/** Overhead of one RAII timing span (two clock reads + observe). */
+void
+BM_MetricsSpan(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SQLPP_SPAN("bench.metrics.span_us");
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_MetricsSpan);
+
 void
 BM_FeedbackRecord(benchmark::State &state)
 {
@@ -127,4 +159,38 @@ BENCHMARK(BM_FeedbackRecord);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip --metrics-out before google-benchmark sees the argv (it
+    // rejects flags it does not know).
+    std::string metrics_out;
+    std::vector<char *> passthrough;
+    passthrough.push_back(argv[0]);
+    for (int arg = 1; arg < argc; ++arg) {
+        if (std::strcmp(argv[arg], "--metrics-out") == 0 &&
+            arg + 1 < argc) {
+            metrics_out = argv[++arg];
+        } else {
+            passthrough.push_back(argv[arg]);
+        }
+    }
+    int passthrough_argc = static_cast<int>(passthrough.size());
+
+    declarePlatformMetrics();
+    MetricsRegistry::instance().reset();
+
+    benchmark::Initialize(&passthrough_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(passthrough_argc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (!metrics_out.empty()) {
+        std::ofstream out(metrics_out, std::ios::binary);
+        out << exportMetricsJson();
+        std::fprintf(stdout, "metrics: %s\n", metrics_out.c_str());
+    }
+    return 0;
+}

@@ -15,12 +15,16 @@
  */
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/scheduler.h"
+#include "util/metrics.h"
+
+#include <fstream>
 
 using namespace sqlpp;
 
@@ -70,8 +74,19 @@ printWorkerDetail(const ScheduleReport &report)
 int
 main(int argc, char **argv)
 {
-    size_t checks =
-        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4000;
+    size_t checks = 4000;
+    std::string metrics_out;
+    for (int arg = 1; arg < argc; ++arg) {
+        if (std::strcmp(argv[arg], "--metrics-out") == 0 &&
+            arg + 1 < argc) {
+            metrics_out = argv[++arg];
+        } else {
+            checks = std::strtoul(argv[arg], nullptr, 10);
+        }
+    }
+
+    declarePlatformMetrics();
+    MetricsRegistry::instance().reset();
 
     bench::banner(
         "parallel campaign scheduler (worker sweep)",
@@ -198,6 +213,14 @@ main(int argc, char **argv)
                     (unsigned long long)report.merged.checksValid,
                     (unsigned long long)report.merged.bugsDetected,
                     (unsigned long long)report.merged.resourceErrors);
+    }
+
+    bench::section("campaign metrics (whole sweep)");
+    std::fputs(metricsSummaryTable().c_str(), stdout);
+    if (!metrics_out.empty()) {
+        std::ofstream out(metrics_out, std::ios::binary);
+        out << exportMetricsJson();
+        std::printf("metrics: %s\n", metrics_out.c_str());
     }
 
     return (slice_deterministic && fleet_deterministic &&

@@ -12,18 +12,28 @@
  *              [--shard-deadline SEC]
  *              [--max-steps N] [--max-rows N]
  *              [--max-intermediate-rows N]
+ *              [--metrics-out FILE] [--metrics-summary]
+ *              [--metrics-timings]
  *
  * --checkpoint rewrites FILE atomically after every finished shard;
  * rerunning with --resume skips finished shards and merges to stats
  * bit-identical to an uninterrupted run. The budget flags bound every
  * statement's engine work; budget-truncated statements count as
  * resource errors, never as bugs.
+ *
+ * --metrics-out writes the campaign metrics as the stable
+ * sqlpp.metrics.v1 JSON document (byte-identical across runs for a
+ * fixed seed with --workers 1); --metrics-timings additionally
+ * includes wall-clock timer values, which vary run to run.
+ * --metrics-summary prints the human-readable table on stdout.
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "core/scheduler.h"
+#include "util/metrics.h"
 
 using namespace sqlpp;
 
@@ -35,6 +45,9 @@ main(int argc, char **argv)
     std::string checkpoint_path;
     bool resume = false;
     double shard_deadline = 0.0;
+    std::string metrics_out;
+    bool metrics_summary = false;
+    bool metrics_timings = false;
     StepBudget budget;
     for (int arg = 1; arg < argc; ++arg) {
         auto flagValue = [&](const char *flag, const char **value) {
@@ -52,6 +65,12 @@ main(int argc, char **argv)
             resume = true;
         } else if (flagValue("--shard-deadline", &value)) {
             shard_deadline = std::strtod(value, nullptr);
+        } else if (flagValue("--metrics-out", &value)) {
+            metrics_out = value;
+        } else if (std::strcmp(argv[arg], "--metrics-summary") == 0) {
+            metrics_summary = true;
+        } else if (std::strcmp(argv[arg], "--metrics-timings") == 0) {
+            metrics_timings = true;
         } else if (flagValue("--max-steps", &value)) {
             budget.maxSteps = std::strtoull(value, nullptr, 10);
         } else if (flagValue("--max-rows", &value)) {
@@ -87,6 +106,11 @@ main(int argc, char **argv)
                 workers == 1 ? "" : "s");
     std::printf("%-16s %10s %9s %12s %8s %7s\n", "dialect", "detected",
                 "priorit.", "unique-bugs", "validity", "plans");
+
+    // Pre-register the full metric universe so the exported document
+    // has the same shape no matter which code paths this run hit.
+    declarePlatformMetrics();
+    MetricsRegistry::instance().reset();
 
     CampaignScheduler scheduler(config);
     ScheduleReport report = scheduler.run();
@@ -128,5 +152,19 @@ main(int argc, char **argv)
                 report.queueDrainSeconds, report.checksPerSecond());
     std::printf("(ground truth: every campaign dialect ships a fixed "
                 "fault set; see src/engine/faults.h)\n");
+    if (!metrics_out.empty()) {
+        MetricsJsonOptions options;
+        options.includeTimings = metrics_timings;
+        std::ofstream out(metrics_out, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot write metrics to %s\n",
+                         metrics_out.c_str());
+            return 1;
+        }
+        out << exportMetricsJson(options);
+        std::printf("metrics: %s\n", metrics_out.c_str());
+    }
+    if (metrics_summary)
+        std::fputs(metricsSummaryTable().c_str(), stdout);
     return 0;
 }

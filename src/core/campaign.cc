@@ -5,6 +5,7 @@
 #include "parser/parser.h"
 #include "sqlir/printer.h"
 #include "util/log.h"
+#include "util/metrics.h"
 #include "util/strutil.h"
 
 namespace sqlpp {
@@ -74,6 +75,7 @@ void
 CampaignRunner::buildState(Connection &connection, CampaignStats &stats,
                            std::vector<std::string> &setup_log)
 {
+    SQLPP_SPAN("campaign.setup.wall_us");
     GeneratorConfig generator_config = config_.generator;
     generator_config.seed =
         config_.seed * 0x9e3779b97f4a7c15ULL + stats.setupGenerated + 1;
@@ -96,6 +98,8 @@ CampaignRunner::buildState(Connection &connection, CampaignStats &stats,
 CampaignStats
 CampaignRunner::run()
 {
+    SQLPP_SPAN("campaign.run.wall_us");
+    SQLPP_COUNT("campaign.runs");
     CampaignStats stats;
     const DialectProfile &profile = profile_;
     auto campaign_start = std::chrono::steady_clock::now();
@@ -145,10 +149,12 @@ CampaignRunner::run()
                            profile.name.c_str(), config_.deadlineSeconds,
                            check, config_.checks));
             stats.shardsAbandoned = 1;
+            SQLPP_COUNT("campaign.watchdog.abandoned");
             break;
         }
         if (config_.rebuildEvery > 0 && check > 0 &&
             check % config_.rebuildEvery == 0) {
+            SQLPP_COUNT("campaign.rebuilds");
             collect_counters(*connection);
             connection =
                 std::make_unique<Connection>(profile, connection_options);
@@ -160,6 +166,8 @@ CampaignRunner::run()
         if (!shape.has_value())
             continue;
         ++stats.checksAttempted;
+        SQLPP_SPAN("campaign.check.wall_us");
+        SQLPP_COUNT("campaign.checks");
         bool all_ran = true;
         for (auto &oracle : oracles) {
             OracleResult result = oracle->check(
@@ -171,8 +179,10 @@ CampaignRunner::run()
             if (result.outcome != OracleOutcome::Bug)
                 continue;
             ++stats.bugsDetected;
+            SQLPP_COUNT("campaign.bugs.detected");
             if (!prioritizer.considerNew(shape->features))
                 continue;
+            SQLPP_COUNT("campaign.bugs.prioritized");
             BugCase bug;
             bug.dialect = profile.name;
             bug.oracle = oracle->name();

@@ -2,6 +2,7 @@
 
 #include <charconv>
 
+#include "util/metrics.h"
 #include "util/strutil.h"
 
 namespace sqlpp {
@@ -197,6 +198,8 @@ restoreShard(const KvStore &payload,
 Status
 CampaignCheckpoint::saveTo(const std::string &path) const
 {
+    SQLPP_SPAN("checkpoint.save.wall_us");
+    SQLPP_COUNT("checkpoint.saves");
     KvStore store;
     store.put("meta.format", "sqlancerpp-checkpoint-v1");
     store.put("meta.fingerprint", std::to_string(configFingerprint));
@@ -207,6 +210,12 @@ CampaignCheckpoint::saveTo(const std::string &path) const
         for (const auto &[key, value] : payload.entries())
             store.put(prefix + key, value);
     }
+    // Serialized size before escaping: deterministic for a fixed
+    // seed, and within a few bytes of the on-disk file.
+    size_t bytes = 0;
+    for (const auto &[key, value] : store.entries())
+        bytes += key.size() + value.size() + 2;
+    SQLPP_OBSERVE("checkpoint.save.bytes", bytes);
     return store.save(path);
 }
 

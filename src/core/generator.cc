@@ -5,6 +5,7 @@
 #include "engine/eval.h"
 #include "engine/functions.h"
 #include "sqlir/printer.h"
+#include "util/metrics.h"
 #include "util/strutil.h"
 
 namespace sqlpp {
@@ -41,8 +42,10 @@ AdaptiveGenerator::use(const std::string &feature_name, FeatureKind kind,
                        FeatureSet &features) const
 {
     FeatureId id = registry_.intern(feature_name, kind);
-    if (!gate_.allow(id))
+    if (!gate_.allow(id)) {
+        SQLPP_COUNT("generator.gate.denied");
         return false;
+    }
     features.insert(id);
     return true;
 }
@@ -691,6 +694,7 @@ AdaptiveGenerator::genSimpleBool(const ScopeColumns &scope,
 GeneratedStatement
 AdaptiveGenerator::genCreateTable()
 {
+    SQLPP_COUNT("generator.setup.create_table");
     GeneratedStatement out;
     out.kind = StmtKind::CreateTable;
     use(features::stmt(StmtKind::CreateTable), FeatureKind::Statement,
@@ -737,6 +741,7 @@ AdaptiveGenerator::genCreateTable()
 GeneratedStatement
 AdaptiveGenerator::genCreateIndex()
 {
+    SQLPP_COUNT("generator.setup.create_index");
     GeneratedStatement out;
     out.kind = StmtKind::CreateIndex;
     use(features::stmt(StmtKind::CreateIndex), FeatureKind::Statement,
@@ -787,6 +792,7 @@ AdaptiveGenerator::genCreateIndex()
 GeneratedStatement
 AdaptiveGenerator::genCreateView()
 {
+    SQLPP_COUNT("generator.setup.create_view");
     GeneratedStatement out;
     out.kind = StmtKind::CreateView;
     use(features::stmt(StmtKind::CreateView), FeatureKind::Statement,
@@ -849,6 +855,7 @@ AdaptiveGenerator::genCreateView()
 GeneratedStatement
 AdaptiveGenerator::genInsert()
 {
+    SQLPP_COUNT("generator.setup.insert");
     GeneratedStatement out;
     out.kind = StmtKind::Insert;
     use(features::stmt(StmtKind::Insert), FeatureKind::Statement,
@@ -928,6 +935,7 @@ AdaptiveGenerator::genInsert()
 GeneratedStatement
 AdaptiveGenerator::genAnalyze()
 {
+    SQLPP_COUNT("generator.setup.analyze");
     GeneratedStatement out;
     out.kind = StmtKind::Analyze;
     use(features::stmt(StmtKind::Analyze), FeatureKind::Statement,
@@ -1116,6 +1124,7 @@ GeneratedStatement
 AdaptiveGenerator::generateSelect()
 {
     ++generated_;
+    SQLPP_COUNT("generator.select");
     GeneratedStatement out;
     out.kind = StmtKind::Select;
     out.isQuery = true;
@@ -1220,8 +1229,10 @@ AdaptiveGenerator::generateSelect()
 std::optional<QueryShape>
 AdaptiveGenerator::generateQueryShape()
 {
-    if (model_.tableCount(false) == 0 && model_.tableCount(true) == 0)
+    if (model_.tableCount(false) == 0 && model_.tableCount(true) == 0) {
+        SQLPP_COUNT("generator.shape.rejected.no_tables");
         return std::nullopt;
+    }
     ++generated_;
     QueryShape shape;
     use(features::stmt(StmtKind::Select), FeatureKind::Statement,
@@ -1230,8 +1241,10 @@ AdaptiveGenerator::generateQueryShape()
     ScopeColumns scope;
     shape.base = genFromClause(shape.features, scope,
                                /*allow_subquery_from=*/true);
-    if (shape.base->from.empty())
+    if (shape.base->from.empty()) {
+        SQLPP_COUNT("generator.shape.rejected.empty_from");
         return std::nullopt;
+    }
 
     // Oracle constraint (as in SQLancer): no aggregates / LIMIT in the
     // base, and the select list must make row multiplicity observable.
@@ -1250,6 +1263,7 @@ AdaptiveGenerator::generateQueryShape()
     use(features::kWhere, FeatureKind::Clause, shape.features);
     shape.predicate =
         genExpr(DataType::Bool, depth, scope, shape.features, loose);
+    SQLPP_COUNT("generator.shape.ok");
     return shape;
 }
 

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "sqlir/printer.h"
+#include "util/metrics.h"
 #include "util/strutil.h"
 
 namespace sqlpp {
@@ -18,11 +19,10 @@ withWhere(const SelectStmt &base, ExprPtr predicate)
     return query;
 }
 
-} // namespace
-
+/** TLP check body; the member wraps it with span/outcome metrics. */
 OracleResult
-TlpOracle::check(Connection &connection, const SelectStmt &base,
-                 const Expr &predicate)
+runTlp(Connection &connection, const SelectStmt &base,
+       const Expr &predicate)
 {
     OracleResult result;
 
@@ -98,9 +98,10 @@ TlpOracle::check(Connection &connection, const SelectStmt &base,
     return result;
 }
 
+/** NoREC check body; the member wraps it with span/outcome metrics. */
 OracleResult
-NorecOracle::check(Connection &connection, const SelectStmt &base,
-                   const Expr &predicate)
+runNorec(Connection &connection, const SelectStmt &base,
+         const Expr &predicate)
 {
     OracleResult result;
 
@@ -187,6 +188,42 @@ NorecOracle::check(Connection &connection, const SelectStmt &base,
         "NoREC mismatch: optimized COUNT(*) = %lld, reference = %lld",
         static_cast<long long>(optimized_count),
         static_cast<long long>(reference_count));
+    return result;
+}
+
+} // namespace
+
+OracleResult
+TlpOracle::check(Connection &connection, const SelectStmt &base,
+                 const Expr &predicate)
+{
+    SQLPP_SPAN("oracle.tlp.wall_us");
+    OracleResult result = runTlp(connection, base, predicate);
+    switch (result.outcome) {
+      case OracleOutcome::Passed: SQLPP_COUNT("oracle.tlp.pass"); break;
+      case OracleOutcome::Bug: SQLPP_COUNT("oracle.tlp.bug"); break;
+      case OracleOutcome::Skipped: SQLPP_COUNT("oracle.tlp.skip"); break;
+    }
+    return result;
+}
+
+OracleResult
+NorecOracle::check(Connection &connection, const SelectStmt &base,
+                   const Expr &predicate)
+{
+    SQLPP_SPAN("oracle.norec.wall_us");
+    OracleResult result = runNorec(connection, base, predicate);
+    switch (result.outcome) {
+      case OracleOutcome::Passed:
+        SQLPP_COUNT("oracle.norec.pass");
+        break;
+      case OracleOutcome::Bug:
+        SQLPP_COUNT("oracle.norec.bug");
+        break;
+      case OracleOutcome::Skipped:
+        SQLPP_COUNT("oracle.norec.skip");
+        break;
+    }
     return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include "parser/parser.h"
 #include "sqlir/printer.h"
+#include "util/metrics.h"
 
 namespace sqlpp {
 
@@ -70,6 +71,8 @@ shrinkExpr(ExprPtr &expr, BugCase &bug, const ReplayFn &replay,
 ReduceStats
 reduceBugCase(BugCase &bug, const ReplayFn &replay, size_t max_replays)
 {
+    SQLPP_SPAN("reducer.reduce.wall_us");
+    SQLPP_COUNT("reducer.cases");
     ReduceStats stats;
     stats.setupBefore = bug.setup.size();
 
@@ -103,6 +106,15 @@ reduceBugCase(BugCase &bug, const ReplayFn &replay, size_t max_replays)
         shrinkExpr(expr, bug, replay, stats.replays, max_replays);
         bug.predicateText = printExpr(*expr);
         stats.predicateNodesAfter = countNodes(*expr);
+    }
+    SQLPP_COUNT_N("reducer.replays", stats.replays);
+    SQLPP_OBSERVE("reducer.setup.removed",
+                  stats.setupBefore - stats.setupAfter);
+    if (stats.predicateNodesBefore > 0) {
+        // Shrink ratio: surviving predicate nodes as a percentage.
+        SQLPP_OBSERVE("reducer.shrink.percent",
+                      100 * stats.predicateNodesAfter /
+                          stats.predicateNodesBefore);
     }
     return stats;
 }

@@ -5,6 +5,7 @@
 
 #include "core/checkpoint.h"
 #include "util/log.h"
+#include "util/metrics.h"
 #include "util/strutil.h"
 #include "util/thread_pool.h"
 
@@ -153,6 +154,9 @@ CampaignScheduler::run()
     const bool persist = !config_.checkpointPath.empty();
     std::mutex checkpoint_mutex;
 
+    SQLPP_GAUGE_SET("scheduler.workers", config_.workers);
+    SQLPP_GAUGE_SET("scheduler.shards.total", shard_configs.size());
+
     IndexQueue queue(shard_configs.size());
     auto dispatch_start = std::chrono::steady_clock::now();
     runOnWorkers(config_.workers, [&](size_t worker_index) {
@@ -162,12 +166,29 @@ CampaignScheduler::run()
                 return;
             if (from_checkpoint[shard] != 0)
                 continue;
+            // Everything the shard records — campaign, connection,
+            // engine — lands in the shard's own metric lane, keyed by
+            // shard index (never by worker), so per-lane values and
+            // their sums are independent of the worker count.
+            MetricsShardScope metrics_scope(
+                shard, config_.mode == ScheduleMode::ShardDialects
+                           ? shard_configs[shard].dialect
+                           : format("slice%zu", shard));
+            SQLPP_COUNT("scheduler.shards.run");
+            SQLPP_OBSERVE_TIME(
+                "scheduler.shard.queue_us",
+                static_cast<uint64_t>(secondsSince(dispatch_start) *
+                                      1e6));
             auto shard_start = std::chrono::steady_clock::now();
             CampaignRunner runner(shard_configs[shard]);
             CampaignStats stats = runner.run();
+            double shard_seconds = secondsSince(shard_start);
+            SQLPP_OBSERVE_TIME(
+                "scheduler.shard.exec_us",
+                static_cast<uint64_t>(shard_seconds * 1e6));
             KvStore payload = checkpointShard(
                 stats, runner.feedback(), runner.registry(),
-                worker_index, secondsSince(shard_start));
+                worker_index, shard_seconds);
             std::lock_guard<std::mutex> lock(checkpoint_mutex);
             checkpoint.shards[shard] = std::move(payload);
             if (persist) {
@@ -227,6 +248,7 @@ CampaignScheduler::run()
             // The restoring run did not spend this time; the payload's
             // worker index may not even exist in this run's pool.
             ++report.shardsFromCheckpoint;
+            SQLPP_COUNT("scheduler.shards.resumed");
         } else {
             WorkerReport &worker =
                 report.workers[shard.workerIndex %

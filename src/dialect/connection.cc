@@ -4,9 +4,43 @@
 #include <thread>
 
 #include "parser/parser.h"
+#include "util/metrics.h"
 #include "util/strutil.h"
 
 namespace sqlpp {
+
+namespace {
+
+/** Per-error-class counters (pre-resolved slots; names are stable). */
+void
+noteExecuteOutcome(const Status &status)
+{
+    switch (status.code()) {
+      case ErrorCode::Ok:
+        SQLPP_COUNT("connection.execute.ok");
+        break;
+      case ErrorCode::SyntaxError:
+        SQLPP_COUNT("connection.error.syntax");
+        break;
+      case ErrorCode::SemanticError:
+        SQLPP_COUNT("connection.error.semantic");
+        break;
+      case ErrorCode::RuntimeError:
+        SQLPP_COUNT("connection.error.runtime");
+        break;
+      case ErrorCode::Unsupported:
+        SQLPP_COUNT("connection.error.unsupported");
+        break;
+      case ErrorCode::Internal:
+        SQLPP_COUNT("connection.error.internal");
+        break;
+      case ErrorCode::BudgetExhausted:
+        SQLPP_COUNT("connection.error.budget");
+        break;
+    }
+}
+
+} // namespace
 
 Connection::Connection(const DialectProfile &profile,
                        const ConnectionOptions &options)
@@ -79,7 +113,10 @@ Connection::handleRefresh(const std::string &table)
 StatusOr<ResultSet>
 Connection::execute(const std::string &sql)
 {
+    SQLPP_SPAN("connection.execute.wall_us");
+    SQLPP_COUNT("connection.statements");
     auto result = executeInternal(sql);
+    noteExecuteOutcome(result.status());
     // Budget exhaustion is a resource condition, not a wrong answer:
     // count it so campaigns can report it, distinct from real errors.
     if (!result.isOk() &&
@@ -160,6 +197,7 @@ Connection::executeAdapted(const std::string &sql)
              attempt < options_.refreshRetry.maxRetries;
              ++attempt) {
             ++refresh_retries_;
+            SQLPP_COUNT("connection.refresh.retries");
             if (backoff >= 1.0) {
                 std::this_thread::sleep_for(std::chrono::microseconds(
                     static_cast<int64_t>(backoff)));

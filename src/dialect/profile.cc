@@ -15,7 +15,110 @@ unsupported(const std::string &what)
     return Status::syntaxError("syntax error near " + what);
 }
 
+const char *
+stmtKindName(StmtKind kind)
+{
+    switch (kind) {
+      case StmtKind::CreateTable: return "CREATE TABLE";
+      case StmtKind::CreateIndex: return "CREATE INDEX";
+      case StmtKind::CreateView: return "CREATE VIEW";
+      case StmtKind::Insert: return "INSERT";
+      case StmtKind::Analyze: return "ANALYZE";
+      case StmtKind::Select: return "SELECT";
+      case StmtKind::DropTable: return "DROP TABLE";
+      case StmtKind::DropView: return "DROP VIEW";
+      case StmtKind::DropIndex: return "DROP INDEX";
+    }
+    return "?";
+}
+
+const char *
+unaryOpName(UnaryOp op)
+{
+    switch (op) {
+      case UnaryOp::Neg: return "-";
+      case UnaryOp::Plus: return "+";
+      case UnaryOp::BitNot: return "~";
+      case UnaryOp::Not: return "NOT";
+      case UnaryOp::IsNull: return "IS NULL";
+      case UnaryOp::IsNotNull: return "IS NOT NULL";
+      case UnaryOp::IsTrue: return "IS TRUE";
+      case UnaryOp::IsFalse: return "IS FALSE";
+      case UnaryOp::IsNotTrue: return "IS NOT TRUE";
+      case UnaryOp::IsNotFalse: return "IS NOT FALSE";
+    }
+    return "?";
+}
+
 } // namespace
+
+std::string
+describeProfile(const DialectProfile &profile)
+{
+    // Every container below is a std::set (ordered by enum value or
+    // string), so the rendering is stable across platforms and runs.
+    std::string out;
+    out += "== " + profile.name + " ==\n";
+    out += format("behavior: div_zero_is_null=%d domain_error_is_null=%d "
+                  "static_typing=%d case_insensitive_like=%d\n",
+                  profile.behavior.divZeroIsNull ? 1 : 0,
+                  profile.behavior.domainErrorIsNull ? 1 : 0,
+                  profile.behavior.staticTyping ? 1 : 0,
+                  profile.behavior.caseInsensitiveLike ? 1 : 0);
+    out += format("refresh_after_insert: %d\n",
+                  profile.requiresRefreshAfterInsert ? 1 : 0);
+
+    std::vector<std::string> names;
+    for (StmtKind kind : profile.statements)
+        names.push_back(stmtKindName(kind));
+    out += "statements: " + join(names, ", ") + "\n";
+
+    names.clear();
+    for (JoinType type : profile.joins)
+        names.push_back(joinTypeName(type));
+    out += "joins: " + join(names, ", ") + "\n";
+
+    names.clear();
+    for (BinaryOp op : profile.binaryOps)
+        names.push_back(binaryOpSymbol(op));
+    out += "binary_ops: " + join(names, " ") + "\n";
+
+    names.clear();
+    for (UnaryOp op : profile.unaryOps)
+        names.push_back(unaryOpName(op));
+    out += "unary_ops: " + join(names, ", ") + "\n";
+
+    names.clear();
+    for (const std::string &fn : profile.functions)
+        names.push_back(fn);
+    out += "functions: " + join(names, ", ") + "\n";
+
+    names.clear();
+    for (DataType type : profile.dataTypes)
+        names.push_back(dataTypeName(type));
+    out += "types: " + join(names, ", ") + "\n";
+
+    const ClauseSupport &c = profile.clauses;
+    out += format(
+        "clauses: distinct=%d group_by=%d having=%d order_by=%d "
+        "limit=%d offset=%d subquery_in_from=%d subquery_in_expr=%d "
+        "unique_index=%d partial_index=%d if_not_exists=%d "
+        "insert_or_ignore=%d primary_key=%d not_null=%d "
+        "unique_column=%d multi_row_insert=%d view_column_list=%d\n",
+        c.distinct ? 1 : 0, c.groupBy ? 1 : 0, c.having ? 1 : 0,
+        c.orderBy ? 1 : 0, c.limit ? 1 : 0, c.offset ? 1 : 0,
+        c.subqueryInFrom ? 1 : 0, c.subqueryInExpr ? 1 : 0,
+        c.uniqueIndex ? 1 : 0, c.partialIndex ? 1 : 0,
+        c.ifNotExists ? 1 : 0, c.insertOrIgnore ? 1 : 0,
+        c.primaryKey ? 1 : 0, c.notNull ? 1 : 0, c.uniqueColumn ? 1 : 0,
+        c.multiRowInsert ? 1 : 0, c.viewColumnList ? 1 : 0);
+
+    names.clear();
+    for (FaultId fault : profile.faults.ids())
+        names.push_back(faultName(fault));
+    out += "faults: " + join(names, ", ") + "\n";
+    return out;
+}
 
 Status
 DialectProfile::validateExpr(const Expr &expr) const

@@ -118,6 +118,15 @@ class DialectProfile
     Status validateTableRef(const TableRef &ref) const;
 };
 
+/**
+ * Stable multi-line text rendering of one profile's full capability
+ * matrix, behaviour knobs, and ground-truth fault set. The golden-file
+ * test (tests/golden/profiles.txt) diffs this for every built-in
+ * profile, so any profile change must be made deliberately, with the
+ * golden file regenerated alongside it.
+ */
+std::string describeProfile(const DialectProfile &profile);
+
 /** All built-in profiles (17 campaign systems + postgres-like). */
 const std::vector<DialectProfile> &allDialectProfiles();
 

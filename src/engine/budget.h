@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace sqlpp {
@@ -66,9 +67,11 @@ class BudgetMeter
     chargeSteps(uint64_t count)
     {
         steps_ += count;
-        if (limits_.maxSteps != 0 && steps_ > limits_.maxSteps)
+        if (limits_.maxSteps != 0 && steps_ > limits_.maxSteps) {
+            SQLPP_COUNT("budget.exhausted.steps");
             return Status::budgetExhausted(
                 "statement exceeded step budget");
+        }
         return Status::ok();
     }
 
@@ -77,9 +80,11 @@ class BudgetMeter
     chargeRows(uint64_t count)
     {
         rows_ += count;
-        if (limits_.maxRows != 0 && rows_ > limits_.maxRows)
+        if (limits_.maxRows != 0 && rows_ > limits_.maxRows) {
+            SQLPP_COUNT("budget.exhausted.rows");
             return Status::budgetExhausted(
                 "statement exceeded result-row budget");
+        }
         return Status::ok();
     }
 
@@ -89,9 +94,11 @@ class BudgetMeter
     {
         intermediate_rows_ += count;
         if (limits_.maxIntermediateRows != 0 &&
-            intermediate_rows_ > limits_.maxIntermediateRows)
+            intermediate_rows_ > limits_.maxIntermediateRows) {
+            SQLPP_COUNT("budget.exhausted.intermediate");
             return Status::budgetExhausted(
                 "statement exceeded intermediate-row budget");
+        }
         return Status::ok();
     }
 

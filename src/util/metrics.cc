@@ -1,0 +1,616 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Histogram: return "histogram";
+      case MetricKind::Timer: return "timer";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Cells one metric occupies: histograms add a trailing sum cell. */
+size_t
+cellCount(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+      case MetricKind::Gauge:
+        return 1;
+      case MetricKind::Histogram:
+      case MetricKind::Timer:
+        return MetricsRegistry::kHistogramBuckets + 1;
+    }
+    return 1;
+}
+
+/** The thread's current lane (0 = unlabeled process totals). */
+thread_local size_t tls_lane = 0;
+
+} // namespace
+
+MetricsRegistry::MetricsRegistry()
+{
+    // Fixed capacity up front: hot-path readers index metrics_ without
+    // the mutex, so registration must never reallocate the vector.
+    metrics_.reserve(kMaxMetrics);
+    for (auto &lane : lanes_)
+        lane.store(nullptr, std::memory_order_relaxed);
+    // Lane 0 always exists so unlabeled hits never branch on creation.
+    (void)laneForShard(static_cast<size_t>(-1), "");
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+size_t
+MetricsRegistry::laneForShard(size_t shard_index, const std::string &label)
+{
+    size_t lane_index =
+        shard_index == static_cast<size_t>(-1)
+            ? 0
+            : (shard_index % kMaxShards) + 1;
+    // Cold path (once per shard scope): the mutex also orders label
+    // writes against the exporters, which read labels under it.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (Lane *existing =
+            lanes_[lane_index].load(std::memory_order_relaxed);
+        existing != nullptr) {
+        // A later in-process run may bind the same lane under a new
+        // shard layout (slice N, then a dialect): the label follows
+        // the latest binding.
+        if (existing->label != label)
+            existing->label = label;
+        return lane_index;
+    }
+    auto lane = std::make_unique<Lane>();
+    lane->label = label;
+    lane->cells = std::make_unique<std::atomic<uint64_t>[]>(kMaxCells);
+    for (size_t i = 0; i < kMaxCells; ++i)
+        lane->cells[i].store(0, std::memory_order_relaxed);
+    lanes_[lane_index].store(lane.get(), std::memory_order_release);
+    lane_storage_.push_back(std::move(lane));
+    return lane_index;
+}
+
+size_t
+MetricsRegistry::metricId(const std::string &name, MetricKind kind)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = ids_.find(name);
+    if (it != ids_.end())
+        return it->second;
+    size_t cells = cellCount(kind);
+    if (metrics_.size() >= kMaxMetrics ||
+        next_cell_ + cells > kMaxCells) {
+        // Registry full: fold the overflow into slot 0 rather than
+        // aborting a campaign over an observability limit.
+        return 0;
+    }
+    Metric metric;
+    metric.name = name;
+    metric.kind = kind;
+    metric.cell = next_cell_;
+    next_cell_ += cells;
+    size_t id = metrics_.size();
+    metrics_.push_back(std::move(metric));
+    ids_.emplace(name, id);
+    registered_.store(metrics_.size(), std::memory_order_release);
+    return id;
+}
+
+void
+MetricsRegistry::add(size_t id, uint64_t delta)
+{
+    if (id >= registered_.load(std::memory_order_acquire))
+        return;
+    Lane *lane_ptr = lane(tls_lane);
+    lane_ptr->cells[metrics_[id].cell].fetch_add(
+        delta, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::set(size_t id, uint64_t value)
+{
+    if (id >= registered_.load(std::memory_order_acquire))
+        return;
+    Lane *lane_ptr = lane(tls_lane);
+    lane_ptr->cells[metrics_[id].cell].store(value,
+                                             std::memory_order_relaxed);
+}
+
+size_t
+MetricsRegistry::bucketIndex(uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    size_t width = static_cast<size_t>(std::bit_width(value));
+    return std::min(width, kHistogramBuckets - 1);
+}
+
+uint64_t
+MetricsRegistry::bucketUpperBound(size_t bucket)
+{
+    if (bucket == 0)
+        return 0;
+    if (bucket >= kHistogramBuckets - 1)
+        return UINT64_MAX;
+    return (uint64_t{1} << bucket) - 1;
+}
+
+void
+MetricsRegistry::observe(size_t id, uint64_t value)
+{
+    if (id >= registered_.load(std::memory_order_acquire))
+        return;
+    const Metric &metric = metrics_[id];
+    Lane *lane_ptr = lane(tls_lane);
+    lane_ptr->cells[metric.cell + bucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    lane_ptr->cells[metric.cell + kHistogramBuckets].fetch_add(
+        value, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::addByName(const std::string &name, uint64_t delta)
+{
+    add(metricId(name, MetricKind::Counter), delta);
+}
+
+void
+MetricsRegistry::setByName(const std::string &name, uint64_t value)
+{
+    set(metricId(name, MetricKind::Gauge), value);
+}
+
+void
+MetricsRegistry::observeByName(const std::string &name, uint64_t value)
+{
+    observe(metricId(name, MetricKind::Histogram), value);
+}
+
+size_t
+MetricsRegistry::registered() const
+{
+    return registered_.load(std::memory_order_acquire);
+}
+
+uint64_t
+MetricsRegistry::counterTotal(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = ids_.find(name);
+    if (it == ids_.end())
+        return 0;
+    const Metric &metric = metrics_[it->second];
+    uint64_t total = 0;
+    for (size_t index = 0; index <= kMaxShards; ++index) {
+        Lane *lane_ptr = lane(index);
+        if (lane_ptr == nullptr)
+            continue;
+        uint64_t value =
+            lane_ptr->cells[metric.cell].load(std::memory_order_relaxed);
+        if (metric.kind == MetricKind::Gauge)
+            total = std::max(total, value);
+        else
+            total += value;
+    }
+    return total;
+}
+
+uint64_t
+MetricsRegistry::histogramCount(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = ids_.find(name);
+    if (it == ids_.end())
+        return 0;
+    const Metric &metric = metrics_[it->second];
+    uint64_t total = 0;
+    for (size_t index = 0; index <= kMaxShards; ++index) {
+        Lane *lane_ptr = lane(index);
+        if (lane_ptr == nullptr)
+            continue;
+        for (size_t bucket = 0; bucket < kHistogramBuckets; ++bucket)
+            total += lane_ptr->cells[metric.cell + bucket].load(
+                std::memory_order_relaxed);
+    }
+    return total;
+}
+
+uint64_t
+MetricsRegistry::histogramSum(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = ids_.find(name);
+    if (it == ids_.end())
+        return 0;
+    const Metric &metric = metrics_[it->second];
+    uint64_t total = 0;
+    for (size_t index = 0; index <= kMaxShards; ++index) {
+        Lane *lane_ptr = lane(index);
+        if (lane_ptr == nullptr)
+            continue;
+        total += lane_ptr->cells[metric.cell + kHistogramBuckets].load(
+            std::memory_order_relaxed);
+    }
+    return total;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t index = 0; index <= kMaxShards; ++index) {
+        Lane *lane_ptr = lane(index);
+        if (lane_ptr == nullptr)
+            continue;
+        for (size_t cell = 0; cell < kMaxCells; ++cell)
+            lane_ptr->cells[cell].store(0, std::memory_order_relaxed);
+    }
+}
+
+MetricsShardScope::MetricsShardScope(size_t shard_index,
+                                     const std::string &label)
+    : previous_lane_(tls_lane)
+{
+    tls_lane =
+        MetricsRegistry::instance().laneForShard(shard_index, label);
+}
+
+MetricsShardScope::~MetricsShardScope()
+{
+    tls_lane = previous_lane_;
+}
+
+// ---------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** JSON string escaping (metric names and labels are plain ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** One metric's values snapshotted across lanes. */
+struct MetricSnapshot
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    /** (lane label, scalar value) for counters/gauges, lane order. */
+    std::vector<std::pair<std::string, uint64_t>> laneValues;
+    uint64_t total = 0;
+    /** Histogram data summed across lanes. */
+    uint64_t buckets[MetricsRegistry::kHistogramBuckets] = {};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+};
+
+} // namespace
+
+std::string
+exportMetricsJson(const MetricsJsonOptions &options)
+{
+    MetricsRegistry &registry = MetricsRegistry::instance();
+    std::vector<MetricSnapshot> snapshots;
+    {
+        std::lock_guard<std::mutex> lock(registry.mutex_);
+        for (const auto &metric : registry.metrics_) {
+            MetricSnapshot snap;
+            snap.name = metric.name;
+            snap.kind = metric.kind;
+            for (size_t index = 0;
+                 index <= MetricsRegistry::kMaxShards; ++index) {
+                const MetricsRegistry::Lane *lane_ptr =
+                    registry.lane(index);
+                if (lane_ptr == nullptr)
+                    continue;
+                if (metric.kind == MetricKind::Counter ||
+                    metric.kind == MetricKind::Gauge) {
+                    uint64_t value = lane_ptr->cells[metric.cell].load(
+                        std::memory_order_relaxed);
+                    if (value != 0 && index != 0)
+                        snap.laneValues.emplace_back(lane_ptr->label,
+                                                     value);
+                    if (metric.kind == MetricKind::Gauge)
+                        snap.total = std::max(snap.total, value);
+                    else
+                        snap.total += value;
+                } else {
+                    for (size_t b = 0;
+                         b < MetricsRegistry::kHistogramBuckets; ++b) {
+                        uint64_t hits =
+                            lane_ptr->cells[metric.cell + b].load(
+                                std::memory_order_relaxed);
+                        snap.buckets[b] += hits;
+                        snap.count += hits;
+                    }
+                    snap.sum +=
+                        lane_ptr
+                            ->cells[metric.cell +
+                                    MetricsRegistry::kHistogramBuckets]
+                            .load(std::memory_order_relaxed);
+                }
+            }
+            snapshots.push_back(std::move(snap));
+        }
+    }
+    std::sort(snapshots.begin(), snapshots.end(),
+              [](const MetricSnapshot &a, const MetricSnapshot &b) {
+                  return a.name < b.name;
+              });
+
+    std::string out = "{\n  \"schema\": \"sqlpp.metrics.v1\",\n"
+                      "  \"metrics\": [";
+    bool first = true;
+    for (const MetricSnapshot &snap : snapshots) {
+        bool scalar = snap.kind == MetricKind::Counter ||
+                      snap.kind == MetricKind::Gauge;
+        if (!options.includeZero) {
+            if (scalar && snap.total == 0)
+                continue;
+            if (!scalar && snap.count == 0)
+                continue;
+        }
+        if (!first)
+            out += ",";
+        first = false;
+        out += format("\n    {\"name\": \"%s\", \"kind\": \"%s\"",
+                      jsonEscape(snap.name).c_str(),
+                      metricKindName(snap.kind));
+        if (scalar) {
+            out += format(", \"total\": %llu",
+                          (unsigned long long)snap.total);
+            if (options.includeShards && !snap.laneValues.empty()) {
+                out += ", \"shards\": [";
+                for (size_t i = 0; i < snap.laneValues.size(); ++i) {
+                    if (i > 0)
+                        out += ", ";
+                    out += format(
+                        "{\"shard\": \"%s\", \"value\": %llu}",
+                        jsonEscape(snap.laneValues[i].first).c_str(),
+                        (unsigned long long)snap.laneValues[i].second);
+                }
+                out += "]";
+            }
+        } else {
+            out += format(", \"count\": %llu",
+                          (unsigned long long)snap.count);
+            bool values = snap.kind == MetricKind::Histogram ||
+                          options.includeTimings;
+            if (values) {
+                out += format(", \"sum\": %llu",
+                              (unsigned long long)snap.sum);
+                out += ", \"buckets\": [";
+                bool first_bucket = true;
+                for (size_t b = 0;
+                     b < MetricsRegistry::kHistogramBuckets; ++b) {
+                    if (snap.buckets[b] == 0)
+                        continue;
+                    if (!first_bucket)
+                        out += ", ";
+                    first_bucket = false;
+                    uint64_t bound =
+                        MetricsRegistry::bucketUpperBound(b);
+                    if (bound == UINT64_MAX)
+                        out += format("{\"le\": \"inf\", \"count\": "
+                                      "%llu}",
+                                      (unsigned long long)
+                                          snap.buckets[b]);
+                    else
+                        out += format(
+                            "{\"le\": %llu, \"count\": %llu}",
+                            (unsigned long long)bound,
+                            (unsigned long long)snap.buckets[b]);
+                }
+                out += "]";
+            }
+        }
+        out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+std::string
+metricsSummaryTable()
+{
+    MetricsRegistry &registry = MetricsRegistry::instance();
+    std::vector<MetricSnapshot> snapshots;
+    {
+        std::lock_guard<std::mutex> lock(registry.mutex_);
+        for (const auto &metric : registry.metrics_) {
+            MetricSnapshot snap;
+            snap.name = metric.name;
+            snap.kind = metric.kind;
+            for (size_t index = 0;
+                 index <= MetricsRegistry::kMaxShards; ++index) {
+                const MetricsRegistry::Lane *lane_ptr =
+                    registry.lane(index);
+                if (lane_ptr == nullptr)
+                    continue;
+                if (metric.kind == MetricKind::Counter ||
+                    metric.kind == MetricKind::Gauge) {
+                    uint64_t value = lane_ptr->cells[metric.cell].load(
+                        std::memory_order_relaxed);
+                    if (metric.kind == MetricKind::Gauge)
+                        snap.total = std::max(snap.total, value);
+                    else
+                        snap.total += value;
+                } else {
+                    for (size_t b = 0;
+                         b < MetricsRegistry::kHistogramBuckets; ++b) {
+                        uint64_t hits =
+                            lane_ptr->cells[metric.cell + b].load(
+                                std::memory_order_relaxed);
+                        snap.buckets[b] += hits;
+                        snap.count += hits;
+                    }
+                    snap.sum +=
+                        lane_ptr
+                            ->cells[metric.cell +
+                                    MetricsRegistry::kHistogramBuckets]
+                            .load(std::memory_order_relaxed);
+                }
+            }
+            snapshots.push_back(std::move(snap));
+        }
+    }
+    std::sort(snapshots.begin(), snapshots.end(),
+              [](const MetricSnapshot &a, const MetricSnapshot &b) {
+                  return a.name < b.name;
+              });
+
+    std::string out =
+        format("%-40s %-9s %12s %14s\n", "metric", "kind", "count",
+               "total/avg");
+    for (const MetricSnapshot &snap : snapshots) {
+        switch (snap.kind) {
+          case MetricKind::Counter:
+          case MetricKind::Gauge:
+            if (snap.total == 0)
+                continue;
+            out += format("%-40s %-9s %12s %14llu\n",
+                          snap.name.c_str(), metricKindName(snap.kind),
+                          "-", (unsigned long long)snap.total);
+            break;
+          case MetricKind::Histogram:
+            if (snap.count == 0)
+                continue;
+            out += format("%-40s %-9s %12llu %14.1f\n",
+                          snap.name.c_str(), metricKindName(snap.kind),
+                          (unsigned long long)snap.count,
+                          static_cast<double>(snap.sum) /
+                              static_cast<double>(snap.count));
+            break;
+          case MetricKind::Timer:
+            if (snap.count == 0)
+                continue;
+            out += format("%-40s %-9s %12llu %12.1fus\n",
+                          snap.name.c_str(), metricKindName(snap.kind),
+                          (unsigned long long)snap.count,
+                          static_cast<double>(snap.sum) /
+                              static_cast<double>(snap.count));
+            break;
+        }
+    }
+    return out;
+}
+
+void
+declarePlatformMetrics()
+{
+#ifndef SQLPP_NO_METRICS
+    MetricsRegistry &registry = MetricsRegistry::instance();
+    struct Declaration
+    {
+        const char *name;
+        MetricKind kind;
+    };
+    // The canonical metric universe; EXPERIMENTS.md documents each
+    // entry. Keep both lists in sync.
+    static const Declaration kDeclarations[] = {
+        // Generator.
+        {"generator.setup.create_table", MetricKind::Counter},
+        {"generator.setup.create_index", MetricKind::Counter},
+        {"generator.setup.create_view", MetricKind::Counter},
+        {"generator.setup.insert", MetricKind::Counter},
+        {"generator.setup.analyze", MetricKind::Counter},
+        {"generator.select", MetricKind::Counter},
+        {"generator.shape.ok", MetricKind::Counter},
+        {"generator.shape.rejected.no_tables", MetricKind::Counter},
+        {"generator.shape.rejected.empty_from", MetricKind::Counter},
+        {"generator.gate.denied", MetricKind::Counter},
+        // Connection / statement execution.
+        {"connection.statements", MetricKind::Counter},
+        {"connection.execute.ok", MetricKind::Counter},
+        {"connection.error.syntax", MetricKind::Counter},
+        {"connection.error.semantic", MetricKind::Counter},
+        {"connection.error.runtime", MetricKind::Counter},
+        {"connection.error.unsupported", MetricKind::Counter},
+        {"connection.error.internal", MetricKind::Counter},
+        {"connection.error.budget", MetricKind::Counter},
+        {"connection.refresh.retries", MetricKind::Counter},
+        {"connection.execute.wall_us", MetricKind::Timer},
+        // Oracles.
+        {"oracle.tlp.pass", MetricKind::Counter},
+        {"oracle.tlp.bug", MetricKind::Counter},
+        {"oracle.tlp.skip", MetricKind::Counter},
+        {"oracle.tlp.wall_us", MetricKind::Timer},
+        {"oracle.norec.pass", MetricKind::Counter},
+        {"oracle.norec.bug", MetricKind::Counter},
+        {"oracle.norec.skip", MetricKind::Counter},
+        {"oracle.norec.wall_us", MetricKind::Timer},
+        // Reducer.
+        {"reducer.cases", MetricKind::Counter},
+        {"reducer.replays", MetricKind::Counter},
+        {"reducer.setup.removed", MetricKind::Histogram},
+        {"reducer.shrink.percent", MetricKind::Histogram},
+        {"reducer.reduce.wall_us", MetricKind::Timer},
+        // Engine budget.
+        {"budget.exhausted.steps", MetricKind::Counter},
+        {"budget.exhausted.rows", MetricKind::Counter},
+        {"budget.exhausted.intermediate", MetricKind::Counter},
+        // Campaign phases.
+        {"campaign.runs", MetricKind::Counter},
+        {"campaign.checks", MetricKind::Counter},
+        {"campaign.rebuilds", MetricKind::Counter},
+        {"campaign.bugs.detected", MetricKind::Counter},
+        {"campaign.bugs.prioritized", MetricKind::Counter},
+        {"campaign.watchdog.abandoned", MetricKind::Counter},
+        {"campaign.setup.wall_us", MetricKind::Timer},
+        {"campaign.check.wall_us", MetricKind::Timer},
+        {"campaign.run.wall_us", MetricKind::Timer},
+        // Checkpointing.
+        {"checkpoint.saves", MetricKind::Counter},
+        {"checkpoint.save.bytes", MetricKind::Histogram},
+        {"checkpoint.save.wall_us", MetricKind::Timer},
+        // Scheduler.
+        {"scheduler.workers", MetricKind::Gauge},
+        {"scheduler.shards.total", MetricKind::Gauge},
+        {"scheduler.shards.run", MetricKind::Counter},
+        {"scheduler.shards.resumed", MetricKind::Counter},
+        {"scheduler.shard.queue_us", MetricKind::Timer},
+        {"scheduler.shard.exec_us", MetricKind::Timer},
+    };
+    for (const Declaration &declaration : kDeclarations)
+        (void)registry.metricId(declaration.name, declaration.kind);
+#endif // SQLPP_NO_METRICS
+}
+
+} // namespace sqlpp

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Campaign observability: a process-wide metrics and tracing registry.
+ *
+ * The platform is judged by campaign-level signals — validity rate,
+ * plan coverage, bugs over time (paper Tables 2–5, Fig. 8) — but a
+ * production fleet also needs to see *where* statements and wall-clock
+ * time go inside a shard. The registry holds three metric kinds:
+ *
+ *  - Counter: a monotonically increasing event count.
+ *  - Gauge: a last-written value (configuration facts, sizes).
+ *  - Histogram / Timer: fixed power-of-two buckets over a uint64
+ *    value. A Timer is a histogram of wall-clock microseconds fed by
+ *    RAII spans (SQLPP_SPAN); a plain Histogram observes logical,
+ *    deterministic values (bytes, node counts, percentages).
+ *
+ * Hot-path discipline mirrors util/coverage.h: call sites resolve a
+ * metric name to an id once (function-local static), after which every
+ * event is a single relaxed atomic increment into fixed-capacity
+ * storage that never reallocates. Registration alone takes the mutex.
+ *
+ * Shard label dimension: every value cell is replicated per *lane*.
+ * Lane 0 collects unlabeled process totals; the scheduler wraps each
+ * shard in a MetricsShardScope, which binds the executing thread to
+ * the shard's lane. Because lane assignment depends only on the shard
+ * index — never on which worker ran the shard — per-lane values and
+ * their sums are independent of the worker count, exactly like the
+ * scheduler's deterministic CampaignStats merge.
+ *
+ * Determinism contract of the JSON export (exportMetricsJson):
+ * counters, gauges, and logical histograms are functions of the
+ * campaign seed alone, and Timer metrics export only their observation
+ * *count* by default — wall-clock durations appear only under
+ * MetricsJsonOptions::includeTimings (or in the human summary table).
+ * The default document is therefore byte-identical across runs for a
+ * fixed seed with one worker.
+ *
+ * Compile-out: building with -DSQLPP_METRICS=OFF (the SQLPP_NO_METRICS
+ * macro) turns every instrumentation macro and helper into a no-op so
+ * the hot paths carry zero overhead; the registry class itself stays
+ * available (it just records nothing through the helpers).
+ */
+#ifndef SQLPP_UTIL_METRICS_H
+#define SQLPP_UTIL_METRICS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sqlpp {
+
+/** What a metric measures; fixed at first registration. */
+enum class MetricKind
+{
+    Counter,
+    Gauge,
+    /** Fixed-bucket histogram of a logical (deterministic) value. */
+    Histogram,
+    /** Histogram of wall-clock microseconds (nondeterministic values). */
+    Timer,
+};
+
+/** Stable name of a MetricKind ("counter", "gauge", ...). */
+const char *metricKindName(MetricKind kind);
+
+/** Options for exportMetricsJson(). */
+struct MetricsJsonOptions
+{
+    /**
+     * Include wall-clock sums and bucket counts for Timer metrics.
+     * Off by default: timing values vary run to run, and the default
+     * document must be byte-identical for a fixed seed.
+     */
+    bool includeTimings = false;
+    /** Include per-shard lane breakdowns (on by default). */
+    bool includeShards = true;
+    /** Include metrics whose every value is zero (schema stability). */
+    bool includeZero = true;
+};
+
+/** Process-wide registry of named campaign metrics. */
+class MetricsRegistry
+{
+  public:
+    /** Upper bound on registered metrics. */
+    static constexpr size_t kMaxMetrics = 512;
+    /**
+     * Histogram buckets: bucket 0 holds the value 0, bucket i holds
+     * values whose bit width is i (2^(i-1) .. 2^i - 1); the last
+     * bucket absorbs everything larger. 28 buckets span ~134 seconds
+     * in microseconds and ~128 MiB in bytes.
+     */
+    static constexpr size_t kHistogramBuckets = 28;
+    /** Value cells per lane (counters 1, gauges 1, histograms B+1). */
+    static constexpr size_t kMaxCells = 8192;
+    /** Lane 0 = unlabeled; lanes 1.. = shard (index % kMaxShards) + 1. */
+    static constexpr size_t kMaxShards = 256;
+
+    MetricsRegistry();
+
+    /** The process-wide instance all instrumentation feeds. */
+    static MetricsRegistry &instance();
+
+    /**
+     * Resolve a name to a metric id, registering it if unknown. Ids
+     * are stable for the process lifetime. Registering the same name
+     * under a different kind keeps the first kind (and logs nothing:
+     * the declared universe in declarePlatformMetrics() is the source
+     * of truth). Thread-safe; takes the registry mutex.
+     */
+    size_t metricId(const std::string &name, MetricKind kind);
+
+    /** Add to a counter (hot path; lock-free). */
+    void add(size_t id, uint64_t delta = 1);
+
+    /** Set a gauge to a value (hot path; lock-free). */
+    void set(size_t id, uint64_t value);
+
+    /** Observe a histogram/timer value (hot path; lock-free). */
+    void observe(size_t id, uint64_t value);
+
+    /** Cold-path conveniences resolving the name every call. */
+    void addByName(const std::string &name, uint64_t delta = 1);
+    void setByName(const std::string &name, uint64_t value);
+    void observeByName(const std::string &name, uint64_t value);
+
+    /** Number of registered metrics. */
+    size_t registered() const;
+
+    /** Sum of a counter/gauge across lanes (gauge: max, see export). */
+    uint64_t counterTotal(const std::string &name) const;
+
+    /** Total observations of a histogram/timer across lanes. */
+    uint64_t histogramCount(const std::string &name) const;
+
+    /** Sum of observed values of a histogram/timer across lanes. */
+    uint64_t histogramSum(const std::string &name) const;
+
+    /**
+     * Zero every value in every lane; registrations, lane labels, and
+     * resolved ids stay valid. Campaign drivers call this before a
+     * run so repeated in-process runs (tests, benches) start clean.
+     */
+    void reset();
+
+    /** Bucket index for a histogram value (exposed for tests). */
+    static size_t bucketIndex(uint64_t value);
+
+    /** Inclusive upper bound of a bucket (UINT64_MAX for the last). */
+    static uint64_t bucketUpperBound(size_t bucket);
+
+  private:
+    friend class MetricsShardScope;
+    friend std::string exportMetricsJson(const MetricsJsonOptions &);
+    friend std::string metricsSummaryTable();
+
+    struct Metric
+    {
+        std::string name;
+        MetricKind kind = MetricKind::Counter;
+        /** First value cell; histograms use [cell, cell + B + 1). */
+        size_t cell = 0;
+    };
+
+    /** One label dimension's worth of value cells. */
+    struct Lane
+    {
+        std::string label;
+        std::unique_ptr<std::atomic<uint64_t>[]> cells;
+    };
+
+    /** Get or create the lane for a shard index; returns lane index. */
+    size_t laneForShard(size_t shard_index, const std::string &label);
+
+    Lane *lane(size_t lane_index) const
+    {
+        return lanes_[lane_index].load(std::memory_order_acquire);
+    }
+
+    /** Guards metric registration and lane creation. */
+    mutable std::mutex mutex_;
+    std::map<std::string, size_t> ids_;
+    std::vector<Metric> metrics_;
+    /** Published metric count (hot-path reads need no lock). */
+    std::atomic<size_t> registered_{0};
+    size_t next_cell_ = 0;
+    /** Fixed-capacity lane table: pointers never move once published. */
+    std::atomic<Lane *> lanes_[kMaxShards + 1];
+    std::vector<std::unique_ptr<Lane>> lane_storage_;
+};
+
+/**
+ * Binds the current thread to a shard's metric lane for the scope's
+ * lifetime (the scheduler wraps each shard execution in one). Lane
+ * choice depends only on the shard index, so per-lane values are
+ * worker-count independent. Scopes nest; the previous lane is
+ * restored on destruction.
+ */
+class MetricsShardScope
+{
+  public:
+    MetricsShardScope(size_t shard_index, const std::string &label);
+    ~MetricsShardScope();
+
+    MetricsShardScope(const MetricsShardScope &) = delete;
+    MetricsShardScope &operator=(const MetricsShardScope &) = delete;
+
+  private:
+    size_t previous_lane_;
+};
+
+/**
+ * RAII wall-clock span feeding a Timer metric in microseconds. Use
+ * through SQLPP_SPAN so disabled builds compile the span away.
+ */
+class MetricsSpan
+{
+  public:
+    explicit MetricsSpan(size_t id)
+        : id_(id), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~MetricsSpan()
+    {
+        auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_);
+        MetricsRegistry::instance().observe(
+            id_, static_cast<uint64_t>(elapsed.count()));
+    }
+
+    MetricsSpan(const MetricsSpan &) = delete;
+    MetricsSpan &operator=(const MetricsSpan &) = delete;
+
+  private:
+    size_t id_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Serialize the registry as a stable JSON document (schema
+ * "sqlpp.metrics.v1"): metrics sorted by name, lanes by index, sparse
+ * non-empty buckets. See the determinism contract in the file header.
+ */
+std::string exportMetricsJson(const MetricsJsonOptions &options = {});
+
+/** Human-readable summary table (includes wall-clock timings). */
+std::string metricsSummaryTable();
+
+/**
+ * Pre-register the platform's metric universe so exported documents
+ * have a stable shape regardless of which code paths ran. Idempotent.
+ * EXPERIMENTS.md documents every name listed here.
+ */
+void declarePlatformMetrics();
+
+// ---------------------------------------------------------------------
+// Instrumentation helpers. All compile to nothing under
+// SQLPP_NO_METRICS; names passed to the macros must be string
+// literals (they are resolved once per call site).
+// ---------------------------------------------------------------------
+
+namespace metrics {
+
+#ifdef SQLPP_NO_METRICS
+
+inline void count(const std::string &, uint64_t = 1) {}
+inline void gaugeSet(const std::string &, uint64_t) {}
+inline void observe(const std::string &, uint64_t) {}
+
+#else
+
+/** Cold path: count by a runtime-computed name. */
+inline void
+count(const std::string &name, uint64_t delta = 1)
+{
+    MetricsRegistry::instance().addByName(name, delta);
+}
+
+/** Cold path: set a gauge by a runtime-computed name. */
+inline void
+gaugeSet(const std::string &name, uint64_t value)
+{
+    MetricsRegistry::instance().setByName(name, value);
+}
+
+/** Cold path: observe a histogram value by a runtime-computed name. */
+inline void
+observe(const std::string &name, uint64_t value)
+{
+    MetricsRegistry::instance().observeByName(name, value);
+}
+
+#endif // SQLPP_NO_METRICS
+
+} // namespace metrics
+
+#define SQLPP_METRICS_CAT2(a, b) a##b
+#define SQLPP_METRICS_CAT(a, b) SQLPP_METRICS_CAT2(a, b)
+
+#ifdef SQLPP_NO_METRICS
+
+#define SQLPP_COUNT(name) do {} while (0)
+#define SQLPP_COUNT_N(name, n) do {} while (0)
+#define SQLPP_OBSERVE(name, value) do {} while (0)
+#define SQLPP_OBSERVE_TIME(name, micros) do {} while (0)
+#define SQLPP_GAUGE_SET(name, value) do {} while (0)
+#define SQLPP_SPAN(name) do {} while (0)
+
+#else
+
+/** Hot-path counter increment; resolves the slot once per call site. */
+#define SQLPP_COUNT(name) SQLPP_COUNT_N(name, 1)
+
+#define SQLPP_COUNT_N(name, n)                                          \
+    do {                                                                \
+        static const size_t sqlpp_metric_slot =                         \
+            ::sqlpp::MetricsRegistry::instance().metricId(              \
+                name, ::sqlpp::MetricKind::Counter);                    \
+        ::sqlpp::MetricsRegistry::instance().add(sqlpp_metric_slot,     \
+                                                 (n));                  \
+    } while (0)
+
+/** Hot-path histogram observation of a logical value. */
+#define SQLPP_OBSERVE(name, value)                                      \
+    do {                                                                \
+        static const size_t sqlpp_metric_slot =                         \
+            ::sqlpp::MetricsRegistry::instance().metricId(              \
+                name, ::sqlpp::MetricKind::Histogram);                  \
+        ::sqlpp::MetricsRegistry::instance().observe(sqlpp_metric_slot, \
+                                                     (value));          \
+    } while (0)
+
+/**
+ * Observe a wall-clock duration in microseconds. Distinct from
+ * SQLPP_OBSERVE: the metric registers as a Timer, so its
+ * (nondeterministic) values stay out of the default JSON export.
+ */
+#define SQLPP_OBSERVE_TIME(name, micros)                                \
+    do {                                                                \
+        static const size_t sqlpp_metric_slot =                         \
+            ::sqlpp::MetricsRegistry::instance().metricId(              \
+                name, ::sqlpp::MetricKind::Timer);                      \
+        ::sqlpp::MetricsRegistry::instance().observe(sqlpp_metric_slot, \
+                                                     (micros));         \
+    } while (0)
+
+/** Hot-path gauge store. */
+#define SQLPP_GAUGE_SET(name, value)                                    \
+    do {                                                                \
+        static const size_t sqlpp_metric_slot =                         \
+            ::sqlpp::MetricsRegistry::instance().metricId(              \
+                name, ::sqlpp::MetricKind::Gauge);                      \
+        ::sqlpp::MetricsRegistry::instance().set(sqlpp_metric_slot,     \
+                                                 (value));              \
+    } while (0)
+
+/**
+ * RAII timing span: records wall-clock microseconds into the named
+ * Timer metric when the enclosing scope exits.
+ */
+#define SQLPP_SPAN(name)                                                \
+    static const size_t SQLPP_METRICS_CAT(sqlpp_span_slot_,             \
+                                          __LINE__) =                   \
+        ::sqlpp::MetricsRegistry::instance().metricId(                  \
+            name, ::sqlpp::MetricKind::Timer);                          \
+    ::sqlpp::MetricsSpan SQLPP_METRICS_CAT(sqlpp_span_, __LINE__)(      \
+        SQLPP_METRICS_CAT(sqlpp_span_slot_, __LINE__))
+
+#endif // SQLPP_NO_METRICS
+
+} // namespace sqlpp
+
+#endif // SQLPP_UTIL_METRICS_H

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Engine differential self-check: the optimized and reference SELECT
+ * pipelines must agree on a *fault-free* engine.
+ *
+ * The platform's oracles (TLP, NoREC) hunt for disagreements the
+ * injected FaultSet plants; this test is the control experiment. It
+ * drives the adaptive generator over hundreds of deterministic seeds
+ * against a postgres-like behaviour profile with every fault cleared,
+ * and executes each generated SELECT through both pipelines. Any
+ * result-multiset mismatch here is a genuine engine bug — a false
+ * positive factory for every oracle — so the test demands zero.
+ */
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/feedback.h"
+#include "core/generator.h"
+#include "dialect/profile.h"
+#include "engine/database.h"
+#include "parser/parser.h"
+#include "util/status.h"
+
+namespace sqlpp {
+namespace {
+
+constexpr size_t kSeeds = 200;
+constexpr size_t kSetupStatements = 10;
+constexpr size_t kSelectsPerSeed = 6;
+/**
+ * Both pipelines execute under the same per-statement budget, but they
+ * spend it differently (the reference plan materializes bigger
+ * intermediates), so a budget error on either side skips the pair.
+ * Everything else must match: same rows or same error class.
+ */
+bool
+isBudgetSkip(const Status &status)
+{
+    return !status.isOk() &&
+           status.code() == ErrorCode::BudgetExhausted;
+}
+
+TEST(EngineDifferentialTest, OptimizedMatchesReferenceOnFaultFreeEngine)
+{
+    const DialectProfile *profile = findDialect("postgres-like");
+    ASSERT_NE(profile, nullptr);
+
+    size_t selects_generated = 0;
+    size_t pairs_compared = 0;
+    size_t pairs_skipped = 0;
+
+    for (size_t seed = 1; seed <= kSeeds; ++seed) {
+        EngineConfig engine_config;
+        engine_config.behavior = profile->behavior;
+        engine_config.faults = FaultSet(); // fault-free: ground truth
+        Database db(engine_config);
+
+        FeatureRegistry registry;
+        OpenGate gate;
+        SchemaModel model;
+        GeneratorConfig generator_config;
+        generator_config.seed = seed * 0x9e3779b97f4a7c15ULL + 1;
+        AdaptiveGenerator generator(generator_config, registry, gate,
+                                    model);
+
+        for (size_t i = 0; i < kSetupStatements; ++i) {
+            GeneratedStatement stmt =
+                generator.generateSetupStatement();
+            auto result = db.execute(stmt.text);
+            generator.noteExecution(stmt, result.isOk());
+        }
+
+        for (size_t i = 0; i < kSelectsPerSeed; ++i) {
+            GeneratedStatement stmt = generator.generateSelect();
+            ++selects_generated;
+            auto parsed = parseStatement(stmt.text);
+            ASSERT_TRUE(parsed.isOk())
+                << "generator emitted unparseable SQL (seed " << seed
+                << "): " << stmt.text;
+
+            auto optimized =
+                db.executeStmt(*parsed.value(), ExecMode::Optimized);
+            auto reference =
+                db.executeStmt(*parsed.value(), ExecMode::Reference);
+
+            if (isBudgetSkip(optimized.status()) ||
+                isBudgetSkip(reference.status())) {
+                ++pairs_skipped;
+                continue;
+            }
+            if (!optimized.isOk() || !reference.isOk()) {
+                // A fault-free engine must fail identically through
+                // both pipelines: same statement, same error class.
+                EXPECT_FALSE(optimized.isOk())
+                    << "reference failed but optimized succeeded "
+                       "(seed "
+                    << seed << "): " << stmt.text << "\n  reference: "
+                    << reference.status().toString();
+                EXPECT_FALSE(reference.isOk())
+                    << "optimized failed but reference succeeded "
+                       "(seed "
+                    << seed << "): " << stmt.text << "\n  optimized: "
+                    << optimized.status().toString();
+                if (!optimized.isOk() && !reference.isOk()) {
+                    EXPECT_EQ(optimized.status().code(),
+                              reference.status().code())
+                        << "error classes diverge (seed " << seed
+                        << "): " << stmt.text;
+                }
+                ++pairs_compared;
+                continue;
+            }
+            EXPECT_TRUE(optimized.value().sameRowMultiset(
+                reference.value()))
+                << "result multisets diverge (seed " << seed
+                << "): " << stmt.text << "\noptimized:\n"
+                << optimized.value().toString() << "reference:\n"
+                << reference.value().toString();
+            ++pairs_compared;
+        }
+    }
+
+    // The control experiment is meaningless if skips eat the corpus;
+    // demand that the vast majority of generated SELECTs really were
+    // compared end to end.
+    EXPECT_EQ(selects_generated, kSeeds * kSelectsPerSeed);
+    EXPECT_GE(pairs_compared, (selects_generated * 9) / 10)
+        << "too many budget skips: " << pairs_skipped;
+}
+
+} // namespace
+} // namespace sqlpp

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Parser/printer round-trip property test.
+ *
+ * The printer's output is the platform's wire format: generated
+ * statements, reduced bug reports, and checkpoint payloads all travel
+ * as printed SQL and come back through the parser. The property that
+ * makes this safe is a one-step fixpoint: parsing printed text and
+ * printing it again must reproduce the text exactly. (The generator's
+ * raw text may normalize once — parenthesization, literal spelling —
+ * but after one print the form is canonical.)
+ *
+ * The corpus is the adaptive generator itself, swept over seeds and an
+ * expression-depth schedule of 1 → 3, so every statement kind and
+ * operator the platform can emit passes through the property.
+ */
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/feedback.h"
+#include "core/generator.h"
+#include "parser/parser.h"
+#include "sqlir/printer.h"
+
+namespace sqlpp {
+namespace {
+
+/** print(parse(text)) must be a fixpoint after one iteration. */
+void
+expectStatementFixpoint(const std::string &text)
+{
+    auto first = parseStatement(text);
+    ASSERT_TRUE(first.isOk())
+        << "unparseable: " << text << " — "
+        << first.status().toString();
+    std::string canonical = printStmt(*first.value());
+    auto second = parseStatement(canonical);
+    ASSERT_TRUE(second.isOk())
+        << "printer emitted unparseable SQL: " << canonical;
+    EXPECT_EQ(printStmt(*second.value()), canonical)
+        << "not a fixpoint, original: " << text;
+}
+
+void
+expectExpressionFixpoint(const std::string &text)
+{
+    auto first = parseExpression(text);
+    ASSERT_TRUE(first.isOk())
+        << "unparseable: " << text << " — "
+        << first.status().toString();
+    std::string canonical = printExpr(*first.value());
+    auto second = parseExpression(canonical);
+    ASSERT_TRUE(second.isOk())
+        << "printer emitted unparseable expression: " << canonical;
+    EXPECT_EQ(printExpr(*second.value()), canonical)
+        << "not a fixpoint, original: " << text;
+}
+
+TEST(ParserRoundtripTest, GeneratedStatementsReachFixpoint)
+{
+    std::set<StmtKind> kinds_seen;
+    // Depth schedule 1 → 3: shallow trees exercise the statement
+    // skeletons, deep ones the expression grammar's precedence and
+    // parenthesization.
+    for (int depth = 1; depth <= 3; ++depth) {
+        for (uint64_t seed = 1; seed <= 40; ++seed) {
+            FeatureRegistry registry;
+            OpenGate gate;
+            SchemaModel model;
+            GeneratorConfig config;
+            config.seed = seed + 1000 * depth;
+            config.maxDepth = depth;
+            config.progressiveDepth = false;
+            AdaptiveGenerator generator(config, registry, gate, model);
+
+            for (size_t i = 0; i < 12; ++i) {
+                GeneratedStatement stmt =
+                    generator.generateSetupStatement();
+                kinds_seen.insert(stmt.kind);
+                expectStatementFixpoint(stmt.text);
+                // Assume success so the model grows and later
+                // statements reference the accumulated schema.
+                generator.noteExecution(stmt, true);
+            }
+            for (size_t i = 0; i < 6; ++i) {
+                GeneratedStatement stmt = generator.generateSelect();
+                kinds_seen.insert(stmt.kind);
+                expectStatementFixpoint(stmt.text);
+            }
+        }
+    }
+    // The sweep must have covered the generator's statement universe.
+    EXPECT_TRUE(kinds_seen.count(StmtKind::CreateTable));
+    EXPECT_TRUE(kinds_seen.count(StmtKind::CreateIndex));
+    EXPECT_TRUE(kinds_seen.count(StmtKind::Insert));
+    EXPECT_TRUE(kinds_seen.count(StmtKind::Select));
+}
+
+TEST(ParserRoundtripTest, GeneratedPredicatesReachFixpoint)
+{
+    for (uint64_t seed = 1; seed <= 60; ++seed) {
+        FeatureRegistry registry;
+        OpenGate gate;
+        SchemaModel model;
+        GeneratorConfig config;
+        config.seed = seed * 7 + 3;
+        AdaptiveGenerator generator(config, registry, gate, model);
+        for (size_t i = 0; i < 10; ++i) {
+            generator.noteExecution(generator.generateSetupStatement(),
+                                    true);
+        }
+        for (size_t i = 0; i < 5; ++i) {
+            auto shape = generator.generateQueryShape();
+            if (!shape.has_value())
+                continue;
+            expectExpressionFixpoint(printExpr(*shape->predicate));
+            expectStatementFixpoint(printSelect(*shape->base));
+        }
+    }
+}
+
+TEST(ParserRoundtripTest, HandwrittenCornersReachFixpoint)
+{
+    // Statement kinds the generator emits rarely or never (DROPs are
+    // reducer-only), plus precedence and quoting corners.
+    for (const char *text : {
+             "DROP TABLE t0",
+             "DROP VIEW v0",
+             "DROP INDEX i0",
+             "CREATE TABLE t9 (c0 INTEGER PRIMARY KEY, c1 TEXT NOT "
+             "NULL, c2 BOOLEAN UNIQUE)",
+             "CREATE TABLE IF NOT EXISTS t9 (c0 INTEGER)",
+             "CREATE UNIQUE INDEX i9 ON t9(c0) WHERE c0 > 0",
+             "CREATE VIEW v9 (a, b) AS SELECT c0, c1 FROM t9",
+             "INSERT OR IGNORE INTO t9 VALUES (1, 'a', TRUE), (2, "
+             "'b''c', FALSE)",
+             "ANALYZE",
+             "SELECT DISTINCT t9.c0 FROM t9 LEFT JOIN t8 ON t9.c0 = "
+             "t8.c0 WHERE NOT (t9.c0 + 1 * 2 < 3) GROUP BY t9.c0 "
+             "HAVING COUNT(*) > 1 ORDER BY t9.c0 DESC LIMIT 5 OFFSET "
+             "2",
+             "SELECT (SELECT MAX(c0) FROM t9) FROM t9 WHERE c0 IN "
+             "(SELECT c0 FROM t8)",
+         }) {
+        expectStatementFixpoint(text);
+    }
+    for (const char *text : {
+             "- 1 + 2 * 3",
+             "NOT (c0 IS NULL)",
+             "c0 BETWEEN 1 AND 10 AND c1 LIKE 'x%'",
+             "(c0 > 1) IS NOT TRUE",
+             "~5 | 3 & 1",
+             "'it''s' || 'fine'",
+         }) {
+        expectExpressionFixpoint(text);
+    }
+}
+
+} // namespace
+} // namespace sqlpp

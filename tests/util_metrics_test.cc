@@ -1,0 +1,289 @@
+/**
+ * @file
+ * MetricsRegistry unit tests: registration, bucket math, lanes, the
+ * export formats, and a multi-threaded hammer that checks exact totals
+ * (run it under -DSQLPP_SANITIZE=thread to validate the lock-free
+ * paths).
+ */
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace sqlpp {
+namespace {
+
+/**
+ * The registry is process-wide; every test starts from zeroed values.
+ * Names are per-test-unique so kind registrations cannot collide.
+ */
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { MetricsRegistry::instance().reset(); }
+};
+
+TEST_F(MetricsTest, CounterAccumulates)
+{
+    auto &registry = MetricsRegistry::instance();
+    size_t id = registry.metricId("test.counter.basic",
+                                  MetricKind::Counter);
+    registry.add(id);
+    registry.add(id, 41);
+    EXPECT_EQ(registry.counterTotal("test.counter.basic"), 42u);
+}
+
+TEST_F(MetricsTest, SameNameSameId)
+{
+    auto &registry = MetricsRegistry::instance();
+    size_t a = registry.metricId("test.counter.sameid",
+                                 MetricKind::Counter);
+    size_t b = registry.metricId("test.counter.sameid",
+                                 MetricKind::Counter);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue)
+{
+    auto &registry = MetricsRegistry::instance();
+    size_t id = registry.metricId("test.gauge.basic", MetricKind::Gauge);
+    registry.set(id, 7);
+    registry.set(id, 3);
+    EXPECT_EQ(registry.counterTotal("test.gauge.basic"), 3u);
+}
+
+TEST_F(MetricsTest, HistogramCountAndSum)
+{
+    auto &registry = MetricsRegistry::instance();
+    size_t id = registry.metricId("test.histogram.basic",
+                                  MetricKind::Histogram);
+    registry.observe(id, 0);
+    registry.observe(id, 1);
+    registry.observe(id, 100);
+    EXPECT_EQ(registry.histogramCount("test.histogram.basic"), 3u);
+    EXPECT_EQ(registry.histogramSum("test.histogram.basic"), 101u);
+}
+
+TEST_F(MetricsTest, BucketIndexIsBitWidth)
+{
+    EXPECT_EQ(MetricsRegistry::bucketIndex(0), 0u);
+    EXPECT_EQ(MetricsRegistry::bucketIndex(1), 1u);
+    EXPECT_EQ(MetricsRegistry::bucketIndex(2), 2u);
+    EXPECT_EQ(MetricsRegistry::bucketIndex(3), 2u);
+    EXPECT_EQ(MetricsRegistry::bucketIndex(4), 3u);
+    EXPECT_EQ(MetricsRegistry::bucketIndex(1023), 10u);
+    EXPECT_EQ(MetricsRegistry::bucketIndex(1024), 11u);
+    // Everything wider than the table folds into the last bucket.
+    EXPECT_EQ(MetricsRegistry::bucketIndex(UINT64_MAX),
+              MetricsRegistry::kHistogramBuckets - 1);
+}
+
+TEST_F(MetricsTest, BucketBoundsArePowersOfTwo)
+{
+    EXPECT_EQ(MetricsRegistry::bucketUpperBound(0), 0u);
+    EXPECT_EQ(MetricsRegistry::bucketUpperBound(1), 1u);
+    EXPECT_EQ(MetricsRegistry::bucketUpperBound(2), 3u);
+    EXPECT_EQ(MetricsRegistry::bucketUpperBound(3), 7u);
+    EXPECT_EQ(MetricsRegistry::bucketUpperBound(
+                  MetricsRegistry::kHistogramBuckets - 1),
+              UINT64_MAX);
+    // Each value lands in a bucket whose bound covers it.
+    for (uint64_t value : {0ull, 1ull, 5ull, 1000ull, 123456789ull}) {
+        size_t bucket = MetricsRegistry::bucketIndex(value);
+        EXPECT_LE(value, MetricsRegistry::bucketUpperBound(bucket));
+        if (bucket > 0)
+            EXPECT_GT(value,
+                      MetricsRegistry::bucketUpperBound(bucket - 1));
+    }
+}
+
+TEST_F(MetricsTest, ShardScopeSplitsLanes)
+{
+    auto &registry = MetricsRegistry::instance();
+    size_t id =
+        registry.metricId("test.counter.lanes", MetricKind::Counter);
+    registry.add(id, 5); // lane 0 (unlabeled)
+    {
+        MetricsShardScope scope(0, "shard-a");
+        registry.add(id, 7);
+        {
+            // Scopes nest; the inner lane wins until it closes.
+            MetricsShardScope inner(1, "shard-b");
+            registry.add(id, 11);
+        }
+        registry.add(id, 13);
+    }
+    registry.add(id, 17);
+    EXPECT_EQ(registry.counterTotal("test.counter.lanes"),
+              5u + 7u + 11u + 13u + 17u);
+
+    std::string json = exportMetricsJson();
+    EXPECT_NE(json.find("\"shard\": \"shard-a\", \"value\": 20"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"shard\": \"shard-b\", \"value\": 11"),
+              std::string::npos)
+        << json;
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsRegistrations)
+{
+    auto &registry = MetricsRegistry::instance();
+    size_t id =
+        registry.metricId("test.counter.reset", MetricKind::Counter);
+    registry.add(id, 9);
+    size_t before = registry.registered();
+    registry.reset();
+    EXPECT_EQ(registry.counterTotal("test.counter.reset"), 0u);
+    EXPECT_EQ(registry.registered(), before);
+    registry.add(id, 2); // resolved id survives the reset
+    EXPECT_EQ(registry.counterTotal("test.counter.reset"), 2u);
+}
+
+TEST_F(MetricsTest, TimerValuesStayOutOfDefaultJson)
+{
+    auto &registry = MetricsRegistry::instance();
+    size_t id =
+        registry.metricId("test.timer.hidden_us", MetricKind::Timer);
+    registry.observe(id, 123456);
+    std::string json = exportMetricsJson();
+    // The observation count is deterministic and exported; the
+    // wall-clock sum and buckets are not.
+    EXPECT_NE(json.find("\"test.timer.hidden_us\", \"kind\": \"timer\", "
+                        "\"count\": 1"),
+              std::string::npos)
+        << json;
+    EXPECT_EQ(json.find("123456"), std::string::npos) << json;
+
+    MetricsJsonOptions timings;
+    timings.includeTimings = true;
+    std::string full = exportMetricsJson(timings);
+    EXPECT_NE(full.find("\"sum\": 123456"), std::string::npos) << full;
+}
+
+TEST_F(MetricsTest, HistogramBucketsExportSparse)
+{
+    auto &registry = MetricsRegistry::instance();
+    size_t id = registry.metricId("test.histogram.sparse",
+                                  MetricKind::Histogram);
+    registry.observe(id, 3);
+    registry.observe(id, 3);
+    std::string json = exportMetricsJson();
+    // Exactly one non-empty bucket is listed; empty ones are omitted.
+    EXPECT_NE(json.find("\"test.histogram.sparse\", \"kind\": "
+                        "\"histogram\", \"count\": 2, \"sum\": 6, "
+                        "\"buckets\": [{\"le\": 3, \"count\": 2}]"),
+              std::string::npos)
+        << json;
+}
+
+TEST_F(MetricsTest, ExportIsSortedByName)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.addByName("test.sort.zzz", 1);
+    registry.addByName("test.sort.aaa", 1);
+    std::string json = exportMetricsJson();
+    size_t aaa = json.find("test.sort.aaa");
+    size_t zzz = json.find("test.sort.zzz");
+    ASSERT_NE(aaa, std::string::npos);
+    ASSERT_NE(zzz, std::string::npos);
+    EXPECT_LT(aaa, zzz);
+}
+
+TEST_F(MetricsTest, DeclarePlatformMetricsIsIdempotent)
+{
+    declarePlatformMetrics();
+    size_t after_first = MetricsRegistry::instance().registered();
+    declarePlatformMetrics();
+    EXPECT_EQ(MetricsRegistry::instance().registered(), after_first);
+    std::string json = exportMetricsJson();
+    EXPECT_NE(json.find("connection.statements"), std::string::npos);
+    EXPECT_NE(json.find("oracle.tlp.pass"), std::string::npos);
+}
+
+TEST_F(MetricsTest, SummaryTableMentionsValues)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.addByName("test.summary.counter", 42);
+    std::string table = metricsSummaryTable();
+    EXPECT_NE(table.find("test.summary.counter"), std::string::npos);
+    EXPECT_NE(table.find("42"), std::string::npos);
+}
+
+/**
+ * N threads hammer one counter and one histogram concurrently, half of
+ * them inside per-thread shard scopes. Totals must be exact — the
+ * whole point of the relaxed-atomic cells — and TSan must stay quiet
+ * about the registration and lane-creation races.
+ */
+TEST_F(MetricsTest, ConcurrentHammerHasExactTotals)
+{
+    auto &registry = MetricsRegistry::instance();
+    constexpr size_t kThreads = 8;
+    constexpr size_t kIterations = 20000;
+
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &registry]() {
+            // Resolve ids from every thread concurrently: exercises
+            // the registration mutex against hot-path readers.
+            size_t counter = registry.metricId("test.concurrent.counter",
+                                               MetricKind::Counter);
+            size_t histogram = registry.metricId(
+                "test.concurrent.histogram", MetricKind::Histogram);
+            if (t % 2 == 0) {
+                MetricsShardScope scope(t / 2, "hammer-" +
+                                                   std::to_string(t / 2));
+                for (size_t i = 0; i < kIterations; ++i) {
+                    registry.add(counter);
+                    registry.observe(histogram, i % 17);
+                }
+            } else {
+                for (size_t i = 0; i < kIterations; ++i) {
+                    registry.add(counter);
+                    registry.observe(histogram, i % 17);
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(registry.counterTotal("test.concurrent.counter"),
+              kThreads * kIterations);
+    EXPECT_EQ(registry.histogramCount("test.concurrent.histogram"),
+              kThreads * kIterations);
+    uint64_t per_thread_sum = 0;
+    for (size_t i = 0; i < kIterations; ++i)
+        per_thread_sum += i % 17;
+    EXPECT_EQ(registry.histogramSum("test.concurrent.histogram"),
+              kThreads * per_thread_sum);
+}
+
+/** Concurrent SQLPP_SPAN use: timer counts must be exact too. */
+TEST_F(MetricsTest, ConcurrentSpansCountExactly)
+{
+    constexpr size_t kThreads = 4;
+    constexpr size_t kIterations = 2000;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([]() {
+            for (size_t i = 0; i < kIterations; ++i) {
+                SQLPP_SPAN("test.concurrent.span_us");
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+#ifndef SQLPP_NO_METRICS
+    EXPECT_EQ(MetricsRegistry::instance().histogramCount(
+                  "test.concurrent.span_us"),
+              kThreads * kIterations);
+#endif
+}
+
+} // namespace
+} // namespace sqlpp
