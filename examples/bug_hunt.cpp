@@ -8,12 +8,18 @@
  * the table below is identical for any --workers value.
  *
  *   ./bug_hunt [checks-per-dialect] [--workers N]
+ *              [--oracles tlp,norec,pqs]
  *              [--checkpoint FILE] [--resume]
  *              [--shard-deadline SEC]
  *              [--max-steps N] [--max-rows N]
  *              [--max-intermediate-rows N]
  *              [--metrics-out FILE] [--metrics-summary]
  *              [--metrics-timings]
+ *
+ * --oracles picks the logic-bug oracles run per query shape
+ * (comma-separated, case-insensitive; default tlp,norec). Adding pqs
+ * enables the pivot-containment oracle, which catches row-loss faults
+ * the multiset-equality oracles cannot.
  *
  * --checkpoint rewrites FILE atomically after every finished shard;
  * rerunning with --resume skips finished shards and merges to stats
@@ -34,6 +40,7 @@
 
 #include "core/scheduler.h"
 #include "util/metrics.h"
+#include "util/strutil.h"
 
 using namespace sqlpp;
 
@@ -42,6 +49,7 @@ main(int argc, char **argv)
 {
     size_t checks = 600;
     size_t workers = 1;
+    std::string oracles_flag = "tlp,norec";
     std::string checkpoint_path;
     bool resume = false;
     double shard_deadline = 0.0;
@@ -59,6 +67,8 @@ main(int argc, char **argv)
         const char *value = nullptr;
         if (flagValue("--workers", &value)) {
             workers = std::strtoul(value, nullptr, 10);
+        } else if (flagValue("--oracles", &value)) {
+            oracles_flag = value;
         } else if (flagValue("--checkpoint", &value)) {
             checkpoint_path = value;
         } else if (std::strcmp(argv[arg], "--resume") == 0) {
@@ -87,6 +97,23 @@ main(int argc, char **argv)
                      "--resume requires --checkpoint <file>\n");
         return 1;
     }
+    std::vector<std::string> oracles;
+    for (const std::string &name : split(oracles_flag, ',')) {
+        if (name.empty())
+            continue;
+        if (makeOracle(name) == nullptr) {
+            std::fprintf(stderr,
+                         "unknown oracle '%s' (known: tlp, norec, "
+                         "pqs)\n",
+                         name.c_str());
+            return 1;
+        }
+        oracles.push_back(toUpper(name));
+    }
+    if (oracles.empty()) {
+        std::fprintf(stderr, "--oracles needs at least one oracle\n");
+        return 1;
+    }
 
     SchedulerConfig config;
     config.mode = ScheduleMode::ShardDialects;
@@ -96,7 +123,7 @@ main(int argc, char **argv)
     config.shardDeadlineSeconds = shard_deadline;
     config.campaign.seed = 1234;
     config.campaign.checks = checks;
-    config.campaign.oracles = {"TLP", "NOREC"};
+    config.campaign.oracles = oracles;
     config.campaign.feedback.updateInterval = 200;
     config.campaign.budget = budget;
 

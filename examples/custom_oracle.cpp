@@ -114,7 +114,10 @@ main(int argc, char **argv)
     generator_config.seed = 2024;
     AdaptiveGenerator generator(generator_config, registry, gate, model);
     Connection connection(*profile);
-    PredicatePositionOracle oracle;
+    PredicatePositionOracle custom;
+    // Drive through the Oracle interface, like CampaignRunner does;
+    // the base class adds the QueryShape convenience overload.
+    Oracle &oracle = custom;
     BugPrioritizer prioritizer;
 
     for (int i = 0; i < 80; ++i) {
@@ -129,8 +132,9 @@ main(int argc, char **argv)
         auto shape = generator.generateQueryShape();
         if (!shape.has_value())
             continue;
-        OracleResult result =
-            oracle.check(connection, *shape->base, *shape->predicate);
+        OracleResult result = oracle.check(connection, *shape);
+        if (result.outcome == OracleOutcome::Inapplicable)
+            continue; // outside the oracle's domain; nothing learned
         tracker.record(shape->features,
                        result.outcome != OracleOutcome::Skipped, true);
         if (result.outcome != OracleOutcome::Skipped)

@@ -17,10 +17,13 @@ CHECKPOINT="$WORKDIR/campaign.ckpt"
 trap 'rm -rf "$WORKDIR"' EXIT
 
 # Enough checks per dialect that the fleet cannot finish instantly,
-# so the kill lands mid-campaign on any machine.
+# so the kill lands mid-campaign on any machine. All three oracles run
+# so the v2 checkpoint payload (per-oracle tallies, inapplicable
+# counts, bug query lists) is exercised across the kill.
 CHECKS=2000
+ORACLES="tlp,norec,pqs"
 
-"$BUG_HUNT" "$CHECKS" --checkpoint "$CHECKPOINT" \
+"$BUG_HUNT" "$CHECKS" --oracles "$ORACLES" --checkpoint "$CHECKPOINT" \
     > "$WORKDIR/first.log" 2>&1 &
 PID=$!
 
@@ -53,13 +56,13 @@ head -1 "$CHECKPOINT" | grep -q "sqlancerpp-kv-v2" || {
     echo "FAIL: checkpoint file is not a valid KvStore" >&2
     exit 1
 }
-grep -q "meta.format=sqlancerpp-checkpoint-v1" "$CHECKPOINT" || {
+grep -q "meta.format=sqlancerpp-checkpoint-v2" "$CHECKPOINT" || {
     echo "FAIL: checkpoint file has no campaign metadata" >&2
     exit 1
 }
 
-"$BUG_HUNT" "$CHECKS" --checkpoint "$CHECKPOINT" --resume \
-    > "$WORKDIR/resume.log" 2>&1
+"$BUG_HUNT" "$CHECKS" --oracles "$ORACLES" --checkpoint "$CHECKPOINT" \
+    --resume > "$WORKDIR/resume.log" 2>&1
 STATUS=$?
 if [ "$STATUS" -ne 0 ]; then
     echo "FAIL: resumed run exited with status $STATUS" >&2

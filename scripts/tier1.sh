@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Tier-1 verification pipeline, fastest signal first:
+#
+#   1. unit lane    — configure + build, then `ctest -L unit`: the
+#                     sub-second suites, for a quick inner loop.
+#   2. full suite   — every registered test (unit + integration +
+#                     smoke), the bar every PR must clear.
+#   3. asan lane    — rebuild in a separate tree with
+#                     -DSQLPP_SANITIZE=address and rerun the unit lane
+#                     under AddressSanitizer.
+#
+# Usage: scripts/tier1.sh [--unit-only] [--no-asan] [-j N]
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build"
+ASAN_BUILD="$ROOT/build-asan"
+JOBS=4
+RUN_FULL=1
+RUN_ASAN=1
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --unit-only) RUN_FULL=0; RUN_ASAN=0 ;;
+      --no-asan) RUN_ASAN=0 ;;
+      -j) JOBS="$2"; shift ;;
+      *) echo "usage: $0 [--unit-only] [--no-asan] [-j N]" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+echo "== tier1: configure + build =="
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== tier1: unit lane (ctest -L unit) =="
+ctest --test-dir "$BUILD" -L unit --output-on-failure -j "$JOBS" \
+    --timeout 300
+
+if [ "$RUN_FULL" -eq 1 ]; then
+    echo "== tier1: full suite =="
+    ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
+        --timeout 300
+fi
+
+if [ "$RUN_ASAN" -eq 1 ]; then
+    echo "== tier1: asan unit lane =="
+    cmake -B "$ASAN_BUILD" -S "$ROOT" -DSQLPP_SANITIZE=address \
+        >/dev/null
+    cmake --build "$ASAN_BUILD" -j "$JOBS"
+    ctest --test-dir "$ASAN_BUILD" -L unit --output-on-failure \
+        -j "$JOBS" --timeout 300
+fi
+
+echo "== tier1: OK =="

@@ -18,6 +18,9 @@ CampaignStats::merge(const CampaignStats &other)
     checksAttempted += other.checksAttempted;
     checksValid += other.checksValid;
     bugsDetected += other.bugsDetected;
+    for (const auto &[oracle, count] : other.bugsByOracle)
+        bugsByOracle[oracle] += count;
+    checksInapplicable += other.checksInapplicable;
     resourceErrors += other.resourceErrors;
     refreshRetries += other.refreshRetries;
     shardsAbandoned += other.shardsAbandoned;
@@ -35,6 +38,8 @@ CampaignStats::operator==(const CampaignStats &other) const
            checksAttempted == other.checksAttempted &&
            checksValid == other.checksValid &&
            bugsDetected == other.bugsDetected &&
+           bugsByOracle == other.bugsByOracle &&
+           checksInapplicable == other.checksInapplicable &&
            resourceErrors == other.resourceErrors &&
            refreshRetries == other.refreshRetries &&
            shardsAbandoned == other.shardsAbandoned &&
@@ -52,6 +57,21 @@ CampaignRunner::CampaignRunner(CampaignConfig config)
         config_.dialect = profile->name;
     }
     profile_ = *profile;
+    initGeneratorStack();
+}
+
+CampaignRunner::CampaignRunner(CampaignConfig config,
+                               const DialectProfile &profile)
+    : config_(std::move(config))
+{
+    profile_ = profile;
+    config_.dialect = profile_.name;
+    initGeneratorStack();
+}
+
+void
+CampaignRunner::initGeneratorStack()
+{
     if (config_.disableFaults)
         profile_.faults = FaultSet();
     FeedbackConfig feedback_config = config_.feedback;
@@ -170,8 +190,14 @@ CampaignRunner::run()
         SQLPP_COUNT("campaign.checks");
         bool all_ran = true;
         for (auto &oracle : oracles) {
-            OracleResult result = oracle->check(
-                *connection, *shape->base, *shape->predicate);
+            OracleResult result = oracle->check(*connection, *shape);
+            if (result.outcome == OracleOutcome::Inapplicable) {
+                // Says nothing about the dialect: the shape is outside
+                // the oracle's domain. Leave validity feedback alone.
+                ++stats.checksInapplicable;
+                SQLPP_COUNT("campaign.checks.inapplicable");
+                continue;
+            }
             if (result.outcome == OracleOutcome::Skipped) {
                 all_ran = false;
                 continue;
@@ -179,8 +205,15 @@ CampaignRunner::run()
             if (result.outcome != OracleOutcome::Bug)
                 continue;
             ++stats.bugsDetected;
+            ++stats.bugsByOracle[oracle->name()];
             SQLPP_COUNT("campaign.bugs.detected");
-            if (!prioritizer.considerNew(shape->features))
+            // Attribute the oracle as a feature: cases flagged by
+            // different oracles describe different failure modes and
+            // must not subsume one another.
+            FeatureSet bug_features = shape->features;
+            bug_features.insert(registry_.intern(
+                features::oracle(oracle->name()), FeatureKind::Property));
+            if (!prioritizer.considerNew(bug_features))
                 continue;
             SQLPP_COUNT("campaign.bugs.prioritized");
             BugCase bug;
@@ -189,13 +222,20 @@ CampaignRunner::run()
             bug.setup = setup_log;
             bug.baseText = printSelect(*shape->base);
             bug.predicateText = printExpr(*shape->predicate);
-            for (FeatureId id : shape->features)
+            for (FeatureId id : bug_features)
                 bug.featureNames.push_back(registry_.name(id));
             bug.details = result.details;
+            bug.queries = std::move(result.queries);
             if (config_.reduce) {
                 reduceBugCase(bug, [&](const BugCase &candidate) {
                     return reproduces(profile, candidate);
                 });
+                // The reduced case issues different SQL; refresh the
+                // recorded statement list from a final replay so the
+                // repro always carries exactly what it runs.
+                OracleResult replay;
+                if (reproduces(profile, bug, &replay))
+                    bug.queries = std::move(replay.queries);
             }
             stats.prioritizedBugs.push_back(std::move(bug));
         }
@@ -213,7 +253,7 @@ CampaignRunner::run()
 
 bool
 CampaignRunner::reproduces(const DialectProfile &profile,
-                           const BugCase &bug)
+                           const BugCase &bug, OracleResult *replayed)
 {
     Connection connection(profile);
     for (const std::string &statement : bug.setup)
@@ -230,7 +270,10 @@ CampaignRunner::reproduces(const DialectProfile &profile,
     OracleResult result = oracle->check(
         connection, static_cast<const SelectStmt &>(*base.value()),
         *predicate.value());
-    return result.outcome == OracleOutcome::Bug;
+    bool is_bug = result.outcome == OracleOutcome::Bug;
+    if (replayed != nullptr)
+        *replayed = std::move(result);
+    return is_bug;
 }
 
 std::optional<FaultId>

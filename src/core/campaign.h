@@ -18,6 +18,7 @@
 #ifndef SQLPP_CORE_CAMPAIGN_H
 #define SQLPP_CORE_CAMPAIGN_H
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -88,6 +89,13 @@ struct CampaignStats
     uint64_t checksValid = 0;
     /** Every bug-inducing test case (Table 5 "Detected Bugs"). */
     uint64_t bugsDetected = 0;
+    /** Detected bugs split by oracle name (Table 5 per-oracle view). */
+    std::map<std::string, uint64_t> bugsByOracle;
+    /**
+     * Oracle runs that did not apply to the shape (e.g. PQS on a join
+     * or an empty source). Never counted against validity.
+     */
+    uint64_t checksInapplicable = 0;
     /** Cases surviving prioritization (Table 5 "Prioritized Bugs"). */
     std::vector<BugCase> prioritizedBugs;
     /** Distinct SELECT plan fingerprints (Fig. 8 metric). */
@@ -137,6 +145,14 @@ class CampaignRunner
   public:
     explicit CampaignRunner(CampaignConfig config);
 
+    /**
+     * Run against an explicit profile instead of a registered dialect
+     * name — the fault-matrix tests build synthetic single-fault
+     * dialects this way. config.dialect is overwritten by the
+     * profile's name.
+     */
+    CampaignRunner(CampaignConfig config, const DialectProfile &profile);
+
     /** Run the full campaign and return the stats. */
     CampaignStats run();
 
@@ -147,10 +163,13 @@ class CampaignRunner
 
     /**
      * Replay a bug case on a profile: rebuild the database, rerun the
-     * oracle. True when the bug still manifests.
+     * oracle. True when the bug still manifests. When @p replayed is
+     * non-null it receives the oracle's full result (e.g. to refresh a
+     * reduced case's recorded query list).
      */
     static bool reproduces(const DialectProfile &profile,
-                           const BugCase &bug);
+                           const BugCase &bug,
+                           OracleResult *replayed = nullptr);
 
     /**
      * Ground-truth attribution: find the injected fault whose removal
@@ -167,6 +186,8 @@ class CampaignRunner
                                   const std::vector<BugCase> &bugs);
 
   private:
+    /** Shared ctor tail once profile_ and config_ are fixed. */
+    void initGeneratorStack();
     void buildState(Connection &connection, CampaignStats &stats,
                     std::vector<std::string> &setup_log);
 

@@ -12,6 +12,14 @@ namespace {
 /** Separator for feature-name lists; cannot occur in feature names. */
 constexpr char kUnitSep = '\x1f';
 
+/**
+ * On-disk format tag. v2 added per-oracle bug counts, the
+ * inapplicable-check counter, and per-bug query lists; v1 files are
+ * still readable (the added fields restore to their zero defaults).
+ */
+constexpr const char *kFormatV1 = "sqlancerpp-checkpoint-v1";
+constexpr const char *kFormatV2 = "sqlancerpp-checkpoint-v2";
+
 std::optional<uint64_t>
 parseU64(std::string_view text)
 {
@@ -50,6 +58,11 @@ checkpointShard(const CampaignStats &stats,
                    static_cast<int64_t>(stats.checksValid));
     payload.putInt("stats.bugsDetected",
                    static_cast<int64_t>(stats.bugsDetected));
+    for (const auto &[oracle, count] : stats.bugsByOracle)
+        payload.putInt("stats.oracleBugs." + oracle,
+                       static_cast<int64_t>(count));
+    payload.putInt("stats.checksInapplicable",
+                   static_cast<int64_t>(stats.checksInapplicable));
     payload.putInt("stats.resourceErrors",
                    static_cast<int64_t>(stats.resourceErrors));
     payload.putInt("stats.refreshRetries",
@@ -87,6 +100,11 @@ checkpointShard(const CampaignStats &stats,
         for (size_t k = 0; k < bug.setup.size(); ++k)
             payload.put(prefix + "setup." + std::to_string(k),
                         bug.setup[k]);
+        payload.putInt(prefix + "queries.count",
+                       static_cast<int64_t>(bug.queries.size()));
+        for (size_t k = 0; k < bug.queries.size(); ++k)
+            payload.put(prefix + "queries." + std::to_string(k),
+                        bug.queries[k]);
     }
 
     payload.putInt("worker", static_cast<int64_t>(worker_index));
@@ -140,6 +158,18 @@ restoreShard(const KvStore &payload,
     out.stats.checksAttempted = stat("checksAttempted");
     out.stats.checksValid = stat("checksValid");
     out.stats.bugsDetected = stat("bugsDetected");
+    for (const auto &[key, value] : payload.entries()) {
+        constexpr std::string_view kOracleBugs = "stats.oracleBugs.";
+        if (!startsWith(key, kOracleBugs) ||
+            key.size() <= kOracleBugs.size())
+            continue;
+        auto count = parseU64(value);
+        if (!count)
+            return Status::runtimeError(
+                "checkpoint payload: bad oracle bug count at " + key);
+        out.stats.bugsByOracle[key.substr(kOracleBugs.size())] = *count;
+    }
+    out.stats.checksInapplicable = stat("checksInapplicable");
     out.stats.resourceErrors = stat("resourceErrors");
     out.stats.refreshRetries = stat("refreshRetries");
     out.stats.shardsAbandoned = stat("shardsAbandoned");
@@ -187,6 +217,16 @@ restoreShard(const KvStore &payload,
                     std::to_string(j));
             bug.setup.push_back(*statement);
         }
+        uint64_t query_count = countAt(payload, prefix + "queries.count");
+        for (uint64_t k = 0; k < query_count; ++k) {
+            auto query =
+                payload.get(prefix + "queries." + std::to_string(k));
+            if (!query)
+                return Status::runtimeError(
+                    "checkpoint payload: truncated query list of bug " +
+                    std::to_string(j));
+            bug.queries.push_back(*query);
+        }
         out.stats.prioritizedBugs.push_back(std::move(bug));
     }
 
@@ -201,7 +241,7 @@ CampaignCheckpoint::saveTo(const std::string &path) const
     SQLPP_SPAN("checkpoint.save.wall_us");
     SQLPP_COUNT("checkpoint.saves");
     KvStore store;
-    store.put("meta.format", "sqlancerpp-checkpoint-v1");
+    store.put("meta.format", kFormatV2);
     store.put("meta.fingerprint", std::to_string(configFingerprint));
     store.putInt("meta.totalShards",
                  static_cast<int64_t>(totalShards));
@@ -226,7 +266,7 @@ CampaignCheckpoint::loadFrom(const std::string &path)
     if (Status loaded = store.load(path); !loaded.isOk())
         return loaded;
     auto fmt = store.get("meta.format");
-    if (!fmt || *fmt != "sqlancerpp-checkpoint-v1")
+    if (!fmt || (*fmt != kFormatV2 && *fmt != kFormatV1))
         return Status::runtimeError(
             "not a campaign checkpoint: " + path);
     auto fingerprint = store.get("meta.fingerprint");

@@ -144,6 +144,12 @@ functionArg(const std::string &upper_name, size_t arg_index, DataType type)
 }
 
 std::string
+oracle(const std::string &oracle_name)
+{
+    return "ORACLE_" + oracle_name;
+}
+
+std::string
 dataType(DataType type)
 {
     switch (type) {

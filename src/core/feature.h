@@ -91,6 +91,12 @@ std::string function(const std::string &upper_name);
 std::string functionArg(const std::string &upper_name, size_t arg_index,
                         DataType type);
 std::string dataType(DataType type);
+/**
+ * Oracle-attribution property (e.g. ORACLE_PQS), recorded on every
+ * prioritized bug so cases flagged by different oracles never subsume
+ * one another in the prioritizer's feature-set dedup.
+ */
+std::string oracle(const std::string &oracle_name);
 
 /** Clause & keyword features. */
 inline constexpr const char *kDistinct = "CLAUSE_DISTINCT";

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "core/pivot.h"
 #include "sqlir/printer.h"
 #include "util/metrics.h"
 #include "util/strutil.h"
@@ -146,9 +147,13 @@ runNorec(Connection &connection, const SelectStmt &base,
         return projected;
     };
 
+    // Every issued query is recorded *before* execution, so even a
+    // skipped check's repro carries the full statement list (including
+    // a failed IS TRUE probe that triggered the CASE fallback).
     SelectPtr reference = project(std::make_unique<UnaryExpr>(
         UnaryOp::IsTrue, predicate.clone()));
     std::string reference_text = printSelect(*reference);
+    result.queries.push_back(reference_text);
     auto rows = connection.execute(reference_text);
     if (!rows.isOk()) {
         // Dialect may lack IS TRUE: rewrite with a searched CASE.
@@ -160,15 +165,14 @@ runNorec(Connection &connection, const SelectStmt &base,
             nullptr, std::move(arms),
             std::make_unique<LiteralExpr>(Value::integer(0))));
         reference_text = printSelect(*fallback);
+        result.queries.push_back(reference_text);
         rows = connection.execute(reference_text);
         if (!rows.isOk()) {
-            result.queries.push_back(reference_text);
             result.details =
                 "reference query failed: " + rows.status().toString();
             return result;
         }
     }
-    result.queries.push_back(reference_text);
 
     int64_t reference_count = 0;
     for (const Row &row : rows.value().rows()) {
@@ -191,6 +195,107 @@ runNorec(Connection &connection, const SelectStmt &base,
     return result;
 }
 
+/** PQS check body; the member wraps it with span/outcome metrics. */
+OracleResult
+runPqs(Connection &connection, const SelectStmt &base,
+       const Expr &predicate)
+{
+    OracleResult result;
+
+    if (!pqsApplicable(base, predicate)) {
+        result.outcome = OracleOutcome::Inapplicable;
+        result.details = "PQS needs a single-source SELECT * base and "
+                         "a subquery-free, aggregate-free predicate";
+        return result;
+    }
+
+    std::string scan_text = pivotScanText(base);
+    result.queries.push_back(scan_text);
+    auto scan = connection.execute(scan_text);
+    if (!scan.isOk()) {
+        result.details =
+            "pivot scan failed: " + scan.status().toString();
+        return result;
+    }
+    if (scan.value().rowCount() == 0) {
+        result.outcome = OracleOutcome::Inapplicable;
+        result.details = "pivot source is empty";
+        return result;
+    }
+
+    // Deterministic pivot: a pure function of the query shape, so the
+    // same check replays identically across workers and resumes.
+    std::string predicate_text = printExpr(predicate);
+    uint64_t salt = fnv1a(predicate_text, fnv1a(scan_text));
+    auto pivot = selectPivot(base, scan.value(), salt);
+    if (!pivot.has_value()) {
+        result.outcome = OracleOutcome::Inapplicable;
+        result.details = "pivot selection failed";
+        return result;
+    }
+
+    const DialectProfile &profile = connection.profile();
+    if (evalOnPivot(predicate, *pivot, profile.behavior) ==
+        PivotTruth::Error) {
+        result.details =
+            "client-side predicate evaluation failed on the pivot";
+        return result;
+    }
+    ExprPtr rectified = rectifyPredicate(predicate, *pivot, profile);
+    if (rectified == nullptr) {
+        result.outcome = OracleOutcome::Inapplicable;
+        result.details =
+            "dialect lacks the operators PQS rectification needs";
+        return result;
+    }
+    // Rectification contract (the core_pqs_test property): the clean
+    // evaluator must find p' TRUE on the pivot before we ask the
+    // server anything.
+    if (evalOnPivot(*rectified, *pivot, profile.behavior) !=
+        PivotTruth::True) {
+        result.details = "rectified predicate is not TRUE on the pivot";
+        return result;
+    }
+
+    SelectPtr containment = withWhere(base, std::move(rectified));
+    std::string containment_text = printSelect(*containment);
+    result.queries.push_back(containment_text);
+    auto rows = connection.execute(containment_text);
+    if (!rows.isOk()) {
+        result.details =
+            "containment query failed: " + rows.status().toString();
+        return result;
+    }
+
+    auto sameRow = [](const Row &lhs, const Row &rhs) {
+        if (lhs.size() != rhs.size())
+            return false;
+        for (size_t i = 0; i < lhs.size(); ++i)
+            if (lhs[i].literal() != rhs[i].literal())
+                return false;
+        return true;
+    };
+    for (const Row &row : rows.value().rows()) {
+        if (sameRow(row, pivot->row)) {
+            result.outcome = OracleOutcome::Passed;
+            return result;
+        }
+    }
+
+    std::vector<std::string> cells;
+    cells.reserve(pivot->row.size());
+    for (const Value &value : pivot->row)
+        cells.push_back(value.literal());
+    result.outcome = OracleOutcome::Bug;
+    result.details = format(
+        "PQS containment violation: pivot row %zu/%zu (%s) satisfies "
+        "the rectified predicate client-side but is missing from the "
+        "%zu returned rows",
+        pivot->rowIndex + 1, pivot->tableRows,
+        join(cells, ", ").c_str(), rows.value().rowCount());
+    return result;
+}
+
 } // namespace
 
 OracleResult
@@ -203,6 +308,7 @@ TlpOracle::check(Connection &connection, const SelectStmt &base,
       case OracleOutcome::Passed: SQLPP_COUNT("oracle.tlp.pass"); break;
       case OracleOutcome::Bug: SQLPP_COUNT("oracle.tlp.bug"); break;
       case OracleOutcome::Skipped: SQLPP_COUNT("oracle.tlp.skip"); break;
+      case OracleOutcome::Inapplicable: break; // TLP always applies
     }
     return result;
 }
@@ -223,6 +329,31 @@ NorecOracle::check(Connection &connection, const SelectStmt &base,
       case OracleOutcome::Skipped:
         SQLPP_COUNT("oracle.norec.skip");
         break;
+      case OracleOutcome::Inapplicable:
+        break; // NoREC always applies
+    }
+    return result;
+}
+
+OracleResult
+PqsOracle::check(Connection &connection, const SelectStmt &base,
+                 const Expr &predicate)
+{
+    SQLPP_SPAN("oracle.pqs.wall_us");
+    OracleResult result = runPqs(connection, base, predicate);
+    switch (result.outcome) {
+      case OracleOutcome::Passed:
+        SQLPP_COUNT("oracle.pqs.pass");
+        break;
+      case OracleOutcome::Bug:
+        SQLPP_COUNT("oracle.pqs.bug");
+        break;
+      case OracleOutcome::Skipped:
+        SQLPP_COUNT("oracle.pqs.skip");
+        break;
+      case OracleOutcome::Inapplicable:
+        SQLPP_COUNT("oracle.pqs.inapplicable");
+        break;
     }
     return result;
 }
@@ -235,6 +366,8 @@ makeOracle(const std::string &name)
         return std::make_unique<TlpOracle>();
     if (upper == "NOREC")
         return std::make_unique<NorecOracle>();
+    if (upper == "PQS")
+        return std::make_unique<PqsOracle>();
     return nullptr;
 }
 

@@ -18,6 +18,13 @@
  *    (a projection never enters the WHERE optimizer). The projected
  *    form prefers `(p) IS TRUE` and falls back to a CASE expression
  *    when the dialect rejects IS TRUE — learned black-box, per dialect.
+ *  - PQS (Pivoted Query Synthesis, OSDI'20): pick a pivot row, rectify
+ *    the predicate client-side with our own three-valued evaluator so a
+ *    correct engine must keep the pivot, and assert single-row
+ *    containment in `SELECT * FROM t WHERE p'` (see core/pivot.h). The
+ *    reference is the clean evaluator, so PQS also catches consistent
+ *    evaluator deviations that preserve TLP's partition law and both
+ *    NoREC sides.
  */
 #ifndef SQLPP_CORE_ORACLE_H
 #define SQLPP_CORE_ORACLE_H
@@ -39,6 +46,12 @@ enum class OracleOutcome
     Bug,
     /** Some query failed to execute; nothing learned about logic. */
     Skipped,
+    /**
+     * The oracle does not apply to this query shape (e.g. PQS on a
+     * join or an empty table). Unlike Skipped this says nothing about
+     * the dialect, so it must not count against validity feedback.
+     */
+    Inapplicable,
 };
 
 /** Result of one oracle check. */
@@ -62,6 +75,13 @@ class Oracle
     virtual OracleResult check(Connection &connection,
                                const SelectStmt &base,
                                const Expr &predicate) = 0;
+
+    /** Convenience: run the oracle on a generated QueryShape. */
+    OracleResult
+    check(Connection &connection, const QueryShape &shape)
+    {
+        return check(connection, *shape.base, *shape.predicate);
+    }
 };
 
 /** Ternary Logic Partitioning. */
@@ -82,7 +102,16 @@ class NorecOracle : public Oracle
                        const Expr &predicate) override;
 };
 
-/** Factory by oracle name ("TLP", "NOREC"); nullptr when unknown. */
+/** Pivoted Query Synthesis (single-row containment; core/pivot.h). */
+class PqsOracle : public Oracle
+{
+  public:
+    const char *name() const override { return "PQS"; }
+    OracleResult check(Connection &connection, const SelectStmt &base,
+                       const Expr &predicate) override;
+};
+
+/** Factory by oracle name ("TLP", "NOREC", "PQS"); nullptr when unknown. */
 std::unique_ptr<Oracle> makeOracle(const std::string &name);
 
 } // namespace sqlpp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Pivot selection and predicate rectification for the PQS oracle.
+ *
+ * PQS (Pivoted Query Synthesis, Rigger & Su OSDI'20) picks one concrete
+ * row — the *pivot* — from the query's source, rectifies a random
+ * predicate p into p' so that a correct engine must evaluate p' to TRUE
+ * on the pivot, and then asserts the pivot row is contained in
+ * `SELECT * FROM t WHERE p'`. The reference semantics come from our own
+ * three-valued evaluator running client-side with the fault set
+ * disabled, so any server-side deviation — planner, evaluator, or
+ * executor — surfaces as a missing pivot row. Containment is a
+ * single-row check, not multiset equality, which is what lets PQS catch
+ * row-loss faults that are invisible to TLP (they deviate consistently
+ * across all three partitions) and to NoREC (they affect both the
+ * optimized and the reference side).
+ *
+ * Rectification is feature-gated: the wrappers it may emit (NOT p,
+ * (p) IS FALSE, (p) IS NULL) are only used when the dialect's learned
+ * capability matrix accepts the operator, so rectified queries stay
+ * inside the dialect the generator has discovered.
+ */
+#ifndef SQLPP_CORE_PIVOT_H
+#define SQLPP_CORE_PIVOT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dialect/profile.h"
+#include "engine/eval.h"
+#include "sqlir/ast.h"
+#include "sqlir/value.h"
+
+namespace sqlpp {
+
+/** One concrete row of the base query's single source. */
+struct Pivot
+{
+    /** Binding name of the FROM item (alias if present, else name). */
+    std::string binding;
+    /** Unqualified column names, in row order. */
+    std::vector<std::string> columns;
+    /** The pivot row's values. */
+    Row row;
+    /** Index of the pivot within the scan result (diagnostics). */
+    size_t rowIndex = 0;
+    /** Rows the source held when the pivot was chosen (diagnostics). */
+    size_t tableRows = 0;
+};
+
+/** Three-valued client-side evaluation outcome, plus hard failure. */
+enum class PivotTruth
+{
+    True,
+    False,
+    Null,
+    /** Evaluation raised a runtime/semantic error; nothing learned. */
+    Error,
+};
+
+/**
+ * Whether PQS can check this shape at all: a single base-table/view
+ * source (no joins, no derived table), a plain `SELECT *` list with no
+ * grouping or row-count clamps, and a predicate free of subqueries and
+ * aggregates (the client-side evaluator is deliberately standalone).
+ */
+bool pqsApplicable(const SelectStmt &base, const Expr &predicate);
+
+/**
+ * The scan query PQS issues to fetch candidate pivot rows: the base
+ * with DISTINCT/WHERE/ORDER BY/LIMIT stripped, i.e. `SELECT *` over the
+ * single source.
+ */
+std::string pivotScanText(const SelectStmt &base);
+
+/**
+ * Deterministically pick the pivot row from an executed scan:
+ * `salt % rowCount`, no RNG, so the choice is a pure function of the
+ * query shape and replays identically across workers and resumes.
+ * nullopt when the scan is empty.
+ */
+std::optional<Pivot> selectPivot(const SelectStmt &base,
+                                 const ResultSet &scan, uint64_t salt);
+
+/**
+ * Clean-reference three-valued evaluation of the predicate on the pivot
+ * row: the dialect's behaviour knobs apply, its fault set does not.
+ */
+PivotTruth evalOnPivot(const Expr &predicate, const Pivot &pivot,
+                       const EngineBehavior &behavior);
+
+/**
+ * Rectify p into p' whose clean evaluation on the pivot is TRUE:
+ * p itself when TRUE, `NOT (p)` (or `(p) IS FALSE`) when FALSE, and
+ * `(p) IS NULL` when NULL — using only operators the profile accepts.
+ * nullptr when evaluation fails or the dialect lacks every applicable
+ * wrapper.
+ */
+ExprPtr rectifyPredicate(const Expr &predicate, const Pivot &pivot,
+                         const DialectProfile &profile);
+
+} // namespace sqlpp
+
+#endif // SQLPP_CORE_PIVOT_H

@@ -37,6 +37,12 @@ struct BugCase
     std::vector<std::string> featureNames;
     /** Oracle evidence at detection time. */
     std::string details;
+    /**
+     * Every SQL query the oracle issued, in order — including failed
+     * probes — so a repro carries the full statement list even after
+     * reduction rewrote base/predicate.
+     */
+    std::vector<std::string> queries;
 
     bool
     operator==(const BugCase &other) const
@@ -45,7 +51,7 @@ struct BugCase
                setup == other.setup && baseText == other.baseText &&
                predicateText == other.predicateText &&
                featureNames == other.featureNames &&
-               details == other.details;
+               details == other.details && queries == other.queries;
     }
 };
 

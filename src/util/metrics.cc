@@ -576,6 +576,11 @@ declarePlatformMetrics()
         {"oracle.norec.bug", MetricKind::Counter},
         {"oracle.norec.skip", MetricKind::Counter},
         {"oracle.norec.wall_us", MetricKind::Timer},
+        {"oracle.pqs.pass", MetricKind::Counter},
+        {"oracle.pqs.bug", MetricKind::Counter},
+        {"oracle.pqs.skip", MetricKind::Counter},
+        {"oracle.pqs.inapplicable", MetricKind::Counter},
+        {"oracle.pqs.wall_us", MetricKind::Timer},
         // Reducer.
         {"reducer.cases", MetricKind::Counter},
         {"reducer.replays", MetricKind::Counter},
@@ -589,6 +594,7 @@ declarePlatformMetrics()
         // Campaign phases.
         {"campaign.runs", MetricKind::Counter},
         {"campaign.checks", MetricKind::Counter},
+        {"campaign.checks.inapplicable", MetricKind::Counter},
         {"campaign.rebuilds", MetricKind::Counter},
         {"campaign.bugs.detected", MetricKind::Counter},
         {"campaign.bugs.prioritized", MetricKind::Counter},

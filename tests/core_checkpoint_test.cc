@@ -168,6 +168,43 @@ TEST(CheckpointTest, ResumeIsBitIdenticalForOneTwoFourWorkers)
     }
 }
 
+TEST(CheckpointTest, PqsCampaignIsBitIdenticalForOneTwoFourWorkers)
+{
+    // PQS adds per-oracle bug tallies, inapplicable-check counts and
+    // per-bug query lists to the shard payload (checkpoint format v2);
+    // all of them must survive the checkpoint round-trip and merge
+    // identically for any worker count.
+    CampaignConfig campaign = smallCampaign();
+    campaign.oracles = {"TLP", "NOREC", "PQS"};
+
+    SchedulerConfig base = smallSchedule(1);
+    base.campaign = campaign;
+    ScheduleReport reference = CampaignScheduler(base).run();
+    EXPECT_GT(reference.merged.checksInapplicable, 0u);
+
+    for (size_t workers : {1u, 2u, 4u}) {
+        std::string path = tempPath("sqlpp_ckpt_pqs.kv");
+        std::filesystem::remove(path);
+
+        SchedulerConfig writing = smallSchedule(workers);
+        writing.campaign = campaign;
+        writing.checkpointPath = path;
+        ScheduleReport written = CampaignScheduler(writing).run();
+        EXPECT_TRUE(written.merged == reference.merged)
+            << workers << " workers (write pass)";
+
+        SchedulerConfig resuming = writing;
+        resuming.resume = true;
+        ScheduleReport resumed = CampaignScheduler(resuming).run();
+        EXPECT_TRUE(resumed.merged == reference.merged)
+            << workers << " workers (resume pass)";
+        EXPECT_EQ(resumed.shardsFromCheckpoint, 4u);
+        EXPECT_EQ(resumed.merged.bugsByOracle,
+                  reference.merged.bugsByOracle);
+        std::filesystem::remove(path);
+    }
+}
+
 TEST(CheckpointTest, MismatchedConfigurationStartsFresh)
 {
     std::string path = tempPath("sqlpp_ckpt_mismatch.kv");

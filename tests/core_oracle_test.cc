@@ -50,6 +50,8 @@ TEST(OracleFactoryTest, KnownNames)
     EXPECT_NE(makeOracle("TLP"), nullptr);
     EXPECT_NE(makeOracle("tlp"), nullptr);
     EXPECT_NE(makeOracle("NOREC"), nullptr);
+    EXPECT_NE(makeOracle("PQS"), nullptr);
+    EXPECT_NE(makeOracle("pqs"), nullptr);
     EXPECT_EQ(makeOracle("DQE"), nullptr);
 }
 
@@ -249,8 +251,11 @@ TEST(NorecOracleTest, FallsBackWithoutIsTrue)
     OracleResult result =
         runOracle(norec, conn, "SELECT * FROM t0", "t0.c0 > 0");
     EXPECT_EQ(result.outcome, OracleOutcome::Passed) << result.details;
-    ASSERT_EQ(result.queries.size(), 2u);
-    EXPECT_NE(result.queries[1].find("CASE"), std::string::npos);
+    // The full statement list is recorded, including the IS TRUE probe
+    // that the dialect rejected before the CASE fallback ran.
+    ASSERT_EQ(result.queries.size(), 3u);
+    EXPECT_NE(result.queries[1].find("IS TRUE"), std::string::npos);
+    EXPECT_NE(result.queries[2].find("CASE"), std::string::npos);
 }
 
 TEST(OracleListingsTest, Listing3StyleReplaceBug)

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * PQS oracle tests: pivot selection, the rectification property
+ * (client-side evaluation of the rectified predicate on the pivot is
+ * always TRUE), applicability boundaries, containment detection of the
+ * latent faults TLP and NoREC are structurally blind to, and silence on
+ * the fault-free reference dialect.
+ */
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+#include "core/oracle.h"
+#include "core/pivot.h"
+#include "parser/parser.h"
+#include "sqlir/printer.h"
+#include "util/rng.h"
+
+namespace sqlpp {
+namespace {
+
+/** A one-off dialect with a custom fault set and full capabilities. */
+DialectProfile
+testProfile(std::initializer_list<FaultId> faults)
+{
+    DialectProfile profile = *findDialect("postgres-like");
+    profile.name = "test";
+    profile.behavior.staticTyping = false; // keep predicates flexible
+    // postgres-like drops <=>; the null-safe-equality fault needs it.
+    profile.binaryOps.insert(BinaryOp::NullSafeEq);
+    for (FaultId id : faults)
+        profile.faults.enable(id);
+    return profile;
+}
+
+void
+seed(Connection &conn)
+{
+    ASSERT_TRUE(conn.execute("CREATE TABLE t0 (c0 INT, c1 TEXT)").isOk());
+    ASSERT_TRUE(conn.execute("INSERT INTO t0 VALUES (1, 'a'), (2, 'b'), "
+                             "(3, 'c'), (NULL, 'd')")
+                    .isOk());
+}
+
+OracleResult
+runOracle(Oracle &oracle, Connection &conn, const std::string &base,
+          const std::string &predicate)
+{
+    auto base_ast = parseStatement(base);
+    auto pred_ast = parseExpression(predicate);
+    EXPECT_TRUE(base_ast.isOk());
+    EXPECT_TRUE(pred_ast.isOk());
+    return oracle.check(
+        conn, static_cast<const SelectStmt &>(*base_ast.value()),
+        *pred_ast.value());
+}
+
+TEST(PqsOracleTest, PassesOnCleanEngine)
+{
+    DialectProfile profile = testProfile({});
+    Connection conn(profile);
+    seed(conn);
+    PqsOracle pqs;
+    const char *predicates[] = {
+        "t0.c0 > 1",        "t0.c0 IS NULL",  "NOT (t0.c0 = 2)",
+        "t0.c1 LIKE '%a%'", "t0.c0 BETWEEN 1 AND 2",
+        "t0.c0 IN (1, NULL)", "t0.c0 + 1 = 3",
+    };
+    for (const char *p : predicates) {
+        OracleResult result =
+            runOracle(pqs, conn, "SELECT * FROM t0", p);
+        EXPECT_EQ(result.outcome, OracleOutcome::Passed)
+            << p << ": " << result.details;
+        // A PQS check is exactly two statements: scan + containment.
+        EXPECT_EQ(result.queries.size(), 2u);
+    }
+}
+
+TEST(PqsOracleTest, InapplicableOutsideItsDomain)
+{
+    DialectProfile profile = testProfile({});
+    Connection conn(profile);
+    seed(conn);
+    ASSERT_TRUE(conn.execute("CREATE TABLE t1 (c0 INT)").isOk());
+    ASSERT_TRUE(conn.execute("CREATE TABLE empty0 (c0 INT)").isOk());
+    PqsOracle pqs;
+
+    // Joins: no single pivot source.
+    OracleResult join = runOracle(
+        pqs, conn, "SELECT * FROM t0 INNER JOIN t1 ON (t0.c0 = t1.c0)",
+        "t0.c0 > 1");
+    EXPECT_EQ(join.outcome, OracleOutcome::Inapplicable);
+
+    // Subquery in the predicate: the client-side evaluator is
+    // deliberately standalone.
+    OracleResult sub = runOracle(
+        pqs, conn, "SELECT * FROM t0",
+        "EXISTS (SELECT * FROM t1)");
+    EXPECT_EQ(sub.outcome, OracleOutcome::Inapplicable);
+
+    // Empty source: no row to pivot on.
+    OracleResult empty =
+        runOracle(pqs, conn, "SELECT * FROM empty0", "empty0.c0 > 0");
+    EXPECT_EQ(empty.outcome, OracleOutcome::Inapplicable);
+}
+
+TEST(PqsOracleTest, SkipsWhenScanFails)
+{
+    DialectProfile profile = testProfile({});
+    Connection conn(profile);
+    PqsOracle pqs;
+    OracleResult result =
+        runOracle(pqs, conn, "SELECT * FROM missing", "1 = 1");
+    EXPECT_EQ(result.outcome, OracleOutcome::Skipped);
+    EXPECT_NE(result.details.find("pivot scan failed"),
+              std::string::npos);
+}
+
+TEST(PqsOracleTest, CatchesRowLossIndexFault)
+{
+    // IndexSkipsNull loses rows under `col IS NULL` — a containment
+    // violation when the pivot row has a NULL key.
+    DialectProfile profile = testProfile({FaultId::IndexSkipsNull});
+    Connection conn(profile);
+    ASSERT_TRUE(conn.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    ASSERT_TRUE(
+        conn.execute("INSERT INTO t0 VALUES (NULL), (NULL)").isOk());
+    ASSERT_TRUE(conn.execute("CREATE INDEX i0 ON t0(c0)").isOk());
+    PqsOracle pqs;
+    OracleResult result =
+        runOracle(pqs, conn, "SELECT * FROM t0", "t0.c0 IS NULL");
+    EXPECT_EQ(result.outcome, OracleOutcome::Bug) << result.details;
+    EXPECT_NE(result.details.find("containment violation"),
+              std::string::npos);
+}
+
+TEST(PqsOracleTest, CatchesLatentNullSafeEqFault)
+{
+    // <=> with two NULLs returning FALSE deviates identically in every
+    // TLP partition and on both NoREC sides; only the clean client-side
+    // reference disagrees with the server.
+    DialectProfile profile =
+        testProfile({FaultId::NullSafeEqBothNullFalse});
+    Connection conn(profile);
+    ASSERT_TRUE(conn.execute("CREATE TABLE t0 (c0 INT)").isOk());
+    ASSERT_TRUE(
+        conn.execute("INSERT INTO t0 VALUES (NULL), (NULL)").isOk());
+
+    PqsOracle pqs;
+    OracleResult bug =
+        runOracle(pqs, conn, "SELECT * FROM t0", "t0.c0 <=> NULL");
+    EXPECT_EQ(bug.outcome, OracleOutcome::Bug) << bug.details;
+
+    TlpOracle tlp;
+    EXPECT_EQ(runOracle(tlp, conn, "SELECT * FROM t0", "t0.c0 <=> NULL")
+                  .outcome,
+              OracleOutcome::Passed);
+    NorecOracle norec;
+    EXPECT_EQ(
+        runOracle(norec, conn, "SELECT * FROM t0", "t0.c0 <=> NULL")
+            .outcome,
+        OracleOutcome::Passed);
+}
+
+TEST(PqsOracleTest, CatchesLatentLikeUnderscoreFault)
+{
+    DialectProfile profile =
+        testProfile({FaultId::LikeUnderscoreLiteral});
+    Connection conn(profile);
+    ASSERT_TRUE(conn.execute("CREATE TABLE t0 (c0 TEXT)").isOk());
+    ASSERT_TRUE(conn.execute("INSERT INTO t0 VALUES ('ab')").isOk());
+
+    PqsOracle pqs;
+    OracleResult bug =
+        runOracle(pqs, conn, "SELECT * FROM t0", "t0.c0 LIKE '_b'");
+    EXPECT_EQ(bug.outcome, OracleOutcome::Bug) << bug.details;
+
+    TlpOracle tlp;
+    EXPECT_EQ(runOracle(tlp, conn, "SELECT * FROM t0",
+                        "t0.c0 LIKE '_b'")
+                  .outcome,
+              OracleOutcome::Passed);
+    NorecOracle norec;
+    EXPECT_EQ(runOracle(norec, conn, "SELECT * FROM t0",
+                        "t0.c0 LIKE '_b'")
+                  .outcome,
+              OracleOutcome::Passed);
+}
+
+TEST(PqsPivotTest, DeterministicSelection)
+{
+    DialectProfile profile = testProfile({});
+    Connection conn(profile);
+    seed(conn);
+    auto base_ast = parseStatement("SELECT * FROM t0");
+    ASSERT_TRUE(base_ast.isOk());
+    const auto &base =
+        static_cast<const SelectStmt &>(*base_ast.value());
+    auto scan = conn.execute(pivotScanText(base));
+    ASSERT_TRUE(scan.isOk());
+    auto first = selectPivot(base, scan.value(), 7);
+    auto second = selectPivot(base, scan.value(), 7);
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(first->rowIndex, second->rowIndex);
+    EXPECT_EQ(first->binding, "t0");
+    ASSERT_EQ(first->columns.size(), 2u);
+    // Scan columns come back qualified; the pivot strips the binding.
+    EXPECT_EQ(first->columns[0], "c0");
+    EXPECT_EQ(first->columns[1], "c1");
+    EXPECT_EQ(first->rowIndex, 7u % scan.value().rowCount());
+}
+
+/** Random predicate generator for the rectification property test. */
+ExprPtr
+randomPredicate(Rng &rng, int depth)
+{
+    auto column = [&rng]() -> ExprPtr {
+        return std::make_unique<ColumnRefExpr>(
+            "t0", rng.coin() ? "c0" : "c1");
+    };
+    auto literal = [&rng]() -> ExprPtr {
+        switch (rng.below(4)) {
+          case 0:
+            return std::make_unique<LiteralExpr>(Value::null());
+          case 1:
+            return std::make_unique<LiteralExpr>(
+                Value::text(rng.coin() ? "ab" : "_b%"));
+          case 2:
+            return std::make_unique<LiteralExpr>(
+                Value::boolean(rng.coin()));
+          default:
+            return std::make_unique<LiteralExpr>(Value::integer(
+                static_cast<int64_t>(rng.range(0, 5)) - 2));
+        }
+    };
+    auto leaf = [&]() -> ExprPtr {
+        return rng.coin() ? column() : literal();
+    };
+    if (depth <= 0)
+        return leaf();
+
+    switch (rng.below(6)) {
+      case 0: {
+        static const BinaryOp comparisons[] = {
+            BinaryOp::Eq,        BinaryOp::NotEq,   BinaryOp::Less,
+            BinaryOp::LessEq,    BinaryOp::Greater, BinaryOp::GreaterEq,
+            BinaryOp::NullSafeEq};
+        return std::make_unique<BinaryExpr>(
+            comparisons[rng.below(7)], randomPredicate(rng, depth - 1),
+            randomPredicate(rng, depth - 1));
+      }
+      case 1: {
+        static const BinaryOp logic[] = {BinaryOp::And, BinaryOp::Or};
+        return std::make_unique<BinaryExpr>(
+            logic[rng.below(2)], randomPredicate(rng, depth - 1),
+            randomPredicate(rng, depth - 1));
+      }
+      case 2: {
+        static const BinaryOp arith[] = {BinaryOp::Add, BinaryOp::Sub,
+                                         BinaryOp::Mul, BinaryOp::Div};
+        return std::make_unique<BinaryExpr>(
+            arith[rng.below(4)], leaf(), leaf());
+      }
+      case 3: {
+        static const UnaryOp unaries[] = {
+            UnaryOp::Not, UnaryOp::IsNull, UnaryOp::IsNotNull,
+            UnaryOp::IsTrue, UnaryOp::IsFalse};
+        return std::make_unique<UnaryExpr>(
+            unaries[rng.below(5)], randomPredicate(rng, depth - 1));
+      }
+      case 4:
+        return std::make_unique<BinaryExpr>(
+            rng.coin() ? BinaryOp::Like : BinaryOp::NotLike, column(),
+            std::make_unique<LiteralExpr>(
+                Value::text(rng.coin() ? "_b" : "%a%")));
+      default:
+        return leaf();
+    }
+}
+
+TEST(PqsRectificationTest, RectifiedPredicateIsTrueOnPivot)
+{
+    DialectProfile profile = testProfile({});
+
+    Pivot pivot;
+    pivot.binding = "t0";
+    pivot.columns = {"c0", "c1"};
+
+    const Row rows[] = {
+        {Value::integer(2), Value::text("ab")},
+        {Value::null(), Value::text("")},
+        {Value::integer(-1), Value::null()},
+        {Value::null(), Value::null()},
+    };
+
+    Rng rng(20260806);
+    size_t rectified_count = 0, errors = 0;
+    for (int i = 0; i < 500; ++i) {
+        pivot.row = rows[i % 4];
+        ExprPtr predicate = randomPredicate(rng, 3);
+        PivotTruth truth =
+            evalOnPivot(*predicate, pivot, profile.behavior);
+        if (truth == PivotTruth::Error) {
+            ++errors;
+            continue;
+        }
+        ExprPtr rectified =
+            rectifyPredicate(*predicate, pivot, profile);
+        ASSERT_NE(rectified, nullptr)
+            << printExpr(*predicate)
+            << " (the test profile supports every wrapper)";
+        EXPECT_EQ(evalOnPivot(*rectified, pivot, profile.behavior),
+                  PivotTruth::True)
+            << "rectified " << printExpr(*rectified) << " from "
+            << printExpr(*predicate);
+        ++rectified_count;
+    }
+    // The property must be exercised on a real sample, not vacuously.
+    EXPECT_GE(rectified_count, 400u);
+    EXPECT_LE(errors, 100u);
+}
+
+TEST(PqsCampaignTest, SilentOnFaultFreeReferenceDialect)
+{
+    CampaignConfig config;
+    config.dialect = "postgres-like";
+    config.seed = 20260806;
+    config.checks = 300;
+    config.oracles = {"PQS"};
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    EXPECT_EQ(stats.bugsDetected, 0u)
+        << "PQS false positive on the fault-free reference dialect";
+    EXPECT_TRUE(stats.bugsByOracle.empty());
+    EXPECT_GT(stats.checksAttempted, 0u);
+    // Some shapes (joins, derived tables, empty sources) fall outside
+    // PQS's domain and must be tallied as inapplicable, not invalid.
+    EXPECT_GT(stats.checksInapplicable, 0u);
+}
+
+} // namespace
+} // namespace sqlpp

@@ -144,5 +144,62 @@ TEST(ReducerTest, EndToEndAgainstBuggyDialect)
         EXPECT_EQ(statement.find("t9"), std::string::npos) << statement;
 }
 
+TEST(ReducerTest, ReducedReproCarriesFullQueryList)
+{
+    // Regression: a reduced BugCase used to keep the query list from
+    // the *original* detection, whose statement texts no longer match
+    // the shrunken predicate. The campaign now replays the reduced
+    // case and stores the replay's queries, so the repro is
+    // self-contained — including probes that failed mid-check (the
+    // NoREC IS TRUE attempt on a dialect without it also used to be
+    // dropped entirely).
+    const DialectProfile *sqlite = findDialect("sqlite-like");
+    ASSERT_NE(sqlite, nullptr);
+    BugCase bug;
+    bug.dialect = sqlite->name;
+    bug.oracle = "TLP";
+    bug.setup = {
+        "CREATE TABLE t9 (z INT)",          // irrelevant
+        "CREATE TABLE t0 (c0 TEXT)",        // load-bearing
+        "INSERT INTO t0 (c0) VALUES (1)",   // load-bearing
+    };
+    bug.baseText = "SELECT * FROM t0";
+    bug.predicateText = "((t0.c0 = REPLACE(1, '', 0)) OR FALSE)";
+    ASSERT_TRUE(CampaignRunner::reproduces(*sqlite, bug));
+
+    (void)reduceBugCase(bug, [&](const BugCase &candidate) {
+        return CampaignRunner::reproduces(*sqlite, candidate);
+    });
+
+    // Replaying the reduced case yields the exact statements a repro
+    // report needs; every one must mention the reduced predicate's
+    // core, not the original "OR FALSE" padding.
+    OracleResult replay;
+    ASSERT_TRUE(CampaignRunner::reproduces(*sqlite, bug, &replay));
+    EXPECT_EQ(replay.outcome, OracleOutcome::Bug);
+    ASSERT_FALSE(replay.queries.empty());
+    for (const std::string &query : replay.queries)
+        EXPECT_EQ(query.find("OR FALSE"), std::string::npos) << query;
+}
+
+TEST(ReducerTest, CampaignBugsRecordQueries)
+{
+    // End-to-end: every bug a campaign reports carries the statements
+    // that demonstrate it, even after reduction rewrote the case.
+    CampaignConfig config;
+    config.dialect = "sqlite-like";
+    config.seed = 7;
+    config.checks = 200;
+    config.setupStatements = 30;
+    config.oracles = {"TLP", "NOREC", "PQS"};
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    ASSERT_GT(stats.prioritizedBugs.size(), 0u);
+    for (const BugCase &bug : stats.prioritizedBugs) {
+        EXPECT_FALSE(bug.queries.empty())
+            << bug.oracle << " repro lost its query list";
+    }
+}
+
 } // namespace
 } // namespace sqlpp

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Ground-truth fault × oracle detection matrix.
+ *
+ * The fault-injection substrate exists so oracle sensitivity can be
+ * *measured*: for every injected fault we run a fixed-seed mini
+ * campaign on a dialect carrying exactly that one fault, once per
+ * oracle (TLP, NoREC, PQS), and record detected/undetected. The full
+ * 20-fault × 3-oracle grid is pinned by a checked-in golden file
+ * (tests/golden/fault_matrix.txt) — any oracle or engine change that
+ * shifts detection capability must regenerate it deliberately with
+ * SQLPP_UPDATE_GOLDEN=1.
+ *
+ * Two properties are asserted independently of the golden text:
+ *  - the fault-free control profile produces zero bugs for all oracles
+ *    (no false positives), and
+ *  - PQS detects at least one fault that neither TLP nor NoREC detects
+ *    (the containment oracle widens the detectable-bug classes).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/campaign.h"
+#include "engine/faults.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+namespace {
+
+const char *const kOracles[] = {"TLP", "NOREC", "PQS"};
+
+/**
+ * The capability-maximal base the single-fault dialects derive from:
+ * the fault-free reference profile with dynamic typing (so mixed-type
+ * faults can manifest) and null-safe equality restored (postgres-like
+ * drops <=>, which FaultId::NullSafeEqBothNullFalse needs).
+ */
+DialectProfile
+matrixBaseProfile()
+{
+    DialectProfile profile = *findDialect("postgres-like");
+    profile.name = "fault-matrix";
+    profile.behavior.staticTyping = false;
+    profile.binaryOps.insert(BinaryOp::NullSafeEq);
+    profile.faults = FaultSet();
+    return profile;
+}
+
+/** One fixed-seed mini campaign; true when the oracle flagged a bug. */
+bool
+detects(const DialectProfile &profile, const std::string &oracle)
+{
+    CampaignConfig config;
+    config.seed = 99173;
+    config.checks = 2000;
+    config.oracles = {oracle};
+    // The omniscient baseline generator exercises the profile's full
+    // capability matrix from the first check — the matrix measures
+    // oracle sensitivity, not feedback learning speed.
+    config.mode = GeneratorMode::Baseline;
+    CampaignRunner runner(config, profile);
+    return runner.run().bugsDetected > 0;
+}
+
+std::string
+renderMatrix(
+    const std::map<std::string, std::map<std::string, bool>> &rows,
+    const std::vector<std::string> &order)
+{
+    std::ostringstream out;
+    out << "# fault x oracle detection matrix (1 = detected)\n"
+        << "# regenerate with SQLPP_UPDATE_GOLDEN=1\n"
+        << format("%-34s %4s %6s %4s\n", "fault", "TLP", "NOREC",
+                  "PQS");
+    for (const std::string &fault : order) {
+        const auto &cells = rows.at(fault);
+        out << format("%-34s %4d %6d %4d\n", fault.c_str(),
+                      cells.at("TLP") ? 1 : 0,
+                      cells.at("NOREC") ? 1 : 0,
+                      cells.at("PQS") ? 1 : 0);
+    }
+    return out.str();
+}
+
+TEST(OracleFaultMatrixTest, MatchesGroundTruthGolden)
+{
+    std::map<std::string, std::map<std::string, bool>> rows;
+    std::vector<std::string> order;
+
+    for (FaultId fault : allFaultIds()) {
+        DialectProfile profile = matrixBaseProfile();
+        profile.faults.enable(fault);
+        order.push_back(faultName(fault));
+        for (const char *oracle : kOracles)
+            rows[faultName(fault)][oracle] = detects(profile, oracle);
+    }
+
+    // Fault-free control: all three oracles must stay silent.
+    DialectProfile clean = matrixBaseProfile();
+    order.push_back("FAULT_FREE");
+    for (const char *oracle : kOracles) {
+        bool detected = detects(clean, oracle);
+        rows["FAULT_FREE"][oracle] = detected;
+        EXPECT_FALSE(detected)
+            << oracle << " reported a bug on the fault-free profile";
+    }
+
+    // The containment oracle must widen the detectable classes: at
+    // least one fault only PQS sees.
+    size_t pqs_only = 0;
+    for (FaultId fault : allFaultIds()) {
+        const auto &cells = rows.at(faultName(fault));
+        if (cells.at("PQS") && !cells.at("TLP") && !cells.at("NOREC"))
+            ++pqs_only;
+    }
+    EXPECT_GE(pqs_only, 1u)
+        << "PQS detected no fault beyond TLP/NoREC reach";
+
+    std::string rendered = renderMatrix(rows, order);
+    std::string golden_path =
+        std::string(SQLPP_GOLDEN_DIR) + "/fault_matrix.txt";
+    if (std::getenv("SQLPP_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(golden_path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+        out << rendered;
+        GTEST_SKIP() << "golden file regenerated: " << golden_path;
+    }
+
+    std::ifstream in(golden_path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << golden_path
+        << "; run once with SQLPP_UPDATE_GOLDEN=1";
+    std::stringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(rendered, expected.str())
+        << "detection matrix changed; if intentional, regenerate with "
+           "SQLPP_UPDATE_GOLDEN=1";
+}
+
+} // namespace
+} // namespace sqlpp
