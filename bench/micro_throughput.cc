@@ -22,6 +22,7 @@
 #include "parser/parser.h"
 #include "sqlir/printer.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 using namespace sqlpp;
 
@@ -144,6 +145,33 @@ BM_MetricsSpan(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MetricsSpan);
+
+/**
+ * Overhead of recording one flight-recorder event (fetch_add slot
+ * reservation + bounded detail copy). With -DSQLPP_TRACE=OFF the macro
+ * compiles to nothing; compare the two builds to price the recorder.
+ * Target: <20 ns/event enabled, 0 compiled out.
+ */
+void
+BM_TraceEvent(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SQLPP_TRACE_EVENT(OracleCheck, "bench", 1, 2);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_TraceEvent);
+
+/** Overhead of the per-statement logical-tick bump. */
+void
+BM_TraceTick(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SQLPP_TRACE_TICK();
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_TraceTick);
 
 void
 BM_FeedbackRecord(benchmark::State &state)

@@ -15,6 +15,8 @@
  *              [--max-intermediate-rows N]
  *              [--metrics-out FILE] [--metrics-summary]
  *              [--metrics-timings]
+ *              [--trace-out FILE] [--dossier-dir DIR]
+ *              [--curve-interval N] [--log-level LEVEL]
  *
  * --oracles picks the logic-bug oracles run per query shape
  * (comma-separated, case-insensitive; default tlp,norec). Adding pqs
@@ -32,6 +34,16 @@
  * fixed seed with --workers 1); --metrics-timings additionally
  * includes wall-clock timer values, which vary run to run.
  * --metrics-summary prints the human-readable table on stdout.
+ *
+ * --trace-out writes the campaign flight recorder as sqlpp.trace.v1
+ * JSONL (logical ticks only — byte-identical across runs for a fixed
+ * seed with --workers 1; scripts/trace_to_chrome.py renders it in
+ * Perfetto). --dossier-dir writes one forensic dossier directory per
+ * prioritized bug (repro.sql + dossier/feedback/metrics/events; the
+ * dossier set is identical for any --workers value and across
+ * --resume). --curve-interval N samples the validity learning curve
+ * every N checks. --log-level quiet|error|warn|info|debug sets the
+ * verbosity of campaign/scheduler progress lines on stderr.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -39,8 +51,10 @@
 #include <fstream>
 
 #include "core/scheduler.h"
+#include "util/log.h"
 #include "util/metrics.h"
 #include "util/strutil.h"
+#include "util/trace.h"
 
 using namespace sqlpp;
 
@@ -56,6 +70,9 @@ main(int argc, char **argv)
     std::string metrics_out;
     bool metrics_summary = false;
     bool metrics_timings = false;
+    std::string trace_out;
+    std::string dossier_dir;
+    size_t curve_interval = 0;
     StepBudget budget;
     for (int arg = 1; arg < argc; ++arg) {
         auto flagValue = [&](const char *flag, const char **value) {
@@ -81,6 +98,22 @@ main(int argc, char **argv)
             metrics_summary = true;
         } else if (std::strcmp(argv[arg], "--metrics-timings") == 0) {
             metrics_timings = true;
+        } else if (flagValue("--trace-out", &value)) {
+            trace_out = value;
+        } else if (flagValue("--dossier-dir", &value)) {
+            dossier_dir = value;
+        } else if (flagValue("--curve-interval", &value)) {
+            curve_interval = std::strtoul(value, nullptr, 10);
+        } else if (flagValue("--log-level", &value)) {
+            auto level = logLevelFromName(value);
+            if (!level) {
+                std::fprintf(stderr,
+                             "unknown log level '%s' (known: quiet, "
+                             "error, warn, info, debug)\n",
+                             value);
+                return 1;
+            }
+            setLogLevel(*level);
         } else if (flagValue("--max-steps", &value)) {
             budget.maxSteps = std::strtoull(value, nullptr, 10);
         } else if (flagValue("--max-rows", &value)) {
@@ -126,6 +159,8 @@ main(int argc, char **argv)
     config.campaign.oracles = oracles;
     config.campaign.feedback.updateInterval = 200;
     config.campaign.budget = budget;
+    config.campaign.curveInterval = curve_interval;
+    config.dossierDir = dossier_dir;
 
     std::printf("== SQLancer++ bug-finding campaign across %zu "
                 "dialects (%zu worker%s) ==\n\n",
@@ -138,6 +173,7 @@ main(int argc, char **argv)
     // has the same shape no matter which code paths this run hit.
     declarePlatformMetrics();
     MetricsRegistry::instance().reset();
+    TraceRecorder::instance().reset();
 
     CampaignScheduler scheduler(config);
     ScheduleReport report = scheduler.run();
@@ -193,5 +229,18 @@ main(int argc, char **argv)
     }
     if (metrics_summary)
         std::fputs(metricsSummaryTable().c_str(), stdout);
+    if (!trace_out.empty()) {
+        std::ofstream out(trace_out, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                         trace_out.c_str());
+            return 1;
+        }
+        out << exportTraceJsonl();
+        std::printf("trace: %s\n", trace_out.c_str());
+    }
+    if (!dossier_dir.empty())
+        std::printf("dossiers: %zu written under %s\n",
+                    report.dossiersWritten, dossier_dir.c_str());
     return 0;
 }

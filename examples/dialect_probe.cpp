@@ -9,12 +9,20 @@
  * persistence), skipping the learning phase entirely.
  *
  *   ./dialect_probe [dialect] [statements] [state-file]
+ *   ./dialect_probe --replay repro.sql
+ *
+ * --replay re-runs a bug dossier's repro.sql (core/dossier.h) on a
+ * fresh connection: exit 0 when the oracle still flags the bug, 1 when
+ * it does not reproduce — the verification hook trace_smoke.sh and the
+ * dossier integration test rely on.
  */
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/baseline.h"
+#include "core/dossier.h"
 #include "core/feedback.h"
 #include "core/generator.h"
 #include "dialect/connection.h"
@@ -25,6 +33,20 @@ using namespace sqlpp;
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "--replay") == 0) {
+        if (argc < 3) {
+            std::fprintf(stderr,
+                         "usage: dialect_probe --replay repro.sql\n");
+            return 2;
+        }
+        std::string details;
+        bool reproduced = replayReproFile(argv[2], &details);
+        std::printf("%s: %s\n", argv[2],
+                    reproduced ? "bug reproduced" : "did NOT reproduce");
+        if (!details.empty())
+            std::printf("  %s\n", details.c_str());
+        return reproduced ? 0 : 1;
+    }
     std::string dialect = argc > 1 ? argv[1] : "cratedb-like";
     size_t budget = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4000;
     std::string state_file = argc > 3 ? argv[3] : "";

@@ -2,6 +2,10 @@
 # Crash/resume smoke test: SIGKILL a checkpointed bug_hunt mid-campaign,
 # assert the checkpoint file survived (atomic rewrite) and still loads,
 # then resume and require the run to complete with restored shards.
+# The resumed run writes bug dossiers; a second resume from the
+# now-complete checkpoint (every shard restored, nothing re-run) must
+# produce the identical dossier set — bug ids and repro.sql bytes —
+# proving dossiers survive the kill/restore round-trip.
 #
 # Usage: scripts/crash_resume_smoke.sh [path/to/bug_hunt]
 set -u
@@ -62,7 +66,8 @@ grep -q "meta.format=sqlancerpp-checkpoint-v2" "$CHECKPOINT" || {
 }
 
 "$BUG_HUNT" "$CHECKS" --oracles "$ORACLES" --checkpoint "$CHECKPOINT" \
-    --resume > "$WORKDIR/resume.log" 2>&1
+    --resume --dossier-dir "$WORKDIR/dossiers1" \
+    > "$WORKDIR/resume.log" 2>&1
 STATUS=$?
 if [ "$STATUS" -ne 0 ]; then
     echo "FAIL: resumed run exited with status $STATUS" >&2
@@ -78,5 +83,37 @@ if [ -z "$RESTORED" ] || [ "$RESTORED" -lt 1 ]; then
     exit 1
 fi
 
-echo "OK: killed=$KILLED, resumed run restored $RESTORED shard(s)" \
-     "and completed"
+# The checkpoint now holds every shard. A second resume restores all
+# of them without executing a single statement, and its dossier set
+# must be byte-identical to the one the live+restored run produced.
+"$BUG_HUNT" "$CHECKS" --oracles "$ORACLES" --checkpoint "$CHECKPOINT" \
+    --resume --dossier-dir "$WORKDIR/dossiers2" \
+    > "$WORKDIR/resume2.log" 2>&1 || {
+    echo "FAIL: fully-restored resume exited non-zero" >&2
+    cat "$WORKDIR/resume2.log" >&2
+    exit 1
+}
+
+IDS1=$(cd "$WORKDIR/dossiers1" 2>/dev/null && ls -1 | sort)
+IDS2=$(cd "$WORKDIR/dossiers2" 2>/dev/null && ls -1 | sort)
+if [ -z "$IDS1" ]; then
+    echo "FAIL: resumed run wrote no dossiers" >&2
+    cat "$WORKDIR/resume.log" >&2
+    exit 1
+fi
+if [ "$IDS1" != "$IDS2" ]; then
+    echo "FAIL: dossier id sets differ across resume round-trips" >&2
+    diff <(echo "$IDS1") <(echo "$IDS2") >&2
+    exit 1
+fi
+for id in $IDS1; do
+    cmp -s "$WORKDIR/dossiers1/$id/repro.sql" \
+        "$WORKDIR/dossiers2/$id/repro.sql" || {
+        echo "FAIL: repro.sql differs for dossier $id" >&2
+        exit 1
+    }
+done
+DOSSIERS=$(echo "$IDS1" | wc -l)
+
+echo "OK: killed=$KILLED, resumed run restored $RESTORED shard(s)," \
+     "completed, and $DOSSIERS dossier(s) were stable across restore"

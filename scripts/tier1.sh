@@ -5,26 +5,34 @@
 #                     sub-second suites, for a quick inner loop.
 #   2. full suite   — every registered test (unit + integration +
 #                     smoke), the bar every PR must clear.
-#   3. asan lane    — rebuild in a separate tree with
+#   3. trace lanes  — run the flight-recorder smoke test against the
+#                     main build, then compile-check a tree configured
+#                     with -DSQLPP_TRACE=OFF (the hooks must vanish
+#                     cleanly, not bit-rot).
+#   4. asan lane    — rebuild in a separate tree with
 #                     -DSQLPP_SANITIZE=address and rerun the unit lane
 #                     under AddressSanitizer.
 #
-# Usage: scripts/tier1.sh [--unit-only] [--no-asan] [-j N]
+# Usage: scripts/tier1.sh [--unit-only] [--no-asan] [--no-trace] [-j N]
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
 ASAN_BUILD="$ROOT/build-asan"
+NOTRACE_BUILD="$ROOT/build-notrace"
 JOBS=4
 RUN_FULL=1
 RUN_ASAN=1
+RUN_TRACE=1
 
 while [ $# -gt 0 ]; do
     case "$1" in
-      --unit-only) RUN_FULL=0; RUN_ASAN=0 ;;
+      --unit-only) RUN_FULL=0; RUN_ASAN=0; RUN_TRACE=0 ;;
       --no-asan) RUN_ASAN=0 ;;
+      --no-trace) RUN_TRACE=0 ;;
       -j) JOBS="$2"; shift ;;
-      *) echo "usage: $0 [--unit-only] [--no-asan] [-j N]" >&2; exit 2 ;;
+      *) echo "usage: $0 [--unit-only] [--no-asan] [--no-trace] [-j N]" \
+             >&2; exit 2 ;;
     esac
     shift
 done
@@ -41,6 +49,16 @@ if [ "$RUN_FULL" -eq 1 ]; then
     echo "== tier1: full suite =="
     ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
         --timeout 300
+fi
+
+if [ "$RUN_TRACE" -eq 1 ]; then
+    echo "== tier1: flight-recorder smoke =="
+    "$ROOT/scripts/trace_smoke.sh" "$BUILD/examples/bug_hunt" \
+        "$BUILD/examples/dialect_probe"
+
+    echo "== tier1: -DSQLPP_TRACE=OFF compile check =="
+    cmake -B "$NOTRACE_BUILD" -S "$ROOT" -DSQLPP_TRACE=OFF >/dev/null
+    cmake --build "$NOTRACE_BUILD" -j "$JOBS"
 fi
 
 if [ "$RUN_ASAN" -eq 1 ]; then

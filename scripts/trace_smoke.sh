@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Flight-recorder smoke test: run a tiny campaign with --trace-out and
+# --dossier-dir, validate the sqlpp.trace.v1 JSONL export, convert it
+# to Chrome trace format, assert the fixed-seed byte-identity
+# guarantee, and replay one dossier's repro.sql on a fresh connection
+# through `dialect_probe --replay`.
+#
+# Usage: scripts/trace_smoke.sh [path/to/bug_hunt] [path/to/dialect_probe]
+set -u
+
+BUG_HUNT="${1:-build/examples/bug_hunt}"
+DIALECT_PROBE="${2:-build/examples/dialect_probe}"
+SCRIPTS="$(cd "$(dirname "$0")" && pwd)"
+if [ ! -x "$BUG_HUNT" ]; then
+    echo "trace_smoke: $BUG_HUNT not found; build first" >&2
+    exit 1
+fi
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+CHECKS=40
+
+"$BUG_HUNT" "$CHECKS" --workers 1 --trace-out "$WORKDIR/a.jsonl" \
+    --dossier-dir "$WORKDIR/dossiers" --curve-interval 10 \
+    > "$WORKDIR/run_a.log" 2>&1 || {
+    echo "FAIL: bug_hunt exited non-zero" >&2
+    cat "$WORKDIR/run_a.log" >&2
+    exit 1
+}
+
+[ -s "$WORKDIR/a.jsonl" ] || {
+    echo "FAIL: --trace-out wrote no document" >&2
+    exit 1
+}
+
+# Schema validation: every line is JSON, the header carries the
+# envelope, events use known types, carry no wall-clock fields, and
+# ticks never decrease within a lane.
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$WORKDIR/a.jsonl" <<'PYEOF' || exit 1
+import json
+import sys
+
+known_types = {
+    "statement_executed", "error_class", "oracle_check",
+    "feature_suppressed", "plan_discovered", "budget_exhausted",
+    "bug_found", "reduce_done", "curve_sample", "checkpoint_written",
+    "checkpoint_restored", "shard_started", "shard_abandoned",
+}
+
+with open(sys.argv[1]) as handle:
+    lines = [json.loads(line) for line in handle if line.strip()]
+
+header, events = lines[0], lines[1:]
+assert header["schema"] == "sqlpp.trace.v1", header
+assert header["events"] == len(events), (header, len(events))
+assert events, "no events exported"
+
+last_tick = {}
+last_lane = -1
+for event in events:
+    assert set(event) == {"lane", "shard", "tick", "type", "detail",
+                          "a", "b"}, event
+    assert event["type"] in known_types, event
+    # Lanes render in index order, oldest event first within a lane.
+    assert event["lane"] >= last_lane, event
+    if event["lane"] > last_lane:
+        last_lane = event["lane"]
+    assert event["tick"] >= last_tick.get(event["lane"], 0), event
+    last_tick[event["lane"]] = event["tick"]
+
+types = {event["type"] for event in events}
+for required in ("shard_started", "oracle_check", "curve_sample"):
+    assert required in types, "missing event type " + required
+
+print("schema ok: %d events, %d lanes, types=%d"
+      % (len(events), len(last_tick), len(types)))
+PYEOF
+else
+    head -1 "$WORKDIR/a.jsonl" | grep -q '"schema": "sqlpp.trace.v1"' || {
+        echo "FAIL: export lacks the sqlpp.trace.v1 envelope" >&2
+        exit 1
+    }
+fi
+
+# Chrome converter: must accept the export and emit a traceEvents doc.
+if command -v python3 > /dev/null 2>&1; then
+    python3 "$SCRIPTS/trace_to_chrome.py" "$WORKDIR/a.jsonl" \
+        "$WORKDIR/a.chrome.json" || {
+        echo "FAIL: trace_to_chrome.py rejected the export" >&2
+        exit 1
+    }
+    grep -q '"traceEvents"' "$WORKDIR/a.chrome.json" || {
+        echo "FAIL: converter wrote no traceEvents document" >&2
+        exit 1
+    }
+fi
+
+# Byte-identity: same seed, one worker → the exact same trace bytes.
+"$BUG_HUNT" "$CHECKS" --workers 1 --trace-out "$WORKDIR/b.jsonl" \
+    --curve-interval 10 > "$WORKDIR/run_b.log" 2>&1 || {
+    echo "FAIL: second bug_hunt run exited non-zero" >&2
+    exit 1
+}
+cmp -s "$WORKDIR/a.jsonl" "$WORKDIR/b.jsonl" || {
+    echo "FAIL: trace exports differ between identical runs" >&2
+    diff "$WORKDIR/a.jsonl" "$WORKDIR/b.jsonl" | head -20 >&2
+    exit 1
+}
+
+# Dossiers: at least one bug dossier with all artifacts, and its
+# repro.sql must re-trigger the bug on a fresh connection.
+FIRST_DOSSIER="$(find "$WORKDIR/dossiers" -mindepth 1 -maxdepth 1 \
+    -type d | sort | head -1)"
+if [ -z "$FIRST_DOSSIER" ]; then
+    echo "FAIL: --dossier-dir produced no dossiers" >&2
+    cat "$WORKDIR/run_a.log" >&2
+    exit 1
+fi
+for leaf in repro.sql dossier.json events.jsonl metrics.json; do
+    [ -s "$FIRST_DOSSIER/$leaf" ] || {
+        echo "FAIL: dossier is missing $leaf" >&2
+        ls -l "$FIRST_DOSSIER" >&2
+        exit 1
+    }
+done
+
+if [ -x "$DIALECT_PROBE" ]; then
+    "$DIALECT_PROBE" --replay "$FIRST_DOSSIER/repro.sql" \
+        > "$WORKDIR/replay.log" 2>&1 || {
+        echo "FAIL: dossier repro.sql did not reproduce" >&2
+        cat "$WORKDIR/replay.log" >&2
+        exit 1
+    }
+else
+    echo "trace_smoke: $DIALECT_PROBE not found; skipping replay" >&2
+fi
+
+echo "OK: sqlpp.trace.v1 export valid, byte-identical across runs," \
+     "dossier replay reproduced"

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Convert a sqlpp.trace.v1 JSONL export into Chrome trace-event JSON.
+
+Usage: trace_to_chrome.py trace.jsonl [chrome_trace.json]
+
+The flight recorder's logical ticks become microsecond timestamps and
+each lane becomes a thread (named after its shard label), so the
+campaign timeline renders directly in chrome://tracing or Perfetto.
+Events at the same tick keep their recorded order. Only the Python
+standard library is used.
+"""
+import json
+import sys
+
+
+def convert(lines):
+    """Yield Chrome trace events for an iterable of JSONL lines."""
+    header = None
+    named_lanes = set()
+    for raw in lines:
+        raw = raw.strip()
+        if not raw:
+            continue
+        record = json.loads(raw)
+        if header is None:
+            if record.get("schema") != "sqlpp.trace.v1":
+                raise ValueError(
+                    "not a sqlpp.trace.v1 export: %r" % record)
+            header = record
+            continue
+        lane = record["lane"]
+        if lane not in named_lanes:
+            named_lanes.add(lane)
+            yield {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": lane,
+                "args": {"name": record["shard"] or "main"},
+            }
+        yield {
+            # Instant events on a logical-tick timeline; scope "t"
+            # draws the marker across its own thread track only.
+            "ph": "i",
+            "s": "t",
+            "name": record["type"],
+            "cat": "sqlpp",
+            "pid": 0,
+            "tid": lane,
+            "ts": record["tick"],
+            "args": {
+                "detail": record["detail"],
+                "a": record["a"],
+                "b": record["b"],
+            },
+        }
+    if header is None:
+        raise ValueError("empty trace: no sqlpp.trace.v1 header line")
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        events = list(convert(handle))
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "sqlpp.trace.v1",
+            "timeline": "logical ticks (statement index), not "
+                        "wall-clock time",
+        },
+    }
+    if len(argv) == 3:
+        with open(argv[2], "w") as handle:
+            json.dump(document, handle, indent=1)
+        instants = sum(1 for e in events if e["ph"] == "i")
+        print("wrote %s: %d events across %d lanes"
+              % (argv[2], instants, len(events) - instants))
+    else:
+        json.dump(document, sys.stdout, indent=1)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,7 @@
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/strutil.h"
+#include "util/trace.h"
 
 namespace sqlpp {
 
@@ -24,6 +25,8 @@ CampaignStats::merge(const CampaignStats &other)
     resourceErrors += other.resourceErrors;
     refreshRetries += other.refreshRetries;
     shardsAbandoned += other.shardsAbandoned;
+    for (const CurveSample &sample : other.curve)
+        curve.push_back(sample);
     for (const BugCase &bug : other.prioritizedBugs)
         prioritizedBugs.push_back(bug);
     planFingerprints.insert(other.planFingerprints.begin(),
@@ -43,6 +46,7 @@ CampaignStats::operator==(const CampaignStats &other) const
            resourceErrors == other.resourceErrors &&
            refreshRetries == other.refreshRetries &&
            shardsAbandoned == other.shardsAbandoned &&
+           curve == other.curve &&
            prioritizedBugs == other.prioritizedBugs &&
            planFingerprints == other.planFingerprints;
 }
@@ -156,6 +160,10 @@ CampaignRunner::run()
     AdaptiveGenerator generator(generator_config, registry_, *gate_,
                                 model_);
 
+    // Learning-curve window counters, reset at every sample.
+    uint64_t window_attempted = 0;
+    uint64_t window_valid = 0;
+
     for (size_t check = 0; check < config_.checks; ++check) {
         // Watchdog deadline: give up on the rest of the check budget
         // and return what was gathered; the scheduler merge still
@@ -170,6 +178,12 @@ CampaignRunner::run()
                            check, config_.checks));
             stats.shardsAbandoned = 1;
             SQLPP_COUNT("campaign.watchdog.abandoned");
+            SQLPP_TRACE_EVENT(ShardAbandoned, profile.name, check,
+                              config_.checks);
+            // Abandonment is exactly the moment buffered log lines are
+            // about to be lost (the scheduler may tear the worker down
+            // or the process may be checkpoint-killed); push them out.
+            flushLogs();
             break;
         }
         if (config_.rebuildEvery > 0 && check > 0 &&
@@ -207,6 +221,8 @@ CampaignRunner::run()
             ++stats.bugsDetected;
             ++stats.bugsByOracle[oracle->name()];
             SQLPP_COUNT("campaign.bugs.detected");
+            SQLPP_TRACE_EVENT(BugFound, oracle->name(),
+                              stats.bugsDetected, 0);
             // Attribute the oracle as a feature: cases flagged by
             // different oracles describe different failure modes and
             // must not subsume one another.
@@ -242,6 +258,24 @@ CampaignRunner::run()
         if (all_ran)
             ++stats.checksValid;
         tracker_->record(shape->features, all_ran, /*is_query=*/true);
+        ++window_attempted;
+        if (all_ran)
+            ++window_valid;
+        if (config_.curveInterval > 0 &&
+            stats.checksAttempted % config_.curveInterval == 0) {
+            CurveSample sample;
+            sample.tick = stats.checksAttempted;
+            sample.cumAttempted = stats.checksAttempted;
+            sample.cumValid = stats.checksValid;
+            sample.windowAttempted = window_attempted;
+            sample.windowValid = window_valid;
+            sample.suppressed = tracker_->suppressedFeatures().size();
+            SQLPP_TRACE_EVENT(CurveSample, "", sample.windowAttempted,
+                              sample.windowValid);
+            stats.curve.push_back(sample);
+            window_attempted = 0;
+            window_valid = 0;
+        }
         // Drain only the plans this check added; re-inserting the full
         // seenPlans() set here made a campaign O(checks x plans).
         for (uint64_t fingerprint : connection->takeNewPlans())

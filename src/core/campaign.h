@@ -77,6 +77,51 @@ struct CampaignConfig
     double deadlineSeconds = 0.0;
     /** Strip the profile's injected faults (fault-free control runs). */
     bool disableFaults = false;
+    /**
+     * Learning-curve sampler: append a CurveSample to
+     * CampaignStats::curve every N attempted checks (0 = off). The
+     * trajectory behind the paper's validity learning curves.
+     */
+    size_t curveInterval = 0;
+};
+
+/**
+ * One learning-curve sample: a point on the validity trajectory as the
+ * adaptive generator learns a dialect. Logical time only (tick =
+ * checksAttempted at sample time), so curves are deterministic for a
+ * fixed seed and independent of worker count.
+ */
+struct CurveSample
+{
+    /** checksAttempted when the sample was taken. */
+    uint64_t tick = 0;
+    uint64_t cumAttempted = 0;
+    uint64_t cumValid = 0;
+    /** Checks attempted/valid since the previous sample. */
+    uint64_t windowAttempted = 0;
+    uint64_t windowValid = 0;
+    /** Features suppressed by validity feedback at sample time. */
+    uint64_t suppressed = 0;
+
+    double
+    windowValidityRate() const
+    {
+        if (windowAttempted == 0)
+            return 0.0;
+        return static_cast<double>(windowValid) /
+               static_cast<double>(windowAttempted);
+    }
+
+    double
+    cumulativeValidityRate() const
+    {
+        if (cumAttempted == 0)
+            return 0.0;
+        return static_cast<double>(cumValid) /
+               static_cast<double>(cumAttempted);
+    }
+
+    bool operator==(const CurveSample &other) const = default;
 };
 
 /** Aggregated campaign results. */
@@ -106,6 +151,13 @@ struct CampaignStats
     uint64_t refreshRetries = 0;
     /** Campaigns abandoned by the watchdog deadline (0 or 1 pre-merge). */
     uint64_t shardsAbandoned = 0;
+    /**
+     * Learning-curve samples in logical-time order (empty unless
+     * CampaignConfig::curveInterval > 0). merge() appends the other
+     * shard's samples, so the merged curve lists shards in merge
+     * (= shard-index) order.
+     */
+    std::vector<CurveSample> curve;
 
     double
     validityRate() const

@@ -1,9 +1,11 @@
 #include "core/checkpoint.h"
 
+#include <array>
 #include <charconv>
 
 #include "util/metrics.h"
 #include "util/strutil.h"
+#include "util/trace.h"
 
 namespace sqlpp {
 
@@ -77,6 +79,25 @@ checkpointShard(const CampaignStats &stats,
     for (uint64_t fingerprint : stats.planFingerprints)
         plans.push_back(std::to_string(fingerprint));
     payload.put("plans", join(plans, " "));
+
+    // Learning-curve samples. Optional keys (absent when the sampler
+    // is off), so the format stays v2: v2 readers ignore unknown keys
+    // and absent keys restore to an empty curve.
+    if (!stats.curve.empty()) {
+        payload.putInt("curve.count",
+                       static_cast<int64_t>(stats.curve.size()));
+        for (size_t j = 0; j < stats.curve.size(); ++j) {
+            const CurveSample &sample = stats.curve[j];
+            payload.put("curve." + std::to_string(j),
+                        format("%llu %llu %llu %llu %llu %llu",
+                               (unsigned long long)sample.tick,
+                               (unsigned long long)sample.cumAttempted,
+                               (unsigned long long)sample.cumValid,
+                               (unsigned long long)sample.windowAttempted,
+                               (unsigned long long)sample.windowValid,
+                               (unsigned long long)sample.suppressed));
+        }
+    }
 
     payload.putInt("bugs.count",
                    static_cast<int64_t>(stats.prioritizedBugs.size()));
@@ -187,6 +208,35 @@ restoreShard(const KvStore &payload,
         }
     }
 
+    uint64_t curve_count = countAt(payload, "curve.count");
+    for (uint64_t j = 0; j < curve_count; ++j) {
+        auto row = payload.get("curve." + std::to_string(j));
+        if (!row)
+            return Status::runtimeError(
+                "checkpoint payload: truncated curve sample " +
+                std::to_string(j));
+        std::vector<std::string> fields = split(*row, ' ');
+        if (fields.size() != 6)
+            return Status::runtimeError(
+                "checkpoint payload: bad curve sample: " + *row);
+        std::array<uint64_t, 6> parsed{};
+        for (size_t k = 0; k < fields.size(); ++k) {
+            auto value = parseU64(fields[k]);
+            if (!value)
+                return Status::runtimeError(
+                    "checkpoint payload: bad curve sample: " + *row);
+            parsed[k] = *value;
+        }
+        CurveSample sample;
+        sample.tick = parsed[0];
+        sample.cumAttempted = parsed[1];
+        sample.cumValid = parsed[2];
+        sample.windowAttempted = parsed[3];
+        sample.windowValid = parsed[4];
+        sample.suppressed = parsed[5];
+        out.stats.curve.push_back(sample);
+    }
+
     uint64_t bug_count = countAt(payload, "bugs.count");
     for (uint64_t j = 0; j < bug_count; ++j) {
         std::string prefix = "bug." + std::to_string(j) + ".";
@@ -256,6 +306,7 @@ CampaignCheckpoint::saveTo(const std::string &path) const
     for (const auto &[key, value] : store.entries())
         bytes += key.size() + value.size() + 2;
     SQLPP_OBSERVE("checkpoint.save.bytes", bytes);
+    SQLPP_TRACE_EVENT(CheckpointWritten, "", bytes, shards.size());
     return store.save(path);
 }
 

@@ -2,8 +2,23 @@
 
 #include "util/stats.h"
 #include "util/strutil.h"
+#include "util/trace.h"
 
 namespace sqlpp {
+
+namespace {
+
+/** Posterior mean as parts-per-million (fits a trace payload). */
+uint64_t
+probabilityPpm(const FeatureStats &stat)
+{
+    double mean = beta::mean(
+        static_cast<double>(stat.successes) + 1.0,
+        static_cast<double>(stat.executions - stat.successes) + 1.0);
+    return static_cast<uint64_t>(mean * 1e6);
+}
+
+} // namespace
 
 FeatureStats &
 FeedbackTracker::mutableStats(FeatureId id)
@@ -48,6 +63,10 @@ FeedbackTracker::record(const FeatureSet &features, bool success,
             // immediately once the limit is reached.
             if (stat.successes == 0 &&
                 stat.executions >= config_.ddlFailureLimit) {
+                if (!stat.suppressed) {
+                    SQLPP_TRACE_EVENT(FeatureSuppressed, "ddl", id,
+                                      probabilityPpm(stat));
+                }
                 stat.suppressed = true;
             }
             if (success)
@@ -90,8 +109,12 @@ FeedbackTracker::refreshVerdicts()
         FeatureStats &stat = stats_[id];
         if (stat.executions == 0)
             continue;
-        stat.suppressed =
-            massBelowThreshold(id) >= config_.credibleMass;
+        bool suppress = massBelowThreshold(id) >= config_.credibleMass;
+        if (suppress && !stat.suppressed) {
+            SQLPP_TRACE_EVENT(FeatureSuppressed, "posterior", id,
+                              probabilityPpm(stat));
+        }
+        stat.suppressed = suppress;
     }
 }
 

@@ -6,6 +6,7 @@
 #include "sqlir/printer.h"
 #include "util/metrics.h"
 #include "util/strutil.h"
+#include "util/trace.h"
 
 namespace sqlpp {
 
@@ -304,6 +305,8 @@ TlpOracle::check(Connection &connection, const SelectStmt &base,
 {
     SQLPP_SPAN("oracle.tlp.wall_us");
     OracleResult result = runTlp(connection, base, predicate);
+    SQLPP_TRACE_EVENT(OracleCheck, "tlp",
+                      static_cast<uint64_t>(result.outcome), 0);
     switch (result.outcome) {
       case OracleOutcome::Passed: SQLPP_COUNT("oracle.tlp.pass"); break;
       case OracleOutcome::Bug: SQLPP_COUNT("oracle.tlp.bug"); break;
@@ -319,6 +322,8 @@ NorecOracle::check(Connection &connection, const SelectStmt &base,
 {
     SQLPP_SPAN("oracle.norec.wall_us");
     OracleResult result = runNorec(connection, base, predicate);
+    SQLPP_TRACE_EVENT(OracleCheck, "norec",
+                      static_cast<uint64_t>(result.outcome), 0);
     switch (result.outcome) {
       case OracleOutcome::Passed:
         SQLPP_COUNT("oracle.norec.pass");
@@ -341,6 +346,8 @@ PqsOracle::check(Connection &connection, const SelectStmt &base,
 {
     SQLPP_SPAN("oracle.pqs.wall_us");
     OracleResult result = runPqs(connection, base, predicate);
+    SQLPP_TRACE_EVENT(OracleCheck, "pqs",
+                      static_cast<uint64_t>(result.outcome), 0);
     switch (result.outcome) {
       case OracleOutcome::Passed:
         SQLPP_COUNT("oracle.pqs.pass");

@@ -3,6 +3,7 @@
 #include "parser/parser.h"
 #include "sqlir/printer.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace sqlpp {
 
@@ -116,6 +117,8 @@ reduceBugCase(BugCase &bug, const ReplayFn &replay, size_t max_replays)
                       100 * stats.predicateNodesAfter /
                           stats.predicateNodesBefore);
     }
+    SQLPP_TRACE_EVENT(ReduceDone, bug.oracle, stats.replays,
+                      stats.setupAfter);
     return stats;
 }
 

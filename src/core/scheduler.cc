@@ -4,10 +4,12 @@
 #include <mutex>
 
 #include "core/checkpoint.h"
+#include "core/dossier.h"
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/strutil.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace sqlpp {
 
@@ -45,7 +47,8 @@ describeShard(const CampaignConfig &config)
         static_cast<unsigned long long>(config.budget.maxRows),
         static_cast<unsigned long long>(
             config.budget.maxIntermediateRows),
-        config.deadlineSeconds, 0 /* reserved */,
+        config.deadlineSeconds,
+        static_cast<int>(config.curveInterval),
         static_cast<unsigned long long>(g.seed), g.maxDepth,
         g.progressiveDepth ? 1 : 0,
         static_cast<unsigned long long>(g.depthStep), g.maxTables,
@@ -170,10 +173,16 @@ CampaignScheduler::run()
             // engine — lands in the shard's own metric lane, keyed by
             // shard index (never by worker), so per-lane values and
             // their sums are independent of the worker count.
-            MetricsShardScope metrics_scope(
-                shard, config_.mode == ScheduleMode::ShardDialects
-                           ? shard_configs[shard].dialect
-                           : format("slice%zu", shard));
+            std::string shard_label =
+                config_.mode == ScheduleMode::ShardDialects
+                    ? shard_configs[shard].dialect
+                    : format("slice%zu", shard);
+            MetricsShardScope metrics_scope(shard, shard_label);
+            // Flight-recorder lane, keyed the same way: the shard's
+            // trace is independent of which worker ran it.
+            TraceShardScope trace_scope(shard, shard_label);
+            SQLPP_TRACE_EVENT(ShardStarted, shard_label, shard,
+                              shard_configs[shard].seed);
             SQLPP_COUNT("scheduler.shards.run");
             SQLPP_OBSERVE_TIME(
                 "scheduler.shard.queue_us",
@@ -249,6 +258,8 @@ CampaignScheduler::run()
             // worker index may not even exist in this run's pool.
             ++report.shardsFromCheckpoint;
             SQLPP_COUNT("scheduler.shards.resumed");
+            SQLPP_TRACE_EVENT(CheckpointRestored,
+                              shard_configs[index].dialect, index, 0);
         } else {
             WorkerReport &worker =
                 report.workers[shard.workerIndex %
@@ -276,6 +287,30 @@ CampaignScheduler::run()
         }
         outcome.bugsKeptAfterMerge = kept.size();
         contribution.prioritizedBugs = std::move(kept);
+
+        if (!config_.dossierDir.empty()) {
+            // Dossiers are written here — inside the deterministic
+            // shard-order merge, over the post-dedup bug set — so the
+            // dossier ids are identical for any worker count and are
+            // re-emitted for bugs restored from a checkpoint.
+            DossierConfig dossier_config;
+            dossier_config.directory = config_.dossierDir;
+            DossierContext dossier_context;
+            dossier_context.shardIndex = index;
+            dossier_context.fromCheckpoint = outcome.fromCheckpoint;
+            dossier_context.feedback = &shard.feedback;
+            dossier_context.registry = &shard.registry;
+            for (const BugCase &bug : contribution.prioritizedBugs) {
+                Status written = writeBugDossier(dossier_config, bug,
+                                                 dossier_context);
+                if (written.isOk())
+                    ++report.dossiersWritten;
+                else
+                    logWarn("failed to write dossier for bug " +
+                            bugCaseId(bug) + ": " +
+                            written.toString());
+            }
+        }
 
         tracker_->absorb(shard.feedback, shard.registry, registry_);
         outcome.stats = std::move(shard.stats);

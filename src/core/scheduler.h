@@ -85,6 +85,14 @@ struct SchedulerConfig
      * copied into every shard's CampaignConfig::deadlineSeconds.
      */
     double shardDeadlineSeconds = 0.0;
+    /**
+     * Root directory for per-bug forensic dossiers (core/dossier.h);
+     * empty = none. Dossiers are written during the deterministic
+     * shard-order merge, so the dossier set (bug ids + repro.sql) is
+     * identical for any worker count and covers bugs restored from a
+     * checkpoint.
+     */
+    std::string dossierDir;
 };
 
 /** One shard's outcome: the deterministic part plus timing. */
@@ -130,6 +138,8 @@ struct ScheduleReport
     std::vector<WorkerReport> workers;
     /** Shards skipped because a resumed checkpoint already held them. */
     size_t shardsFromCheckpoint = 0;
+    /** Dossier directories written (when SchedulerConfig::dossierDir). */
+    size_t dossiersWritten = 0;
     /** Wall-clock seconds from first dispatch until the queue drained. */
     double queueDrainSeconds = 0.0;
 

@@ -6,6 +6,7 @@
 #include "parser/parser.h"
 #include "util/metrics.h"
 #include "util/strutil.h"
+#include "util/trace.h"
 
 namespace sqlpp {
 
@@ -18,24 +19,31 @@ noteExecuteOutcome(const Status &status)
     switch (status.code()) {
       case ErrorCode::Ok:
         SQLPP_COUNT("connection.execute.ok");
+        SQLPP_TRACE_EVENT(StatementExecuted, "", 1, 0);
         break;
       case ErrorCode::SyntaxError:
         SQLPP_COUNT("connection.error.syntax");
+        SQLPP_TRACE_EVENT(ErrorClass, "syntax", 0, 0);
         break;
       case ErrorCode::SemanticError:
         SQLPP_COUNT("connection.error.semantic");
+        SQLPP_TRACE_EVENT(ErrorClass, "semantic", 0, 0);
         break;
       case ErrorCode::RuntimeError:
         SQLPP_COUNT("connection.error.runtime");
+        SQLPP_TRACE_EVENT(ErrorClass, "runtime", 0, 0);
         break;
       case ErrorCode::Unsupported:
         SQLPP_COUNT("connection.error.unsupported");
+        SQLPP_TRACE_EVENT(ErrorClass, "unsupported", 0, 0);
         break;
       case ErrorCode::Internal:
         SQLPP_COUNT("connection.error.internal");
+        SQLPP_TRACE_EVENT(ErrorClass, "internal", 0, 0);
         break;
       case ErrorCode::BudgetExhausted:
         SQLPP_COUNT("connection.error.budget");
+        SQLPP_TRACE_EVENT(BudgetExhausted, "", 0, 0);
         break;
     }
 }
@@ -130,6 +138,9 @@ StatusOr<ResultSet>
 Connection::executeInternal(const std::string &sql)
 {
     ++statements_;
+    // The flight recorder's logical clock: one tick per statement the
+    // connection attempts, so traces never depend on wall time.
+    SQLPP_TRACE_TICK();
     // REFRESH is not part of the engine grammar; it is a dialect-level
     // statement only refresh-required dialects accept.
     std::string trimmed(trim(sql));
@@ -162,6 +173,9 @@ Connection::executeInternal(const std::string &sql)
         if (result.isOk() &&
             seen_plans_.insert(db_->lastPlanFingerprint()).second) {
             new_plans_.push_back(db_->lastPlanFingerprint());
+            SQLPP_TRACE_EVENT(PlanDiscovered, "",
+                              db_->lastPlanFingerprint(),
+                              seen_plans_.size());
         }
         return result;
     }

@@ -1,10 +1,19 @@
 /**
  * @file
  * Minimal leveled logger for campaign progress and debugging.
+ *
+ * Debug/Info lines are *buffered* (bounded, flushed in one write once
+ * the buffer fills) so a chatty campaign does not pay a stderr flush
+ * per progress line; Warn/Error flush the buffer and themselves
+ * immediately. The cost of buffering is that lines written right
+ * before an abnormal exit can be lost — call flushLogs() at
+ * abandonment/teardown points (the campaign watchdog does).
  */
 #ifndef SQLPP_UTIL_LOG_H
 #define SQLPP_UTIL_LOG_H
 
+#include <functional>
+#include <optional>
 #include <string>
 
 namespace sqlpp {
@@ -25,8 +34,30 @@ void setLogLevel(LogLevel level);
 /** Current process-wide minimum level. */
 LogLevel logLevel();
 
+/**
+ * Parse a CLI level name: quiet|silent, error, warn, info, debug
+ * (case-insensitive). nullopt for anything else.
+ */
+std::optional<LogLevel> logLevelFromName(const std::string &name);
+
 /** Emit a message at the given level to stderr if enabled. */
 void logMessage(LogLevel level, const std::string &message);
+
+/**
+ * Write any buffered Debug/Info lines to the sink now. Call at points
+ * where buffered lines would otherwise be lost (shard abandonment,
+ * process teardown). Safe to call concurrently with logMessage.
+ */
+void flushLogs();
+
+/** Bytes currently sitting in the line buffer (tests/monitoring). */
+size_t pendingLogBytes();
+
+/**
+ * Redirect emitted lines into a callback instead of stderr (tests).
+ * Pass nullptr to restore stderr. Takes effect for subsequent writes.
+ */
+void setLogSink(std::function<void(const std::string &)> sink);
 
 inline void logDebug(const std::string &m) { logMessage(LogLevel::Debug, m); }
 inline void logInfo(const std::string &m) { logMessage(LogLevel::Info, m); }

@@ -1,0 +1,284 @@
+#include "util/trace.h"
+
+#include <algorithm>
+
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+const char *
+traceEventTypeName(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::StatementExecuted:
+        return "statement_executed";
+      case TraceEventType::ErrorClass: return "error_class";
+      case TraceEventType::OracleCheck: return "oracle_check";
+      case TraceEventType::FeatureSuppressed:
+        return "feature_suppressed";
+      case TraceEventType::PlanDiscovered: return "plan_discovered";
+      case TraceEventType::BudgetExhausted: return "budget_exhausted";
+      case TraceEventType::BugFound: return "bug_found";
+      case TraceEventType::ReduceDone: return "reduce_done";
+      case TraceEventType::CurveSample: return "curve_sample";
+      case TraceEventType::CheckpointWritten:
+        return "checkpoint_written";
+      case TraceEventType::CheckpointRestored:
+        return "checkpoint_restored";
+      case TraceEventType::ShardStarted: return "shard_started";
+      case TraceEventType::ShardAbandoned: return "shard_abandoned";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** The thread's current lane (0 = unlabeled process lane). */
+thread_local size_t tls_trace_lane = 0;
+
+/** JSON string escaping (details and labels are plain ASCII). */
+std::string
+traceJsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder()
+{
+    for (auto &lane : lanes_)
+        lane.store(nullptr, std::memory_order_relaxed);
+    // Lane 0 always exists so unscoped recording never branches on
+    // creation.
+    (void)laneForShard(static_cast<size_t>(-1), "");
+}
+
+TraceRecorder &
+TraceRecorder::instance()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+size_t
+TraceRecorder::laneForShard(size_t shard_index, const std::string &label)
+{
+    size_t lane_index = laneForShardIndex(shard_index);
+    // Cold path (once per shard scope); the mutex also orders label
+    // writes against the exporter, which reads labels under it.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (Lane *existing =
+            lanes_[lane_index].load(std::memory_order_relaxed);
+        existing != nullptr) {
+        // A later in-process run may bind the same lane under a new
+        // shard layout; the label follows the latest binding.
+        if (existing->label != label)
+            existing->label = label;
+        return lane_index;
+    }
+    auto lane = std::make_unique<Lane>();
+    lane->label = label;
+    lane->ring = std::make_unique<TraceEvent[]>(kRingCapacity);
+    lanes_[lane_index].store(lane.get(), std::memory_order_release);
+    lane_storage_.push_back(std::move(lane));
+    return lane_index;
+}
+
+uint64_t
+TraceRecorder::bumpTick()
+{
+    Lane *lane_ptr = lane(tls_trace_lane);
+    return lane_ptr->tick.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint64_t
+TraceRecorder::currentTick() const
+{
+    const Lane *lane_ptr = lane(tls_trace_lane);
+    return lane_ptr->tick.load(std::memory_order_relaxed);
+}
+
+void
+TraceRecorder::record(TraceEventType type, std::string_view detail,
+                      uint64_t a, uint64_t b)
+{
+    Lane *lane_ptr = lane(tls_trace_lane);
+    // Reserve a slot. A shard runs on one thread at a time, so the
+    // reservation doubles as full ownership of the slot; concurrent
+    // writers only ever share lane 0, where a wrapped race merely
+    // overwrites one flight-recorder entry.
+    uint64_t sequence =
+        lane_ptr->recorded.fetch_add(1, std::memory_order_acq_rel);
+    TraceEvent &slot = lane_ptr->ring[sequence % kRingCapacity];
+    slot.tick = lane_ptr->tick.load(std::memory_order_relaxed);
+    slot.type = type;
+    slot.a = a;
+    slot.b = b;
+    size_t copy =
+        std::min(detail.size(), TraceEvent::kDetailCapacity - 1);
+    std::memcpy(slot.detail, detail.data(), copy);
+    slot.detail[copy] = '\0';
+}
+
+std::vector<TraceEvent>
+TraceRecorder::laneEvents(size_t lane_index) const
+{
+    std::vector<TraceEvent> out;
+    if (lane_index > kMaxShards)
+        return out;
+    const Lane *lane_ptr = lane(lane_index);
+    if (lane_ptr == nullptr)
+        return out;
+    uint64_t recorded = lane_ptr->recorded.load(std::memory_order_acquire);
+    uint64_t retained = std::min<uint64_t>(recorded, kRingCapacity);
+    out.reserve(static_cast<size_t>(retained));
+    for (uint64_t i = recorded - retained; i < recorded; ++i)
+        out.push_back(lane_ptr->ring[i % kRingCapacity]);
+    return out;
+}
+
+std::vector<TraceEvent>
+TraceRecorder::recentShardEvents(size_t shard_index,
+                                 size_t max_events) const
+{
+    std::vector<TraceEvent> events =
+        laneEvents(laneForShardIndex(shard_index));
+    if (events.size() > max_events)
+        events.erase(events.begin(),
+                     events.end() - static_cast<long>(max_events));
+    return events;
+}
+
+uint64_t
+TraceRecorder::laneRecorded(size_t lane_index) const
+{
+    if (lane_index > kMaxShards)
+        return 0;
+    const Lane *lane_ptr = lane(lane_index);
+    return lane_ptr == nullptr
+               ? 0
+               : lane_ptr->recorded.load(std::memory_order_acquire);
+}
+
+std::string
+TraceRecorder::laneLabel(size_t lane_index) const
+{
+    if (lane_index > kMaxShards)
+        return "";
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Lane *lane_ptr = lane(lane_index);
+    return lane_ptr == nullptr ? "" : lane_ptr->label;
+}
+
+void
+TraceRecorder::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t index = 0; index <= kMaxShards; ++index) {
+        Lane *lane_ptr = lane(index);
+        if (lane_ptr == nullptr)
+            continue;
+        lane_ptr->tick.store(0, std::memory_order_relaxed);
+        lane_ptr->recorded.store(0, std::memory_order_relaxed);
+    }
+}
+
+TraceShardScope::TraceShardScope(size_t shard_index,
+                                 const std::string &label)
+    : previous_lane_(tls_trace_lane)
+{
+    tls_trace_lane =
+        TraceRecorder::instance().laneForShard(shard_index, label);
+}
+
+TraceShardScope::~TraceShardScope()
+{
+    tls_trace_lane = previous_lane_;
+}
+
+std::string
+traceEventJson(size_t lane_index, const std::string &label,
+               const TraceEvent &event)
+{
+    return format(
+        "{\"lane\": %zu, \"shard\": \"%s\", \"tick\": %llu, "
+        "\"type\": \"%s\", \"detail\": \"%s\", \"a\": %llu, "
+        "\"b\": %llu}",
+        lane_index, traceJsonEscape(label).c_str(),
+        (unsigned long long)event.tick, traceEventTypeName(event.type),
+        traceJsonEscape(event.detail).c_str(),
+        (unsigned long long)event.a, (unsigned long long)event.b);
+}
+
+std::string
+exportTraceJsonl()
+{
+    TraceRecorder &recorder = TraceRecorder::instance();
+    // Snapshot lanes under the mutex so labels are consistent; ring
+    // contents are read via the same acquire protocol laneEvents uses.
+    size_t lanes_used = 0;
+    uint64_t total_retained = 0;
+    uint64_t total_dropped = 0;
+    std::vector<std::pair<std::string, std::vector<TraceEvent>>> lanes;
+    lanes.resize(TraceRecorder::kMaxShards + 1);
+    for (size_t index = 0; index <= TraceRecorder::kMaxShards;
+         ++index) {
+        uint64_t recorded = recorder.laneRecorded(index);
+        if (recorded == 0)
+            continue;
+        lanes[index].first = recorder.laneLabel(index);
+        lanes[index].second = recorder.laneEvents(index);
+        ++lanes_used;
+        total_retained += lanes[index].second.size();
+        total_dropped += recorded - lanes[index].second.size();
+    }
+    std::string out = format(
+        "{\"schema\": \"sqlpp.trace.v1\", \"ring\": %zu, "
+        "\"lanes\": %zu, \"events\": %llu, \"dropped\": %llu}\n",
+        TraceRecorder::kRingCapacity, lanes_used,
+        (unsigned long long)total_retained,
+        (unsigned long long)total_dropped);
+    for (size_t index = 0; index <= TraceRecorder::kMaxShards;
+         ++index) {
+        for (const TraceEvent &event : lanes[index].second) {
+            out += traceEventJson(index, lanes[index].first, event);
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+std::string
+traceSchemaDescription()
+{
+    std::string out = "sqlpp.trace.v1\n";
+    out += "header: schema=string ring=int lanes=int events=int "
+           "dropped=int\n";
+    out += "event: lane=int shard=string tick=int type=string "
+           "detail=string a=int b=int\n";
+    out += "types:\n";
+    for (size_t index = 0; index < kTraceEventTypes; ++index) {
+        out += "  ";
+        out += traceEventTypeName(static_cast<TraceEventType>(index));
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace sqlpp

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the buffered leveled logger (util/log.h): Debug/Info
+ * buffering with threshold flush, Warn/Error write-through that drains
+ * queued lines in order, flushLogs()/pendingLogBytes()/setLogSink(),
+ * CLI level-name parsing, and the regression test for the
+ * watchdog-abandonment message loss — buffered lines queued before a
+ * shard is abandoned must reach the sink.
+ */
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.h"
+#include "util/log.h"
+
+namespace sqlpp {
+namespace {
+
+/**
+ * Installs a capturing sink and restores stderr + Warn level on exit,
+ * so tests never leak state into each other.
+ */
+class LogTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setLogLevel(LogLevel::Debug);
+        setLogSink([this](const std::string &text) {
+            captured_ += text;
+        });
+    }
+
+    void TearDown() override
+    {
+        setLogSink(nullptr);
+        setLogLevel(LogLevel::Warn);
+    }
+
+    std::string captured_;
+};
+
+TEST_F(LogTest, DebugAndInfoAreBufferedNotEmitted)
+{
+    logDebug("first");
+    logInfo("second");
+    EXPECT_TRUE(captured_.empty());
+    EXPECT_GT(pendingLogBytes(), 0u);
+    flushLogs();
+    EXPECT_EQ(captured_, "[DEBUG] first\n[INFO] second\n");
+    EXPECT_EQ(pendingLogBytes(), 0u);
+}
+
+TEST_F(LogTest, BufferFlushesAtThreshold)
+{
+    std::string filler(512, 'x');
+    size_t lines = 0;
+    while (captured_.empty() && lines < 64) {
+        logInfo(filler);
+        ++lines;
+    }
+    // The threshold (8 KiB) trips well before 64 half-KiB lines.
+    EXPECT_LT(lines, 64u);
+    EXPECT_NE(captured_.find("[INFO] " + filler), std::string::npos);
+    EXPECT_EQ(pendingLogBytes(), 0u);
+}
+
+TEST_F(LogTest, WarnDrainsQueuedLinesInOrderThenWritesThrough)
+{
+    logInfo("queued");
+    logWarn("urgent");
+    EXPECT_EQ(captured_, "[INFO] queued\n[WARN] urgent\n");
+    EXPECT_EQ(pendingLogBytes(), 0u);
+}
+
+TEST_F(LogTest, ErrorWritesThroughImmediately)
+{
+    logError("boom");
+    EXPECT_EQ(captured_, "[ERROR] boom\n");
+}
+
+TEST_F(LogTest, LevelFiltersBeforeBuffering)
+{
+    setLogLevel(LogLevel::Warn);
+    logDebug("hidden");
+    logInfo("hidden too");
+    EXPECT_EQ(pendingLogBytes(), 0u);
+    setLogLevel(LogLevel::Silent);
+    logError("also hidden");
+    flushLogs();
+    EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, SwappingTheSinkFlushesToTheOldSinkFirst)
+{
+    logInfo("belongs to old sink");
+    std::string second;
+    setLogSink([&second](const std::string &text) { second += text; });
+    flushLogs();
+    EXPECT_EQ(captured_, "[INFO] belongs to old sink\n");
+    EXPECT_TRUE(second.empty());
+    logWarn("belongs to new sink");
+    EXPECT_EQ(second, "[WARN] belongs to new sink\n");
+    setLogSink(nullptr);
+}
+
+TEST(LogLevelNameTest, ParsesKnownNamesCaseInsensitively)
+{
+    EXPECT_EQ(logLevelFromName("quiet"), LogLevel::Silent);
+    EXPECT_EQ(logLevelFromName("silent"), LogLevel::Silent);
+    EXPECT_EQ(logLevelFromName("ERROR"), LogLevel::Error);
+    EXPECT_EQ(logLevelFromName("Warn"), LogLevel::Warn);
+    EXPECT_EQ(logLevelFromName("warning"), LogLevel::Warn);
+    EXPECT_EQ(logLevelFromName("info"), LogLevel::Info);
+    EXPECT_EQ(logLevelFromName("DEBUG"), LogLevel::Debug);
+    EXPECT_FALSE(logLevelFromName("verbose").has_value());
+    EXPECT_FALSE(logLevelFromName("").has_value());
+}
+
+/**
+ * Regression: buffered Info lines written right before the watchdog
+ * abandoned a shard used to sit in the line buffer forever — the
+ * campaign returned without another Warn/Error to drain them, so the
+ * abandonment context was silently lost. The abandonment path now
+ * calls flushLogs(); everything queued before the deadline fired must
+ * be visible in the sink once run() returns.
+ */
+TEST_F(LogTest, WatchdogAbandonmentFlushesBufferedLines)
+{
+    logInfo("context line before the campaign");
+    ASSERT_GT(pendingLogBytes(), 0u);
+
+    CampaignConfig config;
+    config.dialect = "sqlite-like";
+    config.checks = 1u << 20; // would run far past the deadline
+    config.setupStatements = 20;
+    config.deadlineSeconds = 0.05;
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    ASSERT_EQ(stats.shardsAbandoned, 1u);
+
+    EXPECT_EQ(pendingLogBytes(), 0u)
+        << "abandonment must flush the buffer";
+    EXPECT_NE(captured_.find("context line before the campaign"),
+              std::string::npos);
+    EXPECT_NE(captured_.find("abandoning shard"), std::string::npos)
+        << "the abandonment warning itself should be in the sink; "
+           "got: " << captured_;
+}
+
+} // namespace
+} // namespace sqlpp
