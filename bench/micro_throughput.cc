@@ -80,6 +80,88 @@ BM_ExecuteJoinAggregate(benchmark::State &state)
 }
 BENCHMARK(BM_ExecuteJoinAggregate);
 
+/**
+ * Scan-heavy batch-vs-row pair: one pre-parsed SELECT with a selective
+ * WHERE and arithmetic projection over a 4096-row table, executed
+ * through the row pipeline (mode = Optimized) and the columnar batch
+ * pipeline (mode = Batch). Both run the identical plan; the ratio
+ * prices the per-row evaluator recursion the kernels amortize.
+ * Recorded in EXPERIMENTS.md ("Batch execution throughput").
+ */
+void
+scanFilterBench(benchmark::State &state, ExecMode mode)
+{
+    Database db;
+    (void)db.execute("CREATE TABLE t0 (c0 INT, c1 INT)");
+    std::string insert = "INSERT INTO t0 VALUES ";
+    for (int i = 0; i < 4096; ++i) {
+        if (i > 0)
+            insert += ", ";
+        insert += "(" + std::to_string(i) + ", " +
+                  std::to_string(i % 97) + ")";
+    }
+    (void)db.execute(insert);
+    auto parsed = parseStatement(
+        "SELECT c0 + c1, c0 * 2 FROM t0 "
+        "WHERE c0 % 3 = 0 AND c1 < 50 AND c0 + c1 > 10");
+    for (auto _ : state) {
+        auto result = db.executeStmt(*parsed.value(), mode);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_ScanFilterRow(benchmark::State &state)
+{
+    scanFilterBench(state, ExecMode::Optimized);
+}
+BENCHMARK(BM_ScanFilterRow);
+
+void
+BM_ScanFilterBatch(benchmark::State &state)
+{
+    scanFilterBench(state, ExecMode::Batch);
+}
+BENCHMARK(BM_ScanFilterBatch);
+
+/** Projection-only variant: no WHERE, every row flows to PROJ. */
+void
+projectBench(benchmark::State &state, ExecMode mode)
+{
+    Database db;
+    (void)db.execute("CREATE TABLE t0 (c0 INT, c1 INT)");
+    std::string insert = "INSERT INTO t0 VALUES ";
+    for (int i = 0; i < 4096; ++i) {
+        if (i > 0)
+            insert += ", ";
+        insert += "(" + std::to_string(i) + ", " +
+                  std::to_string(4096 - i) + ")";
+    }
+    (void)db.execute(insert);
+    auto parsed = parseStatement(
+        "SELECT c0 + c1, c0 - c1, c0 * c1 % 1000 FROM t0");
+    for (auto _ : state) {
+        auto result = db.executeStmt(*parsed.value(), mode);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_ProjectRow(benchmark::State &state)
+{
+    projectBench(state, ExecMode::Optimized);
+}
+BENCHMARK(BM_ProjectRow);
+
+void
+BM_ProjectBatch(benchmark::State &state)
+{
+    projectBench(state, ExecMode::Batch);
+}
+BENCHMARK(BM_ProjectBatch);
+
 void
 BM_GenerateStatement(benchmark::State &state)
 {

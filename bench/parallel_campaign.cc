@@ -215,6 +215,48 @@ main(int argc, char **argv)
                     (unsigned long long)report.merged.resourceErrors);
     }
 
+    bench::section("execution pipeline: batch vs row");
+    // Same seed, same shard layout, same plans — only the execution
+    // pipeline changes. The merged stats must agree across modes (the
+    // mode-invariance contract core_batch_determinism_test pins); the
+    // statements/s column is the ISSUE's throughput figure, derived
+    // from the connection.statements counter delta over drain time.
+    std::printf("%10s %7s %9s %10s %12s %6s %7s\n", "mode", "workers",
+                "drain(s)", "checks/s", "stmts/s", "bugs", "plans");
+    bool modes_agree = true;
+    ScheduleReport row_baseline;
+    for (ExecMode exec_mode : {ExecMode::Optimized, ExecMode::Batch}) {
+        for (size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+            SchedulerConfig config = checkpointed_config(workers);
+            config.campaign.execMode = exec_mode;
+            uint64_t statements_before =
+                MetricsRegistry::instance().counterTotal(
+                    "connection.statements");
+            ScheduleReport report = CampaignScheduler(config).run();
+            uint64_t statements =
+                MetricsRegistry::instance().counterTotal(
+                    "connection.statements") -
+                statements_before;
+            double stmts_per_sec =
+                report.queueDrainSeconds > 0.0
+                    ? statements / report.queueDrainSeconds
+                    : 0.0;
+            if (exec_mode == ExecMode::Optimized && workers == 1)
+                row_baseline = report;
+            else
+                modes_agree &=
+                    sameMerged(row_baseline.merged, report.merged);
+            std::printf("%10s %7zu %9.3f %10.0f %12.0f %6llu %7zu\n",
+                        execModeName(exec_mode), workers,
+                        report.queueDrainSeconds,
+                        report.checksPerSecond(), stmts_per_sec,
+                        (unsigned long long)report.merged.bugsDetected,
+                        report.merged.planFingerprints.size());
+        }
+    }
+    std::printf("merged stats identical across modes and workers: %s\n",
+                modes_agree ? "OK" : "MISMATCH");
+
     bench::section("campaign metrics (whole sweep)");
     std::fputs(metricsSummaryTable().c_str(), stdout);
     if (!metrics_out.empty()) {
@@ -224,7 +266,7 @@ main(int argc, char **argv)
     }
 
     return (slice_deterministic && fleet_deterministic &&
-            checkpoint_deterministic)
+            checkpoint_deterministic && modes_agree)
                ? 0
                : 1;
 }

@@ -9,30 +9,44 @@
 #                     main build, then compile-check a tree configured
 #                     with -DSQLPP_TRACE=OFF (the hooks must vanish
 #                     cleanly, not bit-rot).
-#   4. asan lane    — rebuild in a separate tree with
+#   4. batch lanes  — compile-check a tree configured with
+#                     -DSQLPP_BATCH=OFF (the row-only degradation must
+#                     keep building), run its unit lane (proves the
+#                     gated call sites degrade to row execution, not
+#                     just compile), and snapshot the batch-vs-row
+#                     micro benchmarks to BENCH_batch.json.
+#   5. asan lane    — rebuild in a separate tree with
 #                     -DSQLPP_SANITIZE=address and rerun the unit lane
-#                     under AddressSanitizer.
+#                     under AddressSanitizer. The main build keeps
+#                     SQLPP_BATCH=ON (the default), so the full suite —
+#                     including the 200-seed batch differential — runs
+#                     the vectorized kernels; the asan tree inherits the
+#                     same default and sanitizes them too.
 #
-# Usage: scripts/tier1.sh [--unit-only] [--no-asan] [--no-trace] [-j N]
+# Usage: scripts/tier1.sh [--unit-only] [--no-asan] [--no-trace]
+#                         [--no-batch] [-j N]
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
 ASAN_BUILD="$ROOT/build-asan"
 NOTRACE_BUILD="$ROOT/build-notrace"
+NOBATCH_BUILD="$ROOT/build-nobatch"
 JOBS=4
 RUN_FULL=1
 RUN_ASAN=1
 RUN_TRACE=1
+RUN_BATCH=1
 
 while [ $# -gt 0 ]; do
     case "$1" in
-      --unit-only) RUN_FULL=0; RUN_ASAN=0; RUN_TRACE=0 ;;
+      --unit-only) RUN_FULL=0; RUN_ASAN=0; RUN_TRACE=0; RUN_BATCH=0 ;;
       --no-asan) RUN_ASAN=0 ;;
       --no-trace) RUN_TRACE=0 ;;
+      --no-batch) RUN_BATCH=0 ;;
       -j) JOBS="$2"; shift ;;
-      *) echo "usage: $0 [--unit-only] [--no-asan] [--no-trace] [-j N]" \
-             >&2; exit 2 ;;
+      *) echo "usage: $0 [--unit-only] [--no-asan] [--no-trace]" \
+             "[--no-batch] [-j N]" >&2; exit 2 ;;
     esac
     shift
 done
@@ -61,6 +75,23 @@ if [ "$RUN_TRACE" -eq 1 ]; then
     cmake --build "$NOTRACE_BUILD" -j "$JOBS"
 fi
 
+if [ "$RUN_BATCH" -eq 1 ]; then
+    echo "== tier1: -DSQLPP_BATCH=OFF lane =="
+    cmake -B "$NOBATCH_BUILD" -S "$ROOT" -DSQLPP_BATCH=OFF >/dev/null
+    cmake --build "$NOBATCH_BUILD" -j "$JOBS"
+    # Unit suites must pass with every batch call site compiled out:
+    # ExecMode::Batch then degrades to row execution identical to
+    # Optimized, and the kernel-engagement test skips itself.
+    ctest --test-dir "$NOBATCH_BUILD" -L unit --output-on-failure \
+        -j "$JOBS" --timeout 300
+
+    echo "== tier1: batch throughput snapshot =="
+    "$BUILD/bench/micro_throughput" \
+        --benchmark_filter='ScanFilter|Project' \
+        --benchmark_out="$ROOT/BENCH_batch.json" \
+        --benchmark_out_format=json
+fi
+
 if [ "$RUN_ASAN" -eq 1 ]; then
     echo "== tier1: asan unit lane =="
     cmake -B "$ASAN_BUILD" -S "$ROOT" -DSQLPP_SANITIZE=address \
@@ -68,6 +99,14 @@ if [ "$RUN_ASAN" -eq 1 ]; then
     cmake --build "$ASAN_BUILD" -j "$JOBS"
     ctest --test-dir "$ASAN_BUILD" -L unit --output-on-failure \
         -j "$JOBS" --timeout 300
+    if [ "$RUN_BATCH" -eq 1 ]; then
+        # Drive the vectorized kernels through the 200-seed batch
+        # differential under AddressSanitizer: selection vectors and
+        # column scratch buffers are exactly the kind of indexed
+        # hot-loop code ASan exists for.
+        ctest --test-dir "$ASAN_BUILD" -R EngineBatchDifferentialTest \
+            --output-on-failure --timeout 300
+    fi
 fi
 
 echo "== tier1: OK =="

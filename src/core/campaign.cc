@@ -142,6 +142,16 @@ CampaignRunner::run()
     ConnectionOptions connection_options;
     connection_options.budget = config_.budget;
     connection_options.refreshRetry = config_.refreshRetry;
+    connection_options.execMode = config_.execMode;
+    SQLPP_GAUGE_SET("campaign.exec.mode",
+                    static_cast<int64_t>(config_.execMode));
+    // Legacy traces must stay byte-identical, so the mode event is only
+    // recorded for non-default modes.
+    if (config_.execMode != ExecMode::Optimized) {
+        SQLPP_TRACE_EVENT(ExecModeSelected,
+                          execModeName(config_.execMode),
+                          static_cast<uint64_t>(config_.execMode), 0);
+    }
     // Budget and retry counters live in the connection; fold them into
     // the stats before a connection is replaced (rebuild) or dropped.
     auto collect_counters = [&stats](const Connection &connection) {
@@ -235,6 +245,7 @@ CampaignRunner::run()
             BugCase bug;
             bug.dialect = profile.name;
             bug.oracle = oracle->name();
+            bug.execMode = execModeName(config_.execMode);
             bug.setup = setup_log;
             bug.baseText = printSelect(*shape->base);
             bug.predicateText = printExpr(*shape->predicate);
@@ -289,7 +300,12 @@ bool
 CampaignRunner::reproduces(const DialectProfile &profile,
                            const BugCase &bug, OracleResult *replayed)
 {
-    Connection connection(profile);
+    // Replay under the execution mode the bug was found with: a bug in
+    // a batch-only code path would vanish under a row-mode replay.
+    ConnectionOptions options;
+    if (!bug.execMode.empty())
+        (void)parseExecMode(bug.execMode, options.execMode);
+    Connection connection(profile, options);
     for (const std::string &statement : bug.setup)
         (void)connection.executeAdapted(statement);
     auto oracle = makeOracle(bug.oracle);

@@ -70,6 +70,13 @@ struct CampaignConfig
     /** Retry policy for transient REFRESH failures. */
     RefreshRetryPolicy refreshRetry;
     /**
+     * Execution pipeline for every connection the campaign opens.
+     * Batch is result- and stats-identical to Optimized on fault-free
+     * dialects (the batch differential lane pins this); it exists to
+     * scale statements/sec, the paper's throughput bottleneck.
+     */
+    ExecMode execMode = ExecMode::Optimized;
+    /**
      * Watchdog: abandon the campaign after this many wall-clock
      * seconds (0 = no deadline). An abandoned campaign returns the
      * stats gathered so far and sets CampaignStats::shardsAbandoned.

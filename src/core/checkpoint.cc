@@ -106,6 +106,7 @@ checkpointShard(const CampaignStats &stats,
         std::string prefix = "bug." + std::to_string(j) + ".";
         payload.put(prefix + "dialect", bug.dialect);
         payload.put(prefix + "oracle", bug.oracle);
+        payload.put(prefix + "mode", bug.execMode);
         payload.put(prefix + "base", bug.baseText);
         payload.put(prefix + "predicate", bug.predicateText);
         payload.put(prefix + "details", bug.details);
@@ -251,6 +252,8 @@ restoreShard(const KvStore &payload,
         BugCase bug;
         bug.dialect = *dialect;
         bug.oracle = *oracle;
+        // Legacy checkpoints predate the field; empty means optimized.
+        bug.execMode = payload.get(prefix + "mode").value_or("");
         bug.baseText = *base;
         bug.predicateText = *predicate;
         bug.details = payload.get(prefix + "details").value_or("");

@@ -72,6 +72,7 @@ renderDossierJson(const std::string &id, const BugCase &bug,
     out += "  \"id\": \"" + id + "\",\n";
     out += "  \"dialect\": \"" + jsonEscapeText(bug.dialect) + "\",\n";
     out += "  \"oracle\": \"" + jsonEscapeText(bug.oracle) + "\",\n";
+    out += "  \"execMode\": \"" + jsonEscapeText(bug.execMode) + "\",\n";
     out += "  \"base\": \"" + jsonEscapeText(bug.baseText) + "\",\n";
     out += "  \"predicate\": \"" + jsonEscapeText(bug.predicateText) +
            "\",\n";
@@ -160,6 +161,8 @@ renderReproSql(const BugCase &bug)
     out += "-- sqlancerpp repro " + bugCaseId(bug) + "\n";
     out += "-- dialect: " + bug.dialect + "\n";
     out += "-- oracle: " + bug.oracle + "\n";
+    if (!bug.execMode.empty())
+        out += "-- mode: " + bug.execMode + "\n";
     out += "-- base: " + bug.baseText + "\n";
     out += "-- predicate: " + bug.predicateText + "\n";
     out += "\n";
@@ -200,6 +203,8 @@ parseReproFile(const std::string &path)
                 bug.dialect = *value;
             else if (auto value = metadata("oracle"))
                 bug.oracle = *value;
+            else if (auto value = metadata("mode"))
+                bug.execMode = *value;
             else if (auto value = metadata("base"))
                 bug.baseText = *value;
             else if (auto value = metadata("predicate"))

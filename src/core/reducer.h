@@ -27,6 +27,13 @@ struct BugCase
     std::string dialect;
     /** Oracle that flagged it ("TLP" / "NOREC"). */
     std::string oracle;
+    /**
+     * execModeName() of the pipeline the bug was found under; empty in
+     * legacy cases and treated as "optimized" on replay. A string (not
+     * ExecMode) so replaying a dossier survives unknown future modes.
+     * Excluded from bugCaseId so case identity is mode-independent.
+     */
+    std::string execMode;
     /** DDL/DML statements that rebuild the database state. */
     std::vector<std::string> setup;
     /** The predicate-free base query (SELECT ... FROM ...). */
@@ -48,7 +55,8 @@ struct BugCase
     operator==(const BugCase &other) const
     {
         return dialect == other.dialect && oracle == other.oracle &&
-               setup == other.setup && baseText == other.baseText &&
+               execMode == other.execMode && setup == other.setup &&
+               baseText == other.baseText &&
                predicateText == other.predicateText &&
                featureNames == other.featureNames &&
                details == other.details && queries == other.queries;

@@ -34,12 +34,13 @@ describeShard(const CampaignConfig &config)
     const GeneratorConfig &g = config.generator;
     const FeedbackConfig &f = config.feedback;
     return format(
-        "%s|%llu|%d|%s|%zu|%zu|%zu|%d|%d|%llu|%llu|%llu|%g|%d|"
+        "%s|%llu|%d|%d|%s|%zu|%zu|%zu|%d|%d|%llu|%llu|%llu|%g|%d|"
         "%llu|%d|%d|%llu|%zu|%zu|%zu|%zu|%zu|%zu|%d|%g|"
         "%d|%g|%g|%llu|%llu",
         config.dialect.c_str(),
         static_cast<unsigned long long>(config.seed),
         static_cast<int>(config.mode),
+        static_cast<int>(config.execMode),
         join(config.oracles, ",").c_str(), config.setupStatements,
         config.checks, config.rebuildEvery,
         config.reduce ? 1 : 0, config.disableFaults ? 1 : 0,

@@ -99,7 +99,7 @@ Connection::handleRefresh(const std::string &table)
             keep.push_back(std::move(insert));
             continue;
         }
-        auto flushed = db_->executeStmt(*insert, ExecMode::Optimized);
+        auto flushed = db_->executeStmt(*insert, options_.execMode);
         if (!flushed.isOk()) {
             // Stop at the first failure: the failing INSERT is
             // consumed (its verdict is this error), but inserts that
@@ -166,7 +166,7 @@ Connection::executeInternal(const std::string &sql)
         return s;
 
     if (stmt.kind() == StmtKind::Select) {
-        auto result = db_->executeStmt(stmt, ExecMode::Optimized);
+        auto result = db_->executeStmt(stmt, options_.execMode);
         // Only completed executions count as explored plans (failed
         // statements never finish a plan; counting them would let
         // invalid queries inflate the Fig. 8 metric).
@@ -187,7 +187,7 @@ Connection::executeInternal(const std::string &sql)
             static_cast<InsertStmt *>(clone.release()));
         return ResultSet(std::vector<std::string>{});
     }
-    return db_->executeStmt(stmt, ExecMode::Optimized);
+    return db_->executeStmt(stmt, options_.execMode);
 }
 
 StatusOr<ResultSet>

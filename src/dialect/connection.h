@@ -45,6 +45,8 @@ struct ConnectionOptions
     /** Per-statement execution budget for the underlying engine. */
     StepBudget budget;
     RefreshRetryPolicy refreshRetry;
+    /** Execution pipeline every statement on this session runs under. */
+    ExecMode execMode = ExecMode::Optimized;
 };
 
 /** One open session against one dialect's DBMS instance. */

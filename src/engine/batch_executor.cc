@@ -1,0 +1,235 @@
+#include "engine/batch_executor.h"
+
+#include <algorithm>
+
+#include "util/metrics.h"
+
+namespace sqlpp {
+
+namespace {
+
+using RowPredicate =
+    std::function<StatusOr<bool>(const Expr &, const Row &)>;
+
+/** The row path's PFILT/FILT loop over input[begin, end). */
+Status
+filterRowsByRow(const std::vector<const Expr *> &conjuncts,
+                const std::vector<Row> &input, size_t begin, size_t end,
+                const RowPredicate &rowPredicate, std::vector<Row> &out)
+{
+    for (size_t i = begin; i < end; ++i) {
+        const Row &row = input[i];
+        bool keep = true;
+        for (const Expr *conjunct : conjuncts) {
+            auto result = rowPredicate(*conjunct, row);
+            if (!result.isOk())
+                return result.status();
+            if (!result.value()) {
+                keep = false;
+                break;
+            }
+        }
+        if (keep)
+            out.push_back(row);
+    }
+    return Status::ok();
+}
+
+VecEvalContext
+chunkContext(const BatchExprEnv &env, const Row *const *rows, size_t n)
+{
+    VecEvalContext ctx;
+    ctx.rows = rows;
+    ctx.laneCount = n;
+    ctx.behavior = env.behavior;
+    ctx.budget = env.budget;
+    return ctx;
+}
+
+} // namespace
+
+Status
+batchFilterRows(const BatchExprEnv &env,
+                const std::vector<const Expr *> &conjuncts,
+                const std::vector<Row> &input,
+                const RowPredicate &rowPredicate, std::vector<Row> &out)
+{
+    out.clear();
+    std::vector<VecExprPtr> kernels;
+    kernels.reserve(conjuncts.size());
+    for (const Expr *conjunct : conjuncts) {
+        VecExprPtr kernel = compileVecExpr(*conjunct, *env.scope,
+                                           *env.behavior, *env.faults);
+        if (kernel == nullptr) {
+            SQLPP_COUNT("campaign.exec.batch.filter.fallback");
+            SQLPP_COUNT_N("campaign.exec.batch.rows.fallback",
+                          input.size());
+            return filterRowsByRow(conjuncts, input, 0, input.size(),
+                                   rowPredicate, out);
+        }
+        kernels.push_back(std::move(kernel));
+    }
+    SQLPP_COUNT("campaign.exec.batch.filter.compiled");
+
+    std::vector<const Row *> rows(kBatchRows);
+    SelVector sel;
+    SelVector survivors;
+    VecColumn truth;
+    for (size_t base = 0; base < input.size(); base += kBatchRows) {
+        size_t n = std::min(kBatchRows, input.size() - base);
+        SQLPP_COUNT("campaign.exec.batch.chunks");
+        for (size_t i = 0; i < n; ++i)
+            rows[i] = &input[base + i];
+        VecEvalContext ctx = chunkContext(env, rows.data(), n);
+        selectAll(sel, n);
+        VecStatus st = VecStatus::Ok;
+        for (const VecExprPtr &kernel : kernels) {
+            // The row path never evaluates a later conjunct for a
+            // dropped row; an empty selection means no lane is left.
+            if (sel.empty())
+                break;
+            st = kernel->eval(ctx, sel, truth);
+            if (st != VecStatus::Ok)
+                break;
+            survivors.clear();
+            for (uint32_t lane : sel) {
+                // Kernels only run fault-free, so a NULL predicate
+                // always drops the row (no WhereNullAsTrue).
+                if (!truth.isNull(lane) &&
+                    *valueTruth(truth.values[lane])) {
+                    survivors.push_back(lane);
+                }
+            }
+            sel.swap(survivors);
+        }
+        if (st == VecStatus::Budget)
+            return ctx.budgetError;
+        if (st == VecStatus::RowError) {
+            // Re-run the whole chunk row-at-a-time: the row evaluator
+            // surfaces the chunk's first error in row order, which may
+            // be an earlier row than the lane the kernel tripped on.
+            SQLPP_COUNT_N("campaign.exec.batch.rows.fallback", n);
+            Status s = filterRowsByRow(conjuncts, input, base, base + n,
+                                       rowPredicate, out);
+            if (!s.isOk())
+                return s;
+            continue;
+        }
+        SQLPP_COUNT_N("campaign.exec.batch.rows.kernel", n);
+        for (uint32_t lane : sel)
+            out.push_back(input[base + lane]);
+    }
+    return Status::ok();
+}
+
+StatusOr<bool>
+batchProjectRows(const BatchExprEnv &env, const SelectStmt &select,
+                 const std::vector<Row> &input,
+                 const std::function<Status(const Row &)> &projectRow,
+                 ResultSet &result,
+                 std::vector<std::vector<Value>> &sortKeys)
+{
+    // Compile every projected item and every sort key up front; any
+    // refusal sends the whole projection to the row loop (which also
+    // owns the "SELECT * without FROM" error).
+    struct Item
+    {
+        bool star = false;
+        VecExprPtr kernel;
+    };
+    std::vector<Item> items;
+    items.reserve(select.items.size());
+    for (const SelectItem &item : select.items) {
+        Item compiled;
+        if (item.star) {
+            if (env.scope->bindings.empty())
+                return false;
+            compiled.star = true;
+        } else {
+            compiled.kernel = compileVecExpr(*item.expr, *env.scope,
+                                             *env.behavior, *env.faults);
+            if (compiled.kernel == nullptr) {
+                SQLPP_COUNT("campaign.exec.batch.project.fallback");
+                SQLPP_COUNT_N("campaign.exec.batch.rows.fallback",
+                              input.size());
+                return false;
+            }
+        }
+        items.push_back(std::move(compiled));
+    }
+    std::vector<VecExprPtr> order_kernels;
+    order_kernels.reserve(select.orderBy.size());
+    for (const OrderTerm &term : select.orderBy) {
+        VecExprPtr kernel = compileVecExpr(*term.expr, *env.scope,
+                                           *env.behavior, *env.faults);
+        if (kernel == nullptr) {
+            SQLPP_COUNT("campaign.exec.batch.project.fallback");
+            SQLPP_COUNT_N("campaign.exec.batch.rows.fallback",
+                          input.size());
+            return false;
+        }
+        order_kernels.push_back(std::move(kernel));
+    }
+    SQLPP_COUNT("campaign.exec.batch.project.compiled");
+
+    std::vector<const Row *> rows(kBatchRows);
+    SelVector sel;
+    std::vector<VecColumn> item_cols(items.size());
+    std::vector<VecColumn> order_cols(order_kernels.size());
+    for (size_t base = 0; base < input.size(); base += kBatchRows) {
+        size_t n = std::min(kBatchRows, input.size() - base);
+        SQLPP_COUNT("campaign.exec.batch.chunks");
+        for (size_t i = 0; i < n; ++i)
+            rows[i] = &input[base + i];
+        VecEvalContext ctx = chunkContext(env, rows.data(), n);
+        selectAll(sel, n);
+        VecStatus st = VecStatus::Ok;
+        for (size_t i = 0; i < items.size() && st == VecStatus::Ok; ++i) {
+            if (!items[i].star)
+                st = items[i].kernel->eval(ctx, sel, item_cols[i]);
+        }
+        for (size_t k = 0;
+             k < order_kernels.size() && st == VecStatus::Ok; ++k) {
+            st = order_kernels[k]->eval(ctx, sel, order_cols[k]);
+        }
+        if (st == VecStatus::Budget)
+            return ctx.budgetError;
+        if (st == VecStatus::RowError) {
+            // Nothing was emitted for this chunk yet; the row re-run
+            // reproduces the first error (or emits the chunk, if the
+            // error lane turns out to be unreachable in row order).
+            SQLPP_COUNT_N("campaign.exec.batch.rows.fallback", n);
+            for (size_t i = 0; i < n; ++i) {
+                if (Status s = projectRow(input[base + i]); !s.isOk())
+                    return s;
+            }
+            continue;
+        }
+        SQLPP_COUNT_N("campaign.exec.batch.rows.kernel", n);
+        for (uint32_t lane : sel) {
+            Row out_row;
+            for (size_t i = 0; i < items.size(); ++i) {
+                if (items[i].star) {
+                    const Row &in_row = *rows[lane];
+                    out_row.insert(out_row.end(), in_row.begin(),
+                                   in_row.end());
+                } else {
+                    out_row.push_back(item_cols[i].at(lane));
+                }
+            }
+            if (Status s = env.budget->chargeRows(1); !s.isOk())
+                return s;
+            result.addRow(std::move(out_row));
+            if (!order_kernels.empty()) {
+                std::vector<Value> keys;
+                keys.reserve(order_kernels.size());
+                for (const VecColumn &col : order_cols)
+                    keys.push_back(col.at(lane));
+                sortKeys.push_back(std::move(keys));
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace sqlpp

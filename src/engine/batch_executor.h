@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Batch-at-a-time operators for ExecMode::Batch.
+ *
+ * These are the three hot loops the batch path accelerates — predicate
+ * filtering (SCAN/PFILT/FILT) and projection with sort-key evaluation
+ * (PROJ) — expressed over chunks of kBatchRows rows with vectorized
+ * expression kernels (engine/vec_eval.h). Everything else in the
+ * executor (joins, aggregation, DISTINCT, SORT, index probes) is shared
+ * row code: the batch mode plans exactly like Optimized, so its plan
+ * fingerprints, notes, and coverage atoms are Optimized's.
+ *
+ * Fallback contract: when the kernel compiler refuses an expression
+ * (subqueries, CASE, functions, faults, correlated refs) the operator
+ * runs the caller-supplied row callback for the whole input, preserving
+ * row-path behavior bit-for-bit. When a kernel reports a lane error the
+ * affected chunk is re-run row-at-a-time from scratch, which reproduces
+ * the row path's first error in the row path's order (error-path chunks
+ * are charged twice against the budget; see EXPERIMENTS.md).
+ */
+#ifndef SQLPP_ENGINE_BATCH_EXECUTOR_H
+#define SQLPP_ENGINE_BATCH_EXECUTOR_H
+
+#include <functional>
+#include <vector>
+
+#include "engine/budget.h"
+#include "engine/eval.h"
+#include "engine/faults.h"
+#include "engine/vec_eval.h"
+#include "sqlir/ast.h"
+#include "util/status.h"
+
+namespace sqlpp {
+
+/** Inputs shared by every batch operator. */
+struct BatchExprEnv
+{
+    const Scope *scope = nullptr;
+    const EngineBehavior *behavior = nullptr;
+    const FaultSet *faults = nullptr;
+    BudgetMeter *budget = nullptr;
+};
+
+/**
+ * Filter @p input by the AND of @p conjuncts into @p out (copies of the
+ * surviving rows, in input order). @p rowPredicate must implement the
+ * row path's exact keep/drop semantics for one conjunct against one row
+ * (i.e. Executor::predicateKeeps); it is used when compilation is
+ * refused and when a chunk needs an error re-run.
+ */
+Status batchFilterRows(
+    const BatchExprEnv &env, const std::vector<const Expr *> &conjuncts,
+    const std::vector<Row> &input,
+    const std::function<StatusOr<bool>(const Expr &, const Row &)>
+        &rowPredicate,
+    std::vector<Row> &out);
+
+/**
+ * Project @p input through @p select's items (and evaluate its ORDER BY
+ * keys) into @p result / @p sortKeys. Returns false — with no work done
+ * and no budget charged — when any item or sort key is outside the
+ * kernel subset; the caller then runs its row loop. @p projectRow must
+ * implement the row path's per-row projection + sort-key evaluation and
+ * is used for error re-runs.
+ */
+StatusOr<bool> batchProjectRows(
+    const BatchExprEnv &env, const SelectStmt &select,
+    const std::vector<Row> &input,
+    const std::function<Status(const Row &)> &projectRow,
+    ResultSet &result, std::vector<std::vector<Value>> &sortKeys);
+
+} // namespace sqlpp
+
+#endif // SQLPP_ENGINE_BATCH_EXECUTOR_H

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "engine/batch_executor.h"
 #include "engine/functions.h"
 #include "sqlir/printer.h"
 #include "util/coverage.h"
@@ -210,6 +211,35 @@ foldChildren(const Expr &expr, const EngineBehavior &behavior,
 
 } // namespace
 
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Optimized: return "optimized";
+      case ExecMode::Reference: return "reference";
+      case ExecMode::Batch: return "batch";
+    }
+    return "optimized";
+}
+
+bool
+parseExecMode(const std::string &name, ExecMode &out)
+{
+    if (name == "optimized") {
+        out = ExecMode::Optimized;
+        return true;
+    }
+    if (name == "reference") {
+        out = ExecMode::Reference;
+        return true;
+    }
+    if (name == "batch") {
+        out = ExecMode::Batch;
+        return true;
+    }
+    return false;
+}
+
 Executor::Executor(const Catalog &catalog, const EngineBehavior &behavior,
                    const FaultSet &faults, ExecMode mode,
                    BudgetMeter *budget)
@@ -353,7 +383,9 @@ Executor::runSubquery(const SelectStmt &select, const EvalContext *outer)
 StatusOr<ResultSet>
 Executor::runSelect(const SelectStmt &select, const EvalContext *outer)
 {
-    note(mode_ == ExecMode::Optimized ? "OPT" : "REF");
+    // Batch mode plans exactly like Optimized (same notes, same plan
+    // fingerprints); only the filter/project inner loops differ.
+    note(mode_ == ExecMode::Reference ? "REF" : "OPT");
     return runSelectImpl(select, outer);
 }
 
@@ -422,7 +454,7 @@ Executor::applySourceFilters(Source &source,
     enum class ProbeOp { Eq, Gt, Ge, Lt, Le, IsNull } probe_op = ProbeOp::Eq;
     Value probe_key;
 
-    if (is_base && mode_ == ExecMode::Optimized) {
+    if (is_base && mode_ != ExecMode::Reference) {
         for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
             const Expr &conjunct = *conjuncts[ci];
             const ColumnRefExpr *col = nullptr;
@@ -588,6 +620,19 @@ Executor::applySourceFilters(Source &source,
             !s.isOk()) {
             return s;
         }
+#ifndef SQLPP_NO_BATCH
+        if (mode_ == ExecMode::Batch && !conjuncts.empty()) {
+            // Lazy materialization: filter the stored rows in place and
+            // copy only the survivors, instead of the row path's full
+            // table copy followed by a second survivor copy. Notes and
+            // budget charges are identical to the SCAN+PFILT pair.
+            SQLPP_COVER("exec.access.pushed_filter");
+            note(format("PFILT(%s,%zu)", source.binding.c_str(),
+                        conjuncts.size()));
+            return batchFilterInto(table->rows, conjuncts, scope, outer,
+                                   source.rows);
+        }
+#endif
         source.rows = table->rows;
     }
 
@@ -596,6 +641,18 @@ Executor::applySourceFilters(Source &source,
     SQLPP_COVER("exec.access.pushed_filter");
     note(format("PFILT(%s,%zu)", source.binding.c_str(),
                 conjuncts.size()));
+#ifndef SQLPP_NO_BATCH
+    if (mode_ == ExecMode::Batch) {
+        std::vector<Row> kept;
+        if (Status s = batchFilterInto(source.rows, conjuncts, scope,
+                                       outer, kept);
+            !s.isOk()) {
+            return s;
+        }
+        source.rows = std::move(kept);
+        return Status::ok();
+    }
+#endif
     std::vector<Row> kept;
     for (const Row &row : source.rows) {
         bool keep = true;
@@ -637,6 +694,26 @@ Executor::predicateKeeps(const Expr &predicate, const Scope &scope,
         return *truth;
     // NULL predicate: excluded, unless the WHERE fault is active.
     return where_clause && faults_.isEnabled(FaultId::WhereNullAsTrue);
+}
+
+Status
+Executor::batchFilterInto(const std::vector<Row> &input,
+                          const std::vector<const Expr *> &conjuncts,
+                          const Scope &scope, const EvalContext *outer,
+                          std::vector<Row> &out)
+{
+    BatchExprEnv env;
+    env.scope = &scope;
+    env.behavior = &behavior_;
+    env.faults = &faults_;
+    env.budget = budget_;
+    return batchFilterRows(
+        env, conjuncts, input,
+        [&](const Expr &conjunct, const Row &row) {
+            return predicateKeeps(conjunct, scope, row, outer,
+                                  /*where_clause=*/true);
+        },
+        out);
 }
 
 StatusOr<ResultSet>
@@ -712,20 +789,20 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
     std::vector<ExprPtr> extra_owned;
 
     if (select.where != nullptr) {
-        where_owned = mode_ == ExecMode::Optimized
+        where_owned = mode_ != ExecMode::Reference
                           ? constantFold(*select.where, behavior_, faults_)
                           : select.where->clone();
     }
     for (size_t j = 0; j < select.joins.size(); ++j) {
         if (select.joins[j].on == nullptr)
             continue;
-        on_owned[j] = mode_ == ExecMode::Optimized
+        on_owned[j] = mode_ != ExecMode::Reference
                           ? constantFold(*select.joins[j].on, behavior_,
                                          faults_)
                           : select.joins[j].on->clone();
     }
 
-    if (mode_ == ExecMode::Optimized) {
+    if (mode_ != ExecMode::Reference) {
         // Listing 4 fault: the "flattener" moves a RIGHT JOIN's ON term
         // into the WHERE clause, losing NULL-extended rows. The faulty
         // rewrite pass only runs when the query already has a WHERE
@@ -749,7 +826,7 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
     for (const ExprPtr &extra : extra_owned)
         where_conjuncts.push_back(extra.get());
 
-    if (mode_ == ExecMode::Optimized && !sources.empty()) {
+    if (mode_ != ExecMode::Reference && !sources.empty()) {
         // Predicate pushdown: route a conjunct to the one source it
         // references, when legal (or illegally, under the fault).
         std::vector<std::vector<const Expr *>> pushed(sources.size());
@@ -893,7 +970,7 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
         // Hash join: optimized mode, INNER or LEFT, ON is col = col
         // across the two sides.
         bool used_hash = false;
-        if (mode_ == ExecMode::Optimized && on != nullptr &&
+        if (mode_ != ExecMode::Reference && on != nullptr &&
             (join.type == JoinType::Inner ||
              join.type == JoinType::Left) &&
             on->kind() == ExprKind::Binary) {
@@ -1082,22 +1159,35 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
         SQLPP_COVER("exec.filter.where");
         note(format("FILT(%zu)", where_conjuncts.size()));
         std::vector<Row> kept;
-        for (const Row &row : current) {
-            bool keep = true;
-            for (const Expr *conjunct : where_conjuncts) {
-                auto result = predicateKeeps(*conjunct, scope, row, outer,
-                                             /*where_clause=*/true);
-                if (!result.isOk())
-                    return result.status();
-                if (!result.value()) {
-                    keep = false;
-                    break;
-                }
+#ifndef SQLPP_NO_BATCH
+        if (mode_ == ExecMode::Batch) {
+            if (Status s = batchFilterInto(current, where_conjuncts,
+                                           scope, outer, kept);
+                !s.isOk()) {
+                return s;
             }
-            if (keep)
-                kept.push_back(row);
+            current = std::move(kept);
+        } else
+#endif
+        {
+            for (const Row &row : current) {
+                bool keep = true;
+                for (const Expr *conjunct : where_conjuncts) {
+                    auto result =
+                        predicateKeeps(*conjunct, scope, row, outer,
+                                       /*where_clause=*/true);
+                    if (!result.isOk())
+                        return result.status();
+                    if (!result.value()) {
+                        keep = false;
+                        break;
+                    }
+                }
+                if (keep)
+                    kept.push_back(row);
+            }
+            current = std::move(kept);
         }
-        current = std::move(kept);
     }
 
     // ------------------------------------------------------------------
@@ -1259,13 +1349,38 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
             return Status::semanticError(
                 "HAVING requires GROUP BY or aggregates");
         }
-        for (const Row &row : current) {
-            EvalContext ctx = base_ctx();
-            ctx.row = &row;
-            if (Status s = project(ctx, result); !s.isOk())
-                return s;
-            if (Status s = eval_sort_keys(ctx); !s.isOk())
-                return s;
+        bool batch_projected = false;
+#ifndef SQLPP_NO_BATCH
+        if (mode_ == ExecMode::Batch) {
+            BatchExprEnv env;
+            env.scope = &scope;
+            env.behavior = &behavior_;
+            env.faults = &faults_;
+            env.budget = budget_;
+            auto batched = batchProjectRows(
+                env, select, current,
+                [&](const Row &row) -> Status {
+                    EvalContext ctx = base_ctx();
+                    ctx.row = &row;
+                    if (Status s = project(ctx, result); !s.isOk())
+                        return s;
+                    return eval_sort_keys(ctx);
+                },
+                result, sort_keys);
+            if (!batched.isOk())
+                return batched.status();
+            batch_projected = batched.value();
+        }
+#endif
+        if (!batch_projected) {
+            for (const Row &row : current) {
+                EvalContext ctx = base_ctx();
+                ctx.row = &row;
+                if (Status s = project(ctx, result); !s.isOk())
+                    return s;
+                if (Status s = eval_sort_keys(ctx); !s.isOk())
+                    return s;
+            }
         }
     }
 

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Vectorized expression kernels for the batch execution path.
+ *
+ * compileVecExpr() translates an expression tree into a tree of column
+ * kernels that evaluate one chunk of rows per virtual call instead of
+ * one recursive StatusOr round-trip per node per row. The compiler is
+ * deliberately partial: anything it cannot reproduce with *bit-exact*
+ * row-evaluator semantics — scalar/aggregate function calls, CASE,
+ * subqueries, correlated or unresolvable column references, and any
+ * engine with injected faults — is refused (nullptr), and the caller
+ * falls back to the shared row evaluator for the whole expression.
+ * Falling back is always correct; compiling is only a speedup.
+ *
+ * Error discipline: kernels do not construct Status messages. The first
+ * lane that would raise a runtime error (overflow, division by zero
+ * under strict behavior) aborts the chunk with VecStatus::RowError and
+ * the caller re-runs the chunk through the row evaluator, which then
+ * reports the identical first error in the identical row order. Budget
+ * exhaustion (VecStatus::Budget) is terminal and must not be re-run.
+ *
+ * Budget parity: every kernel charges one step per node per *active*
+ * lane at entry, and AND/OR narrow the selection exactly where the row
+ * evaluator short-circuits, so a chunk's total step charge equals the
+ * row path's — only the charge order within a chunk differs, which is
+ * the documented "± one batch" budget-tail semantics.
+ */
+#ifndef SQLPP_ENGINE_VEC_EVAL_H
+#define SQLPP_ENGINE_VEC_EVAL_H
+
+#include <memory>
+
+#include "engine/budget.h"
+#include "engine/eval.h"
+#include "engine/faults.h"
+#include "engine/vector.h"
+#include "sqlir/ast.h"
+#include "util/status.h"
+
+namespace sqlpp {
+
+/** Outcome of evaluating one kernel over one chunk. */
+enum class VecStatus
+{
+    Ok,
+    /** Some lane raised an eval error; re-run the chunk row-at-a-time. */
+    RowError,
+    /** Budget exhausted mid-chunk; terminal, see ctx.budgetError. */
+    Budget,
+};
+
+/** Per-chunk evaluation state shared by all kernels of one tree. */
+struct VecEvalContext
+{
+    /** lane -> borrowed source row. */
+    const Row *const *rows = nullptr;
+    /** Lanes in this chunk (buffer sizes, not the active selection). */
+    size_t laneCount = 0;
+    const EngineBehavior *behavior = nullptr;
+    /** Null = unmetered. */
+    BudgetMeter *budget = nullptr;
+    /** Set when a kernel returns VecStatus::Budget. */
+    Status budgetError;
+};
+
+/** One compiled kernel node. */
+class VecExpr
+{
+  public:
+    virtual ~VecExpr() = default;
+
+    /**
+     * Evaluate this expression for the lanes in @p sel, writing
+     * results into @p out (lane-indexed). Lanes outside @p sel are
+     * left stale. @p sel must be ascending.
+     */
+    virtual VecStatus eval(VecEvalContext &ctx, const SelVector &sel,
+                           VecColumn &out) const = 0;
+};
+
+using VecExprPtr = std::unique_ptr<VecExpr>;
+
+/**
+ * Compile @p expr against a single-frame scope. Returns nullptr when
+ * the expression (or the engine configuration) is outside the kernel
+ * subset; see the file comment for the refusal rules.
+ */
+VecExprPtr compileVecExpr(const Expr &expr, const Scope &scope,
+                          const EngineBehavior &behavior,
+                          const FaultSet &faults);
+
+} // namespace sqlpp
+
+#endif // SQLPP_ENGINE_VEC_EVAL_H

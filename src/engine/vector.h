@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Columnar batch primitives for the vectorized execution path.
+ *
+ * A VecColumn is one expression's (or column's) values for one chunk of
+ * up to kBatchRows rows: a payload vector plus a null bitmap, indexed by
+ * *lane* (the row's position within the chunk). A SelVector is an
+ * ascending list of active lanes; kernels only read and write lanes it
+ * names, which is how AND/OR short-circuiting is vectorized (the right
+ * operand runs on the narrowed selection instead of branching per row).
+ */
+#ifndef SQLPP_ENGINE_VECTOR_H
+#define SQLPP_ENGINE_VECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sqlir/value.h"
+
+namespace sqlpp {
+
+/** Rows per execution chunk on the batch path. */
+inline constexpr size_t kBatchRows = 1024;
+
+/** Ascending lane indices a kernel is active for. */
+using SelVector = std::vector<uint32_t>;
+
+/**
+ * One column vector: values plus a null bitmap.
+ *
+ * Invariant: lanes outside the selection a kernel was run with hold
+ * stale data and must not be read. Where nulls[lane] is set, the value
+ * payload is meaningless.
+ */
+struct VecColumn
+{
+    /** 1 = SQL NULL at this lane. */
+    std::vector<uint8_t> nulls;
+    std::vector<Value> values;
+
+    /** Prepare for a chunk of n lanes; previous contents are stale. */
+    void
+    reset(size_t n)
+    {
+        nulls.assign(n, 1);
+        values.resize(n);
+    }
+
+    void
+    setNull(size_t lane)
+    {
+        nulls[lane] = 1;
+    }
+
+    void
+    set(size_t lane, Value value)
+    {
+        nulls[lane] = value.isNull() ? 1 : 0;
+        values[lane] = std::move(value);
+    }
+
+    bool isNull(size_t lane) const { return nulls[lane] != 0; }
+
+    /** The lane's Value, materializing NULL from the bitmap. */
+    Value
+    at(size_t lane) const
+    {
+        return isNull(lane) ? Value::null() : values[lane];
+    }
+};
+
+/** Fill a selection with all lanes 0..n-1. */
+inline void
+selectAll(SelVector &sel, size_t n)
+{
+    sel.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        sel[i] = static_cast<uint32_t>(i);
+}
+
+} // namespace sqlpp
+
+#endif // SQLPP_ENGINE_VECTOR_H

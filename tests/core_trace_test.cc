@@ -215,6 +215,10 @@ TEST_F(TraceIntegrationTest, DossierDirectoryHoldsAllArtifacts)
               std::string::npos);
     EXPECT_NE(dossier_json.find("\"id\": \"" + set.begin()->first),
               std::string::npos);
+    // The dossier records which pipeline found the bug; a campaign in
+    // the default mode writes the optimized mode name.
+    EXPECT_NE(dossier_json.find("\"execMode\": \"optimized\""),
+              std::string::npos);
 }
 
 TEST_F(TraceIntegrationTest, ReproRoundTripsThroughTheParser)
@@ -226,6 +230,7 @@ TEST_F(TraceIntegrationTest, ReproRoundTripsThroughTheParser)
                  "INSERT INTO t0 VALUES (1)"};
     bug.baseText = "SELECT * FROM t0";
     bug.predicateText = "t0.c0 > 0";
+    bug.execMode = "batch";
     std::string repro_path = path("repro.sql");
     {
         std::ofstream out(repro_path, std::ios::binary);
@@ -238,7 +243,36 @@ TEST_F(TraceIntegrationTest, ReproRoundTripsThroughTheParser)
     EXPECT_EQ(parsed.value().setup, bug.setup);
     EXPECT_EQ(parsed.value().baseText, bug.baseText);
     EXPECT_EQ(parsed.value().predicateText, bug.predicateText);
+    // Replay must re-run the bug under the pipeline that found it.
+    EXPECT_EQ(parsed.value().execMode, "batch");
     // The id hashes the replayed identity, so it survives the trip.
+    // execMode is deliberately excluded: the same logic bug found by
+    // either pipeline is one case, not two.
+    EXPECT_EQ(bugCaseId(parsed.value()), bugCaseId(bug));
+}
+
+TEST_F(TraceIntegrationTest, LegacyReproWithoutModeLineStillParses)
+{
+    // Repro files written before execMode existed carry no "-- mode:"
+    // line; they parse with an empty mode and replay under the
+    // default (optimized) pipeline.
+    BugCase bug;
+    bug.dialect = "sqlite-like";
+    bug.oracle = "NOREC";
+    bug.setup = {"CREATE TABLE t0 (c0 INT)"};
+    bug.baseText = "SELECT * FROM t0";
+    bug.predicateText = "t0.c0 IS NULL";
+    ASSERT_TRUE(bug.execMode.empty());
+    std::string rendered = renderReproSql(bug);
+    EXPECT_EQ(rendered.find("-- mode:"), std::string::npos);
+    std::string repro_path = path("repro.sql");
+    {
+        std::ofstream out(repro_path, std::ios::binary);
+        out << rendered;
+    }
+    auto parsed = parseReproFile(repro_path);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    EXPECT_TRUE(parsed.value().execMode.empty());
     EXPECT_EQ(bugCaseId(parsed.value()), bugCaseId(bug));
 }
 

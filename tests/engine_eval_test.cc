@@ -268,5 +268,121 @@ TEST(EvalTest, AggregateOutsideGroupContext)
     EXPECT_EQ(result.status().code(), ErrorCode::SemanticError);
 }
 
+// ---------------------------------------------------------------------
+// Corner-pinning regressions from the batch-executor audit. The
+// vectorized kernels (engine/vec_eval.cc) re-implement these exact
+// semantics; every case below is simultaneously checked against the
+// row evaluator here and against the kernels by the batch differential
+// test, so a drift in either implementation trips a named assertion
+// instead of a generated-query mismatch.
+// ---------------------------------------------------------------------
+
+TEST(EvalTest, NullComparisonChains)
+{
+    // A comparison against NULL is NULL, and NULL propagates through
+    // further comparisons — it never collapses to false mid-chain.
+    EXPECT_TRUE(evalSql("(NULL = NULL)").isNull());
+    EXPECT_TRUE(evalSql("(1 = NULL) = (1 = 1)").isNull());
+    EXPECT_TRUE(evalSql("NOT (1 < NULL)").isNull());
+    // Kleene logic decides when it can, stays NULL when it cannot.
+    EXPECT_FALSE(evalSql("(1 = NULL) AND (1 = 2)").asBool());
+    EXPECT_TRUE(evalSql("(1 = NULL) OR (1 = 1)").asBool());
+    EXPECT_TRUE(evalSql("(1 = NULL) AND (1 = 1)").isNull());
+    EXPECT_TRUE(evalSql("(1 = NULL) OR (1 = 2)").isNull());
+    // Null-safe operators are total even on two NULLs.
+    EXPECT_TRUE(evalSql("NULL <=> NULL").asBool());
+    EXPECT_FALSE(evalSql("1 <=> NULL").asBool());
+    EXPECT_FALSE(evalSql("NULL IS DISTINCT FROM NULL").asBool());
+    EXPECT_TRUE(evalSql("NULL IS NOT DISTINCT FROM NULL").asBool());
+}
+
+TEST(EvalTest, TextToNumericBoundaries)
+{
+    // Affinity parsing saturates instead of erroring, and INT64_MIN's
+    // magnitude — one past INT64_MAX — is reached *via* saturation.
+    EXPECT_EQ(evalSql("CAST('9223372036854775807' AS INTEGER)").asInt(),
+              INT64_MAX);
+    EXPECT_EQ(evalSql("CAST('9223372036854775808' AS INTEGER)").asInt(),
+              INT64_MAX); // saturates
+    EXPECT_EQ(
+        evalSql("CAST('-9223372036854775808' AS INTEGER)").asInt(),
+        INT64_MIN);
+    EXPECT_EQ(
+        evalSql("CAST('-99999999999999999999' AS INTEGER)").asInt(),
+        INT64_MIN); // saturates
+    // Leading whitespace and sign are consumed; parsing stops at the
+    // first non-digit; no digits at all means 0.
+    EXPECT_EQ(evalSql("CAST('  42abc' AS INTEGER)").asInt(), 42);
+    EXPECT_EQ(evalSql("CAST('+7' AS INTEGER)").asInt(), 7);
+    EXPECT_EQ(evalSql("CAST('abc' AS INTEGER)").asInt(), 0);
+    EXPECT_EQ(evalSql("CAST('' AS INTEGER)").asInt(), 0);
+    EXPECT_EQ(evalSql("CAST('-' AS INTEGER)").asInt(), 0);
+}
+
+TEST(EvalTest, Int64MinArithmeticEdges)
+{
+    // INT64_MIN / -1 overflows (no representable positive); the
+    // matching modulo is exactly 0, not an error.
+    const char *min_expr = "(0 - 9223372036854775807 - 1)";
+    EXPECT_EQ(
+        evalError(std::string(min_expr) + " / (0 - 1)").code(),
+        ErrorCode::RuntimeError);
+    EXPECT_EQ(evalSql(std::string(min_expr) + " % (0 - 1)").asInt(), 0);
+    EXPECT_EQ(evalError("-" + std::string(min_expr)).code(),
+              ErrorCode::RuntimeError);
+}
+
+TEST(EvalTest, ShiftCountEdges)
+{
+    // Out-of-range shift counts (negative, or >= 64) yield 0 in both
+    // directions; in-range right shift is arithmetic.
+    EXPECT_EQ(evalSql("1 << 63").asInt(), INT64_MIN);
+    EXPECT_EQ(evalSql("1 << 64").asInt(), 0);
+    EXPECT_EQ(evalSql("1 << (0 - 1)").asInt(), 0);
+    EXPECT_EQ(evalSql("1 >> 64").asInt(), 0);
+    EXPECT_EQ(evalSql("(0 - 8) >> 1").asInt(), -4); // arithmetic
+    EXPECT_TRUE(evalSql("1 << NULL").isNull());
+}
+
+TEST(EvalTest, LikeCorners)
+{
+    // '_' matches exactly one character — never zero — and the empty
+    // string is matched only by all-'%' patterns.
+    EXPECT_FALSE(evalSql("'' LIKE '_'").asBool());
+    EXPECT_TRUE(evalSql("'' LIKE '%%'").asBool());
+    EXPECT_FALSE(evalSql("'ab' LIKE 'a'").asBool());
+    EXPECT_TRUE(evalSql("'ab' LIKE 'a_'").asBool());
+    // Backslash is an ordinary character (the grammar has no ESCAPE
+    // clause), so it must match itself, case-insensitively around it.
+    EXPECT_TRUE(evalSql("'a\\B' LIKE 'A\\b'").asBool());
+    // A NULL pattern poisons the match just like a NULL operand.
+    EXPECT_TRUE(evalSql("'x' LIKE NULL").isNull());
+    EXPECT_TRUE(evalSql("NULL NOT LIKE 'x'").isNull());
+}
+
+TEST(EvalTest, BetweenDecidesAgainstNullBounds)
+{
+    // Kleene AND inside BETWEEN: a decided-false side wins over a NULL
+    // side from either direction, and NOT BETWEEN negates the whole
+    // three-valued result (NULL stays NULL).
+    EXPECT_FALSE(evalSql("5 BETWEEN NULL AND 2").asBool());
+    EXPECT_TRUE(evalSql("5 NOT BETWEEN NULL AND 2").asBool());
+    EXPECT_TRUE(evalSql("2 NOT BETWEEN NULL AND 3").isNull());
+    EXPECT_TRUE(evalSql("NULL BETWEEN 1 AND 2").isNull());
+    EXPECT_TRUE(evalSql("NULL NOT BETWEEN 1 AND 2").isNull());
+}
+
+TEST(EvalTest, MixedClassComparisonOrdersNumericFirst)
+{
+    // SQLite's class order: every numeric sorts before every text, so
+    // cross-class comparisons decide on class, not content.
+    EXPECT_TRUE(evalSql("1 < 'abc'").asBool());
+    EXPECT_TRUE(evalSql("'abc' > 9223372036854775807").asBool());
+    EXPECT_FALSE(evalSql("'1' = 1").asBool());
+    // Boolean belongs to the numeric class.
+    EXPECT_TRUE(evalSql("(1 = 1) = 1").asBool());
+    EXPECT_TRUE(evalSql("(1 = 2) < 'a'").asBool());
+}
+
 } // namespace
 } // namespace sqlpp
