@@ -8,7 +8,7 @@
  * the table below is identical for any --workers value.
  *
  *   ./bug_hunt [checks-per-dialect] [--workers N]
- *              [--oracles tlp,norec,pqs]
+ *              [--oracles tlp,norec,pqs,eet]
  *              [--checkpoint FILE] [--resume]
  *              [--shard-deadline SEC]
  *              [--max-steps N] [--max-rows N]
@@ -21,7 +21,9 @@
  * --oracles picks the logic-bug oracles run per query shape
  * (comma-separated, case-insensitive; default tlp,norec). Adding pqs
  * enables the pivot-containment oracle, which catches row-loss faults
- * the multiset-equality oracles cannot.
+ * the multiset-equality oracles cannot; adding eet enables the
+ * equivalent-expression oracle, whose rewrite wrappers reach planner
+ * and evaluator paths no WHERE-based check steers onto.
  *
  * --checkpoint rewrites FILE atomically after every finished shard;
  * rerunning with --resume skips finished shards and merges to stats
@@ -137,7 +139,7 @@ main(int argc, char **argv)
         if (makeOracle(name) == nullptr) {
             std::fprintf(stderr,
                          "unknown oracle '%s' (known: tlp, norec, "
-                         "pqs)\n",
+                         "pqs, eet)\n",
                          name.c_str());
             return 1;
         }

@@ -21,11 +21,11 @@ CHECKPOINT="$WORKDIR/campaign.ckpt"
 trap 'rm -rf "$WORKDIR"' EXIT
 
 # Enough checks per dialect that the fleet cannot finish instantly,
-# so the kill lands mid-campaign on any machine. All three oracles run
+# so the kill lands mid-campaign on any machine. All four oracles run
 # so the v2 checkpoint payload (per-oracle tallies, inapplicable
 # counts, bug query lists) is exercised across the kill.
 CHECKS=2000
-ORACLES="tlp,norec,pqs"
+ORACLES="tlp,norec,pqs,eet"
 
 "$BUG_HUNT" "$CHECKS" --oracles "$ORACLES" --checkpoint "$CHECKPOINT" \
     > "$WORKDIR/first.log" 2>&1 &

@@ -20,8 +20,12 @@ WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT
 
 CHECKS=40
+# The full oracle battery, so the trace carries every oracle's check
+# events and the byte-identity guarantee covers the EET rewrite path.
+ORACLES="tlp,norec,pqs,eet"
 
-"$BUG_HUNT" "$CHECKS" --workers 1 --trace-out "$WORKDIR/a.jsonl" \
+"$BUG_HUNT" "$CHECKS" --workers 1 --oracles "$ORACLES" \
+    --trace-out "$WORKDIR/a.jsonl" \
     --dossier-dir "$WORKDIR/dossiers" --curve-interval 10 \
     > "$WORKDIR/run_a.log" 2>&1 || {
     echo "FAIL: bug_hunt exited non-zero" >&2
@@ -98,7 +102,8 @@ if command -v python3 > /dev/null 2>&1; then
 fi
 
 # Byte-identity: same seed, one worker → the exact same trace bytes.
-"$BUG_HUNT" "$CHECKS" --workers 1 --trace-out "$WORKDIR/b.jsonl" \
+"$BUG_HUNT" "$CHECKS" --workers 1 --oracles "$ORACLES" \
+    --trace-out "$WORKDIR/b.jsonl" \
     --curve-interval 10 > "$WORKDIR/run_b.log" 2>&1 || {
     echo "FAIL: second bug_hunt run exited non-zero" >&2
     exit 1

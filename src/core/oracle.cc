@@ -1,8 +1,11 @@
 #include "core/oracle.h"
 
+#include <optional>
 #include <set>
 
 #include "core/pivot.h"
+#include "core/rewrite.h"
+#include "engine/eval.h"
 #include "sqlir/printer.h"
 #include "util/metrics.h"
 #include "util/strutil.h"
@@ -297,6 +300,126 @@ runPqs(Connection &connection, const SelectStmt &base,
     return result;
 }
 
+/** EET check body; the member wraps it with span/outcome metrics. */
+OracleResult
+runEet(Connection &connection, const SelectStmt &base,
+       const Expr &predicate)
+{
+    OracleResult result;
+    const DialectProfile &profile = connection.profile();
+
+    // Deterministic rewrite choice: a pure function of the query shape,
+    // so the same check replays identically across workers and resumes.
+    std::string base_text = printSelect(base);
+    std::string predicate_text = printExpr(predicate);
+    uint64_t salt = fnv1a(predicate_text, fnv1a(base_text));
+
+    // Data-aware lane: single-source bases get a statistics scan that
+    // seeds the tautology-conjunct rewrites. Other shapes degrade to
+    // the identity wrappers, not to Inapplicable.
+    std::optional<EetTableStats> stats;
+    if (eetStatsApplicable(base)) {
+        std::string scan_text = eetStatsScanText(base);
+        result.queries.push_back(scan_text);
+        auto scan = connection.execute(scan_text);
+        if (!scan.isOk()) {
+            result.details =
+                "stats scan failed: " + scan.status().toString();
+            return result;
+        }
+        stats = computeTableStats(base, scan.value());
+    }
+
+    auto rewrite = chooseRewrite(predicate, salt, profile,
+                                 stats ? &*stats : nullptr);
+    if (!rewrite.has_value()) {
+        result.outcome = OracleOutcome::Inapplicable;
+        result.details = "dialect supports none of EET's 3VL-safe "
+                         "wrapper operators for this predicate";
+        return result;
+    }
+
+    // WHERE lane: truth-preservation is all the rewrite guarantees in
+    // general, and all that WHERE membership can observe.
+    SelectPtr original = withWhere(base, predicate.clone());
+    SelectPtr rewritten = withWhere(base, rewrite->expr->clone());
+    std::string original_text = printSelect(*original);
+    result.queries.push_back(original_text);
+    auto lhs = connection.execute(original_text);
+    if (!lhs.isOk()) {
+        result.details =
+            "original query failed: " + lhs.status().toString();
+        return result;
+    }
+    std::string rewritten_text = printSelect(*rewritten);
+    result.queries.push_back(rewritten_text);
+    auto rhs = connection.execute(rewritten_text);
+    if (!rhs.isOk()) {
+        result.details =
+            "rewritten query failed: " + rhs.status().toString();
+        return result;
+    }
+    if (!lhs.value().sameRowMultiset(rhs.value())) {
+        result.outcome = OracleOutcome::Bug;
+        result.details = format(
+            "EET WHERE mismatch (%s): original returned %zu rows, "
+            "rewrite %zu rows",
+            rewrite->kind, lhs.value().rowCount(),
+            rhs.value().rowCount());
+        return result;
+    }
+
+    // Projection lane: evaluate p and p' as *values*, where NULL and
+    // FALSE stop being interchangeable. Only sound when the rewrite is
+    // value-preserving, i.e. for boolean-rooted predicates; grouped
+    // bases are out (a bare predicate is not a grouped expression).
+    if (exprBooleanRooted(predicate) && base.groupBy.empty() &&
+        base.having == nullptr && !exprContainsAggregate(predicate)) {
+        auto project = [&base](const Expr &flag) {
+            SelectPtr query = base.cloneSelect();
+            query->items.clear();
+            SelectItem item;
+            item.expr = flag.clone();
+            item.alias = "eet";
+            query->items.push_back(std::move(item));
+            query->distinct = false;
+            query->orderBy.clear();
+            query->limit = -1;
+            query->offset = -1;
+            return query;
+        };
+        SelectPtr p_lane = project(predicate);
+        std::string p_text = printSelect(*p_lane);
+        result.queries.push_back(p_text);
+        auto p_rows = connection.execute(p_text);
+        if (!p_rows.isOk()) {
+            result.details = "original projection failed: " +
+                             p_rows.status().toString();
+            return result;
+        }
+        SelectPtr q_lane = project(*rewrite->expr);
+        std::string q_text = printSelect(*q_lane);
+        result.queries.push_back(q_text);
+        auto q_rows = connection.execute(q_text);
+        if (!q_rows.isOk()) {
+            result.details = "rewritten projection failed: " +
+                             q_rows.status().toString();
+            return result;
+        }
+        if (!p_rows.value().sameRowMultiset(q_rows.value())) {
+            result.outcome = OracleOutcome::Bug;
+            result.details = format(
+                "EET projection mismatch (%s): p and its rewrite "
+                "disagree as projected values over %zu rows",
+                rewrite->kind, p_rows.value().rowCount());
+            return result;
+        }
+    }
+
+    result.outcome = OracleOutcome::Passed;
+    return result;
+}
+
 } // namespace
 
 OracleResult
@@ -365,6 +488,31 @@ PqsOracle::check(Connection &connection, const SelectStmt &base,
     return result;
 }
 
+OracleResult
+EetOracle::check(Connection &connection, const SelectStmt &base,
+                 const Expr &predicate)
+{
+    SQLPP_SPAN("oracle.eet.wall_us");
+    OracleResult result = runEet(connection, base, predicate);
+    SQLPP_TRACE_EVENT(OracleCheck, "eet",
+                      static_cast<uint64_t>(result.outcome), 0);
+    switch (result.outcome) {
+      case OracleOutcome::Passed:
+        SQLPP_COUNT("oracle.eet.pass");
+        break;
+      case OracleOutcome::Bug:
+        SQLPP_COUNT("oracle.eet.bug");
+        break;
+      case OracleOutcome::Skipped:
+        SQLPP_COUNT("oracle.eet.skip");
+        break;
+      case OracleOutcome::Inapplicable:
+        SQLPP_COUNT("oracle.eet.inapplicable");
+        break;
+    }
+    return result;
+}
+
 std::unique_ptr<Oracle>
 makeOracle(const std::string &name)
 {
@@ -375,6 +523,8 @@ makeOracle(const std::string &name)
         return std::make_unique<NorecOracle>();
     if (upper == "PQS")
         return std::make_unique<PqsOracle>();
+    if (upper == "EET")
+        return std::make_unique<EetOracle>();
     return nullptr;
 }
 

@@ -25,6 +25,14 @@
  *    reference is the clean evaluator, so PQS also catches consistent
  *    evaluator deviations that preserve TLP's partition law and both
  *    NoREC sides.
+ *  - EET (Equivalent Expression Transformation): rewrite p into a
+ *    3VL-equivalent p' (identity wrappers, provably-safe IS-family
+ *    expansions, data-aware tautology conjuncts from scanned column
+ *    statistics; see core/rewrite.h) and assert Q(p) and Q(p') return
+ *    byte-identical result multisets — in WHERE position always, and
+ *    in projection position when p is boolean-rooted (so the rewrite
+ *    is value-preserving, which makes NULL-vs-FALSE confusions
+ *    observable that every WHERE-based oracle collapses).
  */
 #ifndef SQLPP_CORE_ORACLE_H
 #define SQLPP_CORE_ORACLE_H
@@ -111,7 +119,19 @@ class PqsOracle : public Oracle
                        const Expr &predicate) override;
 };
 
-/** Factory by oracle name ("TLP", "NOREC", "PQS"); nullptr when unknown. */
+/** Equivalent Expression Transformation (core/rewrite.h). */
+class EetOracle : public Oracle
+{
+  public:
+    const char *name() const override { return "EET"; }
+    OracleResult check(Connection &connection, const SelectStmt &base,
+                       const Expr &predicate) override;
+};
+
+/**
+ * Factory by oracle name ("TLP", "NOREC", "PQS", "EET"); nullptr when
+ * unknown.
+ */
 std::unique_ptr<Oracle> makeOracle(const std::string &name);
 
 } // namespace sqlpp

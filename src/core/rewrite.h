@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Equivalent-expression rewriting for the EET oracle.
+ *
+ * EET (equivalent expression transformation) rewrites a predicate p
+ * into a semantically equivalent but syntactically richer p' and
+ * asserts the DBMS treats both identically. The rewrite itself is the
+ * test input: wrapper syntax steers the engine onto different planner
+ * and evaluator paths (a `NOT (NOT (p))` wrapper de-optimizes an index
+ * probe; a `p AND TRUE` wrapper feeds the constant folder), so faults
+ * keyed to those paths surface as a result mismatch between Q(p) and
+ * Q(p') — even when every other oracle is structurally blind to them.
+ *
+ * Soundness discipline (SQL three-valued logic):
+ *  - `p AND TRUE`, `p OR FALSE`, `NOT (NOT (p))`, and the data-aware
+ *    tautology conjunct preserve SQL truthiness for *every* p
+ *    (TRUE/FALSE/NULL map to themselves), so they are always safe in
+ *    WHERE position.
+ *  - `(p) IS TRUE` / `(p) IS NOT FALSE` collapse NULL to FALSE/TRUE,
+ *    so they are offered only when p is provably null-free (and
+ *    boolean-rooted), making them full value-equivalences.
+ *  - In a *projection* (value) position, even `p AND TRUE` changes the
+ *    result for non-boolean p (`5 AND TRUE` is TRUE, not 5); the
+ *    oracle's projection lane therefore requires exprBooleanRooted(p),
+ *    under which every offered rewrite is value-preserving.
+ *
+ * The data-aware lane needs actual column statistics: a scan of the
+ * base's single source yields per-column min/max/null facts, from
+ * which `(c BETWEEN min AND max) OR (c IS NULL)` is a row-wise
+ * tautology over that table — appending it with AND is an identity.
+ * Statistics come from the same client-side scan PQS uses for pivot
+ * selection, keeping the oracle DBMS-agnostic (no catalog API).
+ *
+ * Every choice is a pure function of (predicate text, base text) via
+ * an fnv1a salt — no RNG — so checks replay identically across
+ * workers, SIGKILL+--resume, and dossier repro playback.
+ */
+#ifndef SQLPP_CORE_REWRITE_H
+#define SQLPP_CORE_REWRITE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dialect/profile.h"
+#include "sqlir/ast.h"
+#include "sqlir/value.h"
+
+namespace sqlpp {
+
+/** Facts about one column of the scanned base source. */
+struct EetColumnStats
+{
+    /** Unqualified column name. */
+    std::string name;
+    /** At least one row holds SQL NULL in this column. */
+    bool hasNull = false;
+    /** Every non-NULL value is an integer (dynamic typing observed). */
+    bool intOnly = true;
+    size_t nonNullCount = 0;
+    /** Valid when intOnly and nonNullCount > 0. */
+    int64_t minInt = 0;
+    int64_t maxInt = 0;
+};
+
+/** Statistics of the base query's single source, from a full scan. */
+struct EetTableStats
+{
+    /** Binding name of the FROM item (alias if present, else name). */
+    std::string binding;
+    std::vector<EetColumnStats> columns;
+    size_t rowCount = 0;
+
+    /** Stats for an unqualified column name; nullptr when unknown. */
+    const EetColumnStats *find(const std::string &column) const;
+};
+
+/**
+ * Whether the base is a single table/view source EET can scan for
+ * statistics: no joins, no derived table. Bases outside this shape
+ * still get the identity-wrapper rewrites, just not the data-aware one.
+ */
+bool eetStatsApplicable(const SelectStmt &base);
+
+/**
+ * The statistics scan: `SELECT *` over the single source with
+ * DISTINCT/WHERE/GROUP BY/ORDER BY/LIMIT stripped.
+ */
+std::string eetStatsScanText(const SelectStmt &base);
+
+/** Fold an executed stats scan into per-column statistics. */
+EetTableStats computeTableStats(const SelectStmt &base,
+                             const ResultSet &scan);
+
+/**
+ * Conservative proof that the expression can never evaluate to SQL
+ * NULL on any row of the scanned source: non-NULL literals, columns
+ * the scan saw no NULL in, and a whitelist of NULL-strict operators
+ * over such operands (plus the IS-family, which never returns NULL).
+ * Division and modulo are excluded (x / 0 can yield NULL under
+ * divZeroIsNull), as are functions, CASE, and subqueries. A null
+ * @p stats proves nothing about columns.
+ */
+bool exprProvablyNullFree(const Expr &expr, const EetTableStats *stats);
+
+/**
+ * True when the root node always yields BOOLEAN or NULL (logical and
+ * comparison operators, the IS family, BETWEEN, IN, EXISTS, boolean
+ * literals). Under this, truth-preserving rewrites are also
+ * value-preserving, which is what the oracle's projection lane needs.
+ */
+bool exprBooleanRooted(const Expr &expr);
+
+/** One legal rewrite of a predicate. */
+struct RewriteCandidate
+{
+    /** Stable kind tag: and_true, or_false, not_not, is_true,
+     *  is_not_false, taut_range. */
+    const char *kind = "";
+    ExprPtr expr;
+};
+
+/**
+ * Every rewrite legal for this predicate under the dialect's learned
+ * operator set (and, when @p stats is non-null, the data-aware
+ * tautology conjunct for each eligible integer column). Empty when the
+ * dialect supports none of the wrapper operators.
+ */
+std::vector<RewriteCandidate>
+enumerateRewrites(const Expr &predicate, const DialectProfile &profile,
+                  const EetTableStats *stats);
+
+/**
+ * Deterministic salt-driven choice among enumerateRewrites; nullopt
+ * when no rewrite applies. Same (predicate, salt, profile, stats) ->
+ * same rewrite, bit for bit.
+ */
+std::optional<RewriteCandidate>
+chooseRewrite(const Expr &predicate, uint64_t salt,
+              const DialectProfile &profile, const EetTableStats *stats);
+
+} // namespace sqlpp
+
+#endif // SQLPP_CORE_REWRITE_H

@@ -588,6 +588,16 @@ evalUnary(const UnaryExpr &expr, const EvalContext &ctx)
         if (!truth.has_value()) {
             if (ctx.faultEnabled(FaultId::NotNullTrue))
                 return Value::boolean(true);
+            // Root-keyed: only a doubly-negated tree delivered directly
+            // as the evaluation result takes the faulty shortcut.
+            if (ctx.faultEnabled(FaultId::DoubleNegNullFalse) &&
+                ctx.rootExpr == static_cast<const Expr *>(&expr) &&
+                expr.operand->kind() == ExprKind::Unary &&
+                static_cast<const UnaryExpr &>(*expr.operand).op ==
+                    UnaryOp::Not) {
+                SQLPP_COVER("eval.fault.double_neg_null_false");
+                return Value::boolean(false);
+            }
             return Value::null();
         }
         return Value::boolean(!*truth);
@@ -1018,6 +1028,11 @@ evalExprImpl(const Expr &expr, const EvalContext &ctx)
 StatusOr<Value>
 evalExpr(const Expr &expr, const EvalContext &ctx)
 {
+    if (ctx.rootExpr == nullptr) {
+        EvalContext rooted = ctx;
+        rooted.rootExpr = &expr;
+        return evalExprImpl(expr, rooted);
+    }
     return evalExprImpl(expr, ctx);
 }
 

@@ -115,6 +115,15 @@ class EvalContext
      */
     int negationDepth = 0;
 
+    /**
+     * The root of the expression tree this evaluation started from, set
+     * once at evalExpr() entry. The DoubleNegNullFalse fault keys off
+     * it: the deviation fires only when a NOT node *is* the evaluation
+     * root, modelling a result-delivery shortcut that inner expression
+     * positions never take.
+     */
+    const Expr *rootExpr = nullptr;
+
     bool
     faultEnabled(FaultId id) const
     {

@@ -792,6 +792,26 @@ Executor::runSelectImpl(const SelectStmt &select, const EvalContext *outer)
         where_owned = mode_ != ExecMode::Reference
                           ? constantFold(*select.where, behavior_, faults_)
                           : select.where->clone();
+        // Absorbing-element confusion: a top-level `<x> AND TRUE` folds
+        // to literal TRUE as if TRUE absorbed (rather than neutralized)
+        // the conjunction. Only fires on the wrapper shape EET's
+        // and_true rewrite emits, so plain predicates are unaffected.
+        if (mode_ != ExecMode::Reference &&
+            faults_.isEnabled(FaultId::ConstFoldTrueAbsorbsAnd) &&
+            where_owned->kind() == ExprKind::Binary) {
+            const auto &top = static_cast<const BinaryExpr &>(*where_owned);
+            if (top.op == BinaryOp::And &&
+                top.rhs->kind() == ExprKind::Literal) {
+                const Value &rhs =
+                    static_cast<const LiteralExpr &>(*top.rhs).value;
+                if (rhs.kind() == Value::Kind::Bool && rhs.asBool()) {
+                    SQLPP_COVER("planner.fault.true_absorbs_and");
+                    note("ANDTRUE");
+                    where_owned = std::make_unique<LiteralExpr>(
+                        Value::boolean(true));
+                }
+            }
+        }
     }
     for (size_t j = 0; j < select.joins.size(); ++j) {
         if (select.joins[j].on == nullptr)

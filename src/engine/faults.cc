@@ -15,6 +15,7 @@ allFaultIds()
         FaultId::OnToWhereRightJoin,
         FaultId::HashJoinNullMatch,
         FaultId::ConstFoldNullifIdentity,
+        FaultId::ConstFoldTrueAbsorbsAnd,
         FaultId::NotNullTrue,
         FaultId::IsNullFalseForBoolNull,
         FaultId::WhereNullAsTrue,
@@ -22,6 +23,7 @@ allFaultIds()
         FaultId::IsTrueFalseTrue,
         FaultId::DistinctNullCollapse,
         FaultId::ReplaceNumericSubject,
+        FaultId::DoubleNegNullFalse,
         FaultId::NullSafeEqBothNullFalse,
         FaultId::SumEmptyZero,
         FaultId::GroupByNullSeparate,
@@ -48,6 +50,8 @@ faultName(FaultId id)
       case FaultId::HashJoinNullMatch: return "HASH_JOIN_NULL_MATCH";
       case FaultId::ConstFoldNullifIdentity:
         return "CONST_FOLD_NULLIF_IDENTITY";
+      case FaultId::ConstFoldTrueAbsorbsAnd:
+        return "CONST_FOLD_TRUE_ABSORBS_AND";
       case FaultId::NotNullTrue: return "NOT_NULL_TRUE";
       case FaultId::IsNullFalseForBoolNull:
         return "IS_NULL_FALSE_FOR_BOOL_NULL";
@@ -57,6 +61,8 @@ faultName(FaultId id)
       case FaultId::DistinctNullCollapse: return "DISTINCT_NULL_COLLAPSE";
       case FaultId::ReplaceNumericSubject:
         return "REPLACE_NUMERIC_SUBJECT";
+      case FaultId::DoubleNegNullFalse:
+        return "DOUBLE_NEG_NULL_FALSE";
       case FaultId::NullSafeEqBothNullFalse:
         return "NULL_SAFE_EQ_BOTH_NULL_FALSE";
       case FaultId::SumEmptyZero: return "SUM_EMPTY_ZERO";
@@ -89,6 +95,8 @@ faultDescription(FaultId id)
         return "hash join treats NULL join keys as equal";
       case FaultId::ConstFoldNullifIdentity:
         return "constant folding rewrites NULLIF(x, x) to x";
+      case FaultId::ConstFoldTrueAbsorbsAnd:
+        return "constant folding absorbs WHERE <x> AND TRUE into TRUE";
       case FaultId::NotNullTrue:
         return "NOT NULL evaluates to TRUE instead of NULL";
       case FaultId::IsNullFalseForBoolNull:
@@ -103,6 +111,8 @@ faultDescription(FaultId id)
         return "DISTINCT collapses distinct rows that contain NULL";
       case FaultId::ReplaceNumericSubject:
         return "REPLACE returns a numeric value for numeric subjects";
+      case FaultId::DoubleNegNullFalse:
+        return "root NOT (NOT p) collapses NULL to FALSE";
       case FaultId::NullSafeEqBothNullFalse:
         return "NULL <=> NULL evaluates to FALSE";
       case FaultId::SumEmptyZero:
@@ -128,6 +138,7 @@ isPlannerFault(FaultId id)
       case FaultId::OnToWhereRightJoin:
       case FaultId::HashJoinNullMatch:
       case FaultId::ConstFoldNullifIdentity:
+      case FaultId::ConstFoldTrueAbsorbsAnd:
         return true;
       default:
         return false;

@@ -62,6 +62,14 @@ enum class FaultId : uint32_t
     HashJoinNullMatch = 8,
     /** Planner: constant folding reduces NULLIF(x, x) to x, not NULL. */
     ConstFoldNullifIdentity = 9,
+    /**
+     * Planner: the constant folder treats a literal TRUE as the
+     * *absorbing* element of AND instead of the identity — a top-level
+     * WHERE of shape `<x> AND TRUE` folds to TRUE, keeping every row.
+     * Only rewrite-shaped inputs (EET's `p AND TRUE` wrapper) ever
+     * present this tree, so plain generated predicates sail past it.
+     */
+    ConstFoldTrueAbsorbsAnd = 10,
 
     /** Evaluator: NOT NULL evaluates to TRUE instead of NULL. */
     NotNullTrue = 20,
@@ -87,6 +95,16 @@ enum class FaultId : uint32_t
      * TLP-visible in combination with NegContextMixedEq.
      */
     ReplaceNumericSubject = 26,
+    /**
+     * Evaluator: a double negation evaluated as the *root* of a value
+     * expression short-circuits its three-valued logic — `NOT (NOT p)`
+     * at an evaluation root returns FALSE where p is NULL. In WHERE
+     * position NULL and FALSE both exclude the row, so every WHERE-based
+     * oracle is structurally blind; only an oracle that projects the
+     * doubly-negated predicate as a *value* (EET's projection lane) can
+     * observe the NULL -> FALSE collapse.
+     */
+    DoubleNegNullFalse = 27,
 
     /** Latent evaluator: <=> with two NULL operands yields FALSE. */
     NullSafeEqBothNullFalse = 40,

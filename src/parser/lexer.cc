@@ -77,9 +77,10 @@ tokenize(const std::string &sql)
             try {
                 token.intValue = std::stoll(token.text);
             } catch (...) {
-                return Status::syntaxError(
-                    format("integer literal out of range at offset %zu",
-                           start));
+                // Defer the range error to the parser: the magnitude of
+                // INT64_MIN only becomes representable once the parser
+                // sees the preceding unary minus.
+                token.outOfRange = true;
             }
             tokens.push_back(std::move(token));
             continue;

@@ -36,6 +36,15 @@ struct Token
     std::string text;
     /** For Integer tokens. */
     int64_t intValue = 0;
+    /**
+     * Integer token whose magnitude exceeds INT64_MAX. The lexer keeps
+     * it as a token (text preserved) instead of failing, because
+     * "9223372036854775808" is valid when a unary minus precedes it —
+     * `-9223372036854775808` is the printed form of the INT64_MIN
+     * literal and must round-trip. The parser rejects the token in any
+     * other position.
+     */
+    bool outOfRange = false;
     /** Byte offset in the input, for error messages. */
     size_t offset = 0;
 };

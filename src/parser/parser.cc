@@ -578,12 +578,12 @@ Parser::parseSelect()
         }
     }
     if (eatKeyword("LIMIT")) {
-        if (peek().kind != TokenKind::Integer)
+        if (peek().kind != TokenKind::Integer || peek().outOfRange)
             return err("expected integer after LIMIT");
         select->limit = advance().intValue;
     }
     if (eatKeyword("OFFSET")) {
-        if (peek().kind != TokenKind::Integer)
+        if (peek().kind != TokenKind::Integer || peek().outOfRange)
             return err("expected integer after OFFSET");
         select->offset = advance().intValue;
     }
@@ -970,6 +970,16 @@ StatusOr<ExprPtr>
 Parser::parseUnary()
 {
     if (eatSymbol("-")) {
+        // `-9223372036854775808` (the printed INT64_MIN literal) is the
+        // one place an out-of-range magnitude is legal: the pair folds
+        // into a single negative literal. stoll would need the sign it
+        // cannot see from inside the integer token.
+        if (peek().kind == TokenKind::Integer && peek().outOfRange &&
+            peek().text == "9223372036854775808") {
+            advance();
+            return ExprPtr(std::make_unique<LiteralExpr>(
+                Value::integer(INT64_MIN)));
+        }
         auto operand = parseUnary();
         if (!operand.isOk())
             return operand;
@@ -1011,6 +1021,8 @@ Parser::parsePrimary()
 {
     const Token &token = peek();
     if (token.kind == TokenKind::Integer) {
+        if (token.outOfRange)
+            return err("integer literal out of range");
         advance();
         return ExprPtr(
             std::make_unique<LiteralExpr>(Value::integer(token.intValue)));

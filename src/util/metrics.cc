@@ -581,6 +581,11 @@ declarePlatformMetrics()
         {"oracle.pqs.skip", MetricKind::Counter},
         {"oracle.pqs.inapplicable", MetricKind::Counter},
         {"oracle.pqs.wall_us", MetricKind::Timer},
+        {"oracle.eet.pass", MetricKind::Counter},
+        {"oracle.eet.bug", MetricKind::Counter},
+        {"oracle.eet.skip", MetricKind::Counter},
+        {"oracle.eet.inapplicable", MetricKind::Counter},
+        {"oracle.eet.wall_us", MetricKind::Timer},
         // Reducer.
         {"reducer.cases", MetricKind::Counter},
         {"reducer.replays", MetricKind::Counter},

@@ -205,6 +205,42 @@ TEST(CheckpointTest, PqsCampaignIsBitIdenticalForOneTwoFourWorkers)
     }
 }
 
+TEST(CheckpointTest, FourOracleCampaignIsBitIdenticalForOneTwoFourWorkers)
+{
+    // The full oracle battery (TLP, NoREC, PQS, EET). EET adds its own
+    // Inapplicable outcomes (dialects without its wrapper operators)
+    // and per-oracle tallies; a four-oracle campaign must still merge
+    // bit-identically for any worker count and across a resume.
+    CampaignConfig campaign = smallCampaign();
+    campaign.oracles = {"TLP", "NOREC", "PQS", "EET"};
+
+    SchedulerConfig base = smallSchedule(1);
+    base.campaign = campaign;
+    ScheduleReport reference = CampaignScheduler(base).run();
+
+    for (size_t workers : {1u, 2u, 4u}) {
+        std::string path = tempPath("sqlpp_ckpt_eet.kv");
+        std::filesystem::remove(path);
+
+        SchedulerConfig writing = smallSchedule(workers);
+        writing.campaign = campaign;
+        writing.checkpointPath = path;
+        ScheduleReport written = CampaignScheduler(writing).run();
+        EXPECT_TRUE(written.merged == reference.merged)
+            << workers << " workers (write pass)";
+
+        SchedulerConfig resuming = writing;
+        resuming.resume = true;
+        ScheduleReport resumed = CampaignScheduler(resuming).run();
+        EXPECT_TRUE(resumed.merged == reference.merged)
+            << workers << " workers (resume pass)";
+        EXPECT_EQ(resumed.shardsFromCheckpoint, 4u);
+        EXPECT_EQ(resumed.merged.bugsByOracle,
+                  reference.merged.bugsByOracle);
+        std::filesystem::remove(path);
+    }
+}
+
 TEST(CheckpointTest, MismatchedConfigurationStartsFresh)
 {
     std::string path = tempPath("sqlpp_ckpt_mismatch.kv");

@@ -18,9 +18,11 @@
 
 #include "core/feedback.h"
 #include "core/generator.h"
+#include "core/rewrite.h"
 #include "dialect/profile.h"
 #include "engine/database.h"
 #include "parser/parser.h"
+#include "sqlir/printer.h"
 #include "util/metrics.h"
 #include "util/status.h"
 #include "util/strutil.h"
@@ -140,6 +142,115 @@ TEST(EngineBatchDifferentialTest, BatchMatchesOptimizedOnFaultFreeEngine)
     EXPECT_EQ(selects_generated, kSeeds * kSelectsPerSeed);
     EXPECT_GE(pairs_compared, (selects_generated * 9) / 10)
         << "too many budget skips: " << pairs_skipped;
+}
+
+/**
+ * The same differential over EET-rewritten queries: the wrapper idioms
+ * the rewriter emits (`p AND TRUE`, `NOT (NOT (p))`, `(p) IS TRUE`,
+ * tautology conjuncts with scanned min/max literals) must evaluate
+ * identically in vec_eval.cc kernels and eval.cc — both in WHERE
+ * position and projected as values. A kernel that short-cuts one of
+ * these shapes (e.g. folding the double NOT without three-valued
+ * logic) would not only diverge here, it would desynchronize the EET
+ * oracle's two lanes between execution modes.
+ */
+TEST(EngineBatchDifferentialTest, BatchMatchesOptimizedOnEetRewrites)
+{
+    const DialectProfile *profile = findDialect("postgres-like");
+    ASSERT_NE(profile, nullptr);
+
+    size_t rewrites_compared = 0;
+    size_t pairs_skipped = 0;
+
+    for (size_t seed = 1; seed <= 100; ++seed) {
+        EngineConfig engine_config;
+        engine_config.behavior = profile->behavior;
+        engine_config.faults = FaultSet();
+        Database db(engine_config);
+
+        FeatureRegistry registry;
+        OpenGate gate;
+        SchemaModel model;
+        GeneratorConfig generator_config;
+        generator_config.seed = seed * 0x9e3779b97f4a7c15ULL + 3;
+        AdaptiveGenerator generator(generator_config, registry, gate,
+                                    model);
+
+        for (size_t i = 0; i < kSetupStatements; ++i) {
+            GeneratedStatement stmt =
+                generator.generateSetupStatement();
+            auto result = db.execute(stmt.text);
+            generator.noteExecution(stmt, result.isOk());
+        }
+
+        for (size_t i = 0; i < 3; ++i) {
+            auto shape = generator.generateQueryShape();
+            if (!shape.has_value())
+                continue;
+
+            // Data-aware stats lane when the base shape allows it.
+            EetTableStats stats;
+            bool have_stats = false;
+            if (eetStatsApplicable(*shape->base)) {
+                auto scan = db.execute(eetStatsScanText(*shape->base));
+                if (scan.isOk()) {
+                    stats =
+                        computeTableStats(*shape->base, scan.value());
+                    have_stats = true;
+                }
+            }
+
+            auto compare_modes = [&](const SelectStmt &query,
+                                     const char *kind) {
+                auto optimized =
+                    db.executeStmt(query, ExecMode::Optimized);
+                auto batch = db.executeStmt(query, ExecMode::Batch);
+                if (isBudgetSkip(optimized.status()) ||
+                    isBudgetSkip(batch.status())) {
+                    ++pairs_skipped;
+                    return;
+                }
+                if (!optimized.isOk() || !batch.isOk()) {
+                    EXPECT_EQ(optimized.isOk(), batch.isOk())
+                        << kind << " (seed " << seed
+                        << "): " << printSelect(query);
+                    ++rewrites_compared;
+                    return;
+                }
+                EXPECT_TRUE(optimized.value().sameRowMultiset(
+                    batch.value()))
+                    << kind << " multisets diverge (seed " << seed
+                    << "): " << printSelect(query);
+                ++rewrites_compared;
+            };
+
+            for (const RewriteCandidate &candidate : enumerateRewrites(
+                     *shape->predicate, *profile,
+                     have_stats ? &stats : nullptr)) {
+                SelectPtr where_lane = shape->base->cloneSelect();
+                where_lane->where = candidate.expr->clone();
+                compare_modes(*where_lane, candidate.kind);
+
+                if (!exprBooleanRooted(*shape->predicate) ||
+                    !shape->base->groupBy.empty() ||
+                    shape->base->having != nullptr)
+                    continue;
+                SelectPtr value_lane = shape->base->cloneSelect();
+                value_lane->items.clear();
+                SelectItem item;
+                item.expr = candidate.expr->clone();
+                item.alias = "eet";
+                value_lane->items.push_back(std::move(item));
+                value_lane->distinct = false;
+                value_lane->orderBy.clear();
+                compare_modes(*value_lane, candidate.kind);
+            }
+        }
+    }
+
+    // Not vacuous: the sweep must exercise a real rewrite corpus.
+    EXPECT_GE(rewrites_compared, 500u)
+        << "skipped " << pairs_skipped;
 }
 
 /**

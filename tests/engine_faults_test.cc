@@ -42,15 +42,18 @@ TEST(FaultMetadataTest, NamesAndDescriptionsExist)
         EXPECT_STRNE(faultName(id), "UNKNOWN_FAULT");
         EXPECT_STRNE(faultDescription(id), "?");
     }
-    EXPECT_EQ(allFaultIds().size(), 20u);
+    EXPECT_EQ(allFaultIds().size(), 22u);
 }
 
 TEST(FaultMetadataTest, PlannerAndLatentClassification)
 {
     EXPECT_TRUE(isPlannerFault(FaultId::OnToWhereRightJoin));
+    EXPECT_TRUE(isPlannerFault(FaultId::ConstFoldTrueAbsorbsAnd));
     EXPECT_FALSE(isPlannerFault(FaultId::NotNullTrue));
+    EXPECT_FALSE(isPlannerFault(FaultId::DoubleNegNullFalse));
     EXPECT_TRUE(isLatentFault(FaultId::SumEmptyZero));
     EXPECT_FALSE(isLatentFault(FaultId::WhereNullAsTrue));
+    EXPECT_FALSE(isLatentFault(FaultId::DoubleNegNullFalse));
 }
 
 TEST(FaultSetTest, EnableDisable)

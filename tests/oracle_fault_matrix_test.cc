@@ -5,17 +5,20 @@
  * The fault-injection substrate exists so oracle sensitivity can be
  * *measured*: for every injected fault we run a fixed-seed mini
  * campaign on a dialect carrying exactly that one fault, once per
- * oracle (TLP, NoREC, PQS), and record detected/undetected. The full
- * 20-fault × 3-oracle grid is pinned by a checked-in golden file
+ * oracle (TLP, NoREC, PQS, EET), and record detected/undetected. The
+ * full 22-fault × 4-oracle grid is pinned by a checked-in golden file
  * (tests/golden/fault_matrix.txt) — any oracle or engine change that
  * shifts detection capability must regenerate it deliberately with
  * SQLPP_UPDATE_GOLDEN=1.
  *
  * Two properties are asserted independently of the golden text:
  *  - the fault-free control profile produces zero bugs for all oracles
- *    (no false positives), and
+ *    (no false positives),
  *  - PQS detects at least one fault that neither TLP nor NoREC detects
- *    (the containment oracle widens the detectable-bug classes).
+ *    (the containment oracle widens the detectable-bug classes), and
+ *  - EET detects at least one fault no other oracle detects (rewrite
+ *    wrappers reach planner/evaluator paths WHERE-based checks never
+ *    steer onto).
  */
 #include <gtest/gtest.h>
 
@@ -31,7 +34,7 @@
 namespace sqlpp {
 namespace {
 
-const char *const kOracles[] = {"TLP", "NOREC", "PQS"};
+const char *const kOracles[] = {"TLP", "NOREC", "PQS", "EET"};
 
 /**
  * The capability-maximal base the single-fault dialects derive from:
@@ -76,19 +79,20 @@ renderMatrix(
     std::ostringstream out;
     out << "# fault x oracle detection matrix (1 = detected)\n"
         << "# regenerate with SQLPP_UPDATE_GOLDEN=1\n"
-        << format("%-34s %4s %6s %4s\n", "fault", "TLP", "NOREC",
-                  "PQS");
+        << format("%-34s %4s %6s %4s %4s\n", "fault", "TLP", "NOREC",
+                  "PQS", "EET");
     for (const std::string &fault : order) {
         const auto &cells = rows.at(fault);
-        out << format("%-34s %4d %6d %4d\n", fault.c_str(),
+        out << format("%-34s %4d %6d %4d %4d\n", fault.c_str(),
                       cells.at("TLP") ? 1 : 0,
                       cells.at("NOREC") ? 1 : 0,
-                      cells.at("PQS") ? 1 : 0);
+                      cells.at("PQS") ? 1 : 0,
+                      cells.at("EET") ? 1 : 0);
     }
     return out.str();
 }
 
-/** Run the full 20-fault × 3-oracle grid under one execution mode. */
+/** Run the full 22-fault × 4-oracle grid under one execution mode. */
 std::string
 renderMatrixForMode(ExecMode exec_mode)
 {
@@ -122,7 +126,7 @@ TEST(OracleFaultMatrixTest, MatchesGroundTruthGolden)
             rows[faultName(fault)][oracle] = detects(profile, oracle);
     }
 
-    // Fault-free control: all three oracles must stay silent.
+    // Fault-free control: all four oracles must stay silent.
     DialectProfile clean = matrixBaseProfile();
     order.push_back("FAULT_FREE");
     for (const char *oracle : kOracles) {
@@ -142,6 +146,21 @@ TEST(OracleFaultMatrixTest, MatchesGroundTruthGolden)
     }
     EXPECT_GE(pqs_only, 1u)
         << "PQS detected no fault beyond TLP/NoREC reach";
+
+    // The rewrite oracle must widen them again: at least one fault
+    // (the root-keyed double-negation collapse by construction) that
+    // only EET sees.
+    size_t eet_only = 0;
+    for (FaultId fault : allFaultIds()) {
+        const auto &cells = rows.at(faultName(fault));
+        if (cells.at("EET") && !cells.at("TLP") &&
+            !cells.at("NOREC") && !cells.at("PQS"))
+            ++eet_only;
+    }
+    EXPECT_GE(eet_only, 1u)
+        << "EET detected no fault beyond TLP/NoREC/PQS reach";
+    EXPECT_TRUE(rows.at("DOUBLE_NEG_NULL_FALSE").at("EET"))
+        << "EET missed the fault designed for its projection lane";
 
     std::string rendered = renderMatrix(rows, order);
     std::string golden_path =

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "parser/lexer.h"
+#include "parser/parser.h"
 
 namespace sqlpp {
 namespace {
@@ -109,9 +110,20 @@ TEST(LexerTest, UnexpectedCharacterFails)
               std::string::npos);
 }
 
-TEST(LexerTest, IntegerOverflowFails)
+TEST(LexerTest, IntegerOverflowDefersToParser)
 {
-    EXPECT_FALSE(tokenize("99999999999999999999999999").isOk());
+    // The lexer keeps an over-range magnitude as a flagged token
+    // instead of failing: "9223372036854775808" is only meaningful
+    // once the parser sees whether a unary minus precedes it (the
+    // printed form of the INT64_MIN literal must round-trip). The
+    // parser rejects the flagged token everywhere else.
+    auto result = tokenize("99999999999999999999999999");
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    ASSERT_EQ(result.value().size(), 2u); // integer + EOF
+    EXPECT_TRUE(result.value()[0].outOfRange);
+    EXPECT_FALSE(parseExpression("99999999999999999999999999").isOk());
+    EXPECT_FALSE(parseExpression("-99999999999999999999999999").isOk());
+    EXPECT_TRUE(parseExpression("-9223372036854775808").isOk());
 }
 
 TEST(LexerTest, OffsetsRecorded)

@@ -158,5 +158,57 @@ TEST(ParserRoundtripTest, HandwrittenCornersReachFixpoint)
     }
 }
 
+TEST(ParserRoundtripTest, EetWrapperShapesReachFixpoint)
+{
+    // Every wrapper shape the EET rewriter emits (core/rewrite.cc)
+    // travels as printed SQL inside oracle queries, dossier repro
+    // scripts and reduced bug cases — each must be a print∘parse
+    // fixpoint, including nesting a wrapper inside another check's
+    // rewrite.
+    for (const char *text : {
+             "(c0 > 1) AND TRUE",                       // and_true
+             "(c0 > 1) OR FALSE",                       // or_false
+             "NOT (NOT (c0 > 1))",                      // not_not
+             "(c1 = 'a') IS TRUE",                      // is_true
+             "(c1 = 'a') IS NOT FALSE",                 // is_not_false
+             "(c0 > 1) AND ((c0 BETWEEN -2 AND 7) OR " // taut_range
+             "(c0 IS NULL))",
+             "NOT (NOT ((c0 > 1) AND TRUE))",           // nested
+             "((c0 IS NULL) IS TRUE) OR FALSE",
+         }) {
+        expectExpressionFixpoint(text);
+    }
+}
+
+TEST(ParserRoundtripTest, Int64BoundaryLiteralsReachFixpoint)
+{
+    // INT64_MIN prints as -9223372036854775808; its magnitude is out
+    // of int64 range on its own, so the lexer defers the range error
+    // and the parser folds the `-` + boundary-magnitude pair back into
+    // the literal. EET's data-aware tautology conjunct emits scanned
+    // column minima/maxima verbatim, which is how these literals reach
+    // the wire format.
+    for (const char *text : {
+             "-9223372036854775808",
+             "9223372036854775807",
+             "c0 BETWEEN -9223372036854775808 AND 9223372036854775807",
+             "(c0 = -9223372036854775808) AND TRUE",
+             "- (-9223372036854775808)",
+         }) {
+        expectExpressionFixpoint(text);
+    }
+
+    // Out-of-range magnitudes anywhere else must stay syntax errors,
+    // not wrap around silently.
+    EXPECT_FALSE(parseExpression("9223372036854775808").isOk());
+    EXPECT_FALSE(parseExpression("c0 = 9223372036854775808").isOk());
+    EXPECT_FALSE(
+        parseStatement("SELECT * FROM t0 LIMIT 9223372036854775808")
+            .isOk());
+    EXPECT_FALSE(parseStatement("SELECT * FROM t0 LIMIT 1 OFFSET "
+                                "9223372036854775808")
+                     .isOk());
+}
+
 } // namespace
 } // namespace sqlpp
