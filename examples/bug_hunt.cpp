@@ -8,7 +8,7 @@
  * the table below is identical for any --workers value.
  *
  *   ./bug_hunt [checks-per-dialect] [--workers N]
- *              [--oracles tlp,norec,pqs,eet]
+ *              [--oracles tlp,norec,pqs,eet,iso]
  *              [--checkpoint FILE] [--resume]
  *              [--shard-deadline SEC]
  *              [--max-steps N] [--max-rows N]
@@ -23,7 +23,10 @@
  * enables the pivot-containment oracle, which catches row-loss faults
  * the multiset-equality oracles cannot; adding eet enables the
  * equivalent-expression oracle, whose rewrite wrappers reach planner
- * and evaluator paths no WHERE-based check steers onto.
+ * and evaluator paths no WHERE-based check steers onto; adding iso
+ * enables the isolation oracle, which runs interleaved multi-session
+ * transaction schedules against a serial-order witness and is the
+ * only oracle that can see isolation faults (single-session no-ops).
  *
  * --checkpoint rewrites FILE atomically after every finished shard;
  * rerunning with --resume skips finished shards and merges to stats
@@ -139,7 +142,7 @@ main(int argc, char **argv)
         if (makeOracle(name) == nullptr) {
             std::fprintf(stderr,
                          "unknown oracle '%s' (known: tlp, norec, "
-                         "pqs, eet)\n",
+                         "pqs, eet, iso)\n",
                          name.c_str());
             return 1;
         }

@@ -21,11 +21,13 @@ CHECKPOINT="$WORKDIR/campaign.ckpt"
 trap 'rm -rf "$WORKDIR"' EXIT
 
 # Enough checks per dialect that the fleet cannot finish instantly,
-# so the kill lands mid-campaign on any machine. All four oracles run
+# so the kill lands mid-campaign on any machine. All five oracles run
 # so the v2 checkpoint payload (per-oracle tallies, inapplicable
-# counts, bug query lists) is exercised across the kill.
+# counts, bug query lists) is exercised across the kill — including
+# ISO, whose salt-derived interleaving schedules must regenerate
+# identically on the resumed shards.
 CHECKS=2000
-ORACLES="tlp,norec,pqs,eet"
+ORACLES="tlp,norec,pqs,eet,iso"
 
 "$BUG_HUNT" "$CHECKS" --oracles "$ORACLES" --checkpoint "$CHECKPOINT" \
     > "$WORKDIR/first.log" 2>&1 &

@@ -22,9 +22,16 @@
 #                     including the 200-seed batch differential — runs
 #                     the vectorized kernels; the asan tree inherits the
 #                     same default and sanitizes them too.
+#   6. txn lanes    — replay-smoke a tick-annotated transactional
+#                     dossier (bug_hunt --oracles iso → dialect_probe
+#                     --replay), then rebuild with
+#                     -DSQLPP_SANITIZE=thread and run the interleaving
+#                     and scheduler suites under ThreadSanitizer: the
+#                     multi-session transaction tests plus the worker
+#                     pool are the code most worth racing-checking.
 #
 # Usage: scripts/tier1.sh [--unit-only] [--no-asan] [--no-trace]
-#                         [--no-batch] [-j N]
+#                         [--no-batch] [--no-txn] [-j N]
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -32,21 +39,25 @@ BUILD="$ROOT/build"
 ASAN_BUILD="$ROOT/build-asan"
 NOTRACE_BUILD="$ROOT/build-notrace"
 NOBATCH_BUILD="$ROOT/build-nobatch"
+TSAN_BUILD="$ROOT/build-tsan"
 JOBS=4
 RUN_FULL=1
 RUN_ASAN=1
 RUN_TRACE=1
 RUN_BATCH=1
+RUN_TXN=1
 
 while [ $# -gt 0 ]; do
     case "$1" in
-      --unit-only) RUN_FULL=0; RUN_ASAN=0; RUN_TRACE=0; RUN_BATCH=0 ;;
+      --unit-only)
+          RUN_FULL=0; RUN_ASAN=0; RUN_TRACE=0; RUN_BATCH=0; RUN_TXN=0 ;;
       --no-asan) RUN_ASAN=0 ;;
       --no-trace) RUN_TRACE=0 ;;
       --no-batch) RUN_BATCH=0 ;;
+      --no-txn) RUN_TXN=0 ;;
       -j) JOBS="$2"; shift ;;
       *) echo "usage: $0 [--unit-only] [--no-asan] [--no-trace]" \
-             "[--no-batch] [-j N]" >&2; exit 2 ;;
+             "[--no-batch] [--no-txn] [-j N]" >&2; exit 2 ;;
     esac
     shift
 done
@@ -107,6 +118,23 @@ if [ "$RUN_ASAN" -eq 1 ]; then
         ctest --test-dir "$ASAN_BUILD" -R EngineBatchDifferentialTest \
             --output-on-failure --timeout 300
     fi
+fi
+
+if [ "$RUN_TXN" -eq 1 ]; then
+    echo "== tier1: transactional dossier replay smoke =="
+    "$ROOT/scripts/txn_replay_smoke.sh" "$BUILD/examples/bug_hunt" \
+        "$BUILD/examples/dialect_probe"
+
+    echo "== tier1: tsan interleaving lane =="
+    cmake -B "$TSAN_BUILD" -S "$ROOT" -DSQLPP_SANITIZE=thread \
+        >/dev/null
+    cmake --build "$TSAN_BUILD" -j "$JOBS"
+    # The multi-session transaction machinery (snapshot views, commit
+    # replay, isolation-fault overlays) plus the ISO oracle and the
+    # threaded scheduler, all under ThreadSanitizer.
+    ctest --test-dir "$TSAN_BUILD" \
+        -R "TxnTest|TxnFaultTest|TxnGenTest|IsolationOracleTest|SchedulerTest" \
+        --output-on-failure -j "$JOBS" --timeout 300
 fi
 
 echo "== tier1: OK =="

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Transactional-dossier replay smoke test: run a small ISO-only bug
+# hunt over the campaign dialects (four of which ship isolation
+# faults), pick one resulting dossier, assert its repro.sql carries
+# the tick-annotated interleaving schedule (the "tNN sM:" comment
+# lines that make a multi-session bug reviewable), and replay it with
+# `dialect_probe --replay`. Replay re-derives the schedule from the
+# dossier's base/predicate text via the salt idiom, so a successful
+# exit proves the whole serialization → parse → regenerate →
+# re-execute loop is closed for interleaved transactions.
+#
+# Usage: scripts/txn_replay_smoke.sh [path/to/bug_hunt] [path/to/dialect_probe]
+set -u
+
+BUG_HUNT="${1:-build/examples/bug_hunt}"
+DIALECT_PROBE="${2:-build/examples/dialect_probe}"
+for bin in "$BUG_HUNT" "$DIALECT_PROBE"; do
+    if [ ! -x "$bin" ]; then
+        echo "txn_replay_smoke: $bin not found; build first" >&2
+        exit 1
+    fi
+done
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+"$BUG_HUNT" 40 --oracles iso --dossier-dir "$WORKDIR/dossiers" \
+    > "$WORKDIR/hunt.log" 2>&1 || {
+    echo "FAIL: iso bug hunt exited non-zero" >&2
+    cat "$WORKDIR/hunt.log" >&2
+    exit 1
+}
+
+REPRO=$(grep -l -- "-- oracle: ISO" "$WORKDIR"/dossiers/*/repro.sql \
+    2>/dev/null | head -1)
+if [ -z "$REPRO" ]; then
+    echo "FAIL: no ISO dossier was written" >&2
+    cat "$WORKDIR/hunt.log" >&2
+    exit 1
+fi
+
+# The repro must embed the full interleaving: a schedule header, at
+# least two sessions' tick lines, and the final-state probe.
+grep -q -- "-- txn-schedule sessions=" "$REPRO" || {
+    echo "FAIL: $REPRO has no txn-schedule header" >&2
+    exit 1
+}
+grep -Eq -- "^-- t[0-9]+ s0: " "$REPRO" || {
+    echo "FAIL: $REPRO has no tick-annotated s0 lines" >&2
+    exit 1
+}
+grep -Eq -- "^-- t[0-9]+ s1: " "$REPRO" || {
+    echo "FAIL: $REPRO has no tick-annotated s1 lines" >&2
+    exit 1
+}
+grep -q -- "-- final: " "$REPRO" || {
+    echo "FAIL: $REPRO has no final-state probe" >&2
+    exit 1
+}
+
+"$DIALECT_PROBE" --replay "$REPRO" > "$WORKDIR/replay.log" 2>&1 || {
+    echo "FAIL: dialect_probe --replay did not reproduce $REPRO" >&2
+    cat "$WORKDIR/replay.log" >&2
+    exit 1
+}
+grep -q "bug reproduced" "$WORKDIR/replay.log" || {
+    echo "FAIL: replay output lacks confirmation" >&2
+    cat "$WORKDIR/replay.log" >&2
+    exit 1
+}
+
+echo "OK: transactional dossier $(basename "$(dirname "$REPRO")")" \
+     "replayed with its regenerated interleaving schedule"

@@ -82,6 +82,12 @@ stmt(StmtKind kind)
       case StmtKind::DropTable: return "STMT_DROP_TABLE";
       case StmtKind::DropView: return "STMT_DROP_VIEW";
       case StmtKind::DropIndex: return "STMT_DROP_INDEX";
+      case StmtKind::Begin: return "STMT_BEGIN";
+      case StmtKind::Commit: return "STMT_COMMIT";
+      case StmtKind::Rollback: return "STMT_ROLLBACK";
+      case StmtKind::Savepoint: return "STMT_SAVEPOINT";
+      case StmtKind::RollbackTo: return "STMT_ROLLBACK_TO";
+      case StmtKind::Release: return "STMT_RELEASE";
     }
     return "STMT_UNKNOWN";
 }

@@ -1,10 +1,12 @@
 #include "core/oracle.h"
 
+#include <algorithm>
 #include <optional>
 #include <set>
 
 #include "core/pivot.h"
 #include "core/rewrite.h"
+#include "core/txn_gen.h"
 #include "engine/eval.h"
 #include "sqlir/printer.h"
 #include "util/metrics.h"
@@ -420,6 +422,238 @@ runEet(Connection &connection, const SelectStmt &base,
     return result;
 }
 
+/** Interleaved schedules checked per ISO invocation (sub-salted). */
+constexpr size_t kIsoSchedulesPerCheck = 4;
+
+/** Per-session schedule facts the witness construction needs. */
+struct IsoSessionMeta
+{
+    size_t beginTick = 0;
+    bool committed = false;
+    size_t commitTick = 0;
+};
+
+std::vector<IsoSessionMeta>
+analyzeSchedule(const TxnSchedule &schedule)
+{
+    std::vector<IsoSessionMeta> meta(schedule.sessions);
+    for (size_t tick = 0; tick < schedule.steps.size(); ++tick) {
+        const TxnStep &step = schedule.steps[tick];
+        if (step.sql == "BEGIN") {
+            meta[step.session].beginTick = tick;
+        } else if (step.sql == "COMMIT") {
+            meta[step.session].committed = true;
+            meta[step.session].commitTick = tick;
+        }
+    }
+    return meta;
+}
+
+/** Ordered row rendering for bug evidence and ordered comparison. */
+std::string
+renderRowsOrdered(const ResultSet &rows)
+{
+    std::string out;
+    for (const Row &row : rows.rows()) {
+        if (!out.empty())
+            out += " ";
+        out += "(";
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += row[i].literal();
+        }
+        out += ")";
+    }
+    return out;
+}
+
+/**
+ * Sessions of `schedule` that committed before `beforeTick`, in commit
+ * order — the serial prefix a snapshot taken at that tick must show.
+ */
+std::vector<size_t>
+committedBefore(const std::vector<IsoSessionMeta> &meta,
+                size_t beforeTick)
+{
+    std::vector<size_t> order;
+    for (size_t session = 0; session < meta.size(); ++session) {
+        if (meta[session].committed &&
+            meta[session].commitTick < beforeTick)
+            order.push_back(session);
+    }
+    std::sort(order.begin(), order.end(),
+              [&meta](size_t a, size_t b) {
+                  return meta[a].commitTick < meta[b].commitTick;
+              });
+    return order;
+}
+
+/**
+ * The serial-order witness for one read (or, with readTick ==
+ * schedule.steps.size(), for the final committed state): a fault-free
+ * engine replays setup, then every session committed before the
+ * relevant tick serially in commit order, then — for a read — the
+ * reading session's own statement prefix, and finally the probe query.
+ */
+StatusOr<ResultSet>
+isoWitness(const EngineBehavior &behavior, const TxnSchedule &schedule,
+           const std::vector<IsoSessionMeta> &meta, size_t readTick)
+{
+    EngineConfig config;
+    config.behavior = behavior;
+    Database witness(config);
+    for (const std::string &statement : schedule.setup) {
+        auto r = witness.execute(statement);
+        if (!r.isOk())
+            return r.status();
+    }
+    bool final_state = readTick >= schedule.steps.size();
+    size_t reader =
+        final_state ? 0 : schedule.steps[readTick].session;
+    size_t horizon = final_state ? schedule.steps.size()
+                                 : meta[reader].beginTick;
+    for (size_t session : committedBefore(meta, horizon)) {
+        if (!final_state && session == reader)
+            continue;
+        for (const TxnStep &step : schedule.steps) {
+            if (step.session != session)
+                continue;
+            auto r = witness.execute(step.sql);
+            if (!r.isOk())
+                return r.status();
+        }
+    }
+    if (final_state)
+        return witness.execute(schedule.finalQuery);
+    for (size_t tick = meta[reader].beginTick; tick < readTick; ++tick) {
+        const TxnStep &step = schedule.steps[tick];
+        if (step.session != reader)
+            continue;
+        auto r = witness.execute(step.sql);
+        if (!r.isOk())
+            return r.status();
+    }
+    return witness.execute(schedule.steps[readTick].sql);
+}
+
+/** Run one schedule: observed (faulty) engine vs serial witnesses. */
+OracleResult
+runIsoSchedule(const DialectProfile &profile,
+               const TxnSchedule &schedule)
+{
+    OracleResult result;
+    result.queries = renderTxnSchedule(schedule);
+    std::vector<IsoSessionMeta> meta = analyzeSchedule(schedule);
+
+    EngineConfig observed_config;
+    observed_config.behavior = profile.behavior;
+    observed_config.faults = profile.faults;
+    Database observed(observed_config);
+    for (const std::string &statement : schedule.setup) {
+        auto r = observed.execute(statement);
+        if (!r.isOk()) {
+            result.details =
+                "setup failed: " + r.status().toString();
+            return result;
+        }
+    }
+    std::vector<SessionId> sessions;
+    for (size_t s = 0; s < schedule.sessions; ++s)
+        sessions.push_back(observed.openSession());
+
+    for (size_t tick = 0; tick < schedule.steps.size(); ++tick) {
+        const TxnStep &step = schedule.steps[tick];
+        auto r = observed.execute(step.sql, sessions[step.session]);
+        if (!r.isOk()) {
+            result.details = format("t%02zu failed: ", tick) +
+                             r.status().toString();
+            return result;
+        }
+        if (!step.isRead)
+            continue;
+        auto expected = isoWitness(profile.behavior, schedule, meta,
+                                   tick);
+        if (!expected.isOk()) {
+            result.details = "witness failed: " +
+                             expected.status().toString();
+            return result;
+        }
+        std::string got = renderRowsOrdered(r.value());
+        std::string want = renderRowsOrdered(expected.value());
+        if (got != want) {
+            result.outcome = OracleOutcome::Bug;
+            result.details = format(
+                "isolation fault: t%02zu s%zu `%s` returned [%s] but "
+                "the serial-order witness returns [%s]",
+                tick, step.session, step.sql.c_str(), got.c_str(),
+                want.c_str());
+            return result;
+        }
+    }
+
+    // Final committed state vs serial replay of committed sessions.
+    auto final_observed = observed.execute(schedule.finalQuery);
+    if (!final_observed.isOk()) {
+        result.details = "final read failed: " +
+                         final_observed.status().toString();
+        return result;
+    }
+    auto final_expected = isoWitness(profile.behavior, schedule, meta,
+                                     schedule.steps.size());
+    if (!final_expected.isOk()) {
+        result.details = "final witness failed: " +
+                         final_expected.status().toString();
+        return result;
+    }
+    std::string got = renderRowsOrdered(final_observed.value());
+    std::string want = renderRowsOrdered(final_expected.value());
+    if (got != want) {
+        result.outcome = OracleOutcome::Bug;
+        result.details = format(
+            "isolation fault: final committed state `%s` returned "
+            "[%s] but serial replay of the committed sessions "
+            "returns [%s]",
+            schedule.finalQuery.c_str(), got.c_str(), want.c_str());
+        return result;
+    }
+    result.outcome = OracleOutcome::Passed;
+    return result;
+}
+
+/** ISO check body; the member wraps it with span/outcome metrics. */
+OracleResult
+runIso(Connection &connection, const SelectStmt &base,
+       const Expr &predicate)
+{
+    OracleResult result;
+    const DialectProfile &profile = connection.profile();
+    if (!profile.clauses.transactions ||
+        profile.requiresRefreshAfterInsert) {
+        result.outcome = OracleOutcome::Inapplicable;
+        result.details =
+            "dialect does not support interleaved transactions";
+        return result;
+    }
+    // The salt idiom: the schedules are a pure function of the handed
+    // query shape, so every replay path (reducer probes, dossier
+    // replay, crash-resume) regenerates the identical interleavings.
+    std::string base_text = printSelect(base);
+    std::string predicate_text = printExpr(predicate);
+    uint64_t salt = fnv1a(predicate_text, fnv1a(base_text));
+    for (size_t round = 0; round < kIsoSchedulesPerCheck; ++round) {
+        TxnSchedule schedule = generateTxnSchedule(
+            salt + round * 0x9e3779b97f4a7c15ULL);
+        OracleResult one = runIsoSchedule(profile, schedule);
+        if (one.outcome != OracleOutcome::Passed)
+            return one;
+        if (round == 0)
+            result.queries = std::move(one.queries);
+    }
+    result.outcome = OracleOutcome::Passed;
+    return result;
+}
+
 } // namespace
 
 OracleResult
@@ -513,6 +747,31 @@ EetOracle::check(Connection &connection, const SelectStmt &base,
     return result;
 }
 
+OracleResult
+IsolationOracle::check(Connection &connection, const SelectStmt &base,
+                       const Expr &predicate)
+{
+    SQLPP_SPAN("oracle.iso.wall_us");
+    OracleResult result = runIso(connection, base, predicate);
+    SQLPP_TRACE_EVENT(OracleCheck, "iso",
+                      static_cast<uint64_t>(result.outcome), 0);
+    switch (result.outcome) {
+      case OracleOutcome::Passed:
+        SQLPP_COUNT("oracle.iso.pass");
+        break;
+      case OracleOutcome::Bug:
+        SQLPP_COUNT("oracle.iso.bug");
+        break;
+      case OracleOutcome::Skipped:
+        SQLPP_COUNT("oracle.iso.skip");
+        break;
+      case OracleOutcome::Inapplicable:
+        SQLPP_COUNT("oracle.iso.inapplicable");
+        break;
+    }
+    return result;
+}
+
 std::unique_ptr<Oracle>
 makeOracle(const std::string &name)
 {
@@ -525,6 +784,8 @@ makeOracle(const std::string &name)
         return std::make_unique<PqsOracle>();
     if (upper == "EET")
         return std::make_unique<EetOracle>();
+    if (upper == "ISO")
+        return std::make_unique<IsolationOracle>();
     return nullptr;
 }
 

@@ -129,8 +129,36 @@ class EetOracle : public Oracle
 };
 
 /**
- * Factory by oracle name ("TLP", "NOREC", "PQS", "EET"); nullptr when
- * unknown.
+ * Isolation-fault oracle (interleaved sessions; core/txn_gen.h).
+ *
+ * Unlike the single-session oracles, ISO does not test the handed
+ * query — it derives a deterministic salt from the shape's printed
+ * text (the PQS/EET salt idiom, which is what makes replay, reduction
+ * and crash-resume regenerate the identical interleaving) and runs a
+ * handful of generated multi-session transaction schedules against a
+ * private engine carrying the dialect's faults. Every in-transaction
+ * read, and the final committed state, is checked against a
+ * serial-order witness: a fault-free engine that replays the sessions
+ * committed before the reader's BEGIN serially in commit order, then
+ * the reader's own statement prefix. Any divergence is an isolation
+ * bug — the schedule vocabulary is too narrow for the single-session
+ * fault families to fire (see core/txn_gen.h).
+ *
+ * Inapplicable on dialects without transaction support and on
+ * deferred-visibility (REFRESH) dialects, where snapshot claims are
+ * not part of the contract.
+ */
+class IsolationOracle : public Oracle
+{
+  public:
+    const char *name() const override { return "ISO"; }
+    OracleResult check(Connection &connection, const SelectStmt &base,
+                       const Expr &predicate) override;
+};
+
+/**
+ * Factory by oracle name ("TLP", "NOREC", "PQS", "EET", "ISO");
+ * nullptr when unknown.
  */
 std::unique_ptr<Oracle> makeOracle(const std::string &name);
 

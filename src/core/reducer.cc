@@ -3,11 +3,62 @@
 #include "parser/parser.h"
 #include "sqlir/printer.h"
 #include "util/metrics.h"
+#include "util/strutil.h"
 #include "util/trace.h"
 
 namespace sqlpp {
 
 namespace {
+
+bool
+opensTxnBlock(const std::string &statement)
+{
+    std::string upper = toUpper(std::string(trim(statement)));
+    return upper == "BEGIN" || startsWith(upper, "BEGIN ");
+}
+
+bool
+closesTxnBlock(const std::string &statement)
+{
+    std::string upper = toUpper(std::string(trim(statement)));
+    if (upper == "COMMIT" || startsWith(upper, "COMMIT "))
+        return true;
+    // ROLLBACK ends the transaction; ROLLBACK TO [SAVEPOINT] does not.
+    if (upper == "ROLLBACK")
+        return true;
+    return startsWith(upper, "ROLLBACK ") &&
+           !startsWith(upper, "ROLLBACK TO") &&
+           !startsWith(upper, "ROLLBACK TRANSACTION TO");
+}
+
+/**
+ * Partition the setup into atomic elimination units: a
+ * BEGIN … COMMIT/ROLLBACK block is one unit (removing only its BEGIN
+ * or only its COMMIT would change the meaning of every following
+ * statement — the rest of the block would silently join the
+ * surrounding transaction state); everything else is a unit of one.
+ * Returned as (start, length) pairs over the current setup.
+ */
+std::vector<std::pair<size_t, size_t>>
+eliminationUnits(const std::vector<std::string> &setup)
+{
+    std::vector<std::pair<size_t, size_t>> units;
+    for (size_t i = 0; i < setup.size();) {
+        if (!opensTxnBlock(setup[i])) {
+            units.emplace_back(i, 1);
+            ++i;
+            continue;
+        }
+        size_t end = i + 1;
+        while (end < setup.size() && !closesTxnBlock(setup[end]))
+            ++end;
+        if (end < setup.size())
+            ++end; // include the COMMIT/ROLLBACK
+        units.emplace_back(i, end - i);
+        i = end;
+    }
+    return units;
+}
 
 size_t
 countNodes(const Expr &expr)
@@ -77,23 +128,32 @@ reduceBugCase(BugCase &bug, const ReplayFn &replay, size_t max_replays)
     ReduceStats stats;
     stats.setupBefore = bug.setup.size();
 
-    // Phase 1: greedy statement elimination to a fixed point. After a
-    // successful elimination the scan continues from the current index
-    // (the next candidate just shifted into it) — restarting from 0
-    // would re-replay prefixes already proven necessary this pass.
+    // Phase 1: greedy unit elimination to a fixed point. Units are
+    // single statements, except BEGIN … COMMIT/ROLLBACK blocks, which
+    // are removed (or kept) whole — see eliminationUnits(). After a
+    // successful elimination the scan continues from the current unit
+    // index (the next candidate just shifted into it) — restarting
+    // from 0 would re-replay prefixes already proven necessary this
+    // pass.
     bool progress = true;
     while (progress && stats.replays < max_replays) {
         progress = false;
-        for (size_t i = 0;
-             i < bug.setup.size() && stats.replays < max_replays;) {
+        for (size_t u = 0; stats.replays < max_replays;) {
+            std::vector<std::pair<size_t, size_t>> units =
+                eliminationUnits(bug.setup);
+            if (u >= units.size())
+                break;
+            auto [start, length] = units[u];
             std::vector<std::string> saved = bug.setup;
-            bug.setup.erase(bug.setup.begin() + static_cast<long>(i));
+            bug.setup.erase(
+                bug.setup.begin() + static_cast<long>(start),
+                bug.setup.begin() + static_cast<long>(start + length));
             ++stats.replays;
             if (replay(bug)) {
                 progress = true;
             } else {
                 bug.setup = std::move(saved);
-                ++i;
+                ++u;
             }
         }
     }

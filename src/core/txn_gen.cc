@@ -1,0 +1,189 @@
+#include "core/txn_gen.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+
+namespace {
+
+/**
+ * Interleaved writes keep their `a` values inside [0, 4] and every
+ * phantom-probe predicate uses a cut point in [5, 9], so a predicated
+ * read always covers the rows concurrent sessions insert — the
+ * TXN_PHANTOM_CLAIMED_SNAPSHOT leak is observable by construction,
+ * never lost to an unlucky predicate.
+ */
+constexpr int64_t kWriteALo = 0;
+constexpr int64_t kWriteAHi = 4;
+constexpr int64_t kCutLo = 5;
+constexpr int64_t kCutHi = 9;
+
+std::string
+fullRead()
+{
+    return "SELECT a, b FROM tx0";
+}
+
+std::string
+countRead()
+{
+    return "SELECT COUNT(*) FROM tx0";
+}
+
+std::string
+predRead(Rng &rng)
+{
+    return format("SELECT a, b FROM tx0 WHERE a < %lld",
+                  (long long)rng.range(kCutLo, kCutHi));
+}
+
+/** An unpredicated read — sees every pending/committed row. */
+std::string
+wideRead(Rng &rng)
+{
+    return rng.coin() ? fullRead() : countRead();
+}
+
+std::string
+anyRead(Rng &rng)
+{
+    switch (rng.below(3)) {
+      case 0: return fullRead();
+      case 1: return countRead();
+      default: return predRead(rng);
+    }
+}
+
+} // namespace
+
+TxnSchedule
+generateTxnSchedule(uint64_t salt)
+{
+    Rng rng(fnv1a("txn-schedule-v1", salt));
+    TxnSchedule schedule;
+    schedule.finalQuery = fullRead();
+
+    // Shared schema + seed rows. Integer-only, NULL-free, unindexed —
+    // see the header comment for why the vocabulary is this narrow.
+    schedule.setup.push_back("CREATE TABLE tx0 (a INT, b INT)");
+    size_t seed_rows = 2 + rng.below(3);
+    for (size_t i = 0; i < seed_rows; ++i) {
+        schedule.setup.push_back(
+            format("INSERT INTO tx0 VALUES (%lld, %lld)",
+                   (long long)rng.range(0, 9), (long long)(10 + i)));
+    }
+
+    // Every insert carries a unique `b`, so any visibility difference
+    // between the observed run and the witness shows up as concrete
+    // missing/extra rows rather than a coincidental collision.
+    int64_t next_b = 100;
+    auto insertStmt = [&]() {
+        return format("INSERT INTO tx0 VALUES (%lld, %lld)",
+                      (long long)rng.range(kWriteALo, kWriteAHi),
+                      (long long)next_b++);
+    };
+
+    // The two-session core: a fixed skeleton that opens every
+    // isolation-fault window in one interleaving —
+    //   s1 holds uncommitted writes while s0 reads   (dirty read),
+    //   s1 commits inside s0's transaction and s0 re-reads
+    //   unpredicated                                  (non-repeatable),
+    //   then predicated                               (phantom),
+    //   and both sessions commit writes that overlap  (lost update,
+    //   s0's COMMIT last so a wholesale publish clobbers s1's rows).
+    // Randomness varies the decoration (optional reads, savepoints, a
+    // third session), never the windows.
+    std::vector<TxnStep> core;
+    auto push = [&core](size_t session, std::string sql,
+                        bool is_read = false) {
+        core.push_back(TxnStep{session, std::move(sql), is_read});
+    };
+    push(0, "BEGIN");
+    if (rng.chance(0.5))
+        push(0, anyRead(rng), true);
+    push(1, "BEGIN");
+    if (rng.chance(0.4))
+        push(1, anyRead(rng), true);
+    push(1, insertStmt());
+    if (rng.chance(0.3))
+        push(1, insertStmt());
+    push(0, wideRead(rng), true); // dirty-read window
+    push(1, "COMMIT");
+    push(0, wideRead(rng), true); // non-repeatable-read window
+    push(0, predRead(rng), true); // phantom window
+    bool savepoint = rng.chance(0.3);
+    if (savepoint)
+        push(0, "SAVEPOINT sp0");
+    push(0, insertStmt());
+    if (savepoint) {
+        if (rng.chance(0.5)) {
+            push(0, "ROLLBACK TO sp0");
+            if (rng.chance(0.5))
+                push(0, insertStmt());
+        } else {
+            push(0, "RELEASE sp0");
+        }
+    }
+    push(0, "COMMIT"); // lost-update window
+
+    // Optional third session: a full block spliced into the core at
+    // random ticks (internal order preserved), widening the state
+    // space without touching the guaranteed windows above.
+    schedule.sessions = 2;
+    std::vector<TxnStep> extra;
+    if (rng.chance(0.35)) {
+        schedule.sessions = 3;
+        auto epush = [&extra](size_t session, std::string sql,
+                              bool is_read = false) {
+            extra.push_back(TxnStep{session, std::move(sql), is_read});
+        };
+        epush(2, "BEGIN");
+        size_t actions = 1 + rng.below(3);
+        for (size_t i = 0; i < actions; ++i) {
+            if (rng.chance(0.55))
+                epush(2, insertStmt());
+            else
+                epush(2, anyRead(rng), true);
+        }
+        epush(2, rng.chance(0.3) ? "ROLLBACK" : "COMMIT");
+    }
+
+    if (extra.empty()) {
+        schedule.steps = std::move(core);
+        return schedule;
+    }
+    std::vector<size_t> slots;
+    for (size_t i = 0; i < extra.size(); ++i)
+        slots.push_back(rng.below(core.size() + 1));
+    std::sort(slots.begin(), slots.end());
+    size_t extra_index = 0;
+    for (size_t i = 0; i <= core.size(); ++i) {
+        while (extra_index < extra.size() && slots[extra_index] == i)
+            schedule.steps.push_back(std::move(extra[extra_index++]));
+        if (i < core.size())
+            schedule.steps.push_back(std::move(core[i]));
+    }
+    return schedule;
+}
+
+std::vector<std::string>
+renderTxnSchedule(const TxnSchedule &schedule)
+{
+    std::vector<std::string> lines;
+    lines.push_back(format("txn-schedule sessions=%zu",
+                           schedule.sessions));
+    for (const std::string &statement : schedule.setup)
+        lines.push_back("setup: " + statement);
+    for (size_t tick = 0; tick < schedule.steps.size(); ++tick) {
+        const TxnStep &step = schedule.steps[tick];
+        lines.push_back(format("t%02zu s%zu: %s", tick, step.session,
+                               step.sql.c_str()));
+    }
+    lines.push_back("final: " + schedule.finalQuery);
+    return lines;
+}
+
+} // namespace sqlpp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Multi-session transaction schedule generation.
+ *
+ * The single-session oracles (TLP/NoREC/PQS/EET) are structurally blind
+ * to isolation bugs: every schedule they ever produce has one session
+ * and auto-commits, where the FaultId 60-block is an exact no-op. This
+ * generator produces the missing stimulus — small, deterministic
+ * interleavings of 2–3 sessions over a shared schema, each session an
+ * explicit BEGIN … COMMIT/ROLLBACK block with INSERTs, snapshot reads
+ * and occasional savepoints, merged into one global tick order.
+ *
+ * Determinism is the load-bearing property: a schedule is a pure
+ * function of a 64-bit salt, and the IsolationOracle derives that salt
+ * from the query shape it is handed (the same idiom PQS uses for its
+ * pivot and EET for its rewrite choice). Replay, the reducer's
+ * reproduction probes, multi-worker campaigns and crash-resume all
+ * regenerate bit-identical schedules from the dossier metadata alone.
+ *
+ * The statement vocabulary is deliberately narrow — integer columns,
+ * no NULLs, no indexes, no joins, no aggregates beyond COUNT(*) — so
+ * that none of the 22 single-session faults can fire inside a
+ * schedule. Any mismatch an interleaving exposes is therefore
+ * attributable to the isolation family, which keeps the fault ×
+ * oracle ground-truth matrix clean (ISO column zero on every
+ * single-session fault, and the 60-block rows ISO-only).
+ */
+#ifndef SQLPP_CORE_TXN_GEN_H
+#define SQLPP_CORE_TXN_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sqlpp {
+
+/** One statement of an interleaved schedule, in global tick order. */
+struct TxnStep
+{
+    /** 0-based index of the issuing session. */
+    size_t session = 0;
+    /** The statement text (no trailing semicolon). */
+    std::string sql;
+    /** True for SELECTs whose rows the oracle checks against a witness. */
+    bool isRead = false;
+};
+
+/** A deterministic interleaved multi-session schedule. */
+struct TxnSchedule
+{
+    /** Number of concurrent sessions (2 or 3). */
+    size_t sessions = 2;
+    /** Auto-committed schema + seed data, run before the first tick. */
+    std::vector<std::string> setup;
+    /** The interleaving; a step's index is its tick. */
+    std::vector<TxnStep> steps;
+    /** Canonical full-table read used for the final-state check. */
+    std::string finalQuery;
+};
+
+/**
+ * Generate the schedule for `salt`. Pure: equal salts yield equal
+ * schedules. Every session's block is BEGIN-opened and closed by
+ * COMMIT or ROLLBACK, so a full run leaves no transaction open.
+ */
+TxnSchedule generateTxnSchedule(uint64_t salt);
+
+/**
+ * Render the schedule as tick-annotated script lines
+ * ("setup: …", "t03 s1: …") — the form embedded in a bug dossier's
+ * repro.sql so the interleaving that exposed an isolation fault is
+ * readable (and diffable) straight from the dossier.
+ */
+std::vector<std::string> renderTxnSchedule(const TxnSchedule &schedule);
+
+} // namespace sqlpp
+
+#endif // SQLPP_CORE_TXN_GEN_H

@@ -58,7 +58,15 @@ Connection::Connection(const DialectProfile &profile,
     config.behavior = profile.behavior;
     config.faults = profile.faults;
     config.budget = options.budget;
-    db_ = std::make_unique<Database>(config);
+    db_ = std::make_shared<Database>(config);
+}
+
+Connection::Connection(const DialectProfile &profile,
+                       const ConnectionOptions &options,
+                       std::shared_ptr<Database> db)
+    : profile_(profile), options_(options), db_(std::move(db))
+{
+    session_ = db_->openSession();
 }
 
 std::vector<uint64_t>
@@ -99,7 +107,8 @@ Connection::handleRefresh(const std::string &table)
             keep.push_back(std::move(insert));
             continue;
         }
-        auto flushed = db_->executeStmt(*insert, options_.execMode);
+        auto flushed = db_->executeStmt(*insert, options_.execMode,
+                                        session_);
         if (!flushed.isOk()) {
             // Stop at the first failure: the failing INSERT is
             // consumed (its verdict is this error), but inserts that
@@ -166,7 +175,7 @@ Connection::executeInternal(const std::string &sql)
         return s;
 
     if (stmt.kind() == StmtKind::Select) {
-        auto result = db_->executeStmt(stmt, options_.execMode);
+        auto result = db_->executeStmt(stmt, options_.execMode, session_);
         // Only completed executions count as explored plans (failed
         // statements never finish a plan; counting them would let
         // invalid queries inflate the Fig. 8 metric).
@@ -187,7 +196,7 @@ Connection::executeInternal(const std::string &sql)
             static_cast<InsertStmt *>(clone.release()));
         return ResultSet(std::vector<std::string>{});
     }
-    return db_->executeStmt(stmt, options_.execMode);
+    return db_->executeStmt(stmt, options_.execMode, session_);
 }
 
 StatusOr<ResultSet>

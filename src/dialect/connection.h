@@ -57,6 +57,17 @@ class Connection
                         const ConnectionOptions &options = {});
 
     /**
+     * Open an additional session against an existing Database — the
+     * multi-session form used by interleaved transaction testing. The
+     * first connection is built normally; subsequent ones share its
+     * engine via sharedDatabase() and get their own SessionId, so
+     * transactions on each connection are isolated from one another.
+     */
+    Connection(const DialectProfile &profile,
+               const ConnectionOptions &options,
+               std::shared_ptr<Database> db);
+
+    /**
      * Execute one SQL statement exactly as a client would: parse,
      * dialect validation, then engine execution. On refresh-required
      * dialects, INSERT buffers rows until `REFRESH <table>` runs.
@@ -74,6 +85,15 @@ class Connection
 
     /** Instrumentation access (plan fingerprints, catalog inspection). */
     const Database &database() const { return *db_; }
+
+    /** The shared engine, for opening further sessions against it. */
+    std::shared_ptr<Database> sharedDatabase() const { return db_; }
+
+    /** This connection's engine session id. */
+    SessionId sessionId() const { return session_; }
+
+    /** True while this connection has an explicit transaction open. */
+    bool inTransaction() const { return db_->inTransaction(session_); }
 
     /** Number of rows currently buffered awaiting REFRESH. */
     size_t pendingRows() const;
@@ -118,7 +138,9 @@ class Connection
 
     const DialectProfile &profile_;
     ConnectionOptions options_;
-    std::unique_ptr<Database> db_;
+    std::shared_ptr<Database> db_;
+    /** Engine session this connection's statements run on. */
+    SessionId session_ = Database::kDefaultSession;
     /** Buffered INSERTs per refresh-required dialect semantics. */
     std::vector<std::unique_ptr<InsertStmt>> pending_;
     uint64_t statements_ = 0;

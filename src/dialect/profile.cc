@@ -28,6 +28,12 @@ stmtKindName(StmtKind kind)
       case StmtKind::DropTable: return "DROP TABLE";
       case StmtKind::DropView: return "DROP VIEW";
       case StmtKind::DropIndex: return "DROP INDEX";
+      case StmtKind::Begin: return "BEGIN";
+      case StmtKind::Commit: return "COMMIT";
+      case StmtKind::Rollback: return "ROLLBACK";
+      case StmtKind::Savepoint: return "SAVEPOINT";
+      case StmtKind::RollbackTo: return "ROLLBACK TO";
+      case StmtKind::Release: return "RELEASE";
     }
     return "?";
 }
@@ -112,6 +118,7 @@ describeProfile(const DialectProfile &profile)
         c.ifNotExists ? 1 : 0, c.insertOrIgnore ? 1 : 0,
         c.primaryKey ? 1 : 0, c.notNull ? 1 : 0, c.uniqueColumn ? 1 : 0,
         c.multiRowInsert ? 1 : 0, c.viewColumnList ? 1 : 0);
+    out += format("transactions: %d\n", c.transactions ? 1 : 0);
 
     names.clear();
     for (FaultId fault : profile.faults.ids())
@@ -291,6 +298,14 @@ DialectProfile::validateSelect(const SelectStmt &select) const
 Status
 DialectProfile::validate(const Stmt &stmt) const
 {
+    // Transaction control is a clause-level capability: it never
+    // appears in the `statements` set (the adaptive generator does not
+    // emit it), so gate it before the statement-kind check.
+    if (isTxnStmtKind(stmt.kind())) {
+        if (!clauses.transactions)
+            return unsupported(stmtKindName(stmt.kind()));
+        return Status::ok();
+    }
     if (!supportsStatement(stmt.kind())) {
         switch (stmt.kind()) {
           case StmtKind::CreateIndex:
@@ -358,6 +373,14 @@ DialectProfile::validate(const Stmt &stmt) const
       case StmtKind::DropTable:
       case StmtKind::DropView:
       case StmtKind::DropIndex:
+        return Status::ok();
+      case StmtKind::Begin:
+      case StmtKind::Commit:
+      case StmtKind::Rollback:
+      case StmtKind::Savepoint:
+      case StmtKind::RollbackTo:
+      case StmtKind::Release:
+        // Handled by the capability gate above.
         return Status::ok();
     }
     return Status::internal("unhandled statement kind");

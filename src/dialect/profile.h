@@ -48,6 +48,14 @@ struct ClauseSupport
     bool uniqueColumn = true;
     bool multiRowInsert = true;
     bool viewColumnList = true;
+    /**
+     * BEGIN/COMMIT/ROLLBACK plus savepoints. Gated as a clause-level
+     * capability (not a StmtKind in `statements`) so the adaptive
+     * generator's statement-feature learning is untouched: transaction
+     * control is driven by the interleaving generator (core/txn_gen),
+     * never emitted by the single-session statement generator.
+     */
+    bool transactions = true;
 };
 
 /** Full capability matrix plus behaviour of one dialect. */

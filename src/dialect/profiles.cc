@@ -167,6 +167,9 @@ buildProfiles()
         p.statements.erase(StmtKind::DropIndex);
         p.requiresRefreshAfterInsert = true;
         p.clauses.partialIndex = false;
+        // Eventually-consistent distributed store: no interactive
+        // transactions (BEGIN is rejected, like CrateDB).
+        p.clauses.transactions = false;
         removeFunctions(p, {"REVERSE", "CHR", "SPACE"});
         p.faults.enable(FaultId::WhereNullAsTrue);
         p.faults.enable(FaultId::NotNullTrue);
@@ -206,6 +209,9 @@ buildProfiles()
         p.faults.enable(FaultId::NegContextMixedEq);
         p.faults.enable(FaultId::LikeUnderscoreLiteral);
         p.faults.enable(FaultId::GroupByNullSeparate);
+        // Isolation fault: uncommitted writes of concurrent sessions
+        // are visible to every read (dirty read).
+        p.faults.enable(FaultId::TxnDirtyRead);
         profiles.push_back(std::move(p));
     }
     // duckdb-like: analytics engine, strict typing, friendly dialect.
@@ -247,6 +253,9 @@ buildProfiles()
         removeFunctions(p, {"ATAN2"});
         p.faults.enable(FaultId::IsNullFalseForBoolNull);
         p.faults.enable(FaultId::GroupByNullSeparate);
+        // Isolation fault: commits publish the session's private state
+        // wholesale, clobbering concurrent committers (lost update).
+        p.faults.enable(FaultId::TxnLostUpdate);
         profiles.push_back(std::move(p));
     }
     // monetdb-like: column store with a strict dialect.
@@ -262,6 +271,9 @@ buildProfiles()
         p.faults.enable(FaultId::DistinctNullCollapse);
         p.faults.enable(FaultId::SumEmptyZero);
         p.faults.enable(FaultId::HashJoinNullMatch);
+        // Isolation fault: predicated reads rescan latest-committed
+        // state inside a claimed snapshot (phantoms).
+        p.faults.enable(FaultId::TxnPhantomClaimedSnapshot);
         profiles.push_back(std::move(p));
     }
     // mysql-like.
@@ -286,6 +298,8 @@ buildProfiles()
         p.statements.erase(StmtKind::DropIndex);
         p.statements.erase(StmtKind::Analyze);
         p.joins.erase(JoinType::Natural);
+        // Streaming materialization: no interactive transactions.
+        p.clauses.transactions = false;
         removeFunctions(p, {"HEX", "QUOTE", "SPACE"});
         p.faults.enable(FaultId::PushdownThroughOuterJoin);
         p.faults.enable(FaultId::DistinctNullCollapse);
@@ -319,6 +333,9 @@ buildProfiles()
         p.faults.enable(FaultId::IndexEqTextCoerce);
         p.faults.enable(FaultId::NegContextMixedEq);
         p.faults.enable(FaultId::HashJoinNullMatch);
+        // Isolation fault: in-transaction reads leak concurrently
+        // committed rows (read committed under a claimed snapshot).
+        p.faults.enable(FaultId::TxnNonRepeatableRead);
         profiles.push_back(std::move(p));
     }
     // umbra-like: research engine; the campaign's largest bug count

@@ -27,10 +27,16 @@ emptyResult()
 StatusOr<ResultSet>
 Database::execute(const std::string &sql)
 {
+    return execute(sql, kDefaultSession);
+}
+
+StatusOr<ResultSet>
+Database::execute(const std::string &sql, SessionId session)
+{
     auto parsed = parseStatement(sql);
     if (!parsed.isOk())
         return parsed.status();
-    return executeStmt(*parsed.value(), ExecMode::Optimized);
+    return executeStmt(*parsed.value(), ExecMode::Optimized, session);
 }
 
 StatusOr<ResultSet>
@@ -45,53 +51,276 @@ Database::executeReference(const std::string &sql)
 StatusOr<ResultSet>
 Database::executeStmt(const Stmt &stmt, ExecMode mode)
 {
+    return executeStmt(stmt, mode, kDefaultSession);
+}
+
+StatusOr<ResultSet>
+Database::executeStmt(const Stmt &stmt, ExecMode mode, SessionId session)
+{
     ++statements_;
+    if (isTxnStmtKind(stmt.kind()))
+        return runTxnStmt(static_cast<const TxnStmt &>(stmt), session);
+
+    auto txn = txns_.find(session);
+    bool in_txn = txn != txns_.end();
+    Catalog &target = in_txn ? *txn->second.view : catalog_;
+
     if (config_.behavior.staticTyping) {
-        Status status = typeCheckStatement(stmt, catalog_);
+        Status status = typeCheckStatement(stmt, target);
         if (!status.isOk())
             return status;
     }
-    switch (stmt.kind()) {
-      case StmtKind::CreateTable:
-        SQLPP_COVER("db.create_table");
-        return runCreateTable(static_cast<const CreateTableStmt &>(stmt));
-      case StmtKind::CreateIndex:
-        SQLPP_COVER("db.create_index");
-        return runCreateIndex(static_cast<const CreateIndexStmt &>(stmt));
-      case StmtKind::CreateView:
-        SQLPP_COVER("db.create_view");
-        return runCreateView(static_cast<const CreateViewStmt &>(stmt));
-      case StmtKind::Insert:
-        SQLPP_COVER("db.insert");
-        return runInsert(static_cast<const InsertStmt &>(stmt));
-      case StmtKind::Analyze:
-        SQLPP_COVER("db.analyze");
-        return runAnalyze(static_cast<const AnalyzeStmt &>(stmt));
-      case StmtKind::Select: {
+    if (stmt.kind() == StmtKind::Select) {
         SQLPP_COVER("db.select");
+        const auto &select = static_cast<const SelectStmt &>(stmt);
+        // Batch execution is row-at-a-time inside an explicit
+        // transaction for now: the vectorized pipeline reads column
+        // chunks straight off the committed store and cannot follow a
+        // session's private version yet.
+        ExecMode effective = mode;
+        if (in_txn && mode == ExecMode::Batch) {
+            SQLPP_COVER("db.txn.batch_fallback");
+            effective = ExecMode::Optimized;
+        }
+        std::unique_ptr<Catalog> scratch;
+        const Catalog &view =
+            readCatalog(session, select.where != nullptr, scratch);
         BudgetMeter meter(config_.budget);
-        Executor executor(catalog_, config_.behavior, config_.faults,
-                          mode, &meter);
-        auto result = executor.runSelect(
-            static_cast<const SelectStmt &>(stmt));
+        Executor executor(view, config_.behavior, config_.faults,
+                          effective, &meter);
+        auto result = executor.runSelect(select);
         last_plan_ = executor.planDescription();
         last_fingerprint_ = executor.planFingerprint();
         return result;
-      }
+    }
+
+    // Writes: DDL and INSERT apply to the session's private version
+    // inside a transaction (and are logged for COMMIT replay), or to
+    // the shared committed catalog when auto-committing. Failures are
+    // logged too — statements are not atomic, so a failed multi-row
+    // INSERT's partial effect must survive the commit replay.
+    auto result = applyWrite(target, stmt);
+    if (in_txn)
+        txn->second.log.push_back(LogEntry{stmt.clone(), result.isOk()});
+    else if (result.isOk())
+        ++commit_version_;
+    return result;
+}
+
+StatusOr<ResultSet>
+Database::applyWrite(Catalog &catalog, const Stmt &stmt)
+{
+    switch (stmt.kind()) {
+      case StmtKind::CreateTable:
+        SQLPP_COVER("db.create_table");
+        return runCreateTable(catalog,
+                              static_cast<const CreateTableStmt &>(stmt));
+      case StmtKind::CreateIndex:
+        SQLPP_COVER("db.create_index");
+        return runCreateIndex(catalog,
+                              static_cast<const CreateIndexStmt &>(stmt));
+      case StmtKind::CreateView:
+        SQLPP_COVER("db.create_view");
+        return runCreateView(catalog,
+                             static_cast<const CreateViewStmt &>(stmt));
+      case StmtKind::Insert:
+        SQLPP_COVER("db.insert");
+        return runInsert(catalog, static_cast<const InsertStmt &>(stmt));
+      case StmtKind::Analyze:
+        SQLPP_COVER("db.analyze");
+        return runAnalyze(catalog, static_cast<const AnalyzeStmt &>(stmt));
       case StmtKind::DropTable:
       case StmtKind::DropView:
       case StmtKind::DropIndex:
         SQLPP_COVER("db.drop");
-        return runDrop(static_cast<const DropStmt &>(stmt));
+        return runDrop(catalog, static_cast<const DropStmt &>(stmt));
+      default:
+        return Status::internal("unhandled statement kind");
     }
-    return Status::internal("unhandled statement kind");
+}
+
+void
+Database::overlayLog(Catalog &catalog, const std::vector<LogEntry> &log)
+{
+    // Best-effort: a fault view merges another session's uncommitted
+    // writes; statements that no longer apply (duplicate DDL, rows
+    // past limits) are silently dropped, as a buggy engine would.
+    for (const LogEntry &entry : log)
+        (void)applyWrite(catalog, *entry.stmt);
+}
+
+const Catalog &
+Database::readCatalog(SessionId session, bool predicated,
+                      std::unique_ptr<Catalog> &scratch)
+{
+    auto it = txns_.find(session);
+    SessionTxn *txn = it == txns_.end() ? nullptr : &it->second;
+    const Catalog *base = txn ? txn->view.get() : &catalog_;
+
+    if (txn != nullptr) {
+        // Snapshot leaks: the read follows latest-committed state
+        // instead of the BEGIN snapshot — for every read under
+        // TxnNonRepeatableRead, for predicated reads only under
+        // TxnPhantomClaimedSnapshot (the index-rescan phantom).
+        bool follow_committed =
+            config_.faults.isEnabled(FaultId::TxnNonRepeatableRead) ||
+            (predicated &&
+             config_.faults.isEnabled(
+                 FaultId::TxnPhantomClaimedSnapshot));
+        if (follow_committed && commit_version_ != txn->baseVersion) {
+            SQLPP_COVER("db.txn.fault.snapshot_leak");
+            scratch = std::make_unique<Catalog>(catalog_);
+            overlayLog(*scratch, txn->log);
+            base = scratch.get();
+        }
+    }
+
+    if (config_.faults.isEnabled(FaultId::TxnDirtyRead)) {
+        // Reads additionally see every other session's uncommitted
+        // writes, merged over whatever base the rules above chose.
+        bool any_other = false;
+        for (const auto &[sid, other] : txns_) {
+            if (sid != session && !other.log.empty())
+                any_other = true;
+        }
+        if (any_other) {
+            SQLPP_COVER("db.txn.fault.dirty_read");
+            if (scratch == nullptr || scratch.get() != base)
+                scratch = std::make_unique<Catalog>(*base);
+            for (const auto &[sid, other] : txns_) {
+                if (sid != session)
+                    overlayLog(*scratch, other.log);
+            }
+            base = scratch.get();
+        }
+    }
+    return *base;
 }
 
 StatusOr<ResultSet>
-Database::runCreateTable(const CreateTableStmt &stmt)
+Database::runTxnStmt(const TxnStmt &stmt, SessionId session)
 {
-    if (catalog_.hasObject(stmt.name)) {
-        if (stmt.ifNotExists && catalog_.hasTable(stmt.name))
+    auto it = txns_.find(session);
+    SessionTxn *txn = it == txns_.end() ? nullptr : &it->second;
+    switch (stmt.kind()) {
+      case StmtKind::Begin: {
+        if (txn != nullptr) {
+            return Status::semanticError(
+                "cannot BEGIN: a transaction is already active");
+        }
+        SQLPP_COVER("db.txn.begin");
+        SessionTxn fresh;
+        fresh.view = std::make_unique<Catalog>(catalog_);
+        fresh.baseVersion = commit_version_;
+        txns_.emplace(session, std::move(fresh));
+        return emptyResult();
+      }
+      case StmtKind::Commit: {
+        if (txn == nullptr) {
+            return Status::semanticError(
+                "cannot COMMIT: no transaction is active");
+        }
+        SQLPP_COVER("db.txn.commit");
+        if (config_.faults.isEnabled(FaultId::TxnLostUpdate)) {
+            // The bug: publish the session's private version wholesale
+            // instead of replaying its writes onto the latest committed
+            // state — anything committed since BEGIN is clobbered.
+            SQLPP_COVER("db.txn.fault.lost_update");
+            catalog_ = std::move(*txn->view);
+            ++commit_version_;
+            txns_.erase(it);
+            return emptyResult();
+        }
+        // First-committer-wins: replay the write log onto the latest
+        // committed catalog. A replay failure of a statement that
+        // succeeded in the transaction (e.g. a unique key a concurrent
+        // commit claimed) aborts the whole transaction; statements
+        // that already failed in the transaction replay best-effort to
+        // reproduce their partial effects.
+        auto staging = std::make_unique<Catalog>(catalog_);
+        for (const LogEntry &entry : txn->log) {
+            auto replayed = applyWrite(*staging, *entry.stmt);
+            if (!replayed.isOk() && entry.ok) {
+                SQLPP_COVER("db.txn.commit_conflict");
+                Status aborted = Status::runtimeError(
+                    "COMMIT aborted: " + replayed.status().message());
+                txns_.erase(it);
+                return aborted;
+            }
+        }
+        catalog_ = std::move(*staging);
+        ++commit_version_;
+        txns_.erase(it);
+        return emptyResult();
+      }
+      case StmtKind::Rollback: {
+        if (txn == nullptr) {
+            return Status::semanticError(
+                "cannot ROLLBACK: no transaction is active");
+        }
+        SQLPP_COVER("db.txn.rollback");
+        txns_.erase(it);
+        return emptyResult();
+      }
+      case StmtKind::Savepoint: {
+        if (txn == nullptr) {
+            return Status::semanticError(
+                "SAVEPOINT outside a transaction");
+        }
+        SQLPP_COVER("db.txn.savepoint");
+        TxnSavepoint savepoint;
+        savepoint.name = stmt.savepoint;
+        savepoint.snapshot = std::make_unique<Catalog>(*txn->view);
+        savepoint.logSize = txn->log.size();
+        txn->savepoints.push_back(std::move(savepoint));
+        return emptyResult();
+      }
+      case StmtKind::RollbackTo: {
+        if (txn == nullptr) {
+            return Status::semanticError(
+                "ROLLBACK TO outside a transaction");
+        }
+        for (size_t i = txn->savepoints.size(); i-- > 0;) {
+            if (txn->savepoints[i].name != stmt.savepoint)
+                continue;
+            SQLPP_COVER("db.txn.rollback_to");
+            TxnSavepoint &savepoint = txn->savepoints[i];
+            txn->view =
+                std::make_unique<Catalog>(*savepoint.snapshot);
+            txn->log.resize(savepoint.logSize);
+            // The savepoint itself survives (SQL semantics); only
+            // younger savepoints are discarded.
+            txn->savepoints.resize(i + 1);
+            return emptyResult();
+        }
+        return Status::semanticError("no such savepoint: " +
+                                     stmt.savepoint);
+      }
+      case StmtKind::Release: {
+        if (txn == nullptr) {
+            return Status::semanticError(
+                "RELEASE outside a transaction");
+        }
+        for (size_t i = txn->savepoints.size(); i-- > 0;) {
+            if (txn->savepoints[i].name != stmt.savepoint)
+                continue;
+            SQLPP_COVER("db.txn.release");
+            txn->savepoints.resize(i);
+            return emptyResult();
+        }
+        return Status::semanticError("no such savepoint: " +
+                                     stmt.savepoint);
+      }
+      default:
+        return Status::internal("not a transaction statement");
+    }
+}
+
+StatusOr<ResultSet>
+Database::runCreateTable(Catalog &catalog, const CreateTableStmt &stmt)
+{
+    if (catalog.hasObject(stmt.name)) {
+        if (stmt.ifNotExists && catalog.hasTable(stmt.name))
             return emptyResult();
         return Status::semanticError("object already exists: " +
                                      stmt.name);
@@ -122,18 +351,18 @@ Database::runCreateTable(const CreateTableStmt &stmt)
             table.indexes.push_back(std::move(index));
         }
     }
-    return catalog_.addTable(std::move(table)).isOk()
+    return catalog.addTable(std::move(table)).isOk()
                ? StatusOr<ResultSet>(emptyResult())
                : StatusOr<ResultSet>(Status::semanticError(
                      "object already exists: " + stmt.name));
 }
 
 StatusOr<ResultSet>
-Database::runCreateIndex(const CreateIndexStmt &stmt)
+Database::runCreateIndex(Catalog &catalog, const CreateIndexStmt &stmt)
 {
-    if (catalog_.hasObject(stmt.name))
+    if (catalog.hasObject(stmt.name))
         return Status::semanticError("object already exists: " + stmt.name);
-    StoredTable *table = catalog_.table(stmt.table);
+    StoredTable *table = catalog.table(stmt.table);
     if (table == nullptr) {
         return Status::semanticError("no such table: " + stmt.table);
     }
@@ -185,20 +414,20 @@ Database::runCreateIndex(const CreateIndexStmt &stmt)
         }
         index.insert(std::move(key), ri);
     }
-    Status status = catalog_.addIndex(stmt.table, std::move(index));
+    Status status = catalog.addIndex(stmt.table, std::move(index));
     if (!status.isOk())
         return status;
     return emptyResult();
 }
 
 StatusOr<ResultSet>
-Database::runCreateView(const CreateViewStmt &stmt)
+Database::runCreateView(Catalog &catalog, const CreateViewStmt &stmt)
 {
-    if (catalog_.hasObject(stmt.name))
+    if (catalog.hasObject(stmt.name))
         return Status::semanticError("object already exists: " + stmt.name);
     // Validate the body by executing it once (cheap at generator scale)
     // and fix the output arity.
-    Executor executor(catalog_, config_.behavior, config_.faults,
+    Executor executor(catalog, config_.behavior, config_.faults,
                       ExecMode::Optimized);
     auto result = executor.runSelect(*stmt.select);
     if (!result.isOk())
@@ -216,7 +445,7 @@ Database::runCreateView(const CreateViewStmt &stmt)
     view.name = stmt.name;
     view.columnNames = stmt.columnNames;
     view.select = stmt.select->cloneSelect();
-    Status status = catalog_.addView(std::move(view));
+    Status status = catalog.addView(std::move(view));
     if (!status.isOk())
         return status;
     return emptyResult();
@@ -264,11 +493,11 @@ Database::coerceForColumn(const Value &value, DataType type) const
 }
 
 StatusOr<ResultSet>
-Database::runInsert(const InsertStmt &stmt)
+Database::runInsert(Catalog &catalog, const InsertStmt &stmt)
 {
-    StoredTable *table = catalog_.table(stmt.table);
+    StoredTable *table = catalog.table(stmt.table);
     if (table == nullptr) {
-        if (catalog_.hasView(stmt.table))
+        if (catalog.hasView(stmt.table))
             return Status::semanticError("cannot insert into a view");
         return Status::semanticError("no such table: " + stmt.table);
     }
@@ -391,7 +620,7 @@ Database::runInsert(const InsertStmt &stmt)
 }
 
 StatusOr<ResultSet>
-Database::runAnalyze(const AnalyzeStmt &stmt)
+Database::runAnalyze(Catalog &catalog, const AnalyzeStmt &stmt)
 {
     auto analyze_table = [](StoredTable &table) {
         table.stats.assign(table.columns.size(), ColumnStats{});
@@ -408,30 +637,30 @@ Database::runAnalyze(const AnalyzeStmt &stmt)
         table.analyzed = true;
     };
     if (!stmt.table.empty()) {
-        StoredTable *table = catalog_.table(stmt.table);
+        StoredTable *table = catalog.table(stmt.table);
         if (table == nullptr)
             return Status::semanticError("no such table: " + stmt.table);
         analyze_table(*table);
         return emptyResult();
     }
-    for (const std::string &name : catalog_.tableNames())
-        analyze_table(*catalog_.table(name));
+    for (const std::string &name : catalog.tableNames())
+        analyze_table(*catalog.table(name));
     return emptyResult();
 }
 
 StatusOr<ResultSet>
-Database::runDrop(const DropStmt &stmt)
+Database::runDrop(Catalog &catalog, const DropStmt &stmt)
 {
     Status status = Status::ok();
     switch (stmt.kind()) {
       case StmtKind::DropTable:
-        status = catalog_.dropTable(stmt.name);
+        status = catalog.dropTable(stmt.name);
         break;
       case StmtKind::DropView:
-        status = catalog_.dropView(stmt.name);
+        status = catalog.dropView(stmt.name);
         break;
       case StmtKind::DropIndex:
-        status = catalog_.dropIndex(stmt.name);
+        status = catalog.dropIndex(stmt.name);
         break;
       default:
         return Status::internal("bad drop kind");
@@ -452,6 +681,15 @@ declareEngineCoverageProbes()
          {"db.create_table", "db.create_index", "db.create_view",
           "db.insert", "db.insert.or_ignore_skip", "db.analyze",
           "db.select", "db.drop"}) {
+        registry.declare(probe);
+    }
+    // Transaction control and isolation-fault paths.
+    for (const char *probe :
+         {"db.txn.begin", "db.txn.commit", "db.txn.rollback",
+          "db.txn.savepoint", "db.txn.rollback_to", "db.txn.release",
+          "db.txn.commit_conflict", "db.txn.batch_fallback",
+          "db.txn.fault.snapshot_leak", "db.txn.fault.dirty_read",
+          "db.txn.fault.lost_update"}) {
         registry.declare(probe);
     }
     // Executor paths.

@@ -28,6 +28,10 @@ allFaultIds()
         FaultId::SumEmptyZero,
         FaultId::GroupByNullSeparate,
         FaultId::LikeUnderscoreLiteral,
+        FaultId::TxnDirtyRead,
+        FaultId::TxnNonRepeatableRead,
+        FaultId::TxnPhantomClaimedSnapshot,
+        FaultId::TxnLostUpdate,
     };
     return ids;
 }
@@ -69,6 +73,12 @@ faultName(FaultId id)
       case FaultId::GroupByNullSeparate: return "GROUP_BY_NULL_SEPARATE";
       case FaultId::LikeUnderscoreLiteral:
         return "LIKE_UNDERSCORE_LITERAL";
+      case FaultId::TxnDirtyRead: return "TXN_DIRTY_READ";
+      case FaultId::TxnNonRepeatableRead:
+        return "TXN_NON_REPEATABLE_READ";
+      case FaultId::TxnPhantomClaimedSnapshot:
+        return "TXN_PHANTOM_CLAIMED_SNAPSHOT";
+      case FaultId::TxnLostUpdate: return "TXN_LOST_UPDATE";
     }
     return "UNKNOWN_FAULT";
 }
@@ -121,6 +131,14 @@ faultDescription(FaultId id)
         return "GROUP BY separates NULL keys into distinct groups";
       case FaultId::LikeUnderscoreLiteral:
         return "LIKE treats '_' as a literal character";
+      case FaultId::TxnDirtyRead:
+        return "reads see other sessions' uncommitted writes";
+      case FaultId::TxnNonRepeatableRead:
+        return "in-transaction reads follow latest-committed state";
+      case FaultId::TxnPhantomClaimedSnapshot:
+        return "predicated reads leak committed phantoms into snapshots";
+      case FaultId::TxnLostUpdate:
+        return "COMMIT clobbers concurrently committed writes";
     }
     return "?";
 }
@@ -157,6 +175,20 @@ isLatentFault(FaultId id)
       case FaultId::SumEmptyZero:
       case FaultId::GroupByNullSeparate:
       case FaultId::LikeUnderscoreLiteral:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isIsolationFault(FaultId id)
+{
+    switch (id) {
+      case FaultId::TxnDirtyRead:
+      case FaultId::TxnNonRepeatableRead:
+      case FaultId::TxnPhantomClaimedSnapshot:
+      case FaultId::TxnLostUpdate:
         return true;
       default:
         return false;

@@ -114,6 +114,33 @@ enum class FaultId : uint32_t
     GroupByNullSeparate = 42,
     /** Latent evaluator: LIKE treats '_' as a literal underscore. */
     LikeUnderscoreLiteral = 43,
+
+    /**
+     * Isolation faults (60-block): multi-session transaction bugs.
+     * Each is an exact no-op for single-session auto-commit use — only
+     * interleaved sessions with open transactions can observe them, so
+     * every single-session oracle is structurally blind and only the
+     * interleaving-aware IsolationOracle ("ISO") detects them.
+     */
+    /** Reads see other sessions' uncommitted writes. */
+    TxnDirtyRead = 60,
+    /**
+     * In-transaction reads track latest-committed state instead of the
+     * BEGIN snapshot (read committed where snapshot was claimed).
+     */
+    TxnNonRepeatableRead = 61,
+    /**
+     * Only *predicated* reads (WHERE present) rescan latest-committed
+     * state inside a transaction — the index-rescan phantom: full
+     * scans honour the snapshot, filtered scans leak new rows.
+     */
+    TxnPhantomClaimedSnapshot = 62,
+    /**
+     * COMMIT publishes the session's private version of the database
+     * wholesale instead of replaying its writes onto the latest
+     * committed state — concurrent committers' rows are clobbered.
+     */
+    TxnLostUpdate = 63,
 };
 
 /** All fault ids, in declaration order. */
@@ -130,6 +157,9 @@ bool isPlannerFault(FaultId id);
 
 /** True if the fault is invisible to both shipped oracles by design. */
 bool isLatentFault(FaultId id);
+
+/** True for the multi-session isolation fault family (60-block). */
+bool isIsolationFault(FaultId id);
 
 /** An enabled subset of faults, owned by a Database configuration. */
 class FaultSet

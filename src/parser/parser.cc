@@ -153,6 +153,46 @@ Parser::parseStatementTop()
         result = StmtPtr(select.takeValue());
     } else if (atKeyword("DROP")) {
         result = parseDrop();
+    } else if (atKeyword("BEGIN")) {
+        advance();
+        eatKeyword("TRANSACTION");
+        result = StmtPtr(std::make_unique<TxnStmt>(StmtKind::Begin));
+    } else if (atKeyword("COMMIT")) {
+        advance();
+        eatKeyword("TRANSACTION");
+        result = StmtPtr(std::make_unique<TxnStmt>(StmtKind::Commit));
+    } else if (atKeyword("ROLLBACK")) {
+        advance();
+        eatKeyword("TRANSACTION");
+        if (eatKeyword("TO")) {
+            eatKeyword("SAVEPOINT");
+            auto stmt = std::make_unique<TxnStmt>(StmtKind::RollbackTo);
+            auto name = expectIdentifier("savepoint name");
+            if (!name.isOk())
+                return name.status();
+            stmt->savepoint = name.value();
+            result = StmtPtr(std::move(stmt));
+        } else {
+            result =
+                StmtPtr(std::make_unique<TxnStmt>(StmtKind::Rollback));
+        }
+    } else if (atKeyword("SAVEPOINT")) {
+        advance();
+        auto stmt = std::make_unique<TxnStmt>(StmtKind::Savepoint);
+        auto name = expectIdentifier("savepoint name");
+        if (!name.isOk())
+            return name.status();
+        stmt->savepoint = name.value();
+        result = StmtPtr(std::move(stmt));
+    } else if (atKeyword("RELEASE")) {
+        advance();
+        eatKeyword("SAVEPOINT");
+        auto stmt = std::make_unique<TxnStmt>(StmtKind::Release);
+        auto name = expectIdentifier("savepoint name");
+        if (!name.isOk())
+            return name.status();
+        stmt->savepoint = name.value();
+        result = StmtPtr(std::move(stmt));
     } else if (peek().kind == TokenKind::EndOfInput) {
         return Status::syntaxError("empty statement");
     } else {

@@ -355,7 +355,30 @@ enum class StmtKind
     DropTable,
     DropView,
     DropIndex,
+    Begin,
+    Commit,
+    Rollback,
+    Savepoint,
+    RollbackTo,
+    Release,
 };
+
+/** True for the transaction-control statement kinds. */
+inline bool
+isTxnStmtKind(StmtKind kind)
+{
+    switch (kind) {
+      case StmtKind::Begin:
+      case StmtKind::Commit:
+      case StmtKind::Rollback:
+      case StmtKind::Savepoint:
+      case StmtKind::RollbackTo:
+      case StmtKind::Release:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** Base class for all statements. */
 class Stmt
@@ -476,6 +499,25 @@ class AnalyzeStmt : public Stmt
 
     /** Empty = whole database. */
     std::string table;
+};
+
+/**
+ * Transaction control: BEGIN / COMMIT / ROLLBACK [TO name] /
+ * SAVEPOINT name / RELEASE name. One node class covers all six kinds;
+ * `savepoint` is empty except for the savepoint-addressed kinds.
+ */
+class TxnStmt : public Stmt
+{
+  public:
+    explicit TxnStmt(StmtKind kind) : Stmt(kind) {}
+
+    StmtPtr clone() const override
+    {
+        return std::make_unique<TxnStmt>(*this);
+    }
+
+    /** Savepoint name (Savepoint / RollbackTo / Release only). */
+    std::string savepoint;
 };
 
 /** DROP TABLE/VIEW/INDEX [IF EXISTS] name. */

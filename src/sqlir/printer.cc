@@ -329,6 +329,21 @@ printStmt(const Stmt &stmt)
         return std::string("DROP INDEX ") +
                (drop.ifExists ? "IF EXISTS " : "") + drop.name;
       }
+      case StmtKind::Begin:
+        return "BEGIN";
+      case StmtKind::Commit:
+        return "COMMIT";
+      case StmtKind::Rollback:
+        return "ROLLBACK";
+      case StmtKind::Savepoint:
+        return "SAVEPOINT " +
+               static_cast<const TxnStmt &>(stmt).savepoint;
+      case StmtKind::RollbackTo:
+        return "ROLLBACK TO " +
+               static_cast<const TxnStmt &>(stmt).savepoint;
+      case StmtKind::Release:
+        return "RELEASE " +
+               static_cast<const TxnStmt &>(stmt).savepoint;
     }
     return "?";
 }

@@ -586,6 +586,11 @@ declarePlatformMetrics()
         {"oracle.eet.skip", MetricKind::Counter},
         {"oracle.eet.inapplicable", MetricKind::Counter},
         {"oracle.eet.wall_us", MetricKind::Timer},
+        {"oracle.iso.pass", MetricKind::Counter},
+        {"oracle.iso.bug", MetricKind::Counter},
+        {"oracle.iso.skip", MetricKind::Counter},
+        {"oracle.iso.inapplicable", MetricKind::Counter},
+        {"oracle.iso.wall_us", MetricKind::Timer},
         // Reducer.
         {"reducer.cases", MetricKind::Counter},
         {"reducer.replays", MetricKind::Counter},

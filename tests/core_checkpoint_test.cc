@@ -241,6 +241,45 @@ TEST(CheckpointTest, FourOracleCampaignIsBitIdenticalForOneTwoFourWorkers)
     }
 }
 
+TEST(CheckpointTest, FiveOracleCampaignIsBitIdenticalForOneTwoFourWorkers)
+{
+    // The full battery including ISO. The isolation oracle runs whole
+    // interleaving schedules per check (derived from the handed query
+    // shape by the salt idiom) and reports Inapplicable on dialects
+    // without transactions; both its tallies and its determinism must
+    // survive sharding, checkpointing and resume — the regenerated
+    // schedules on a resumed shard are the same interleavings the
+    // killed run would have executed.
+    CampaignConfig campaign = smallCampaign();
+    campaign.oracles = {"TLP", "NOREC", "PQS", "EET", "ISO"};
+
+    SchedulerConfig base = smallSchedule(1);
+    base.campaign = campaign;
+    ScheduleReport reference = CampaignScheduler(base).run();
+
+    for (size_t workers : {1u, 2u, 4u}) {
+        std::string path = tempPath("sqlpp_ckpt_iso.kv");
+        std::filesystem::remove(path);
+
+        SchedulerConfig writing = smallSchedule(workers);
+        writing.campaign = campaign;
+        writing.checkpointPath = path;
+        ScheduleReport written = CampaignScheduler(writing).run();
+        EXPECT_TRUE(written.merged == reference.merged)
+            << workers << " workers (write pass)";
+
+        SchedulerConfig resuming = writing;
+        resuming.resume = true;
+        ScheduleReport resumed = CampaignScheduler(resuming).run();
+        EXPECT_TRUE(resumed.merged == reference.merged)
+            << workers << " workers (resume pass)";
+        EXPECT_EQ(resumed.shardsFromCheckpoint, 4u);
+        EXPECT_EQ(resumed.merged.bugsByOracle,
+                  reference.merged.bugsByOracle);
+        std::filesystem::remove(path);
+    }
+}
+
 TEST(CheckpointTest, MismatchedConfigurationStartsFresh)
 {
     std::string path = tempPath("sqlpp_ckpt_mismatch.kv");

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * IsolationOracle tests: silent on fault-free engines, detects every
+ * fault of the 60-block, deterministic per query shape, inapplicable
+ * where transactions are unsupported — and the single-session oracles
+ * stay structurally blind to isolation faults.
+ */
+#include <gtest/gtest.h>
+
+#include "core/oracle.h"
+#include "parser/parser.h"
+
+namespace sqlpp {
+namespace {
+
+DialectProfile
+isoProfile(std::initializer_list<FaultId> faults)
+{
+    DialectProfile profile = *findDialect("postgres-like");
+    profile.name = "iso-test";
+    profile.faults = FaultSet{};
+    for (FaultId id : faults)
+        profile.faults.enable(id);
+    return profile;
+}
+
+OracleResult
+runIsoShape(Connection &conn, const std::string &predicate)
+{
+    IsolationOracle iso;
+    auto base = parseStatement("SELECT * FROM t0");
+    auto pred = parseExpression(predicate);
+    EXPECT_TRUE(base.isOk());
+    EXPECT_TRUE(pred.isOk());
+    return iso.check(conn,
+                     static_cast<const SelectStmt &>(*base.value()),
+                     *pred.value());
+}
+
+const char *kPredicates[] = {"t0.c0 > 1", "t0.c0 < 5", "t0.c0 = 3",
+                             "t0.c0 >= 0", "t0.c0 <= 9"};
+
+TEST(IsolationOracleTest, PassesOnFaultFreeEngine)
+{
+    DialectProfile profile = isoProfile({});
+    Connection conn(profile);
+    for (const char *p : kPredicates) {
+        OracleResult result = runIsoShape(conn, p);
+        EXPECT_EQ(result.outcome, OracleOutcome::Passed)
+            << p << ": " << result.details;
+        EXPECT_FALSE(result.queries.empty());
+    }
+}
+
+TEST(IsolationOracleTest, PassesWithSingleSessionFaultsEnabled)
+{
+    // Single-session faults must not fire inside schedules (the
+    // vocabulary excludes their triggers), so ISO stays quiet even on
+    // heavily faulted engines — its matrix column is isolation-only.
+    DialectProfile profile = isoProfile(
+        {FaultId::WhereNullAsTrue, FaultId::NotNullTrue,
+         FaultId::SumEmptyZero, FaultId::DistinctNullCollapse,
+         FaultId::HashJoinNullMatch, FaultId::LikeUnderscoreLiteral});
+    Connection conn(profile);
+    for (const char *p : kPredicates) {
+        OracleResult result = runIsoShape(conn, p);
+        EXPECT_EQ(result.outcome, OracleOutcome::Passed)
+            << p << ": " << result.details;
+    }
+}
+
+TEST(IsolationOracleTest, DetectsEveryIsolationFault)
+{
+    for (FaultId fault :
+         {FaultId::TxnDirtyRead, FaultId::TxnNonRepeatableRead,
+          FaultId::TxnPhantomClaimedSnapshot, FaultId::TxnLostUpdate}) {
+        DialectProfile profile = isoProfile({fault});
+        Connection conn(profile);
+        OracleResult result = runIsoShape(conn, "t0.c0 > 1");
+        EXPECT_EQ(result.outcome, OracleOutcome::Bug)
+            << faultName(fault) << ": " << result.details;
+        EXPECT_NE(result.details.find("isolation fault"),
+                  std::string::npos);
+        // The evidence is the tick-annotated schedule (dossier form).
+        bool has_tick = false;
+        for (const std::string &line : result.queries) {
+            if (line.find(" s0: ") != std::string::npos ||
+                line.find(" s1: ") != std::string::npos)
+                has_tick = true;
+        }
+        EXPECT_TRUE(has_tick) << faultName(fault);
+    }
+}
+
+TEST(IsolationOracleTest, DeterministicPerShape)
+{
+    DialectProfile profile = isoProfile({FaultId::TxnDirtyRead});
+    Connection a(profile);
+    Connection b(profile);
+    OracleResult first = runIsoShape(a, "t0.c0 > 1");
+    OracleResult second = runIsoShape(b, "t0.c0 > 1");
+    EXPECT_EQ(first.outcome, second.outcome);
+    EXPECT_EQ(first.details, second.details);
+    EXPECT_EQ(first.queries, second.queries);
+}
+
+TEST(IsolationOracleTest, InapplicableWithoutTransactions)
+{
+    for (const char *dialect : {"cratedb-like", "risingwave-like"}) {
+        const DialectProfile *profile = findDialect(dialect);
+        ASSERT_NE(profile, nullptr);
+        Connection conn(*profile);
+        OracleResult result = runIsoShape(conn, "t0.c0 > 1");
+        EXPECT_EQ(result.outcome, OracleOutcome::Inapplicable)
+            << dialect;
+    }
+}
+
+TEST(IsolationOracleTest, FactoryKnowsIso)
+{
+    auto oracle = makeOracle("iso");
+    ASSERT_NE(oracle, nullptr);
+    EXPECT_STREQ(oracle->name(), "ISO");
+}
+
+TEST(IsolationOracleTest, SingleSessionOraclesAreBlind)
+{
+    // The structural blindness the tentpole exists to fix: every
+    // pre-existing oracle runs one session with auto-commit, where the
+    // 60-block is a no-op — none may flag a bug.
+    DialectProfile profile = isoProfile(
+        {FaultId::TxnDirtyRead, FaultId::TxnNonRepeatableRead,
+         FaultId::TxnPhantomClaimedSnapshot, FaultId::TxnLostUpdate});
+    for (const char *name : {"TLP", "NOREC", "PQS", "EET"}) {
+        auto oracle = makeOracle(name);
+        ASSERT_NE(oracle, nullptr);
+        Connection conn(profile);
+        ASSERT_TRUE(
+            conn.execute("CREATE TABLE t0 (c0 INT, c1 TEXT)").isOk());
+        ASSERT_TRUE(conn.execute("INSERT INTO t0 VALUES (1, 'a'), "
+                                 "(2, 'b'), (NULL, 'c')")
+                        .isOk());
+        auto base = parseStatement("SELECT * FROM t0");
+        for (const char *p : kPredicates) {
+            auto pred = parseExpression(p);
+            ASSERT_TRUE(pred.isOk());
+            OracleResult result = oracle->check(
+                *&conn,
+                static_cast<const SelectStmt &>(*base.value()),
+                *pred.value());
+            EXPECT_NE(result.outcome, OracleOutcome::Bug)
+                << name << " flagged " << p << ": " << result.details;
+        }
+    }
+}
+
+} // namespace
+} // namespace sqlpp

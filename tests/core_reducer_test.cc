@@ -91,6 +91,83 @@ TEST(ReducerTest, ContinuesScanInsteadOfRestarting)
     EXPECT_LE(stats.replays, 12u);
 }
 
+TEST(ReducerTest, TxnBlocksAreAtomicEliminationUnits)
+{
+    // A BEGIN … COMMIT/ROLLBACK block is removed (or kept) whole.
+    // The replay predicate rejects any candidate with unbalanced
+    // transaction control, so per-statement elimination would wedge:
+    // dropping only "BEGIN" or only "COMMIT" never reproduces, and the
+    // block's interior statements would survive as dead weight.
+    BugCase bug;
+    bug.setup = {
+        "CREATE TABLE t0 (a INT)",       // load-bearing
+        "BEGIN",                         // block 1: irrelevant
+        "INSERT INTO t9 VALUES (1)",
+        "INSERT INTO t9 VALUES (2)",
+        "COMMIT",
+        "begin transaction",             // block 2: irrelevant, mixed
+        "INSERT INTO t9 VALUES (3)",     // case + ROLLBACK TO inside
+        "ROLLBACK TO sp0",
+        "Rollback",
+        "INSERT INTO t0 VALUES (7)",     // load-bearing
+    };
+    bug.predicateText = "TRUE";
+    auto replay = [](const BugCase &candidate) {
+        int depth = 0;
+        bool sawTable = false, sawInsert = false;
+        for (const std::string &statement : candidate.setup) {
+            if (statement == "BEGIN" ||
+                statement == "begin transaction") {
+                if (depth != 0)
+                    return false; // nested BEGIN: malformed
+                depth = 1;
+            } else if (statement == "COMMIT" ||
+                       statement == "Rollback") {
+                if (depth != 1)
+                    return false; // dangling COMMIT/ROLLBACK
+                depth = 0;
+            } else if (statement.rfind("CREATE TABLE t0", 0) == 0) {
+                sawTable = true;
+            } else if (statement.rfind("INSERT INTO t0", 0) == 0) {
+                sawInsert = true;
+            }
+        }
+        return depth == 0 && sawTable && sawInsert;
+    };
+    ASSERT_TRUE(replay(bug));
+    ReduceStats stats = reduceBugCase(bug, replay);
+    EXPECT_EQ(stats.setupBefore, 10u);
+    ASSERT_EQ(bug.setup.size(), 2u);
+    EXPECT_EQ(bug.setup[0], "CREATE TABLE t0 (a INT)");
+    EXPECT_EQ(bug.setup[1], "INSERT INTO t0 VALUES (7)");
+}
+
+TEST(ReducerTest, UnterminatedTxnBlockExtendsToEnd)
+{
+    // An unmatched BEGIN swallows the rest of the setup as one unit;
+    // the reducer either drops the whole tail or keeps it intact, but
+    // never leaves a dangling BEGIN over a subset of its statements.
+    BugCase bug;
+    bug.setup = {
+        "KEEP",
+        "BEGIN",
+        "INSERT INTO t9 VALUES (1)",
+        "INSERT INTO t9 VALUES (2)",
+    };
+    bug.predicateText = "TRUE";
+    auto replay = [](const BugCase &candidate) {
+        for (const std::string &statement : candidate.setup) {
+            if (statement == "KEEP")
+                return true;
+        }
+        return false;
+    };
+    ReduceStats stats = reduceBugCase(bug, replay);
+    EXPECT_EQ(stats.setupAfter, 1u);
+    ASSERT_EQ(bug.setup.size(), 1u);
+    EXPECT_EQ(bug.setup[0], "KEEP");
+}
+
 TEST(ReducerTest, RespectsReplayBudget)
 {
     BugCase bug;

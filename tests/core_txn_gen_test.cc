@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Transaction-schedule generator tests: determinism, well-formedness,
+ * the guaranteed fault windows, and the vocabulary restrictions that
+ * keep single-session faults out of interleaved schedules.
+ */
+#include <gtest/gtest.h>
+
+#include "core/txn_gen.h"
+#include "parser/parser.h"
+#include "util/strutil.h"
+
+namespace sqlpp {
+namespace {
+
+TEST(TxnGenTest, DeterministicPerSalt)
+{
+    for (uint64_t salt : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+        TxnSchedule a = generateTxnSchedule(salt);
+        TxnSchedule b = generateTxnSchedule(salt);
+        EXPECT_EQ(renderTxnSchedule(a), renderTxnSchedule(b));
+    }
+    EXPECT_NE(renderTxnSchedule(generateTxnSchedule(1)),
+              renderTxnSchedule(generateTxnSchedule(2)));
+}
+
+TEST(TxnGenTest, WellFormedSessions)
+{
+    for (uint64_t salt = 0; salt < 200; ++salt) {
+        TxnSchedule schedule = generateTxnSchedule(salt);
+        ASSERT_GE(schedule.sessions, 2u);
+        ASSERT_LE(schedule.sessions, 3u);
+        EXPECT_FALSE(schedule.finalQuery.empty());
+        // Per session: first statement BEGIN, last COMMIT/ROLLBACK,
+        // exactly one of each, everything parseable.
+        for (size_t s = 0; s < schedule.sessions; ++s) {
+            std::vector<std::string> script;
+            for (const TxnStep &step : schedule.steps) {
+                if (step.session == s)
+                    script.push_back(step.sql);
+            }
+            ASSERT_GE(script.size(), 2u) << "salt " << salt;
+            EXPECT_EQ(script.front(), "BEGIN");
+            EXPECT_TRUE(script.back() == "COMMIT" ||
+                        script.back() == "ROLLBACK");
+            for (size_t i = 1; i + 1 < script.size(); ++i) {
+                EXPECT_NE(script[i], "BEGIN");
+                EXPECT_NE(script[i], "COMMIT");
+                EXPECT_NE(script[i], "ROLLBACK");
+            }
+        }
+        for (const std::string &statement : schedule.setup)
+            EXPECT_TRUE(parseStatement(statement).isOk()) << statement;
+        for (const TxnStep &step : schedule.steps)
+            EXPECT_TRUE(parseStatement(step.sql).isOk()) << step.sql;
+    }
+}
+
+TEST(TxnGenTest, GuaranteedFaultWindows)
+{
+    for (uint64_t salt = 0; salt < 100; ++salt) {
+        TxnSchedule schedule = generateTxnSchedule(salt);
+        size_t s0_begin = 0, s0_commit = 0, s1_insert = 0,
+               s1_commit = 0;
+        bool s0_pred_read_after_s1_commit = false;
+        bool s0_wide_read_after_s1_commit = false;
+        bool s0_read_in_dirty_window = false;
+        bool s0_insert = false;
+        for (size_t tick = 0; tick < schedule.steps.size(); ++tick) {
+            const TxnStep &step = schedule.steps[tick];
+            if (step.session == 0 && step.sql == "BEGIN")
+                s0_begin = tick;
+            if (step.session == 0 && step.sql == "COMMIT")
+                s0_commit = tick;
+            if (step.session == 1 && startsWith(step.sql, "INSERT"))
+                s1_insert = tick;
+            if (step.session == 1 && step.sql == "COMMIT")
+                s1_commit = tick;
+        }
+        for (size_t tick = 0; tick < schedule.steps.size(); ++tick) {
+            const TxnStep &step = schedule.steps[tick];
+            if (step.session != 0)
+                continue;
+            if (step.isRead && tick > s1_insert && tick < s1_commit &&
+                step.sql.find("WHERE") == std::string::npos)
+                s0_read_in_dirty_window = true;
+            if (step.isRead && tick > s1_commit) {
+                if (step.sql.find("WHERE") != std::string::npos)
+                    s0_pred_read_after_s1_commit = true;
+                else
+                    s0_wide_read_after_s1_commit = true;
+            }
+            if (startsWith(step.sql, "INSERT"))
+                s0_insert = true;
+        }
+        // The four windows (core/txn_gen.h): dirty read,
+        // non-repeatable read, phantom, lost update.
+        EXPECT_TRUE(s0_read_in_dirty_window) << "salt " << salt;
+        EXPECT_TRUE(s0_wide_read_after_s1_commit) << "salt " << salt;
+        EXPECT_TRUE(s0_pred_read_after_s1_commit) << "salt " << salt;
+        EXPECT_TRUE(s0_insert) << "salt " << salt;
+        EXPECT_GT(s0_commit, s1_commit) << "salt " << salt;
+        EXPECT_GT(s1_insert, s0_begin) << "salt " << salt;
+    }
+}
+
+TEST(TxnGenTest, VocabularyExcludesSingleSessionFaultTriggers)
+{
+    // The schedule vocabulary must be too narrow for any of the 22
+    // single-session faults to fire (keeps the ISO matrix column
+    // clean): no NULLs, no indexes/joins/aggregates beyond COUNT, no
+    // NOT / LIKE / DISTINCT / GROUP BY / text comparisons.
+    const char *banned[] = {"NULL",  "INDEX",    "JOIN",  "SUM",
+                            "NOT ",  "LIKE",     "DISTINCT",
+                            "GROUP", "REPLACE",  "NULLIF", "<=>",
+                            "IS ",   "'"};
+    for (uint64_t salt = 0; salt < 100; ++salt) {
+        TxnSchedule schedule = generateTxnSchedule(salt);
+        std::vector<std::string> all = schedule.setup;
+        for (const TxnStep &step : schedule.steps)
+            all.push_back(step.sql);
+        all.push_back(schedule.finalQuery);
+        for (const std::string &statement : all) {
+            for (const char *needle : banned) {
+                EXPECT_EQ(statement.find(needle), std::string::npos)
+                    << statement << " contains " << needle;
+            }
+        }
+    }
+}
+
+TEST(TxnGenTest, RenderIsTickAnnotated)
+{
+    TxnSchedule schedule = generateTxnSchedule(7);
+    std::vector<std::string> lines = renderTxnSchedule(schedule);
+    ASSERT_GE(lines.size(), schedule.steps.size() + 2);
+    EXPECT_TRUE(startsWith(lines.front(), "txn-schedule sessions="));
+    EXPECT_TRUE(startsWith(lines[1], "setup: CREATE TABLE"));
+    bool saw_tick = false;
+    for (const std::string &line : lines) {
+        if (startsWith(line, "t0"))
+            saw_tick = true;
+    }
+    EXPECT_TRUE(saw_tick);
+    EXPECT_TRUE(startsWith(lines.back(), "final: SELECT"));
+}
+
+} // namespace
+} // namespace sqlpp

@@ -42,7 +42,7 @@ TEST(FaultMetadataTest, NamesAndDescriptionsExist)
         EXPECT_STRNE(faultName(id), "UNKNOWN_FAULT");
         EXPECT_STRNE(faultDescription(id), "?");
     }
-    EXPECT_EQ(allFaultIds().size(), 22u);
+    EXPECT_EQ(allFaultIds().size(), 26u);
 }
 
 TEST(FaultMetadataTest, PlannerAndLatentClassification)
@@ -54,6 +54,11 @@ TEST(FaultMetadataTest, PlannerAndLatentClassification)
     EXPECT_TRUE(isLatentFault(FaultId::SumEmptyZero));
     EXPECT_FALSE(isLatentFault(FaultId::WhereNullAsTrue));
     EXPECT_FALSE(isLatentFault(FaultId::DoubleNegNullFalse));
+    EXPECT_TRUE(isIsolationFault(FaultId::TxnDirtyRead));
+    EXPECT_TRUE(isIsolationFault(FaultId::TxnLostUpdate));
+    EXPECT_FALSE(isIsolationFault(FaultId::WhereNullAsTrue));
+    EXPECT_FALSE(isPlannerFault(FaultId::TxnLostUpdate));
+    EXPECT_FALSE(isLatentFault(FaultId::TxnDirtyRead));
 }
 
 TEST(FaultSetTest, EnableDisable)

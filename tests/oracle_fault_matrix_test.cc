@@ -5,20 +5,25 @@
  * The fault-injection substrate exists so oracle sensitivity can be
  * *measured*: for every injected fault we run a fixed-seed mini
  * campaign on a dialect carrying exactly that one fault, once per
- * oracle (TLP, NoREC, PQS, EET), and record detected/undetected. The
- * full 22-fault × 4-oracle grid is pinned by a checked-in golden file
- * (tests/golden/fault_matrix.txt) — any oracle or engine change that
- * shifts detection capability must regenerate it deliberately with
- * SQLPP_UPDATE_GOLDEN=1.
+ * oracle (TLP, NoREC, PQS, EET, ISO), and record detected/undetected.
+ * The full 26-fault × 5-oracle grid is pinned by a checked-in golden
+ * file (tests/golden/fault_matrix.txt) — any oracle or engine change
+ * that shifts detection capability must regenerate it deliberately
+ * with SQLPP_UPDATE_GOLDEN=1.
  *
- * Two properties are asserted independently of the golden text:
+ * Several properties are asserted independently of the golden text:
  *  - the fault-free control profile produces zero bugs for all oracles
  *    (no false positives),
  *  - PQS detects at least one fault that neither TLP nor NoREC detects
- *    (the containment oracle widens the detectable-bug classes), and
+ *    (the containment oracle widens the detectable-bug classes),
  *  - EET detects at least one fault no other oracle detects (rewrite
  *    wrappers reach planner/evaluator paths WHERE-based checks never
- *    steer onto).
+ *    steer onto), and
+ *  - the isolation faults split cleanly: every one is detected by ISO
+ *    and by no single-session oracle (they are single-session no-ops),
+ *    while ISO stays silent on every single-session fault (the
+ *    interleaving generator's restricted vocabulary never reaches
+ *    their trigger conditions).
  */
 #include <gtest/gtest.h>
 
@@ -34,7 +39,7 @@
 namespace sqlpp {
 namespace {
 
-const char *const kOracles[] = {"TLP", "NOREC", "PQS", "EET"};
+const char *const kOracles[] = {"TLP", "NOREC", "PQS", "EET", "ISO"};
 
 /**
  * The capability-maximal base the single-fault dialects derive from:
@@ -60,7 +65,11 @@ detects(const DialectProfile &profile, const std::string &oracle,
 {
     CampaignConfig config;
     config.seed = 99173;
-    config.checks = 2000;
+    // ISO runs four full interleaving schedules (plus their serial
+    // witnesses) per check; the guaranteed fault windows in every
+    // schedule make detection deterministic, so far fewer checks give
+    // the same verdict at a fraction of the wall clock.
+    config.checks = oracle == std::string("ISO") ? 300 : 2000;
     config.oracles = {oracle};
     // The omniscient baseline generator exercises the profile's full
     // capability matrix from the first check — the matrix measures
@@ -79,20 +88,21 @@ renderMatrix(
     std::ostringstream out;
     out << "# fault x oracle detection matrix (1 = detected)\n"
         << "# regenerate with SQLPP_UPDATE_GOLDEN=1\n"
-        << format("%-34s %4s %6s %4s %4s\n", "fault", "TLP", "NOREC",
-                  "PQS", "EET");
+        << format("%-34s %4s %6s %4s %4s %4s\n", "fault", "TLP",
+                  "NOREC", "PQS", "EET", "ISO");
     for (const std::string &fault : order) {
         const auto &cells = rows.at(fault);
-        out << format("%-34s %4d %6d %4d %4d\n", fault.c_str(),
+        out << format("%-34s %4d %6d %4d %4d %4d\n", fault.c_str(),
                       cells.at("TLP") ? 1 : 0,
                       cells.at("NOREC") ? 1 : 0,
                       cells.at("PQS") ? 1 : 0,
-                      cells.at("EET") ? 1 : 0);
+                      cells.at("EET") ? 1 : 0,
+                      cells.at("ISO") ? 1 : 0);
     }
     return out.str();
 }
 
-/** Run the full 22-fault × 4-oracle grid under one execution mode. */
+/** Run the full 26-fault × 5-oracle grid under one execution mode. */
 std::string
 renderMatrixForMode(ExecMode exec_mode)
 {
@@ -126,7 +136,7 @@ TEST(OracleFaultMatrixTest, MatchesGroundTruthGolden)
             rows[faultName(fault)][oracle] = detects(profile, oracle);
     }
 
-    // Fault-free control: all four oracles must stay silent.
+    // Fault-free control: all five oracles must stay silent.
     DialectProfile clean = matrixBaseProfile();
     order.push_back("FAULT_FREE");
     for (const char *oracle : kOracles) {
@@ -161,6 +171,26 @@ TEST(OracleFaultMatrixTest, MatchesGroundTruthGolden)
         << "EET detected no fault beyond TLP/NoREC/PQS reach";
     EXPECT_TRUE(rows.at("DOUBLE_NEG_NULL_FALSE").at("EET"))
         << "EET missed the fault designed for its projection lane";
+
+    // The isolation faults and ISO partition the grid: each isolation
+    // fault is an ISO-only row (single-session oracles cannot even in
+    // principle observe it), and ISO never fires on a single-session
+    // fault (the interleaving vocabulary avoids their triggers).
+    for (FaultId fault : allFaultIds()) {
+        const auto &cells = rows.at(faultName(fault));
+        if (isIsolationFault(fault)) {
+            EXPECT_TRUE(cells.at("ISO"))
+                << "ISO missed " << faultName(fault);
+            for (const char *oracle : {"TLP", "NOREC", "PQS", "EET"})
+                EXPECT_FALSE(cells.at(oracle))
+                    << oracle << " detected the single-session no-op "
+                    << faultName(fault);
+        } else {
+            EXPECT_FALSE(cells.at("ISO"))
+                << "ISO fired on single-session fault "
+                << faultName(fault);
+        }
+    }
 
     std::string rendered = renderMatrix(rows, order);
     std::string golden_path =

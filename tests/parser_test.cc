@@ -304,6 +304,38 @@ TEST(ParserTest, ErrorsAreSyntaxErrors)
     }
 }
 
+TEST(ParserTest, TransactionStatements)
+{
+    // Each accepted surface form and its canonical print, which must
+    // itself re-parse to the same print (fixpoint).
+    const std::pair<const char *, const char *> cases[] = {
+        {"BEGIN", "BEGIN"},
+        {"BEGIN TRANSACTION", "BEGIN"},
+        {"begin transaction", "BEGIN"},
+        {"COMMIT", "COMMIT"},
+        {"COMMIT TRANSACTION", "COMMIT"},
+        {"ROLLBACK", "ROLLBACK"},
+        {"ROLLBACK TRANSACTION", "ROLLBACK"},
+        {"SAVEPOINT sp0", "SAVEPOINT sp0"},
+        {"ROLLBACK TO sp0", "ROLLBACK TO sp0"},
+        {"ROLLBACK TO SAVEPOINT sp0", "ROLLBACK TO sp0"},
+        {"ROLLBACK TRANSACTION TO SAVEPOINT sp0", "ROLLBACK TO sp0"},
+        {"RELEASE sp0", "RELEASE sp0"},
+        {"RELEASE SAVEPOINT sp0", "RELEASE sp0"},
+    };
+    for (const auto &[sql, canonical] : cases) {
+        StmtPtr stmt = parseOk(sql);
+        ASSERT_NE(stmt, nullptr) << sql;
+        EXPECT_EQ(printStmt(*stmt), canonical) << sql;
+        StmtPtr again = parseOk(printStmt(*stmt));
+        ASSERT_NE(again, nullptr) << sql;
+        EXPECT_EQ(printStmt(*again), canonical) << sql;
+    }
+    EXPECT_FALSE(parseStatement("SAVEPOINT").isOk());
+    EXPECT_FALSE(parseStatement("RELEASE").isOk());
+    EXPECT_FALSE(parseStatement("ROLLBACK TO").isOk());
+}
+
 TEST(ParserTest, TrailingSemicolonAccepted)
 {
     EXPECT_NE(parseOk("SELECT 1;"), nullptr);
