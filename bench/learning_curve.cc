@@ -8,7 +8,10 @@
  * CurveSample sampler enabled and prints the per-window validity
  * trajectory for every profile, plus the features suppressed along
  * the way and the per-feature acceptance posterior at the end for a
- * chosen dialect.
+ * chosen dialect, and a baseline/adaptive/guided comparison of
+ * cumulative unique plan fingerprints over the same statement budget
+ * (the guided lanes run the novelty-rewarded bandit of
+ * core/guidance.h).
  *
  *   ./learning_curve [checks] [interval] [detail-dialect]
  */
@@ -69,6 +72,53 @@ main(int argc, char **argv)
     }
     std::printf("(columns are checksAttempted ticks; each cell is the "
                 "validity rate within that window)\n");
+
+    bench::section("unique plan fingerprints: baseline vs adaptive "
+                   "vs guided");
+    {
+        struct Lane
+        {
+            const char *label;
+            GeneratorMode mode;
+            GuidanceMode guidance;
+        };
+        const std::vector<Lane> lanes = {
+            {"baseline", GeneratorMode::Baseline, GuidanceMode::Off},
+            {"adaptive", GeneratorMode::Adaptive, GuidanceMode::Off},
+            {"guided-ucb", GeneratorMode::Adaptive, GuidanceMode::Ucb},
+            {"guided-thompson", GeneratorMode::Adaptive,
+             GuidanceMode::Thompson},
+        };
+        std::printf("%-18s", "mode");
+        for (size_t c = 1; c <= columns; ++c)
+            std::printf(" %7zu", c * interval);
+        std::printf("  plans\n");
+        for (const Lane &lane : lanes) {
+            CampaignConfig config;
+            config.dialect = detail_dialect;
+            config.seed = 99;
+            config.checks = checks;
+            config.mode = lane.mode;
+            config.guidance.mode = lane.guidance;
+            config.curveInterval = interval;
+            config.feedback.updateInterval = 150;
+            config.feedback.ddlFailureLimit = 6;
+            config.oracles = {"TLP"};
+            CampaignRunner runner(config);
+            CampaignStats stats = runner.run();
+            std::printf("%-18s", lane.label);
+            for (const CurveSample &sample : stats.curve)
+                std::printf(" %7llu",
+                            (unsigned long long)sample.cumPlans);
+            for (size_t c = stats.curve.size(); c < columns; ++c)
+                std::printf(" %7s", "-");
+            std::printf(" %6zu\n", stats.planFingerprints.size());
+        }
+        std::printf("(cells are cumulative distinct plan fingerprints "
+                    "at each tick on %s; the guided lanes spend the "
+                    "same statement budget chasing plan novelty)\n",
+                    detail_dialect.c_str());
+    }
 
     bench::section(("per-feature acceptance posterior: " +
                     detail_dialect)

@@ -9,6 +9,7 @@
  *
  *   ./bug_hunt [checks-per-dialect] [--workers N]
  *              [--oracles tlp,norec,pqs,eet,iso]
+ *              [--guidance off|ucb|thompson]
  *              [--checkpoint FILE] [--resume]
  *              [--shard-deadline SEC]
  *              [--max-steps N] [--max-rows N]
@@ -27,6 +28,13 @@
  * enables the isolation oracle, which runs interleaved multi-session
  * transaction schedules against a serial-order witness and is the
  * only oracle that can see isolation faults (single-session no-ops).
+ *
+ * --guidance turns on search-guided generation: generator choice
+ * points become deterministic bandit arms (ucb or thompson) rewarded
+ * by new plan fingerprints and coverage probes, so the statement
+ * budget chases novelty instead of revisiting known plans. Guided
+ * campaigns remain bit-identical for any --workers value and across
+ * --resume.
  *
  * --checkpoint rewrites FILE atomically after every finished shard;
  * rerunning with --resume skips finished shards and merges to stats
@@ -79,6 +87,7 @@ main(int argc, char **argv)
     std::string dossier_dir;
     size_t curve_interval = 0;
     StepBudget budget;
+    GuidanceMode guidance = GuidanceMode::Off;
     for (int arg = 1; arg < argc; ++arg) {
         auto flagValue = [&](const char *flag, const char **value) {
             if (std::strcmp(argv[arg], flag) != 0 || arg + 1 >= argc)
@@ -91,6 +100,14 @@ main(int argc, char **argv)
             workers = std::strtoul(value, nullptr, 10);
         } else if (flagValue("--oracles", &value)) {
             oracles_flag = value;
+        } else if (flagValue("--guidance", &value)) {
+            if (!parseGuidanceMode(value, guidance)) {
+                std::fprintf(stderr,
+                             "unknown guidance mode '%s' (known: off, "
+                             "ucb, thompson)\n",
+                             value);
+                return 1;
+            }
         } else if (flagValue("--checkpoint", &value)) {
             checkpoint_path = value;
         } else if (std::strcmp(argv[arg], "--resume") == 0) {
@@ -165,12 +182,17 @@ main(int argc, char **argv)
     config.campaign.feedback.updateInterval = 200;
     config.campaign.budget = budget;
     config.campaign.curveInterval = curve_interval;
+    config.campaign.guidance.mode = guidance;
     config.dossierDir = dossier_dir;
 
     std::printf("== SQLancer++ bug-finding campaign across %zu "
                 "dialects (%zu worker%s) ==\n\n",
                 campaignDialects().size(), workers,
                 workers == 1 ? "" : "s");
+    if (guidance != GuidanceMode::Off)
+        std::printf("guided generation: %s (novelty-rewarded bandit "
+                    "over generator choice points)\n\n",
+                    guidanceModeName(guidance));
     std::printf("%-16s %10s %9s %12s %8s %7s\n", "dialect", "detected",
                 "priorit.", "unique-bugs", "validity", "plans");
 

@@ -7,10 +7,23 @@
 # produce the identical dossier set — bug ids and repro.sql bytes —
 # proving dossiers survive the kill/restore round-trip.
 #
+# With --guidance ucb|thompson the same kill/restore round-trip runs
+# a guided campaign: the bandit's arm counters ride the checkpoint, so
+# the resumed shards must still produce the identical dossier set.
+#
 # Usage: scripts/crash_resume_smoke.sh [path/to/bug_hunt]
+#                                      [--guidance MODE]
 set -u
 
-BUG_HUNT="${1:-build/examples/bug_hunt}"
+BUG_HUNT="build/examples/bug_hunt"
+GUIDANCE_ARGS=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --guidance) GUIDANCE_ARGS=(--guidance "$2"); shift ;;
+      *) BUG_HUNT="$1" ;;
+    esac
+    shift
+done
 if [ ! -x "$BUG_HUNT" ]; then
     echo "crash_resume_smoke: $BUG_HUNT not found; build first" >&2
     exit 1
@@ -22,7 +35,7 @@ trap 'rm -rf "$WORKDIR"' EXIT
 
 # Enough checks per dialect that the fleet cannot finish instantly,
 # so the kill lands mid-campaign on any machine. All five oracles run
-# so the v2 checkpoint payload (per-oracle tallies, inapplicable
+# so the checkpoint payload (per-oracle tallies, inapplicable
 # counts, bug query lists) is exercised across the kill — including
 # ISO, whose salt-derived interleaving schedules must regenerate
 # identically on the resumed shards.
@@ -30,6 +43,7 @@ CHECKS=2000
 ORACLES="tlp,norec,pqs,eet,iso"
 
 "$BUG_HUNT" "$CHECKS" --oracles "$ORACLES" --checkpoint "$CHECKPOINT" \
+    ${GUIDANCE_ARGS[@]+"${GUIDANCE_ARGS[@]}"} \
     > "$WORKDIR/first.log" 2>&1 &
 PID=$!
 
@@ -62,12 +76,13 @@ head -1 "$CHECKPOINT" | grep -q "sqlancerpp-kv-v2" || {
     echo "FAIL: checkpoint file is not a valid KvStore" >&2
     exit 1
 }
-grep -q "meta.format=sqlancerpp-checkpoint-v2" "$CHECKPOINT" || {
+grep -q "meta.format=sqlancerpp-checkpoint-v3" "$CHECKPOINT" || {
     echo "FAIL: checkpoint file has no campaign metadata" >&2
     exit 1
 }
 
 "$BUG_HUNT" "$CHECKS" --oracles "$ORACLES" --checkpoint "$CHECKPOINT" \
+    ${GUIDANCE_ARGS[@]+"${GUIDANCE_ARGS[@]}"} \
     --resume --dossier-dir "$WORKDIR/dossiers1" \
     > "$WORKDIR/resume.log" 2>&1
 STATUS=$?
@@ -89,6 +104,7 @@ fi
 # of them without executing a single statement, and its dossier set
 # must be byte-identical to the one the live+restored run produced.
 "$BUG_HUNT" "$CHECKS" --oracles "$ORACLES" --checkpoint "$CHECKPOINT" \
+    ${GUIDANCE_ARGS[@]+"${GUIDANCE_ARGS[@]}"} \
     --resume --dossier-dir "$WORKDIR/dossiers2" \
     > "$WORKDIR/resume2.log" 2>&1 || {
     echo "FAIL: fully-restored resume exited non-zero" >&2

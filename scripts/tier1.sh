@@ -22,7 +22,13 @@
 #                     including the 200-seed batch differential — runs
 #                     the vectorized kernels; the asan tree inherits the
 #                     same default and sanitizes them too.
-#   6. txn lanes    — replay-smoke a tick-annotated transactional
+#   6. guided lane  — run the guided-generation smoke test: fixed-seed
+#                     guided campaigns must be byte-deterministic at
+#                     --workers 1 (stdout table, metrics JSON, and the
+#                     learning-curve trajectory), and the guided lanes
+#                     must beat the adaptive lane on unique plan
+#                     fingerprints at the same statement budget.
+#   7. txn lanes    — replay-smoke a tick-annotated transactional
 #                     dossier (bug_hunt --oracles iso → dialect_probe
 #                     --replay), then rebuild with
 #                     -DSQLPP_SANITIZE=thread and run the interleaving
@@ -31,7 +37,7 @@
 #                     pool are the code most worth racing-checking.
 #
 # Usage: scripts/tier1.sh [--unit-only] [--no-asan] [--no-trace]
-#                         [--no-batch] [--no-txn] [-j N]
+#                         [--no-batch] [--no-guided] [--no-txn] [-j N]
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -45,19 +51,23 @@ RUN_FULL=1
 RUN_ASAN=1
 RUN_TRACE=1
 RUN_BATCH=1
+RUN_GUIDED=1
 RUN_TXN=1
 
 while [ $# -gt 0 ]; do
     case "$1" in
       --unit-only)
-          RUN_FULL=0; RUN_ASAN=0; RUN_TRACE=0; RUN_BATCH=0; RUN_TXN=0 ;;
+          RUN_FULL=0; RUN_ASAN=0; RUN_TRACE=0; RUN_BATCH=0
+          RUN_GUIDED=0; RUN_TXN=0 ;;
       --no-asan) RUN_ASAN=0 ;;
       --no-trace) RUN_TRACE=0 ;;
       --no-batch) RUN_BATCH=0 ;;
+      --no-guided) RUN_GUIDED=0 ;;
       --no-txn) RUN_TXN=0 ;;
       -j) JOBS="$2"; shift ;;
       *) echo "usage: $0 [--unit-only] [--no-asan] [--no-trace]" \
-             "[--no-batch] [--no-txn] [-j N]" >&2; exit 2 ;;
+             "[--no-batch] [--no-guided] [--no-txn] [-j N]" >&2
+         exit 2 ;;
     esac
     shift
 done
@@ -118,6 +128,12 @@ if [ "$RUN_ASAN" -eq 1 ]; then
         ctest --test-dir "$ASAN_BUILD" -R EngineBatchDifferentialTest \
             --output-on-failure --timeout 300
     fi
+fi
+
+if [ "$RUN_GUIDED" -eq 1 ]; then
+    echo "== tier1: guided-generation smoke =="
+    "$ROOT/scripts/guided_smoke.sh" "$BUILD/examples/bug_hunt" \
+        "$BUILD/bench/learning_curve"
 fi
 
 if [ "$RUN_TXN" -eq 1 ]; then

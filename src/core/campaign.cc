@@ -1,8 +1,10 @@
 #include "core/campaign.h"
 
 #include <chrono>
+#include <optional>
 
 #include "parser/parser.h"
+#include "util/coverage.h"
 #include "sqlir/printer.h"
 #include "util/log.h"
 #include "util/metrics.h"
@@ -93,6 +95,21 @@ CampaignRunner::initGeneratorStack()
         gate_ = std::make_unique<ProfileGate>(profile_, registry_);
         break;
     }
+    if (config_.guidance.mode != GuidanceMode::Off) {
+        GuidanceConfig guidance = config_.guidance;
+        if (guidance.salt == 0) {
+            // Salt-derive from the (shard-specific) campaign seed, the
+            // PQS/EET idiom: each shard explores its own trajectory and
+            // resume replays it exactly.
+            guidance.salt =
+                fnv1a(format("guidance|%llu",
+                             (unsigned long long)config_.seed));
+        }
+        guide_ = std::make_unique<GuidedSelector>(guidance, *tracker_,
+                                                  registry_);
+        SQLPP_GAUGE_SET("generator.guided.mode",
+                        static_cast<int64_t>(guidance.mode));
+    }
 }
 
 void
@@ -170,6 +187,17 @@ CampaignRunner::run()
     AdaptiveGenerator generator(generator_config, registry_, *gate_,
                                 model_);
 
+    // Guided generation: attach the bandit to the generator's choice
+    // points and install the thread-local coverage capture that
+    // supplies the probe half of the novelty reward. The capture is
+    // per-thread, so concurrent shards never see each other's hits and
+    // guided campaigns stay bit-identical for any worker count.
+    std::optional<CoverageCapture> capture;
+    if (guide_ != nullptr) {
+        generator.setGuidance(guide_.get());
+        capture.emplace();
+    }
+
     // Learning-curve window counters, reset at every sample.
     uint64_t window_attempted = 0;
     uint64_t window_valid = 0;
@@ -205,11 +233,25 @@ CampaignRunner::run()
             model_ = SchemaModel();
             setup_log.clear();
             buildState(*connection, stats, setup_log);
+            if (guide_ != nullptr) {
+                // Setup statements are nobody's pull: fold their plans
+                // into the stats and discard their probe novelty so the
+                // next check's arms are not credited for them.
+                for (uint64_t fingerprint : connection->takeNewPlans())
+                    stats.planFingerprints.insert(fingerprint);
+                if (capture.has_value())
+                    (void)capture->takeNewProbes();
+            }
         }
         auto shape = generator.generateQueryShape();
         if (!shape.has_value())
             continue;
         ++stats.checksAttempted;
+        // Baseline for truncation detection: any resource error during
+        // this check voids its novelty reward (a budget-cut result can
+        // fabricate "new" plans).
+        uint64_t resources_before =
+            guide_ != nullptr ? connection->resourceErrors() : 0;
         SQLPP_SPAN("campaign.check.wall_us");
         SQLPP_COUNT("campaign.checks");
         bool all_ran = true;
@@ -272,6 +314,32 @@ CampaignRunner::run()
         ++window_attempted;
         if (all_ran)
             ++window_valid;
+        // Drain only the plans this check added; re-inserting the full
+        // seenPlans() set here made a campaign O(checks x plans). Done
+        // before the curve sample so CurveSample::cumPlans includes
+        // this check's discoveries.
+        uint64_t novel_plans = 0;
+        for (uint64_t fingerprint : connection->takeNewPlans()) {
+            if (stats.planFingerprints.insert(fingerprint).second)
+                ++novel_plans;
+        }
+        if (guide_ != nullptr) {
+            uint64_t novel_probes =
+                capture.has_value() ? capture->takeNewProbes() : 0;
+            bool truncated =
+                connection->resourceErrors() > resources_before;
+            // Truncated checks earn nothing: a budget-cut execution can
+            // surface a "new" plan or probe that a full run never would.
+            uint64_t novelty =
+                truncated ? 0 : novel_plans + novel_probes;
+            if (truncated)
+                SQLPP_COUNT("generator.guided.truncated");
+            if (novelty > 0) {
+                SQLPP_COUNT_N("generator.guided.novelty",
+                              static_cast<int64_t>(novelty));
+            }
+            guide_->reward(shape->arms, novelty);
+        }
         if (config_.curveInterval > 0 &&
             stats.checksAttempted % config_.curveInterval == 0) {
             CurveSample sample;
@@ -281,16 +349,13 @@ CampaignRunner::run()
             sample.windowAttempted = window_attempted;
             sample.windowValid = window_valid;
             sample.suppressed = tracker_->suppressedFeatures().size();
+            sample.cumPlans = stats.planFingerprints.size();
             SQLPP_TRACE_EVENT(CurveSample, "", sample.windowAttempted,
                               sample.windowValid);
             stats.curve.push_back(sample);
             window_attempted = 0;
             window_valid = 0;
         }
-        // Drain only the plans this check added; re-inserting the full
-        // seenPlans() set here made a campaign O(checks x plans).
-        for (uint64_t fingerprint : connection->takeNewPlans())
-            stats.planFingerprints.insert(fingerprint);
     }
     collect_counters(*connection);
     return stats;

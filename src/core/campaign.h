@@ -29,6 +29,7 @@
 #include "core/feature.h"
 #include "core/feedback.h"
 #include "core/generator.h"
+#include "core/guidance.h"
 #include "core/oracle.h"
 #include "core/prioritizer.h"
 #include "core/reducer.h"
@@ -90,6 +91,13 @@ struct CampaignConfig
      * trajectory behind the paper's validity learning curves.
      */
     size_t curveInterval = 0;
+    /**
+     * Search-guided generation (core/guidance.h): when the mode is not
+     * Off, generator choice points become bandit arms rewarded by plan
+     * and coverage novelty. Fully deterministic — guided campaigns
+     * stay bit-identical across worker counts and resume.
+     */
+    GuidanceConfig guidance;
 };
 
 /**
@@ -109,6 +117,12 @@ struct CurveSample
     uint64_t windowValid = 0;
     /** Features suppressed by validity feedback at sample time. */
     uint64_t suppressed = 0;
+    /**
+     * Distinct plan fingerprints seen by the shard at sample time —
+     * the novelty trajectory guided generation is meant to bend upward
+     * (bench/learning_curve plots it per mode).
+     */
+    uint64_t cumPlans = 0;
 
     double
     windowValidityRate() const
@@ -219,6 +233,8 @@ class CampaignRunner
     const FeedbackTracker &feedback() const { return *tracker_; }
     FeatureRegistry &registry() { return registry_; }
     const SchemaModel &schemaModel() const { return model_; }
+    /** The guided selector, or nullptr when guidance is Off. */
+    const GuidedSelector *guidance() const { return guide_.get(); }
 
     /**
      * Replay a bug case on a profile: rebuild the database, rerun the
@@ -256,6 +272,7 @@ class CampaignRunner
     FeatureRegistry registry_;
     std::unique_ptr<FeedbackTracker> tracker_;
     std::unique_ptr<FeatureGate> gate_;
+    std::unique_ptr<GuidedSelector> guide_;
     SchemaModel model_;
 };
 

@@ -16,11 +16,15 @@ constexpr char kUnitSep = '\x1f';
 
 /**
  * On-disk format tag. v2 added per-oracle bug counts, the
- * inapplicable-check counter, and per-bug query lists; v1 files are
- * still readable (the added fields restore to their zero defaults).
+ * inapplicable-check counter, and per-bug query lists; v3 added the
+ * guided-generation arm counters (feature.<name>.gp/.gr inside the
+ * feedback section) and the cumPlans field on curve samples. Older
+ * files are still readable: the added fields restore to their zero
+ * defaults, so a v2 resume simply starts the bandit fresh.
  */
 constexpr const char *kFormatV1 = "sqlancerpp-checkpoint-v1";
 constexpr const char *kFormatV2 = "sqlancerpp-checkpoint-v2";
+constexpr const char *kFormatV3 = "sqlancerpp-checkpoint-v3";
 
 std::optional<uint64_t>
 parseU64(std::string_view text)
@@ -89,13 +93,14 @@ checkpointShard(const CampaignStats &stats,
         for (size_t j = 0; j < stats.curve.size(); ++j) {
             const CurveSample &sample = stats.curve[j];
             payload.put("curve." + std::to_string(j),
-                        format("%llu %llu %llu %llu %llu %llu",
+                        format("%llu %llu %llu %llu %llu %llu %llu",
                                (unsigned long long)sample.tick,
                                (unsigned long long)sample.cumAttempted,
                                (unsigned long long)sample.cumValid,
                                (unsigned long long)sample.windowAttempted,
                                (unsigned long long)sample.windowValid,
-                               (unsigned long long)sample.suppressed));
+                               (unsigned long long)sample.suppressed,
+                               (unsigned long long)sample.cumPlans));
         }
     }
 
@@ -217,10 +222,11 @@ restoreShard(const KvStore &payload,
                 "checkpoint payload: truncated curve sample " +
                 std::to_string(j));
         std::vector<std::string> fields = split(*row, ' ');
-        if (fields.size() != 6)
+        // 6 fields = v2 (no cumPlans), 7 = v3.
+        if (fields.size() != 6 && fields.size() != 7)
             return Status::runtimeError(
                 "checkpoint payload: bad curve sample: " + *row);
-        std::array<uint64_t, 6> parsed{};
+        std::array<uint64_t, 7> parsed{};
         for (size_t k = 0; k < fields.size(); ++k) {
             auto value = parseU64(fields[k]);
             if (!value)
@@ -235,6 +241,7 @@ restoreShard(const KvStore &payload,
         sample.windowAttempted = parsed[3];
         sample.windowValid = parsed[4];
         sample.suppressed = parsed[5];
+        sample.cumPlans = parsed[6];
         out.stats.curve.push_back(sample);
     }
 
@@ -294,7 +301,7 @@ CampaignCheckpoint::saveTo(const std::string &path) const
     SQLPP_SPAN("checkpoint.save.wall_us");
     SQLPP_COUNT("checkpoint.saves");
     KvStore store;
-    store.put("meta.format", kFormatV2);
+    store.put("meta.format", kFormatV3);
     store.put("meta.fingerprint", std::to_string(configFingerprint));
     store.putInt("meta.totalShards",
                  static_cast<int64_t>(totalShards));
@@ -320,7 +327,8 @@ CampaignCheckpoint::loadFrom(const std::string &path)
     if (Status loaded = store.load(path); !loaded.isOk())
         return loaded;
     auto fmt = store.get("meta.format");
-    if (!fmt || (*fmt != kFormatV2 && *fmt != kFormatV1))
+    if (!fmt || (*fmt != kFormatV3 && *fmt != kFormatV2 &&
+                 *fmt != kFormatV1))
         return Status::runtimeError(
             "not a campaign checkpoint: " + path);
     auto fingerprint = store.get("meta.fingerprint");

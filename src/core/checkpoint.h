@@ -18,6 +18,11 @@
  * through checkpointShard() → restoreShard() before merging, so the
  * merge consumes identical inputs whether a shard ran just now or in a
  * previous process.
+ *
+ * Current on-disk format: sqlancerpp-checkpoint-v3 (adds the guided
+ * generation arm counters and per-sample plan counts). v1 and v2 files
+ * still load — fields they predate restore to zero, so a v2 resume of
+ * a guided campaign simply starts the bandit fresh.
  */
 #ifndef SQLPP_CORE_CHECKPOINT_H
 #define SQLPP_CORE_CHECKPOINT_H

@@ -1,5 +1,7 @@
 #include "core/feedback.h"
 
+#include <cstdlib>
+
 #include "util/stats.h"
 #include "util/strutil.h"
 #include "util/trace.h"
@@ -144,7 +146,7 @@ FeedbackTracker::absorb(const FeedbackTracker &other,
     for (FeatureId other_id = 0; other_id < other.stats_.size();
          ++other_id) {
         const FeatureStats &theirs = other.stats_[other_id];
-        if (theirs.executions == 0)
+        if (theirs.executions == 0 && theirs.guidedPulls == 0)
             continue;
         const std::string &name = other_registry.name(other_id);
         FeatureId id = registry.intern(name, other_registry.kind(other_id));
@@ -153,6 +155,8 @@ FeedbackTracker::absorb(const FeedbackTracker &other,
         mine.successes += theirs.successes;
         mine.windowExecutions += theirs.windowExecutions;
         mine.windowSuccesses += theirs.windowSuccesses;
+        mine.guidedPulls += theirs.guidedPulls;
+        mine.guidedRewarded += theirs.guidedRewarded;
         if (!classified_[id] && other.isClassified(other_id)) {
             is_query_feature_[id] = other.classifiedAsQuery(other_id);
             classified_[id] = true;
@@ -199,9 +203,20 @@ FeedbackTracker::save(const FeatureRegistry &registry,
 {
     for (FeatureId id = 0; id < stats_.size(); ++id) {
         const FeatureStats &stat = stats_[id];
-        if (stat.executions == 0)
+        // A pull-only arm (guided generation chose it but no statement
+        // outcome was ever recorded) must still round-trip, or resume
+        // would replay the bandit with amnesia.
+        if (stat.executions == 0 && stat.guidedPulls == 0)
             continue;
         const std::string &name = registry.name(id);
+        if (stat.guidedPulls > 0) {
+            // Decimal text, not putInt: the counters are uint64 and the
+            // int64 accessor would fold UINT64-scale values.
+            store.put("feature." + name + ".gp",
+                      std::to_string(stat.guidedPulls));
+            store.put("feature." + name + ".gr",
+                      std::to_string(stat.guidedRewarded));
+        }
         store.putInt("feature." + name + ".n",
                      static_cast<int64_t>(stat.executions));
         store.putInt("feature." + name + ".y",
@@ -243,6 +258,18 @@ FeedbackTracker::load(const FeatureRegistry &registry,
         if (id == static_cast<FeatureId>(-1))
             continue;
         FeatureStats &stat = mutableStats(id);
+        // Guided-arm counters are stored as decimal text (full uint64
+        // range); parse them before the int64 path below.
+        if (field == "gp") {
+            stat.guidedPulls =
+                std::strtoull(value.c_str(), nullptr, 10);
+            continue;
+        }
+        if (field == "gr") {
+            stat.guidedRewarded =
+                std::strtoull(value.c_str(), nullptr, 10);
+            continue;
+        }
         auto parsed = store.getInt(key);
         if (!parsed)
             continue;

@@ -59,6 +59,15 @@ struct FeatureStats
     /** Window counters since the last interval update. */
     uint64_t windowExecutions = 0;
     uint64_t windowSuccesses = 0;
+    /**
+     * Guided-generation arm state (core/guidance.h): how often the
+     * bandit pulled this arm, and how many of those pulls surfaced a
+     * new plan fingerprint or coverage probe. Kept beside the validity
+     * counters so absorb()/save()/load() move the bandit state through
+     * the same deterministic channels as the feedback itself.
+     */
+    uint64_t guidedPulls = 0;
+    uint64_t guidedRewarded = 0;
     bool suppressed = false;
 };
 
@@ -112,6 +121,17 @@ class FeedbackTracker
 
     /** Posterior mass below the threshold (the suppression statistic). */
     double massBelowThreshold(FeatureId id) const;
+
+    /**
+     * Guided-generation hooks (core/guidance.h). Pulls and rewards are
+     * plain counters beside the validity stats; they never influence
+     * verdicts, only the bandit's scores.
+     */
+    void noteGuidedPull(FeatureId id) { ++mutableStats(id).guidedPulls; }
+    void noteGuidedReward(FeatureId id)
+    {
+        ++mutableStats(id).guidedRewarded;
+    }
 
     /** Force a probability update outside the interval (tests, load). */
     void updateNow();

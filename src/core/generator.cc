@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/guidance.h"
 #include "engine/eval.h"
 #include "engine/functions.h"
 #include "sqlir/printer.h"
@@ -9,6 +10,16 @@
 #include "util/strutil.h"
 
 namespace sqlpp {
+
+size_t
+AdaptiveGenerator::chooseGuided(const std::vector<std::string> &names)
+{
+    FeatureId chosen = static_cast<FeatureId>(-1);
+    size_t index = guide_->choose(names, &chosen);
+    if (arm_sink_ != nullptr && chosen != static_cast<FeatureId>(-1))
+        arm_sink_->push_back(chosen);
+    return index;
+}
 
 AdaptiveGenerator::AdaptiveGenerator(GeneratorConfig config,
                                      FeatureRegistry &registry,
@@ -417,7 +428,61 @@ AdaptiveGenerator::genExpr(DataType target, int depth,
         break;
     }
 
-    switch (choices[rng_.below(choices.size())]) {
+    Node node;
+    if (guide_ == nullptr) {
+        node = choices[rng_.below(choices.size())];
+    } else {
+        // Guided: the weighted lottery becomes a bandit pick over the
+        // distinct grammar rules available at this point.
+        auto rule_name = [](Node candidate) -> std::string {
+            switch (candidate) {
+              case Node::Leaf:
+                return "RULE_EXPR_LEAF";
+              case Node::Comparison:
+                return "RULE_EXPR_COMPARISON";
+              case Node::Logical:
+                return "RULE_EXPR_LOGICAL";
+              case Node::NotOp:
+                return "RULE_EXPR_NOT";
+              case Node::IsForm:
+                return "RULE_EXPR_IS_FORM";
+              case Node::Between:
+                return "RULE_EXPR_BETWEEN";
+              case Node::InList:
+                return "RULE_EXPR_IN_LIST";
+              case Node::LikeOp:
+                return "RULE_EXPR_LIKE";
+              case Node::Arithmetic:
+                return "RULE_EXPR_ARITHMETIC";
+              case Node::Bitwise:
+                return "RULE_EXPR_BITWISE";
+              case Node::UnaryNum:
+                return "RULE_EXPR_UNARY_NUM";
+              case Node::Concat:
+                return "RULE_EXPR_CONCAT";
+              case Node::Function:
+                return "RULE_EXPR_FUNCTION";
+              case Node::CaseOp:
+                return "RULE_EXPR_CASE";
+              case Node::CastOp:
+                return "RULE_EXPR_CAST";
+              case Node::Subquery:
+                return "RULE_EXPR_SUBQUERY";
+            }
+            return "RULE_EXPR_LEAF";
+        };
+        std::vector<Node> unique;
+        unique.reserve(choices.size());
+        for (Node candidate : choices) {
+            if (std::find(unique.begin(), unique.end(), candidate) ==
+                unique.end()) {
+                unique.push_back(candidate);
+            }
+        }
+        node = unique[pickArm(unique, rule_name)];
+    }
+
+    switch (node) {
       case Node::Leaf:
         return genLeaf(target, scope, features, loose);
       case Node::Comparison: {
@@ -434,7 +499,9 @@ AdaptiveGenerator::genExpr(DataType target, int depth,
         }
         if (allowed.empty())
             return genLeaf(target, scope, features, loose);
-        BinaryOp op = allowed[rng_.below(allowed.size())];
+        BinaryOp op = allowed[pickArm(allowed, [](BinaryOp candidate) {
+            return features::binaryOp(candidate);
+        })];
         use(features::binaryOp(op), FeatureKind::Operator, features);
         DataType operand_type = randomSupportedType();
         DataType rhs_type = operand_type;
@@ -451,7 +518,16 @@ AdaptiveGenerator::genExpr(DataType target, int depth,
             genExpr(rhs_type, depth - 1, scope, features, loose));
       }
       case Node::Logical: {
-        BinaryOp op = rng_.coin() ? BinaryOp::And : BinaryOp::Or;
+        BinaryOp op;
+        if (guide_ == nullptr) {
+            op = rng_.coin() ? BinaryOp::And : BinaryOp::Or;
+        } else {
+            const std::vector<BinaryOp> options{BinaryOp::And,
+                                                BinaryOp::Or};
+            op = options[pickArm(options, [](BinaryOp candidate) {
+                return features::binaryOp(candidate);
+            })];
+        }
         if (!use(features::binaryOp(op), FeatureKind::Operator,
                  features)) {
             return genLeaf(target, scope, features, loose);
@@ -481,7 +557,9 @@ AdaptiveGenerator::genExpr(DataType target, int depth,
         }
         if (allowed.empty())
             return genLeaf(target, scope, features, loose);
-        UnaryOp op = allowed[rng_.below(allowed.size())];
+        UnaryOp op = allowed[pickArm(allowed, [](UnaryOp candidate) {
+            return features::unaryOp(candidate);
+        })];
         use(features::unaryOp(op), FeatureKind::Operator, features);
         DataType operand =
             (op == UnaryOp::IsNull || op == UnaryOp::IsNotNull)
@@ -528,7 +606,9 @@ AdaptiveGenerator::genExpr(DataType target, int depth,
         }
         if (allowed.empty())
             return genLeaf(target, scope, features, loose);
-        BinaryOp op = allowed[rng_.below(allowed.size())];
+        BinaryOp op = allowed[pickArm(allowed, [](BinaryOp candidate) {
+            return features::binaryOp(candidate);
+        })];
         use(features::binaryOp(op), FeatureKind::Operator, features);
         // Pattern: a text literal with wildcards, occasionally an expr.
         ExprPtr pattern;
@@ -563,7 +643,9 @@ AdaptiveGenerator::genExpr(DataType target, int depth,
         }
         if (allowed.empty())
             return genLeaf(target, scope, features, loose);
-        BinaryOp op = allowed[rng_.below(allowed.size())];
+        BinaryOp op = allowed[pickArm(allowed, [](BinaryOp candidate) {
+            return features::binaryOp(candidate);
+        })];
         use(features::binaryOp(op), FeatureKind::Operator, features);
         return std::make_unique<BinaryExpr>(
             op, genExpr(DataType::Int, depth - 1, scope, features, loose),
@@ -580,7 +662,9 @@ AdaptiveGenerator::genExpr(DataType target, int depth,
         }
         if (allowed.empty())
             return genLeaf(target, scope, features, loose);
-        BinaryOp op = allowed[rng_.below(allowed.size())];
+        BinaryOp op = allowed[pickArm(allowed, [](BinaryOp candidate) {
+            return features::binaryOp(candidate);
+        })];
         use(features::binaryOp(op), FeatureKind::Operator, features);
         return std::make_unique<BinaryExpr>(
             op, genExpr(DataType::Int, depth - 1, scope, features, loose),
@@ -596,7 +680,9 @@ AdaptiveGenerator::genExpr(DataType target, int depth,
         }
         if (allowed.empty())
             return genLeaf(target, scope, features, loose);
-        UnaryOp op = allowed[rng_.below(allowed.size())];
+        UnaryOp op = allowed[pickArm(allowed, [](UnaryOp candidate) {
+            return features::unaryOp(candidate);
+        })];
         use(features::unaryOp(op), FeatureKind::Operator, features);
         return std::make_unique<UnaryExpr>(
             op,
@@ -679,7 +765,9 @@ AdaptiveGenerator::genSimpleBool(const ScopeColumns &scope,
         use(features::unaryOp(op), FeatureKind::Operator, features);
         return std::make_unique<UnaryExpr>(op, std::move(operand));
     }
-    BinaryOp op = allowed[rng_.below(allowed.size())];
+    BinaryOp op = allowed[pickArm(allowed, [](BinaryOp candidate) {
+        return features::binaryOp(candidate);
+    })];
     use(features::binaryOp(op), FeatureKind::Operator, features);
     DataType type = randomSupportedType();
     return std::make_unique<BinaryExpr>(
@@ -1026,9 +1114,24 @@ AdaptiveGenerator::genFromClause(FeatureSet &features,
     // Optional derived table as an extra comma source is avoided (the
     // engine rejects comma+JOIN mixes); instead we sometimes make the
     // single source a derived table.
-    if (allow_subquery_from && config_.enableSubqueries &&
-        select->from.size() == 1 && rng_.chance(0.18) &&
-        allowName(features::kSubqueryFrom)) {
+    bool derive;
+    if (guide_ == nullptr) {
+        derive = allow_subquery_from && config_.enableSubqueries &&
+                 select->from.size() == 1 && rng_.chance(0.18) &&
+                 allowName(features::kSubqueryFrom);
+    } else {
+        // Guided: the fixed 18% coin becomes a two-arm decision, so the
+        // bandit can learn that derived-table FROMs open new plan
+        // shapes (or that the dialect rejects them).
+        bool eligible = allow_subquery_from &&
+                        config_.enableSubqueries &&
+                        select->from.size() == 1 &&
+                        allowName(features::kSubqueryFrom);
+        derive = eligible &&
+                 chooseGuided({"RULE_FROM_TABLE", "RULE_FROM_DERIVED"}) ==
+                     1;
+    }
+    if (derive) {
         use(features::kSubqueryFrom, FeatureKind::Clause, features);
         // Wrap the first table in (SELECT * FROM t) AS dN.
         std::string alias = "d" + std::to_string(alias_counter_++);
@@ -1051,7 +1154,20 @@ AdaptiveGenerator::genFromClause(FeatureSet &features,
             col.binding = alias;
     }
 
-    size_t join_count = rng_.below(config_.maxJoins + 1);
+    size_t join_count;
+    if (guide_ == nullptr) {
+        join_count = rng_.below(config_.maxJoins + 1);
+    } else {
+        // Join fan-out dominates plan-shape diversity; give every
+        // cardinality its own arm so the bandit can seek the widths
+        // that still yield unseen plans.
+        std::vector<size_t> counts;
+        for (size_t n = 0; n <= config_.maxJoins; ++n)
+            counts.push_back(n);
+        join_count = counts[pickArm(counts, [](size_t n) {
+            return "RULE_JOIN_COUNT_" + std::to_string(n);
+        })];
+    }
     for (size_t j = 0; j < join_count; ++j) {
         auto next = model_.randomTable(rng_, /*include_views=*/true);
         if (!next.has_value())
@@ -1066,7 +1182,9 @@ AdaptiveGenerator::genFromClause(FeatureSet &features,
         }
         if (allowed.empty())
             break;
-        JoinType type = allowed[rng_.below(allowed.size())];
+        JoinType type = allowed[pickArm(allowed, [](JoinType candidate) {
+            return features::join(candidate);
+        })];
         use(features::join(type), FeatureKind::Clause, features);
 
         JoinClause join;
@@ -1238,11 +1356,16 @@ AdaptiveGenerator::generateQueryShape()
     use(features::stmt(StmtKind::Select), FeatureKind::Statement,
         shape.features);
 
+    // Record every bandit pull into the shape so the campaign can
+    // credit exactly the arms behind this statement.
+    arm_sink_ = &shape.arms;
+
     ScopeColumns scope;
     shape.base = genFromClause(shape.features, scope,
                                /*allow_subquery_from=*/true);
     if (shape.base->from.empty()) {
         SQLPP_COUNT("generator.shape.rejected.empty_from");
+        arm_sink_ = nullptr;
         return std::nullopt;
     }
 
@@ -1263,6 +1386,7 @@ AdaptiveGenerator::generateQueryShape()
     use(features::kWhere, FeatureKind::Clause, shape.features);
     shape.predicate =
         genExpr(DataType::Bool, depth, scope, shape.features, loose);
+    arm_sink_ = nullptr;
     SQLPP_COUNT("generator.shape.ok");
     return shape;
 }

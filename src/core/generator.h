@@ -36,6 +36,8 @@
 
 namespace sqlpp {
 
+class GuidedSelector;
+
 /** Decides whether a feature may currently be generated. */
 class FeatureGate
 {
@@ -104,6 +106,13 @@ struct QueryShape
     SelectPtr base;
     ExprPtr predicate;
     FeatureSet features;
+    /**
+     * Bandit arms pulled while generating this shape (guided mode
+     * only; empty otherwise). One entry per pull, in pull order — the
+     * campaign credits these ids once the novelty of the statement is
+     * known (core/guidance.h).
+     */
+    std::vector<FeatureId> arms;
 };
 
 /** The adaptive statement generator. */
@@ -133,6 +142,14 @@ class AdaptiveGenerator
      */
     void noteExecution(const GeneratedStatement &stmt, bool success);
 
+    /**
+     * Attach a guided-generation selector: choice points become bandit
+     * arms chosen by novelty reward instead of uniformly. nullptr (the
+     * default) restores the exact legacy uniform behavior, consuming
+     * the rng stream identically — unguided runs stay byte-identical.
+     */
+    void setGuidance(GuidedSelector *guide) { guide_ = guide; }
+
     /** Statements generated so far (drives the depth schedule). */
     uint64_t generated() const { return generated_; }
 
@@ -159,6 +176,27 @@ class AdaptiveGenerator
     /** Gate + coin flip for optional elements. */
     bool maybe(const std::string &feature_name, FeatureKind kind,
                double probability, FeatureSet &features);
+
+    /**
+     * Pick an index among `options`: the guided selector chooses by
+     * arm name when attached, else uniformly via rng_.below — exactly
+     * the draw the legacy call sites made, so unguided streams are
+     * unchanged. `name_of` maps a candidate to its arm name.
+     */
+    template <typename T, typename NameOf>
+    size_t pickArm(const std::vector<T> &options, NameOf &&name_of)
+    {
+        if (guide_ == nullptr)
+            return rng_.below(options.size());
+        std::vector<std::string> names;
+        names.reserve(options.size());
+        for (const T &option : options)
+            names.push_back(name_of(option));
+        return chooseGuided(names);
+    }
+
+    /** Guided pick + pull recording into the current arm sink. */
+    size_t chooseGuided(const std::vector<std::string> &names);
 
     GeneratedStatement genCreateTable();
     GeneratedStatement genCreateIndex();
@@ -200,6 +238,10 @@ class AdaptiveGenerator
     uint64_t generated_ = 0;
     /** Fresh alias counter for derived tables / subqueries. */
     uint64_t alias_counter_ = 0;
+    /** Guided-generation selector; nullptr = legacy uniform choices. */
+    GuidedSelector *guide_ = nullptr;
+    /** Where pulled arms are recorded (QueryShape::arms) while set. */
+    std::vector<FeatureId> *arm_sink_ = nullptr;
 };
 
 } // namespace sqlpp

@@ -33,10 +33,11 @@ describeShard(const CampaignConfig &config)
 {
     const GeneratorConfig &g = config.generator;
     const FeedbackConfig &f = config.feedback;
+    const GuidanceConfig &u = config.guidance;
     return format(
         "%s|%llu|%d|%d|%s|%zu|%zu|%zu|%d|%d|%llu|%llu|%llu|%g|%d|"
         "%llu|%d|%d|%llu|%zu|%zu|%zu|%zu|%zu|%zu|%d|%g|"
-        "%d|%g|%g|%llu|%llu",
+        "%d|%g|%g|%llu|%llu|%d|%g|%llu",
         config.dialect.c_str(),
         static_cast<unsigned long long>(config.seed),
         static_cast<int>(config.mode),
@@ -58,7 +59,9 @@ describeShard(const CampaignConfig &config)
         g.looseTypeProbability, f.enabled ? 1 : 0, f.threshold,
         f.credibleMass,
         static_cast<unsigned long long>(f.updateInterval),
-        static_cast<unsigned long long>(f.ddlFailureLimit));
+        static_cast<unsigned long long>(f.ddlFailureLimit),
+        static_cast<int>(u.mode), u.exploration,
+        static_cast<unsigned long long>(u.salt));
 }
 
 } // namespace

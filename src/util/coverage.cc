@@ -4,6 +4,55 @@
 
 namespace sqlpp {
 
+namespace {
+
+/**
+ * The calling thread's active capture, or nullptr. Thread-local, so
+ * hitSlot stays lock-free and captures never observe another thread's
+ * hits.
+ */
+thread_local CoverageCapture *t_active_capture = nullptr;
+
+} // namespace
+
+void
+CoverageRegistry::hitSlot(size_t slot_index)
+{
+    counts_[slot_index].fetch_add(1, std::memory_order_relaxed);
+    if (t_active_capture != nullptr)
+        t_active_capture->noteHit(slot_index);
+}
+
+CoverageCapture::CoverageCapture()
+    : seen_(CoverageRegistry::kMaxProbes, 0)
+{
+    previous_ = t_active_capture;
+    t_active_capture = this;
+}
+
+CoverageCapture::~CoverageCapture()
+{
+    t_active_capture = previous_;
+}
+
+void
+CoverageCapture::noteHit(size_t slot_index)
+{
+    if (slot_index >= seen_.size() || seen_[slot_index] != 0)
+        return;
+    seen_[slot_index] = 1;
+    ++fresh_;
+    ++seen_count_;
+}
+
+size_t
+CoverageCapture::takeNewProbes()
+{
+    size_t fresh = fresh_;
+    fresh_ = 0;
+    return fresh;
+}
+
 CoverageRegistry::CoverageRegistry()
     : counts_(new std::atomic<uint64_t>[kMaxProbes])
 {

@@ -66,12 +66,11 @@ class CoverageRegistry
 
     /**
      * Record one hit via a pre-resolved slot (hot path). Lock-free;
-     * safe to call concurrently from campaign worker threads.
+     * safe to call concurrently from campaign worker threads. Hits are
+     * additionally mirrored into the calling thread's CoverageCapture,
+     * if one is installed (guided generation's novelty signal).
      */
-    void hitSlot(size_t slot_index)
-    {
-        counts_[slot_index].fetch_add(1, std::memory_order_relaxed);
-    }
+    void hitSlot(size_t slot_index);
 
     /** Record one hit by name (cold path; resolves the slot). */
     void hit(const std::string &name) { hitSlot(slot(name)); }
@@ -114,6 +113,52 @@ coverProbe(const std::string &name)
 {
     CoverageRegistry::instance().hit(name);
 }
+
+/**
+ * Thread-local view of coverage-probe novelty.
+ *
+ * The registry's counters are process-wide, so "did this statement hit
+ * a new probe?" computed from them would depend on what concurrent
+ * shards happen to be doing — a nondeterminism the guided generator
+ * cannot tolerate (merged campaigns must be bit-identical for any
+ * worker count). A CoverageCapture instead records, per *thread*, the
+ * set of probe slots hit while it is installed; a share-nothing shard
+ * runs entirely on one worker thread, so its capture sees exactly its
+ * own hits in a reproducible order regardless of worker count.
+ *
+ * RAII: constructing installs the capture on the current thread
+ * (stacking over any previous one), destructing restores the previous
+ * capture. Campaign code drains novelty between statements via
+ * takeNewProbes().
+ */
+class CoverageCapture
+{
+  public:
+    CoverageCapture();
+    ~CoverageCapture();
+    CoverageCapture(const CoverageCapture &) = delete;
+    CoverageCapture &operator=(const CoverageCapture &) = delete;
+
+    /**
+     * Probes hit since the last take that were new to this capture's
+     * lifetime. Resets the pending count; the lifetime "seen" set keeps
+     * accumulating.
+     */
+    size_t takeNewProbes();
+
+    /** Distinct probes hit over this capture's lifetime. */
+    size_t probesSeen() const { return seen_count_; }
+
+    /** Called from CoverageRegistry::hitSlot on the owning thread. */
+    void noteHit(size_t slot_index);
+
+  private:
+    /** One flag per slot; sized kMaxProbes so noteHit never resizes. */
+    std::vector<char> seen_;
+    size_t fresh_ = 0;
+    size_t seen_count_ = 0;
+    CoverageCapture *previous_ = nullptr;
+};
 
 /**
  * Hot-path probe: resolves the slot once per call site, then each hit

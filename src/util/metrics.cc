@@ -556,6 +556,13 @@ declarePlatformMetrics()
         {"generator.shape.rejected.no_tables", MetricKind::Counter},
         {"generator.shape.rejected.empty_from", MetricKind::Counter},
         {"generator.gate.denied", MetricKind::Counter},
+        // Guided generation (the bandit over generator choice points).
+        {"generator.guided.selections", MetricKind::Counter},
+        {"generator.guided.rewarded", MetricKind::Counter},
+        {"generator.guided.novelty", MetricKind::Counter},
+        {"generator.guided.truncated", MetricKind::Counter},
+        {"generator.guided.all_suppressed", MetricKind::Counter},
+        {"generator.guided.mode", MetricKind::Gauge},
         // Connection / statement execution.
         {"connection.statements", MetricKind::Counter},
         {"connection.execute.ok", MetricKind::Counter},

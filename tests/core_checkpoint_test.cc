@@ -280,6 +280,138 @@ TEST(CheckpointTest, FiveOracleCampaignIsBitIdenticalForOneTwoFourWorkers)
     }
 }
 
+TEST(CheckpointTest, GuidedStateRoundTripsThroughShardPayload)
+{
+    // Checkpoint format v3 carries the bandit's arm counters
+    // (guidedPulls / guidedRewarded) beside the validity counters, so
+    // a resumed guided shard scores arms exactly as the killed run
+    // would have.
+    CampaignConfig config = smallCampaign();
+    config.guidance.mode = GuidanceMode::Ucb;
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    ASSERT_GT(stats.checksAttempted, 0u);
+
+    const FeedbackTracker &feedback = runner.feedback();
+    const FeatureRegistry &registry = runner.registry();
+    uint64_t pulls = 0;
+    for (FeatureId id = 0; id < registry.size(); ++id)
+        pulls += feedback.stats(id).guidedPulls;
+    ASSERT_GT(pulls, 0u) << "guided campaign recorded no pulls";
+
+    KvStore payload =
+        checkpointShard(stats, feedback, registry, 0, 0.0);
+    RestoredShard restored;
+    ASSERT_TRUE(restoreShard(payload, FeedbackConfig{}, restored).isOk());
+    EXPECT_TRUE(restored.stats == stats);
+    for (FeatureId id = 0; id < registry.size(); ++id) {
+        const std::string &name = registry.name(id);
+        FeatureId theirs = restored.registry.find(name);
+        const FeatureStats &mine = feedback.stats(id);
+        if (theirs == FeatureId(-1)) {
+            // Dropped features carried no merge-relevant state.
+            EXPECT_EQ(mine.executions, 0u) << name;
+            EXPECT_EQ(mine.guidedPulls, 0u) << name;
+            continue;
+        }
+        EXPECT_EQ(restored.feedback.stats(theirs).guidedPulls,
+                  mine.guidedPulls)
+            << name;
+        EXPECT_EQ(restored.feedback.stats(theirs).guidedRewarded,
+                  mine.guidedRewarded)
+            << name;
+    }
+}
+
+TEST(CheckpointTest, V2CheckpointsStillLoad)
+{
+    // A pre-guidance (v2) checkpoint must keep loading: the fields v2
+    // predates — arm counters, per-sample plan counts — restore to
+    // zero, so a v2 resume of a guided campaign starts the bandit
+    // fresh instead of failing.
+    std::string path = tempPath("sqlpp_ckpt_v2.kv");
+    CampaignCheckpoint checkpoint;
+    checkpoint.configFingerprint = 42;
+    checkpoint.totalShards = 1;
+    checkpoint.shards[0].put("stats.checksAttempted", "5");
+    ASSERT_TRUE(checkpoint.saveTo(path).isOk());
+
+    // Rewrite the file's format marker to the older versions.
+    for (const char *format : {"sqlancerpp-checkpoint-v1",
+                               "sqlancerpp-checkpoint-v2"}) {
+        KvStore raw;
+        ASSERT_TRUE(raw.load(path).isOk());
+        raw.put("meta.format", format);
+        ASSERT_TRUE(raw.save(path).isOk());
+        CampaignCheckpoint loaded;
+        ASSERT_TRUE(loaded.loadFrom(path).isOk()) << format;
+        EXPECT_EQ(loaded.configFingerprint, 42u) << format;
+    }
+    // Unknown future formats are still rejected.
+    KvStore raw;
+    ASSERT_TRUE(raw.load(path).isOk());
+    raw.put("meta.format", "sqlancerpp-checkpoint-v99");
+    ASSERT_TRUE(raw.save(path).isOk());
+    CampaignCheckpoint rejected;
+    EXPECT_FALSE(rejected.loadFrom(path).isOk());
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, GuidedCampaignIsBitIdenticalForOneTwoFourWorkers)
+{
+    // The guided bandit must not break the share-nothing determinism
+    // story: each shard's selector is seeded from the campaign seed
+    // and fed only shard-local novelty, so guided campaigns merge
+    // bit-identically for any worker count and across a kill/resume.
+    CampaignConfig campaign = smallCampaign();
+    campaign.guidance.mode = GuidanceMode::Ucb;
+
+    SchedulerConfig base = smallSchedule(1);
+    base.campaign = campaign;
+    ScheduleReport reference = CampaignScheduler(base).run();
+
+    for (size_t workers : {1u, 2u, 4u}) {
+        std::string path = tempPath("sqlpp_ckpt_guided.kv");
+        std::filesystem::remove(path);
+
+        SchedulerConfig writing = smallSchedule(workers);
+        writing.campaign = campaign;
+        writing.checkpointPath = path;
+        ScheduleReport written = CampaignScheduler(writing).run();
+        EXPECT_TRUE(written.merged == reference.merged)
+            << workers << " workers (write pass)";
+
+        SchedulerConfig resuming = writing;
+        resuming.resume = true;
+        ScheduleReport resumed = CampaignScheduler(resuming).run();
+        EXPECT_TRUE(resumed.merged == reference.merged)
+            << workers << " workers (resume pass)";
+        EXPECT_EQ(resumed.shardsFromCheckpoint, 4u);
+        std::filesystem::remove(path);
+    }
+}
+
+TEST(CheckpointTest, CurveSamplesSurviveTheShardPayload)
+{
+    // v3 curve samples carry the cumulative unique-plan count (field
+    // 7); the payload round-trip must preserve the whole trajectory.
+    CampaignConfig config = smallCampaign();
+    config.guidance.mode = GuidanceMode::Ucb;
+    config.curveInterval = 25;
+    CampaignRunner runner(config);
+    CampaignStats stats = runner.run();
+    ASSERT_GT(stats.curve.size(), 1u);
+    EXPECT_GT(stats.curve.back().cumPlans, 0u);
+
+    KvStore payload = checkpointShard(stats, runner.feedback(),
+                                      runner.registry(), 0, 0.0);
+    RestoredShard restored;
+    ASSERT_TRUE(restoreShard(payload, FeedbackConfig{}, restored).isOk());
+    ASSERT_EQ(restored.stats.curve.size(), stats.curve.size());
+    for (size_t i = 0; i < stats.curve.size(); ++i)
+        EXPECT_TRUE(restored.stats.curve[i] == stats.curve[i]) << i;
+}
+
 TEST(CheckpointTest, MismatchedConfigurationStartsFresh)
 {
     std::string path = tempPath("sqlpp_ckpt_mismatch.kv");

@@ -97,5 +97,57 @@ TEST(CoverageTest, GlobalInstanceIsSingleton)
     EXPECT_EQ(&CoverageRegistry::instance(), &CoverageRegistry::instance());
 }
 
+TEST(CoverageCaptureTest, CountsFirstHitsOnlyAndDrains)
+{
+    CoverageRegistry &reg = CoverageRegistry::instance();
+    const size_t a = reg.slot("capture_test_a");
+    const size_t b = reg.slot("capture_test_b");
+
+    CoverageCapture capture;
+    reg.hitSlot(a);
+    reg.hitSlot(a); // repeat hit: not novel
+    EXPECT_EQ(capture.takeNewProbes(), 1u);
+    EXPECT_EQ(capture.takeNewProbes(), 0u); // drained
+
+    reg.hitSlot(a); // seen over the capture's lifetime: still not novel
+    reg.hitSlot(b);
+    EXPECT_EQ(capture.takeNewProbes(), 1u);
+    EXPECT_EQ(capture.probesSeen(), 2u);
+}
+
+TEST(CoverageCaptureTest, CaptureIsThreadLocal)
+{
+    CoverageRegistry &reg = CoverageRegistry::instance();
+    const size_t slot = reg.slot("capture_test_threaded");
+
+    CoverageCapture capture;
+    // Hits from another thread (no capture installed there) must not
+    // bleed into this thread's capture — that is the whole point: a
+    // shard's novelty signal sees only its own worker thread.
+    std::thread other([&reg, slot] { reg.hitSlot(slot); });
+    other.join();
+    EXPECT_EQ(capture.takeNewProbes(), 0u);
+
+    reg.hitSlot(slot);
+    EXPECT_EQ(capture.takeNewProbes(), 1u);
+}
+
+TEST(CoverageCaptureTest, CapturesStackAndRestore)
+{
+    CoverageRegistry &reg = CoverageRegistry::instance();
+    const size_t slot = reg.slot("capture_test_stacked");
+
+    CoverageCapture outer;
+    {
+        CoverageCapture inner;
+        reg.hitSlot(slot);
+        EXPECT_EQ(inner.takeNewProbes(), 1u);
+        // While inner is installed, hits bypass outer entirely.
+        EXPECT_EQ(outer.takeNewProbes(), 0u);
+    }
+    reg.hitSlot(slot); // inner destroyed: outer is active again
+    EXPECT_EQ(outer.takeNewProbes(), 1u);
+}
+
 } // namespace
 } // namespace sqlpp
