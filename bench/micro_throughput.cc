@@ -19,6 +19,7 @@
 #include "core/feedback.h"
 #include "core/generator.h"
 #include "core/oracle.h"
+#include "core/progress.h"
 #include "parser/parser.h"
 #include "sqlir/printer.h"
 #include "util/metrics.h"
@@ -254,6 +255,57 @@ BM_TraceTick(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TraceTick);
+
+/**
+ * Cost of one progress-board note from the campaign hot loop (a few
+ * relaxed atomic adds plus the wall-clock stamp). This is the price
+ * every check pays when the status service is compiled in.
+ */
+void
+BM_ProgressNote(benchmark::State &state)
+{
+    ProgressBoard &board = ProgressBoard::instance();
+    board.beginCampaign(4, 16, 16 * 1000);
+    board.initShard(0, "bench", 7, 1000, 0.0);
+    ProgressShardScope scope(0);
+    uint64_t tick = 0;
+    for (auto _ : state) {
+        progress::noteCheck(true, ++tick);
+        benchmark::ClobberMemory();
+    }
+    board.finishCampaign();
+}
+BENCHMARK(BM_ProgressNote);
+
+/**
+ * Cost of one full /status response: snapshot 16 shard cells (atomic
+ * reads + seqlock string loads) and render the sqlpp.status.v1 JSON.
+ * This is what each poll of the status endpoint costs the serving
+ * thread — the campaign itself pays nothing.
+ */
+void
+BM_StatusSnapshot(benchmark::State &state)
+{
+    ProgressBoard &board = ProgressBoard::instance();
+    constexpr size_t kShards = 16;
+    board.beginCampaign(4, kShards, kShards * 1000);
+    for (size_t shard = 0; shard < kShards; ++shard) {
+        board.initShard(shard, "bench" + std::to_string(shard),
+                        7 + shard, 1000, 0.0);
+        board.setShardState(shard, ShardState::Running);
+        ProgressShardScope scope(shard);
+        for (int i = 0; i < 50; ++i)
+            progress::noteCheck(i % 4 != 0, i + 1);
+        progress::noteTotals(40, 2, 1);
+        progress::noteBanditLeader("RULE_JOIN_COUNT_2 5/9");
+    }
+    for (auto _ : state) {
+        std::string json = renderStatusJson(board.snapshot());
+        benchmark::DoNotOptimize(json.data());
+    }
+    board.finishCampaign();
+}
+BENCHMARK(BM_StatusSnapshot);
 
 void
 BM_FeedbackRecord(benchmark::State &state)

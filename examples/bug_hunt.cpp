@@ -18,6 +18,7 @@
  *              [--metrics-timings]
  *              [--trace-out FILE] [--dossier-dir DIR]
  *              [--curve-interval N] [--log-level LEVEL]
+ *              [--status-port N] [--progress SEC]
  *
  * --oracles picks the logic-bug oracles run per query shape
  * (comma-separated, case-insensitive; default tlp,norec). Adding pqs
@@ -57,15 +58,32 @@
  * --resume). --curve-interval N samples the validity learning curve
  * every N checks. --log-level quiet|error|warn|info|debug sets the
  * verbosity of campaign/scheduler progress lines on stderr.
+ *
+ * --status-port N serves live campaign introspection on
+ * 127.0.0.1:N (0 = kernel-assigned; the bound port is printed):
+ * GET /status returns the sqlpp.status.v1 JSON snapshot (per-shard
+ * progress, stall diagnosis), GET /metrics the Prometheus text
+ * exposition, GET /trace?since=T the flight-recorder events with
+ * tick > T as NDJSON. Polling is read-only: merged stats,
+ * checkpoints, and dossiers are bit-identical with or without it.
+ * --progress SEC prints a one-line progress report (checks/s,
+ * validity, bugs, ETA, stalled shards) every SEC seconds, rendered
+ * from the same snapshot /status serves.
  */
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
+#include <thread>
 
+#include "core/progress.h"
 #include "core/scheduler.h"
 #include "util/log.h"
 #include "util/metrics.h"
+#include "util/status_server.h"
 #include "util/strutil.h"
 #include "util/trace.h"
 
@@ -88,6 +106,8 @@ main(int argc, char **argv)
     size_t curve_interval = 0;
     StepBudget budget;
     GuidanceMode guidance = GuidanceMode::Off;
+    long status_port = -1;
+    double progress_interval = 0.0;
     for (int arg = 1; arg < argc; ++arg) {
         auto flagValue = [&](const char *flag, const char **value) {
             if (std::strcmp(argv[arg], flag) != 0 || arg + 1 >= argc)
@@ -126,6 +146,15 @@ main(int argc, char **argv)
             dossier_dir = value;
         } else if (flagValue("--curve-interval", &value)) {
             curve_interval = std::strtoul(value, nullptr, 10);
+        } else if (flagValue("--status-port", &value)) {
+            status_port = std::strtol(value, nullptr, 10);
+            if (status_port < 0 || status_port > 65535) {
+                std::fprintf(stderr,
+                             "--status-port must be 0..65535\n");
+                return 1;
+            }
+        } else if (flagValue("--progress", &value)) {
+            progress_interval = std::strtod(value, nullptr);
         } else if (flagValue("--log-level", &value)) {
             auto level = logLevelFromName(value);
             if (!level) {
@@ -202,8 +231,84 @@ main(int argc, char **argv)
     MetricsRegistry::instance().reset();
     TraceRecorder::instance().reset();
 
+    // Live introspection side door. Handlers only render read-only
+    // snapshots (progress board atomics, metric/trace lane reads), so
+    // serving them cannot perturb the campaign.
+    StatusServer status_server;
+    if (status_port >= 0) {
+        status_server.handle("/status", [](const HttpRequest &) {
+            HttpResponse response;
+            response.body = renderStatusJson(
+                ProgressBoard::instance().snapshot());
+            return response;
+        });
+        status_server.handle("/metrics", [](const HttpRequest &) {
+            HttpResponse response;
+            response.contentType = "text/plain; version=0.0.4";
+            response.body = exportMetricsPrometheus();
+            return response;
+        });
+        status_server.handle("/trace", [](const HttpRequest &request) {
+            HttpResponse response;
+            response.contentType = "application/x-ndjson";
+            response.body = exportTraceDeltaJsonl(
+                request.queryU64("since", 0));
+            return response;
+        });
+        Status started =
+            status_server.start(static_cast<uint16_t>(status_port));
+        if (started.isOk()) {
+            std::printf("status: serving on http://127.0.0.1:%u "
+                        "(/status /metrics /trace?since=N)\n",
+                        status_server.port());
+            std::fflush(stdout);
+        } else {
+            std::fprintf(stderr, "status: disabled (%s)\n",
+                         started.toString().c_str());
+        }
+    }
+
+    // Periodic progress line, rendered from the same snapshot /status
+    // serves. The printer thread only reads the board.
+    std::mutex progress_mutex;
+    std::condition_variable progress_cv;
+    bool progress_done = false;
+    std::thread progress_thread;
+    if (progress_interval > 0.0) {
+        progress_thread = std::thread([&] {
+            std::unique_lock<std::mutex> lock(progress_mutex);
+            for (;;) {
+                progress_cv.wait_for(
+                    lock,
+                    std::chrono::duration<double>(progress_interval),
+                    [&] { return progress_done; });
+                if (progress_done)
+                    return;
+                std::printf("%s\n",
+                            renderProgressLine(
+                                ProgressBoard::instance().snapshot())
+                                .c_str());
+                std::fflush(stdout);
+            }
+        });
+    }
+
     CampaignScheduler scheduler(config);
     ScheduleReport report = scheduler.run();
+
+    if (progress_thread.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            progress_done = true;
+        }
+        progress_cv.notify_all();
+        progress_thread.join();
+        // One final line so short campaigns always report completion.
+        std::printf("%s\n",
+                    renderProgressLine(
+                        ProgressBoard::instance().snapshot())
+                        .c_str());
+    }
 
     size_t total_prioritized = 0;
     size_t total_unique = 0;
@@ -265,9 +370,17 @@ main(int argc, char **argv)
         }
         out << exportTraceJsonl();
         std::printf("trace: %s\n", trace_out.c_str());
+        uint64_t dropped = traceDroppedTotal();
+        if (dropped > 0)
+            std::printf("warning: %llu trace events dropped (ring "
+                        "overwrite; the export holds only each lane's "
+                        "newest %zu events)\n",
+                        (unsigned long long)dropped,
+                        TraceRecorder::kRingCapacity);
     }
     if (!dossier_dir.empty())
         std::printf("dossiers: %zu written under %s\n",
                     report.dossiersWritten, dossier_dir.c_str());
+    status_server.stop();
     return 0;
 }

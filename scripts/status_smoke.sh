@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Status-service smoke test: run a campaign with --status-port 0 and
+# --progress, scrape the announced ephemeral port, and validate all
+# three endpoints while the campaign is live:
+#   /status        -> sqlpp.status.v1 JSON (campaign + shards)
+#   /metrics       -> Prometheus text exposition
+#   /trace?since=N -> sqlpp.trace.delta.v1 NDJSON
+# Then assert the --progress line appeared and the run exited cleanly.
+#
+# Usage: scripts/status_smoke.sh [path/to/bug_hunt]
+set -u
+
+BUG_HUNT="${1:-build/examples/bug_hunt}"
+if [ ! -x "$BUG_HUNT" ]; then
+    echo "status_smoke: $BUG_HUNT not found; build first" >&2
+    exit 1
+fi
+
+WORKDIR="$(mktemp -d)"
+HUNT_PID=""
+cleanup() {
+    [ -n "$HUNT_PID" ] && kill "$HUNT_PID" 2> /dev/null
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fetch() { # fetch URL -> stdout, non-zero on connection failure
+    if command -v curl > /dev/null 2>&1; then
+        curl -sf --max-time 10 "$1"
+    else
+        python3 -c 'import sys, urllib.request
+sys.stdout.write(urllib.request.urlopen(sys.argv[1], timeout=10).read().decode())' "$1"
+    fi
+}
+
+# Enough checks that the campaign (17 dialect shards) is still running
+# while we poll — the status line is printed before the first shard
+# starts, so the scrape window is nearly the whole campaign.
+"$BUG_HUNT" 200 --workers 2 --status-port 0 --progress 0.2 \
+    > "$WORKDIR/run.log" 2>&1 &
+HUNT_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+    PORT="$(sed -n \
+        's#^status: serving on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+        "$WORKDIR/run.log")"
+    [ -n "$PORT" ] && break
+    kill -0 "$HUNT_PID" 2> /dev/null || break
+    sleep 0.1
+done
+[ -n "$PORT" ] || {
+    echo "FAIL: no 'status: serving' line announced a port" >&2
+    cat "$WORKDIR/run.log" >&2
+    exit 1
+}
+
+fetch "http://127.0.0.1:$PORT/status" > "$WORKDIR/status.json" || {
+    echo "FAIL: GET /status failed (campaign may have exited early)" >&2
+    cat "$WORKDIR/run.log" >&2
+    exit 1
+}
+fetch "http://127.0.0.1:$PORT/metrics" > "$WORKDIR/metrics.txt" || {
+    echo "FAIL: GET /metrics failed" >&2
+    exit 1
+}
+fetch "http://127.0.0.1:$PORT/trace?since=0" > "$WORKDIR/trace.ndjson" || {
+    echo "FAIL: GET /trace failed" >&2
+    exit 1
+}
+
+# /status: parse and check the envelope.
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$WORKDIR/status.json" <<'PYEOF' || exit 1
+import json
+import sys
+
+with open(sys.argv[1]) as handle:
+    doc = json.load(handle)
+
+assert doc["schema"] == "sqlpp.status.v1", doc.get("schema")
+campaign = doc["campaign"]
+for key in ("active", "workers", "shards_total", "checks_attempted",
+            "bugs_detected", "stall_threshold_seconds"):
+    assert key in campaign, "campaign missing " + key
+shards = doc["shards"]
+assert isinstance(shards, list) and shards, "no shard entries"
+for shard in shards:
+    for key in ("shard", "label", "state", "checks_attempted",
+                "stalled"):
+        assert key in shard, "shard missing " + key
+assert isinstance(doc["stalled"], list)
+print("status ok: %d shards" % len(shards))
+PYEOF
+else
+    grep -q '"schema": "sqlpp.status.v1"' "$WORKDIR/status.json" || {
+        echo "FAIL: /status lacks the sqlpp.status.v1 envelope" >&2
+        exit 1
+    }
+fi
+
+# /metrics: Prometheus exposition with histogram series.
+grep -q '^# TYPE sqlpp_' "$WORKDIR/metrics.txt" || {
+    echo "FAIL: /metrics has no '# TYPE sqlpp_' lines" >&2
+    head -5 "$WORKDIR/metrics.txt" >&2
+    exit 1
+}
+grep -q '_bucket{le="+Inf"}' "$WORKDIR/metrics.txt" || {
+    echo "FAIL: /metrics has no +Inf histogram bucket" >&2
+    exit 1
+}
+grep -q '_count ' "$WORKDIR/metrics.txt" || {
+    echo "FAIL: /metrics has no _count series" >&2
+    exit 1
+}
+
+# /trace: delta NDJSON header.
+head -1 "$WORKDIR/trace.ndjson" |
+    grep -q '"schema": "sqlpp.trace.delta.v1"' || {
+    echo "FAIL: /trace lacks the sqlpp.trace.delta.v1 header" >&2
+    head -1 "$WORKDIR/trace.ndjson" >&2
+    exit 1
+}
+
+wait "$HUNT_PID"
+HUNT_STATUS=$?
+HUNT_PID=""
+[ "$HUNT_STATUS" -eq 0 ] || {
+    echo "FAIL: bug_hunt exited $HUNT_STATUS" >&2
+    cat "$WORKDIR/run.log" >&2
+    exit 1
+}
+
+grep -q '^progress: ' "$WORKDIR/run.log" || {
+    echo "FAIL: --progress printed no progress lines" >&2
+    cat "$WORKDIR/run.log" >&2
+    exit 1
+}
+
+echo "OK: /status /metrics /trace live and valid; progress lines printed"

@@ -28,7 +28,13 @@
 #                     learning-curve trajectory), and the guided lanes
 #                     must beat the adaptive lane on unique plan
 #                     fingerprints at the same statement budget.
-#   7. txn lanes    — replay-smoke a tick-annotated transactional
+#   7. status lane  — run the live status-service smoke test (the
+#                     /status, /metrics, and /trace endpoints answer
+#                     while a campaign runs), then compile-check a tree
+#                     configured with -DSQLPP_STATUS=OFF and run its
+#                     unit lane: the server must stub out cleanly while
+#                     the progress board keeps working.
+#   8. txn lanes    — replay-smoke a tick-annotated transactional
 #                     dossier (bug_hunt --oracles iso → dialect_probe
 #                     --replay), then rebuild with
 #                     -DSQLPP_SANITIZE=thread and run the interleaving
@@ -37,7 +43,8 @@
 #                     pool are the code most worth racing-checking.
 #
 # Usage: scripts/tier1.sh [--unit-only] [--no-asan] [--no-trace]
-#                         [--no-batch] [--no-guided] [--no-txn] [-j N]
+#                         [--no-batch] [--no-guided] [--no-status]
+#                         [--no-txn] [-j N]
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -45,6 +52,7 @@ BUILD="$ROOT/build"
 ASAN_BUILD="$ROOT/build-asan"
 NOTRACE_BUILD="$ROOT/build-notrace"
 NOBATCH_BUILD="$ROOT/build-nobatch"
+NOSTATUS_BUILD="$ROOT/build-nostatus"
 TSAN_BUILD="$ROOT/build-tsan"
 JOBS=4
 RUN_FULL=1
@@ -52,21 +60,24 @@ RUN_ASAN=1
 RUN_TRACE=1
 RUN_BATCH=1
 RUN_GUIDED=1
+RUN_STATUS=1
 RUN_TXN=1
 
 while [ $# -gt 0 ]; do
     case "$1" in
       --unit-only)
           RUN_FULL=0; RUN_ASAN=0; RUN_TRACE=0; RUN_BATCH=0
-          RUN_GUIDED=0; RUN_TXN=0 ;;
+          RUN_GUIDED=0; RUN_STATUS=0; RUN_TXN=0 ;;
       --no-asan) RUN_ASAN=0 ;;
       --no-trace) RUN_TRACE=0 ;;
       --no-batch) RUN_BATCH=0 ;;
       --no-guided) RUN_GUIDED=0 ;;
+      --no-status) RUN_STATUS=0 ;;
       --no-txn) RUN_TXN=0 ;;
       -j) JOBS="$2"; shift ;;
       *) echo "usage: $0 [--unit-only] [--no-asan] [--no-trace]" \
-             "[--no-batch] [--no-guided] [--no-txn] [-j N]" >&2
+             "[--no-batch] [--no-guided] [--no-status] [--no-txn]" \
+             "[-j N]" >&2
          exit 2 ;;
     esac
     shift
@@ -134,6 +145,20 @@ if [ "$RUN_GUIDED" -eq 1 ]; then
     echo "== tier1: guided-generation smoke =="
     "$ROOT/scripts/guided_smoke.sh" "$BUILD/examples/bug_hunt" \
         "$BUILD/bench/learning_curve"
+fi
+
+if [ "$RUN_STATUS" -eq 1 ]; then
+    echo "== tier1: status-service smoke =="
+    "$ROOT/scripts/status_smoke.sh" "$BUILD/examples/bug_hunt"
+
+    echo "== tier1: -DSQLPP_STATUS=OFF lane =="
+    cmake -B "$NOSTATUS_BUILD" -S "$ROOT" -DSQLPP_STATUS=OFF >/dev/null
+    cmake --build "$NOSTATUS_BUILD" -j "$JOBS"
+    # The stubbed server must report Unsupported and the progress
+    # board (plain atomics, always compiled) must keep every test
+    # green.
+    ctest --test-dir "$NOSTATUS_BUILD" -L unit --output-on-failure \
+        -j "$JOBS" --timeout 300
 fi
 
 if [ "$RUN_TXN" -eq 1 ]; then

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <optional>
 
+#include "core/progress.h"
 #include "parser/parser.h"
 #include "util/coverage.h"
 #include "sqlir/printer.h"
@@ -128,6 +129,7 @@ CampaignRunner::buildState(Connection &connection, CampaignStats &stats,
         bool success = result.isOk();
         tracker_->record(stmt.features, success, /*is_query=*/false);
         generator.noteExecution(stmt, success);
+        progress::noteSetup(success);
         ++stats.setupGenerated;
         if (success) {
             ++stats.setupSucceeded;
@@ -215,6 +217,7 @@ CampaignRunner::run()
                            profile.name.c_str(), config_.deadlineSeconds,
                            check, config_.checks));
             stats.shardsAbandoned = 1;
+            progress::noteAbandoned();
             SQLPP_COUNT("campaign.watchdog.abandoned");
             SQLPP_TRACE_EVENT(ShardAbandoned, profile.name, check,
                               config_.checks);
@@ -272,6 +275,7 @@ CampaignRunner::run()
                 continue;
             ++stats.bugsDetected;
             ++stats.bugsByOracle[oracle->name()];
+            progress::noteBug();
             SQLPP_COUNT("campaign.bugs.detected");
             SQLPP_TRACE_EVENT(BugFound, oracle->name(),
                               stats.bugsDetected, 0);
@@ -310,6 +314,8 @@ CampaignRunner::run()
         }
         if (all_ran)
             ++stats.checksValid;
+        progress::noteCheck(all_ran,
+                            TraceRecorder::instance().currentTick());
         tracker_->record(shape->features, all_ran, /*is_query=*/true);
         ++window_attempted;
         if (all_ran)
@@ -340,6 +346,17 @@ CampaignRunner::run()
             }
             guide_->reward(shape->arms, novelty);
         }
+        // Publish slower-moving totals to the progress board every few
+        // dozen checks; suppressedFeatures() and leader() walk the
+        // feature table, too heavy for every iteration.
+        if (check % 32 == 0) {
+            progress::noteTotals(
+                stats.planFingerprints.size(),
+                stats.resourceErrors + connection->resourceErrors(),
+                tracker_->suppressedFeatures().size());
+            if (guide_ != nullptr)
+                progress::noteBanditLeader(guide_->leader());
+        }
         if (config_.curveInterval > 0 &&
             stats.checksAttempted % config_.curveInterval == 0) {
             CurveSample sample;
@@ -358,6 +375,11 @@ CampaignRunner::run()
         }
     }
     collect_counters(*connection);
+    progress::noteTotals(stats.planFingerprints.size(),
+                         stats.resourceErrors,
+                         tracker_->suppressedFeatures().size());
+    if (guide_ != nullptr)
+        progress::noteBanditLeader(guide_->leader());
     return stats;
 }
 

@@ -216,4 +216,33 @@ GuidedSelector::reward(const std::vector<FeatureId> &arms,
         tracker_.noteGuidedReward(id);
 }
 
+std::string
+GuidedSelector::leader() const
+{
+    FeatureId best = 0;
+    uint64_t best_pulls = 0;
+    uint64_t best_rewarded = 0;
+    double best_rate = -1.0;
+    for (FeatureId id = 0;
+         id < static_cast<FeatureId>(registry_.size()); ++id) {
+        const FeatureStats &stats = tracker_.stats(id);
+        if (stats.guidedPulls == 0)
+            continue;
+        double rate = static_cast<double>(stats.guidedRewarded) /
+                      static_cast<double>(stats.guidedPulls);
+        if (rate > best_rate ||
+            (rate == best_rate && stats.guidedPulls > best_pulls)) {
+            best = id;
+            best_pulls = stats.guidedPulls;
+            best_rewarded = stats.guidedRewarded;
+            best_rate = rate;
+        }
+    }
+    if (best_rate < 0.0)
+        return "";
+    return format("%s %llu/%llu", registry_.name(best).c_str(),
+                  (unsigned long long)best_rewarded,
+                  (unsigned long long)best_pulls);
+}
+
 } // namespace sqlpp

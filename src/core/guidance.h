@@ -110,6 +110,15 @@ class GuidedSelector
     /** Total choose() calls (the UCB horizon / Thompson sequence). */
     uint64_t selections() const { return selections_; }
 
+    /**
+     * The current leading arm — highest reward rate among pulled arms,
+     * ties broken toward more pulls then lower feature id — rendered
+     * as "name rewarded/pulls" for the live status board ("" before
+     * any pull). Observability only; reads nothing the next choose()
+     * does not already read.
+     */
+    std::string leader() const;
+
     const GuidanceConfig &config() const { return config_; }
 
     /**

@@ -5,6 +5,7 @@
 
 #include "core/checkpoint.h"
 #include "core/dossier.h"
+#include "core/progress.h"
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/strutil.h"
@@ -164,6 +165,25 @@ CampaignScheduler::run()
     SQLPP_GAUGE_SET("scheduler.workers", config_.workers);
     SQLPP_GAUGE_SET("scheduler.shards.total", shard_configs.size());
 
+    // Describe the campaign to the live progress board before any
+    // worker starts. The board is observability-only: /status and the
+    // --progress printer read it, nothing deterministic does.
+    uint64_t checks_target = 0;
+    for (const CampaignConfig &shard : shard_configs)
+        checks_target += shard.checks;
+    ProgressBoard &board = ProgressBoard::instance();
+    board.beginCampaign(config_.workers, shard_configs.size(),
+                        checks_target);
+    for (size_t index = 0; index < shard_configs.size(); ++index) {
+        std::string label =
+            config_.mode == ScheduleMode::ShardDialects
+                ? shard_configs[index].dialect
+                : format("slice%zu", index);
+        board.initShard(index, label, shard_configs[index].seed,
+                        shard_configs[index].checks,
+                        shard_configs[index].deadlineSeconds);
+    }
+
     IndexQueue queue(shard_configs.size());
     auto dispatch_start = std::chrono::steady_clock::now();
     runOnWorkers(config_.workers, [&](size_t worker_index) {
@@ -185,6 +205,9 @@ CampaignScheduler::run()
             // Flight-recorder lane, keyed the same way: the shard's
             // trace is independent of which worker ran it.
             TraceShardScope trace_scope(shard, shard_label);
+            // Progress cell, keyed the same way again.
+            ProgressShardScope progress_scope(shard);
+            board.setShardState(shard, ShardState::Running);
             SQLPP_TRACE_EVENT(ShardStarted, shard_label, shard,
                               shard_configs[shard].seed);
             SQLPP_COUNT("scheduler.shards.run");
@@ -199,6 +222,10 @@ CampaignScheduler::run()
             SQLPP_OBSERVE_TIME(
                 "scheduler.shard.exec_us",
                 static_cast<uint64_t>(shard_seconds * 1e6));
+            // The watchdog marks its own cell Abandoned; everything
+            // else finished cleanly.
+            if (stats.shardsAbandoned == 0)
+                board.setShardState(shard, ShardState::Done);
             KvStore payload = checkpointShard(
                 stats, runner.feedback(), runner.registry(),
                 worker_index, shard_seconds);
@@ -260,6 +287,11 @@ CampaignScheduler::run()
         if (outcome.fromCheckpoint) {
             // The restoring run did not spend this time; the payload's
             // worker index may not even exist in this run's pool.
+            board.fillRestoredShard(
+                index, shard.stats.checksAttempted,
+                shard.stats.checksValid, shard.stats.bugsDetected,
+                shard.stats.planFingerprints.size(),
+                shard.stats.resourceErrors);
             ++report.shardsFromCheckpoint;
             SQLPP_COUNT("scheduler.shards.resumed");
             SQLPP_TRACE_EVENT(CheckpointRestored,
@@ -321,6 +353,10 @@ CampaignScheduler::run()
         report.merged.merge(contribution);
         report.shards.push_back(std::move(outcome));
     }
+    // Export-time accounting of trace-ring overwrite, then freeze the
+    // board (cells stay readable for a final /status scrape).
+    SQLPP_GAUGE_SET("campaign.trace.dropped", traceDroppedTotal());
+    board.finishCampaign();
     return report;
 }
 

@@ -234,6 +234,29 @@ MetricsRegistry::histogramCount(const std::string &name) const
     return total;
 }
 
+std::vector<uint64_t>
+MetricsRegistry::histogramBucketTotals(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = ids_.find(name);
+    if (it == ids_.end())
+        return {};
+    const Metric &metric = metrics_[it->second];
+    if (metric.kind != MetricKind::Histogram &&
+        metric.kind != MetricKind::Timer)
+        return {};
+    std::vector<uint64_t> totals(kHistogramBuckets, 0);
+    for (size_t index = 0; index <= kMaxShards; ++index) {
+        Lane *lane_ptr = lane(index);
+        if (lane_ptr == nullptr)
+            continue;
+        for (size_t bucket = 0; bucket < kHistogramBuckets; ++bucket)
+            totals[bucket] += lane_ptr->cells[metric.cell + bucket].load(
+                std::memory_order_relaxed);
+    }
+    return totals;
+}
+
 uint64_t
 MetricsRegistry::histogramSum(const std::string &name) const
 {
@@ -497,36 +520,223 @@ metricsSummaryTable()
               });
 
     std::string out =
-        format("%-40s %-9s %12s %14s\n", "metric", "kind", "count",
-               "total/avg");
+        format("%-40s %-9s %12s %14s %10s %10s %10s\n", "metric",
+               "kind", "count", "total/avg", "p50", "p95", "p99");
     for (const MetricSnapshot &snap : snapshots) {
+        double p50 = histogramQuantileFromBuckets(
+            snap.buckets, MetricsRegistry::kHistogramBuckets, 0.50);
+        double p95 = histogramQuantileFromBuckets(
+            snap.buckets, MetricsRegistry::kHistogramBuckets, 0.95);
+        double p99 = histogramQuantileFromBuckets(
+            snap.buckets, MetricsRegistry::kHistogramBuckets, 0.99);
         switch (snap.kind) {
           case MetricKind::Counter:
           case MetricKind::Gauge:
             if (snap.total == 0)
                 continue;
-            out += format("%-40s %-9s %12s %14llu\n",
+            out += format("%-40s %-9s %12s %14llu %10s %10s %10s\n",
                           snap.name.c_str(), metricKindName(snap.kind),
-                          "-", (unsigned long long)snap.total);
+                          "-", (unsigned long long)snap.total, "-", "-",
+                          "-");
             break;
           case MetricKind::Histogram:
             if (snap.count == 0)
                 continue;
-            out += format("%-40s %-9s %12llu %14.1f\n",
-                          snap.name.c_str(), metricKindName(snap.kind),
-                          (unsigned long long)snap.count,
-                          static_cast<double>(snap.sum) /
-                              static_cast<double>(snap.count));
+            out += format(
+                "%-40s %-9s %12llu %14.1f %10.0f %10.0f %10.0f\n",
+                snap.name.c_str(), metricKindName(snap.kind),
+                (unsigned long long)snap.count,
+                static_cast<double>(snap.sum) /
+                    static_cast<double>(snap.count),
+                p50, p95, p99);
             break;
           case MetricKind::Timer:
             if (snap.count == 0)
                 continue;
-            out += format("%-40s %-9s %12llu %12.1fus\n",
-                          snap.name.c_str(), metricKindName(snap.kind),
-                          (unsigned long long)snap.count,
-                          static_cast<double>(snap.sum) /
-                              static_cast<double>(snap.count));
+            out += format(
+                "%-40s %-9s %12llu %12.1fus %8.0fus %8.0fus %8.0fus\n",
+                snap.name.c_str(), metricKindName(snap.kind),
+                (unsigned long long)snap.count,
+                static_cast<double>(snap.sum) /
+                    static_cast<double>(snap.count),
+                p50, p95, p99);
             break;
+        }
+    }
+    return out;
+}
+
+double
+histogramQuantileFromBuckets(const uint64_t *buckets,
+                             size_t bucket_count, double q)
+{
+    if (buckets == nullptr || bucket_count == 0)
+        return 0.0;
+    uint64_t total = 0;
+    for (size_t i = 0; i < bucket_count; ++i)
+        total += buckets[i];
+    if (total == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    double rank = q * static_cast<double>(total);
+    double cumulative = 0.0;
+    for (size_t i = 0; i < bucket_count; ++i) {
+        if (buckets[i] == 0)
+            continue;
+        double next = cumulative + static_cast<double>(buckets[i]);
+        if (next >= rank) {
+            // Bucket 0 holds the value 0 exactly; bucket i covers
+            // [2^(i-1), 2^i - 1]. Interpolate linearly within the
+            // bucket's bounds, Prometheus-style.
+            if (i == 0)
+                return 0.0;
+            double lower = static_cast<double>(uint64_t{1} << (i - 1));
+            if (i >= bucket_count - 1)
+                return lower; // overflow bucket: clamp to lower bound
+            double upper =
+                static_cast<double>((uint64_t{1} << i) - 1);
+            double within =
+                (rank - cumulative) / static_cast<double>(buckets[i]);
+            return lower + (upper - lower) * within;
+        }
+        cumulative = next;
+    }
+    // Unreachable when total > 0; keep the compiler satisfied.
+    return 0.0;
+}
+
+bool
+metricQuantiles(const std::string &name, HistogramQuantiles &out)
+{
+    std::vector<uint64_t> buckets =
+        MetricsRegistry::instance().histogramBucketTotals(name);
+    if (buckets.empty())
+        return false;
+    uint64_t total = 0;
+    for (uint64_t hits : buckets)
+        total += hits;
+    if (total == 0)
+        return false;
+    out.p50 =
+        histogramQuantileFromBuckets(buckets.data(), buckets.size(),
+                                     0.50);
+    out.p95 =
+        histogramQuantileFromBuckets(buckets.data(), buckets.size(),
+                                     0.95);
+    out.p99 =
+        histogramQuantileFromBuckets(buckets.data(), buckets.size(),
+                                     0.99);
+    return true;
+}
+
+namespace {
+
+/** Map a dotted metric name to Prometheus form ("sqlpp_a_b_c"). */
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out = "sqlpp_";
+    out.reserve(out.size() + name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+exportMetricsPrometheus()
+{
+    MetricsRegistry &registry = MetricsRegistry::instance();
+    std::vector<MetricSnapshot> snapshots;
+    {
+        std::lock_guard<std::mutex> lock(registry.mutex_);
+        for (const auto &metric : registry.metrics_) {
+            MetricSnapshot snap;
+            snap.name = metric.name;
+            snap.kind = metric.kind;
+            for (size_t index = 0;
+                 index <= MetricsRegistry::kMaxShards; ++index) {
+                const MetricsRegistry::Lane *lane_ptr =
+                    registry.lane(index);
+                if (lane_ptr == nullptr)
+                    continue;
+                if (metric.kind == MetricKind::Counter ||
+                    metric.kind == MetricKind::Gauge) {
+                    uint64_t value = lane_ptr->cells[metric.cell].load(
+                        std::memory_order_relaxed);
+                    if (metric.kind == MetricKind::Gauge)
+                        snap.total = std::max(snap.total, value);
+                    else
+                        snap.total += value;
+                } else {
+                    for (size_t b = 0;
+                         b < MetricsRegistry::kHistogramBuckets; ++b) {
+                        uint64_t hits =
+                            lane_ptr->cells[metric.cell + b].load(
+                                std::memory_order_relaxed);
+                        snap.buckets[b] += hits;
+                        snap.count += hits;
+                    }
+                    snap.sum +=
+                        lane_ptr
+                            ->cells[metric.cell +
+                                    MetricsRegistry::kHistogramBuckets]
+                            .load(std::memory_order_relaxed);
+                }
+            }
+            snapshots.push_back(std::move(snap));
+        }
+    }
+    std::sort(snapshots.begin(), snapshots.end(),
+              [](const MetricSnapshot &a, const MetricSnapshot &b) {
+                  return a.name < b.name;
+              });
+
+    // Every declared metric is emitted, zero or not: a scraper wants a
+    // stable series set, not one that flickers as counters first fire.
+    std::string out;
+    for (const MetricSnapshot &snap : snapshots) {
+        std::string name = prometheusName(snap.name);
+        switch (snap.kind) {
+          case MetricKind::Counter:
+          case MetricKind::Gauge:
+            out += format("# TYPE %s %s\n", name.c_str(),
+                          snap.kind == MetricKind::Counter ? "counter"
+                                                           : "gauge");
+            out += format("%s %llu\n", name.c_str(),
+                          (unsigned long long)snap.total);
+            break;
+          case MetricKind::Histogram:
+          case MetricKind::Timer: {
+            out += format("# TYPE %s histogram\n", name.c_str());
+            // Cumulative counts at each non-empty upper bound, then
+            // the mandatory +Inf bucket carrying the full count.
+            uint64_t cumulative = 0;
+            for (size_t b = 0;
+                 b < MetricsRegistry::kHistogramBuckets; ++b) {
+                if (snap.buckets[b] == 0)
+                    continue;
+                cumulative += snap.buckets[b];
+                uint64_t bound = MetricsRegistry::bucketUpperBound(b);
+                if (bound == UINT64_MAX)
+                    continue; // folded into +Inf below
+                out += format("%s_bucket{le=\"%llu\"} %llu\n",
+                              name.c_str(), (unsigned long long)bound,
+                              (unsigned long long)cumulative);
+            }
+            out += format("%s_bucket{le=\"+Inf\"} %llu\n",
+                          name.c_str(),
+                          (unsigned long long)snap.count);
+            out += format("%s_sum %llu\n", name.c_str(),
+                          (unsigned long long)snap.sum);
+            out += format("%s_count %llu\n", name.c_str(),
+                          (unsigned long long)snap.count);
+            break;
+          }
         }
     }
     return out;
@@ -616,6 +826,8 @@ declarePlatformMetrics()
         {"campaign.bugs.detected", MetricKind::Counter},
         {"campaign.bugs.prioritized", MetricKind::Counter},
         {"campaign.watchdog.abandoned", MetricKind::Counter},
+        // Trace events lost to ring overwrite, set at export time.
+        {"campaign.trace.dropped", MetricKind::Gauge},
         {"campaign.setup.wall_us", MetricKind::Timer},
         {"campaign.check.wall_us", MetricKind::Timer},
         {"campaign.run.wall_us", MetricKind::Timer},

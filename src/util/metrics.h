@@ -142,6 +142,14 @@ class MetricsRegistry
     uint64_t histogramSum(const std::string &name) const;
 
     /**
+     * Per-bucket observation counts of a histogram/timer summed across
+     * lanes (kHistogramBuckets entries); empty for unknown names and
+     * scalar metrics.
+     */
+    std::vector<uint64_t>
+    histogramBucketTotals(const std::string &name) const;
+
+    /**
      * Zero every value in every lane; registrations, lane labels, and
      * resolved ids stay valid. Campaign drivers call this before a
      * run so repeated in-process runs (tests, benches) start clean.
@@ -158,6 +166,7 @@ class MetricsRegistry
     friend class MetricsShardScope;
     friend std::string exportMetricsJson(const MetricsJsonOptions &);
     friend std::string metricsSummaryTable();
+    friend std::string exportMetricsPrometheus();
 
     struct Metric
     {
@@ -251,6 +260,41 @@ std::string exportMetricsJson(const MetricsJsonOptions &options = {});
 
 /** Human-readable summary table (includes wall-clock timings). */
 std::string metricsSummaryTable();
+
+/**
+ * Serialize the registry in the Prometheus text exposition format
+ * (text/plain; version=0.0.4): counters and gauges as single samples,
+ * histograms and timers in cumulative `_bucket{le="..."}` form with
+ * `_sum` and `_count`, from which Prometheus derives quantiles.
+ * Metric names are prefixed "sqlpp_" with non-alphanumeric characters
+ * mapped to '_'. Served live by the status server's /metrics endpoint.
+ */
+std::string exportMetricsPrometheus();
+
+/**
+ * Quantile estimate from power-of-two histogram buckets (the
+ * registry's layout: bucket 0 holds the value 0, bucket i covers
+ * [2^(i-1), 2^i - 1]). Finds the bucket containing the q-rank and
+ * interpolates linearly inside its bounds, Prometheus-style; the
+ * overflow bucket returns its lower bound. Returns 0 on empty data.
+ */
+double histogramQuantileFromBuckets(const uint64_t *buckets,
+                                    size_t bucket_count, double q);
+
+/** p50/p95/p99 estimates for one histogram/timer metric. */
+struct HistogramQuantiles
+{
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * Compute p50/p95/p99 for a registered histogram/timer from its
+ * bucket counts summed across lanes. False when the metric is
+ * unknown, scalar, or has no observations.
+ */
+bool metricQuantiles(const std::string &name, HistogramQuantiles &out);
 
 /**
  * Pre-register the platform's metric universe so exported documents

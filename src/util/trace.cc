@@ -96,7 +96,10 @@ TraceRecorder::laneForShard(size_t shard_index, const std::string &label)
     }
     auto lane = std::make_unique<Lane>();
     lane->label = label;
-    lane->ring = std::make_unique<TraceEvent[]>(kRingCapacity);
+    lane->ring = std::make_unique<std::atomic<uint64_t>[]>(
+        kRingCapacity * kEventWords);
+    lane->versions =
+        std::make_unique<std::atomic<uint64_t>[]>(kRingCapacity);
     lanes_[lane_index].store(lane.get(), std::memory_order_release);
     lane_storage_.push_back(std::move(lane));
     return lane_index;
@@ -127,15 +130,52 @@ TraceRecorder::record(TraceEventType type, std::string_view detail,
     // overwrites one flight-recorder entry.
     uint64_t sequence =
         lane_ptr->recorded.fetch_add(1, std::memory_order_acq_rel);
-    TraceEvent &slot = lane_ptr->ring[sequence % kRingCapacity];
-    slot.tick = lane_ptr->tick.load(std::memory_order_relaxed);
-    slot.type = type;
-    slot.a = a;
-    slot.b = b;
+    size_t slot = static_cast<size_t>(sequence % kRingCapacity);
+    TraceEvent event;
+    event.tick = lane_ptr->tick.load(std::memory_order_relaxed);
+    event.type = type;
+    event.a = a;
+    event.b = b;
     size_t copy =
         std::min(detail.size(), TraceEvent::kDetailCapacity - 1);
-    std::memcpy(slot.detail, detail.data(), copy);
-    slot.detail[copy] = '\0';
+    std::memcpy(event.detail, detail.data(), copy);
+    event.detail[copy] = '\0';
+    // Seqlock publish (same idiom as ProgressBoard strings): bump the
+    // slot version to odd, store the packed words relaxed, bump back
+    // to even. Live readers (the status server's /trace handler) skip
+    // the slot while the version is odd or changed underneath them.
+    uint64_t words[kEventWords];
+    std::memcpy(words, &event, sizeof(event));
+    std::atomic<uint64_t> &version = lane_ptr->versions[slot];
+    uint64_t v = version.load(std::memory_order_relaxed);
+    version.store(v + 1, std::memory_order_release);
+    for (size_t w = 0; w < kEventWords; ++w)
+        lane_ptr->ring[slot * kEventWords + w].store(
+            words[w], std::memory_order_relaxed);
+    version.store(v + 2, std::memory_order_release);
+}
+
+bool
+TraceRecorder::readSlot(const Lane &lane, size_t slot, TraceEvent *out)
+{
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        uint64_t before =
+            lane.versions[slot].load(std::memory_order_acquire);
+        if (before & 1)
+            continue;
+        uint64_t words[kEventWords];
+        for (size_t w = 0; w < kEventWords; ++w)
+            words[w] = lane.ring[slot * kEventWords + w].load(
+                std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        uint64_t after =
+            lane.versions[slot].load(std::memory_order_relaxed);
+        if (before == after) {
+            std::memcpy(out, words, sizeof(*out));
+            return true;
+        }
+    }
+    return false;
 }
 
 std::vector<TraceEvent>
@@ -150,8 +190,17 @@ TraceRecorder::laneEvents(size_t lane_index) const
     uint64_t recorded = lane_ptr->recorded.load(std::memory_order_acquire);
     uint64_t retained = std::min<uint64_t>(recorded, kRingCapacity);
     out.reserve(static_cast<size_t>(retained));
-    for (uint64_t i = recorded - retained; i < recorded; ++i)
-        out.push_back(lane_ptr->ring[i % kRingCapacity]);
+    for (uint64_t i = recorded - retained; i < recorded; ++i) {
+        TraceEvent event;
+        // A slot that stays torn across all retries is one the
+        // campaign is rewriting right now; only live status-server
+        // reads can see that, and they simply skip it. Post-run
+        // exports have no concurrent writers, so every slot reads
+        // clean and the deterministic byte-identity contract holds.
+        if (readSlot(*lane_ptr, static_cast<size_t>(i % kRingCapacity),
+                     &event))
+            out.push_back(event);
+    }
     return out;
 }
 
@@ -264,6 +313,63 @@ exportTraceJsonl()
         }
     }
     return out;
+}
+
+std::string
+exportTraceDeltaJsonl(uint64_t since_tick)
+{
+    TraceRecorder &recorder = TraceRecorder::instance();
+    size_t lanes_used = 0;
+    uint64_t max_tick = 0;
+    uint64_t total_events = 0;
+    std::vector<std::pair<std::string, std::vector<TraceEvent>>> lanes;
+    lanes.resize(TraceRecorder::kMaxShards + 1);
+    for (size_t index = 0; index <= TraceRecorder::kMaxShards;
+         ++index) {
+        if (recorder.laneRecorded(index) == 0)
+            continue;
+        std::vector<TraceEvent> events = recorder.laneEvents(index);
+        std::vector<TraceEvent> fresh;
+        for (const TraceEvent &event : events) {
+            max_tick = std::max(max_tick, event.tick);
+            if (event.tick > since_tick)
+                fresh.push_back(event);
+        }
+        if (fresh.empty())
+            continue;
+        lanes[index].first = recorder.laneLabel(index);
+        lanes[index].second = std::move(fresh);
+        ++lanes_used;
+        total_events += lanes[index].second.size();
+    }
+    std::string out = format(
+        "{\"schema\": \"sqlpp.trace.delta.v1\", \"since\": %llu, "
+        "\"tick\": %llu, \"lanes\": %zu, \"events\": %llu}\n",
+        (unsigned long long)since_tick, (unsigned long long)max_tick,
+        lanes_used, (unsigned long long)total_events);
+    for (size_t index = 0; index <= TraceRecorder::kMaxShards;
+         ++index) {
+        for (const TraceEvent &event : lanes[index].second) {
+            out += traceEventJson(index, lanes[index].first, event);
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+uint64_t
+traceDroppedTotal()
+{
+    TraceRecorder &recorder = TraceRecorder::instance();
+    uint64_t dropped = 0;
+    for (size_t index = 0; index <= TraceRecorder::kMaxShards;
+         ++index) {
+        uint64_t recorded = recorder.laneRecorded(index);
+        uint64_t retained =
+            std::min<uint64_t>(recorded, TraceRecorder::kRingCapacity);
+        dropped += recorded - retained;
+    }
+    return dropped;
 }
 
 std::string

@@ -46,6 +46,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace sqlpp {
@@ -111,6 +112,13 @@ struct TraceEvent
     char detail[kDetailCapacity] = {};
 };
 
+// The ring stores events as word-packed relaxed atomics so the live
+// /trace endpoint can read concurrently with campaign writers.
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent must memcpy in and out of the ring");
+static_assert(sizeof(TraceEvent) % sizeof(uint64_t) == 0,
+              "TraceEvent must pack into whole uint64_t words");
+
 /** Process-wide flight recorder with per-shard ring-buffer lanes. */
 class TraceRecorder
 {
@@ -175,6 +183,10 @@ class TraceRecorder
     friend class TraceShardScope;
     friend std::string exportTraceJsonl();
 
+    /** Words one packed event occupies in the ring. */
+    static constexpr size_t kEventWords =
+        sizeof(TraceEvent) / sizeof(uint64_t);
+
     /** One shard's ring. Allocated lazily; pointer never moves. */
     struct Lane
     {
@@ -182,8 +194,21 @@ class TraceRecorder
         std::atomic<uint64_t> tick{0};
         /** Events ever recorded; head slot = recorded % capacity. */
         std::atomic<uint64_t> recorded{0};
-        std::unique_ptr<TraceEvent[]> ring;
+        /**
+         * kRingCapacity slots of kEventWords relaxed-atomic words
+         * each, plus a per-slot seqlock version (odd while a writer
+         * is mid-copy). Writers were always safe (one thread per
+         * shard); the packing is for the *readers* the status
+         * server added — laneEvents() now snapshots a slot without
+         * tearing while the campaign is still recording into it.
+         */
+        std::unique_ptr<std::atomic<uint64_t>[]> ring;
+        std::unique_ptr<std::atomic<uint64_t>[]> versions;
     };
+
+    /** Seqlock read of one slot; false when a writer kept racing it. */
+    static bool readSlot(const Lane &lane, size_t slot,
+                         TraceEvent *out);
 
     /** Get or create the lane for a shard index; returns lane index. */
     size_t laneForShard(size_t shard_index, const std::string &label);
@@ -227,6 +252,21 @@ class TraceShardScope
  * with one worker, and identical for any worker count.
  */
 std::string exportTraceJsonl();
+
+/**
+ * Incremental drain for the status server's /trace endpoint: only
+ * events with tick > `since_tick`, same line format as
+ * exportTraceJsonl() but with header schema "sqlpp.trace.delta.v1"
+ * carrying `since` and `tick` (the maximum tick across lanes) so a
+ * client can resume from where this response left off.
+ */
+std::string exportTraceDeltaJsonl(uint64_t since_tick);
+
+/**
+ * Events lost to ring overwrite across all lanes (recorded minus
+ * retained) — the number the campaign.trace.dropped gauge carries.
+ */
+uint64_t traceDroppedTotal();
 
 /** Render one event as its JSONL line (no trailing newline). */
 std::string traceEventJson(size_t lane_index, const std::string &label,

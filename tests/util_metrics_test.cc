@@ -263,6 +263,171 @@ TEST_F(MetricsTest, ConcurrentHammerHasExactTotals)
               kThreads * per_thread_sum);
 }
 
+/**
+ * Quantile pins: the interpolation is deterministic arithmetic over
+ * the power-of-two bucket layout (bucket 0 = value 0, bucket i covers
+ * [2^(i-1), 2^i - 1]), so exact doubles are pinned here.
+ */
+TEST_F(MetricsTest, QuantileInterpolatesWithinOneBucket)
+{
+    // 10 observations in bucket 3 ([4, 7]).
+    uint64_t buckets[8] = {0, 0, 0, 10, 0, 0, 0, 0};
+    // p50: rank 5, half-way through the bucket -> 4 + 3 * 0.5.
+    EXPECT_DOUBLE_EQ(histogramQuantileFromBuckets(buckets, 8, 0.50),
+                     5.5);
+    EXPECT_DOUBLE_EQ(histogramQuantileFromBuckets(buckets, 8, 0.99),
+                     4.0 + 3.0 * 0.99);
+}
+
+TEST_F(MetricsTest, QuantileSpansBuckets)
+{
+    // 2 zeros (bucket 0) + 8 observations in bucket 4 ([8, 15]).
+    uint64_t buckets[8] = {2, 0, 0, 0, 8, 0, 0, 0};
+    // p50: rank 5 lands in bucket 4 with 3 of its 8 hits consumed.
+    EXPECT_DOUBLE_EQ(histogramQuantileFromBuckets(buckets, 8, 0.50),
+                     8.0 + 7.0 * (5.0 - 2.0) / 8.0);
+    EXPECT_DOUBLE_EQ(histogramQuantileFromBuckets(buckets, 8, 0.95),
+                     8.0 + 7.0 * (9.5 - 2.0) / 8.0);
+    // Rank inside bucket 0 is exactly zero.
+    EXPECT_DOUBLE_EQ(histogramQuantileFromBuckets(buckets, 8, 0.10),
+                     0.0);
+}
+
+TEST_F(MetricsTest, QuantileEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(histogramQuantileFromBuckets(nullptr, 0, 0.5),
+                     0.0);
+    uint64_t empty[4] = {0, 0, 0, 0};
+    EXPECT_DOUBLE_EQ(histogramQuantileFromBuckets(empty, 4, 0.5), 0.0);
+    uint64_t zeros[4] = {10, 0, 0, 0};
+    EXPECT_DOUBLE_EQ(histogramQuantileFromBuckets(zeros, 4, 0.99),
+                     0.0);
+    // Overflow bucket clamps to its lower bound (Prometheus-style).
+    uint64_t overflow[4] = {0, 0, 0, 5};
+    EXPECT_DOUBLE_EQ(histogramQuantileFromBuckets(overflow, 4, 0.99),
+                     4.0);
+}
+
+TEST_F(MetricsTest, MetricQuantilesReadTheLiveRegistry)
+{
+    auto &registry = MetricsRegistry::instance();
+    size_t id = registry.metricId("test.quantile.live",
+                                  MetricKind::Histogram);
+    // Bucket 1 is the degenerate range [1, 1]: every quantile is 1.
+    for (int i = 0; i < 100; ++i)
+        registry.observe(id, 1);
+    HistogramQuantiles quantiles;
+    ASSERT_TRUE(metricQuantiles("test.quantile.live", quantiles));
+    EXPECT_DOUBLE_EQ(quantiles.p50, 1.0);
+    EXPECT_DOUBLE_EQ(quantiles.p95, 1.0);
+    EXPECT_DOUBLE_EQ(quantiles.p99, 1.0);
+
+    EXPECT_FALSE(metricQuantiles("test.quantile.absent", quantiles));
+    registry.addByName("test.quantile.scalar", 3);
+    EXPECT_FALSE(metricQuantiles("test.quantile.scalar", quantiles));
+}
+
+TEST_F(MetricsTest, BucketTotalsSumAcrossLanes)
+{
+    auto &registry = MetricsRegistry::instance();
+    size_t id = registry.metricId("test.buckets.lanes",
+                                  MetricKind::Histogram);
+    registry.observe(id, 4); // lane 0
+    {
+        MetricsShardScope scope(0, "lane-a");
+        registry.observe(id, 4);
+        registry.observe(id, 0);
+    }
+    std::vector<uint64_t> buckets =
+        registry.histogramBucketTotals("test.buckets.lanes");
+    ASSERT_EQ(buckets.size(), MetricsRegistry::kHistogramBuckets);
+    EXPECT_EQ(buckets[0], 1u); // the zero
+    EXPECT_EQ(buckets[MetricsRegistry::bucketIndex(4)], 2u);
+    EXPECT_TRUE(
+        registry.histogramBucketTotals("test.buckets.absent").empty());
+}
+
+TEST_F(MetricsTest, SummaryTableCarriesQuantileColumns)
+{
+    auto &registry = MetricsRegistry::instance();
+    size_t id = registry.metricId("test.summary.quantiles",
+                                  MetricKind::Histogram);
+    for (int i = 0; i < 10; ++i)
+        registry.observe(id, 1);
+    std::string table = metricsSummaryTable();
+    EXPECT_NE(table.find("p50"), std::string::npos);
+    EXPECT_NE(table.find("p95"), std::string::npos);
+    EXPECT_NE(table.find("p99"), std::string::npos);
+    // All ten observations sit in the degenerate [1, 1] bucket.
+    size_t row = table.find("test.summary.quantiles");
+    ASSERT_NE(row, std::string::npos);
+    std::string line = table.substr(row, table.find('\n', row) - row);
+    EXPECT_NE(line.find(" 1 "), std::string::npos) << line;
+}
+
+TEST_F(MetricsTest, PrometheusExportsScalars)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.addByName("test.prom.counter", 5);
+    size_t gauge = registry.metricId("test.prom.gauge",
+                                     MetricKind::Gauge);
+    registry.set(gauge, 9);
+    std::string text = exportMetricsPrometheus();
+    EXPECT_NE(text.find("# TYPE sqlpp_test_prom_counter counter\n"
+                        "sqlpp_test_prom_counter 5\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# TYPE sqlpp_test_prom_gauge gauge\n"
+                        "sqlpp_test_prom_gauge 9\n"),
+              std::string::npos)
+        << text;
+}
+
+TEST_F(MetricsTest, PrometheusHistogramIsCumulative)
+{
+    auto &registry = MetricsRegistry::instance();
+    size_t id = registry.metricId("test.prom.histogram",
+                                  MetricKind::Histogram);
+    registry.observe(id, 0);
+    registry.observe(id, 3);
+    registry.observe(id, 3);
+    std::string text = exportMetricsPrometheus();
+    // Non-empty bounds only, counts cumulative, then +Inf/sum/count.
+    EXPECT_NE(text.find("sqlpp_test_prom_histogram_bucket{le=\"0\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("sqlpp_test_prom_histogram_bucket{le=\"3\"} 3"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(
+        text.find("sqlpp_test_prom_histogram_bucket{le=\"+Inf\"} 3"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(text.find("sqlpp_test_prom_histogram_sum 6"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("sqlpp_test_prom_histogram_count 3"),
+              std::string::npos)
+        << text;
+}
+
+TEST_F(MetricsTest, PrometheusSanitizesNamesAndKeepsZeroSeries)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.addByName("test.prom-weird.name", 1);
+    declarePlatformMetrics();
+    std::string text = exportMetricsPrometheus();
+    EXPECT_NE(text.find("sqlpp_test_prom_weird_name 1"),
+              std::string::npos);
+    // Declared-but-untouched metrics still emit a stable zero series.
+    EXPECT_NE(text.find("sqlpp_connection_statements 0"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("sqlpp_campaign_trace_dropped 0"),
+              std::string::npos)
+        << text;
+}
+
 /** Concurrent SQLPP_SPAN use: timer counts must be exact too. */
 TEST_F(MetricsTest, ConcurrentSpansCountExactly)
 {

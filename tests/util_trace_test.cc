@@ -192,6 +192,56 @@ TEST_F(TraceTest, ExportJsonlShapeAndEscaping)
                                             << rest;
 }
 
+TEST_F(TraceTest, DeltaExportFiltersBySinceTick)
+{
+    TraceRecorder &recorder = TraceRecorder::instance();
+    {
+        TraceShardScope scope(0, "delta");
+        for (uint64_t i = 1; i <= 3; ++i) {
+            recorder.bumpTick();
+            recorder.record(TraceEventType::StatementExecuted, "", i,
+                            0);
+        }
+    }
+    std::string jsonl = exportTraceDeltaJsonl(1);
+    std::istringstream lines(jsonl);
+    std::string header;
+    ASSERT_TRUE(std::getline(lines, header));
+    EXPECT_NE(header.find("\"schema\": \"sqlpp.trace.delta.v1\""),
+              std::string::npos)
+        << header;
+    EXPECT_NE(header.find("\"since\": 1"), std::string::npos);
+    // "tick" carries the newest tick seen: the client's next `since`.
+    EXPECT_NE(header.find("\"tick\": 3"), std::string::npos);
+    EXPECT_NE(header.find("\"events\": 2"), std::string::npos);
+    std::string event;
+    size_t events = 0;
+    while (std::getline(lines, event)) {
+        ++events;
+        EXPECT_EQ(event.find("\"tick\": 1"), std::string::npos)
+            << event;
+    }
+    EXPECT_EQ(events, 2u);
+
+    // Fully caught up: header only, zero events.
+    std::string drained = exportTraceDeltaJsonl(3);
+    EXPECT_NE(drained.find("\"events\": 0"), std::string::npos);
+    EXPECT_EQ(drained.find("statement_executed"), std::string::npos);
+}
+
+TEST_F(TraceTest, DroppedTotalCountsRingOverwrites)
+{
+    TraceRecorder &recorder = TraceRecorder::instance();
+    EXPECT_EQ(traceDroppedTotal(), 0u);
+    TraceShardScope scope(5, "ring");
+    size_t total = TraceRecorder::kRingCapacity + 100;
+    for (size_t i = 0; i < total; ++i)
+        recorder.record(TraceEventType::StatementExecuted, "", i, 0);
+    EXPECT_EQ(traceDroppedTotal(), 100u);
+    recorder.reset();
+    EXPECT_EQ(traceDroppedTotal(), 0u);
+}
+
 TEST_F(TraceTest, ExportIsDeterministicAcrossLaneCreationOrder)
 {
     TraceRecorder &recorder = TraceRecorder::instance();
